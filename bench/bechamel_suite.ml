@@ -1,0 +1,76 @@
+(* Bechamel micro-benchmarks: one Test.make per table/figure, run on
+   reduced instances so the statistical sampler can afford many runs.
+   These complement the paper-shaped tables of Experiments with properly
+   sampled per-operation costs. *)
+
+open Bechamel
+
+module E = Scliques_core.Enumerate
+
+let micro_quota = 20 (* results per micro run *)
+
+let first_n alg g ~s () = ignore (E.first_n alg g ~s micro_quota)
+
+let micro_er () = Workloads.er ~n:250 ~avg_degree:8.
+
+let micro_sf () = Workloads.sf ~n:250 ~avg_degree:8.
+
+let micro_dense () = Workloads.er ~n:200 ~avg_degree:16.
+
+(* s = 3 balls cover most of a 250-node graph, so the s=3 micro tests get
+   their own smaller instances to keep one run under the sampling quota *)
+let micro_er_s3 () = Workloads.er ~n:100 ~avg_degree:6.
+
+let micro_sf_s3 () = Workloads.sf ~n:100 ~avg_degree:6.
+
+let tests () =
+  let er = micro_er () and sf = micro_sf () and dense = micro_dense () in
+  let proxy = (List.hd (Workloads.datasets ())).Workloads.proxy () in
+  [
+    (* one per figure, on its family's micro instance *)
+    Test.make ~name:"fig9a:CS1-ER" (Staged.stage (first_n E.Cs1 er ~s:2));
+    Test.make ~name:"fig9a:CS2-ER" (Staged.stage (first_n E.Cs2 er ~s:2));
+    Test.make ~name:"fig9b:CS2P-ER" (Staged.stage (first_n E.Cs2_p er ~s:2));
+    Test.make ~name:"fig9b:PD-ER" (Staged.stage (first_n E.Poly_delay er ~s:2));
+    Test.make ~name:"fig9c:CS2P-SF" (Staged.stage (first_n E.Cs2_p sf ~s:2));
+    Test.make ~name:"fig9d:CS2P-dense" (Staged.stage (first_n E.Cs2_p dense ~s:2));
+    Test.make ~name:"fig9e:CS2P-s3" (Staged.stage (first_n E.Cs2_p (micro_er_s3 ()) ~s:3));
+    Test.make ~name:"fig9f:CS2P-first200"
+      (Staged.stage (fun () -> ignore (E.first_n E.Cs2_p er ~s:2 200)));
+    Test.make ~name:"fig9g:CS2PF-SF" (Staged.stage (first_n E.Cs2_pf sf ~s:2));
+    Test.make ~name:"fig9h:CS2PF-s3-SF"
+      (Staged.stage (first_n E.Cs2_pf (micro_sf_s3 ()) ~s:3));
+    Test.make ~name:"fig9i:CS2P-proxy" (Staged.stage (first_n E.Cs2_p proxy ~s:2));
+    Test.make ~name:"fig10:CS2P-k8"
+      (Staged.stage (fun () -> ignore (E.first_n ~min_size:8 E.Cs2_p er ~s:2 micro_quota)));
+    Test.make ~name:"fig11:sample-sizes"
+      (Staged.stage (fun () -> ignore (Scliques_core.Stats.sample E.Cs2_p er ~s:2 micro_quota)));
+  ]
+
+let run () =
+  let cfg =
+    Benchmark.cfg ~limit:50
+      ~quota:(Time.second (if Harness.fast then 0.15 else 0.4))
+      ~kde:None ~stabilize:false ()
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let grouped = Test.make_grouped ~name:"scliques" ~fmt:"%s %s" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Printf.printf "\n== Bechamel micro-benchmarks (ns per run, OLS on monotonic clock) ==\n";
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan
+        in
+        (name, estimate) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-28s %12.0f ns/run (%.3f ms)\n" name ns (ns /. 1e6))
+    (List.sort compare rows);
+  flush stdout

@@ -1,0 +1,511 @@
+(* One function per table/figure of the paper's evaluation (§7), plus the
+   ablation studies listed in DESIGN.md. Each prints a table in the shape
+   of the corresponding figure; EXPERIMENTS.md records paper-vs-measured. *)
+
+module E = Scliques_core.Enumerate
+module G = Sgraph.Graph
+module NS = Sgraph.Node_set
+
+let quota = 100 (* the paper measures "time to return 100 connected s-cliques" *)
+
+let abbrev n =
+  if n >= 1_000_000 then Printf.sprintf "%dM" (n / 1_000_000)
+  else if n >= 1000 then Printf.sprintf "%dK" (n / 1000)
+  else string_of_int n
+
+(* time to the first [quota] results of [alg] on [g] *)
+let first_n ?(min_size = 0) ?(optimized = true) ?(quota = quota) alg g ~s =
+  Harness.time_first_n ~quota (fun ~should_continue yield ->
+      E.iter ~min_size ~optimized ~should_continue alg g ~s yield)
+
+let sweep ~title ~columns ~algorithms ~cell =
+  let rows = List.map (fun alg -> (E.name alg, List.map (cell alg) columns)) algorithms in
+  Harness.print_table ~title
+    ~columns:(List.map fst columns)
+    ~rows
+
+(* ---------- §7 dataset table ---------- *)
+
+let datasets () =
+  Printf.printf "\n== Datasets (paper: SNAP; here: synthetic proxies, DESIGN.md §4) ==\n";
+  Printf.printf "%-12s %22s %22s %8s %10s\n" "" "paper (n, m)" "proxy (n, m)" "avg_deg"
+    "triangles";
+  List.iter
+    (fun d ->
+      let g = d.Workloads.proxy () in
+      Printf.printf "%-12s %22s %22s %8.1f %10d\n" d.Workloads.name
+        (Printf.sprintf "(%d, %d)" d.Workloads.paper_nodes d.Workloads.paper_edges)
+        (Printf.sprintf "(%d, %d)" (G.n g) (G.m g))
+        (Sgraph.Metrics.avg_degree g)
+        (Sgraph.Metrics.triangle_count g))
+    (Workloads.datasets ());
+  flush stdout
+
+(* ---------- Figure 9 ---------- *)
+
+let fig9a () =
+  sweep ~title:"Fig 9a: Bron-Kerbosch adaptations, ER graphs, s=2, first 100"
+    ~columns:
+      (List.map (fun n -> ("ER" ^ abbrev n, n)) Workloads.er_sizes_9a)
+    ~algorithms:[ E.Cs1; E.Cs2; E.Cs2_f; E.Cs2_p; E.Cs2_pf ]
+    ~cell:(fun alg (_, n) -> first_n alg (Workloads.er ~n ~avg_degree:10.) ~s:2)
+
+let main_three = [ E.Cs2_p; E.Cs2_pf; E.Poly_delay ]
+
+let fig9b () =
+  sweep ~title:"Fig 9b: varying nodes, ER graphs, s=2, first 100"
+    ~columns:(List.map (fun n -> ("ER" ^ abbrev n, n)) Workloads.er_sizes_9b)
+    ~algorithms:main_three
+    ~cell:(fun alg (_, n) -> first_n alg (Workloads.er ~n ~avg_degree:10.) ~s:2)
+
+let fig9c () =
+  sweep ~title:"Fig 9c: varying nodes, SF graphs, s=2, first 100 (paper: log scale)"
+    ~columns:(List.map (fun n -> ("SF" ^ abbrev n, n)) Workloads.sf_sizes_9c)
+    ~algorithms:main_three
+    ~cell:(fun alg (_, n) -> first_n alg (Workloads.sf ~n ~avg_degree:10.) ~s:2)
+
+let fig9d () =
+  sweep
+    ~title:
+      (Printf.sprintf "Fig 9d: varying edge density, ER n=%s, s=2, first 100"
+         (abbrev Workloads.n_9d))
+    ~columns:(List.map (fun d -> (Printf.sprintf "ER%gD" d, d)) Workloads.densities_er)
+    ~algorithms:main_three
+    ~cell:(fun alg (_, d) ->
+      first_n alg (Workloads.er ~n:Workloads.n_9d ~avg_degree:d) ~s:2)
+
+let fig9e () =
+  sweep
+    ~title:
+      (Printf.sprintf "Fig 9e: varying s, ER n=%s deg 10, first 100"
+         (abbrev Workloads.n_9e))
+    ~columns:(List.map (fun s -> (Printf.sprintf "s=%d" s, s)) [ 1; 2; 3 ])
+    ~algorithms:main_three
+    ~cell:(fun alg (_, s) -> first_n alg (Workloads.er ~n:Workloads.n_9e ~avg_degree:10.) ~s)
+
+let fig9g () =
+  sweep
+    ~title:
+      (Printf.sprintf "Fig 9g: varying edge density, SF n=%s, s=2, first 100"
+         (abbrev Workloads.n_sf))
+    ~columns:(List.map (fun d -> (Printf.sprintf "SF%gD" d, d)) Workloads.densities_sf)
+    ~algorithms:main_three
+    ~cell:(fun alg (_, d) ->
+      first_n alg (Workloads.sf ~n:Workloads.n_sf ~avg_degree:d) ~s:2)
+
+let fig9h () =
+  sweep
+    ~title:
+      (Printf.sprintf "Fig 9h: varying s, SF n=%s deg 10, first 100 (paper: log scale)"
+         (abbrev Workloads.n_sf))
+    ~columns:(List.map (fun s -> (Printf.sprintf "s=%d" s, s)) [ 1; 2; 3 ])
+    ~algorithms:main_three
+    ~cell:(fun alg (_, s) -> first_n alg (Workloads.sf ~n:Workloads.n_sf ~avg_degree:10.) ~s)
+
+let fig9i () =
+  sweep ~title:"Fig 9i: real-data proxies, s=2, first 100"
+    ~columns:(List.map (fun d -> (d.Workloads.name, d)) (Workloads.datasets ()))
+    ~algorithms:main_three
+    ~cell:(fun alg (_, d) -> first_n alg (d.Workloads.proxy ()) ~s:2)
+
+(* Fig 9f: enumerate ALL results; report the delay of each tenth of the
+   output (the paper reports time between every 10K results on a graph
+   with 112,134 of them). *)
+let fig9f () =
+  let g = Workloads.er ~n:Workloads.n_9f ~avg_degree:10. in
+  (* count the output within budget using the fastest variant *)
+  let total = ref 0 in
+  let counted =
+    Harness.timed (fun ~should_continue ->
+        E.iter ~should_continue E.Cs2_p g ~s:2 (fun _ -> incr total);
+        should_continue ())
+  in
+  match counted with
+  | Harness.Timeout ->
+      Printf.printf
+        "\n== Fig 9f: skipped (could not count all results within budget; got %d) ==\n"
+        !total
+  | _ ->
+      let total = !total in
+      let step = max 1 (total / 10) in
+      let checkpoints = List.init 10 (fun i -> min total ((i + 1) * step)) in
+      let row alg =
+        let deltas = Array.make 10 Harness.Timeout in
+        let t0 = Unix.gettimeofday () in
+        let last = ref t0 in
+        let seen = ref 0 in
+        let bucket = ref 0 in
+        ignore
+          (Harness.timed (fun ~should_continue ->
+               E.iter ~should_continue alg g ~s:2 (fun _ ->
+                   incr seen;
+                   if !bucket < 10 && !seen = List.nth checkpoints !bucket then begin
+                     let t = Unix.gettimeofday () in
+                     deltas.(!bucket) <- Harness.Seconds (t -. !last);
+                     last := t;
+                     incr bucket
+                   end);
+               should_continue ()));
+        (E.name alg, Array.to_list deltas)
+      in
+      Harness.print_table
+        ~title:
+          (Printf.sprintf
+             "Fig 9f: delay per tenth of all %d results, ER n=%s deg 10, s=2" total
+             (abbrev Workloads.n_9f))
+        ~columns:(List.map (fun c -> string_of_int c) checkpoints)
+        ~rows:(List.map row [ E.Cs2_p; E.Cs2_pf; E.Poly_delay ])
+
+(* ---------- Figure 10: large results ---------- *)
+
+let fig10_rows g ~s ks =
+  let variant (alg, optimized) =
+    let label = E.name alg ^ if optimized then " opt" else " plain" in
+    ( label,
+      List.map (fun k -> first_n ~min_size:k ~optimized alg g ~s) ks )
+  in
+  List.map variant
+    [ (E.Cs2_p, true); (E.Cs2_pf, true); (E.Poly_delay, true);
+      (E.Cs2_p, false); (E.Cs2_pf, false); (E.Poly_delay, false) ]
+
+let fig10a () =
+  let g = Workloads.er ~n:Workloads.n_9d ~avg_degree:10. in
+  Harness.print_table
+    ~title:
+      (Printf.sprintf
+         "Fig 10a: 100 results of size >= k, ER n=%s deg 10, s=2 (opt vs plain)"
+         (abbrev Workloads.n_9d))
+    ~columns:(List.map (fun k -> Printf.sprintf "k=%d" k) Workloads.ks_er)
+    ~rows:(fig10_rows g ~s:2 Workloads.ks_er)
+
+let fig10b () =
+  let g = Workloads.sf ~n:Workloads.n_sf ~avg_degree:10. in
+  Harness.print_table
+    ~title:
+      (Printf.sprintf
+         "Fig 10b: 100 results of size >= k, SF n=%s deg 10, s=2 (opt vs plain)"
+         (abbrev Workloads.n_sf))
+    ~columns:(List.map (fun k -> Printf.sprintf "k=%d" k) Workloads.ks_sf)
+    ~rows:(fig10_rows g ~s:2 Workloads.ks_sf)
+
+let fig10c () =
+  let k = Workloads.k_real in
+  Harness.print_table
+    ~title:
+      (Printf.sprintf "Fig 10c: 100 results of size >= %d on real-data proxies, s=2" k)
+    ~columns:(List.map (fun d -> d.Workloads.name) (Workloads.datasets ()))
+    ~rows:
+      (List.map
+         (fun (alg, optimized) ->
+           ( (E.name alg ^ if optimized then " opt" else " plain"),
+             List.map
+               (fun d -> first_n ~min_size:k ~optimized alg (d.Workloads.proxy ()) ~s:2)
+               (Workloads.datasets ()) ))
+         [ (E.Cs2_p, true); (E.Cs2_pf, true); (E.Poly_delay, true);
+           (E.Cs2_p, false); (E.Cs2_pf, false); (E.Poly_delay, false) ])
+
+(* ---------- Figure 11: sizes of sampled s-cliques ---------- *)
+
+let fig11 () =
+  let sample g ~s =
+    let results = ref [] in
+    let outcome =
+      Harness.time_first_n ~quota:100 (fun ~should_continue yield ->
+          E.iter ~should_continue E.Cs2_p g ~s (fun c ->
+              results := c :: !results;
+              yield c))
+    in
+    let stats = Scliques_core.Stats.of_results !results in
+    match outcome with
+    | Harness.Timeout when stats.Scliques_core.Stats.count = 0 -> Harness.Timeout
+    | Harness.Timeout ->
+        (* partial sample: mark it *)
+        Harness.Note
+          (Printf.sprintf "%.1f/%d*" stats.Scliques_core.Stats.avg_size
+             stats.Scliques_core.Stats.max_size)
+    | _ ->
+        Harness.Note
+          (Printf.sprintf "%.1f/%d" stats.Scliques_core.Stats.avg_size
+             stats.Scliques_core.Stats.max_size)
+  in
+  Harness.print_table
+    ~title:"Fig 11: avg/max size of 100 sampled maximal connected s-cliques"
+    ~columns:(List.map (fun d -> d.Workloads.name) (Workloads.datasets ()))
+    ~rows:
+      (List.map
+         (fun s ->
+           ( Printf.sprintf "s=%d (avg/max)" s,
+             List.map (fun d -> sample (d.Workloads.proxy ()) ~s) (Workloads.datasets ())
+           ))
+         [ 1; 2; 3 ])
+
+(* ---------- ablations (DESIGN.md §5) ---------- *)
+
+let abl_cache () =
+  let g = Workloads.er ~n:Workloads.n_9d ~avg_degree:10. in
+  let row capacity =
+    let label =
+      if capacity = 0 then "no cache" else Printf.sprintf "cache %d" capacity
+    in
+    let nh = ref None in
+    let outcome =
+      Harness.time_first_n ~quota:1000 (fun ~should_continue yield ->
+          let n = Scliques_core.Neighborhood.create ~cache_capacity:capacity ~s:2 g in
+          nh := Some n;
+          Scliques_core.Cs_cliques2.iter ~pivot:true ~should_continue n yield)
+    in
+    let hit_rate =
+      match !nh with
+      | None -> Harness.Note "-"
+      | Some n ->
+          let s = Scliques_core.Neighborhood.cache_stats n in
+          let total = s.Scoll.Lri_cache.hits + s.Scoll.Lri_cache.misses in
+          if total = 0 then Harness.Note "-"
+          else
+            Harness.Note
+              (Printf.sprintf "%.0f%%"
+                 (100. *. float_of_int s.Scoll.Lri_cache.hits /. float_of_int total))
+    in
+    (label, [ outcome; hit_rate ])
+  in
+  Harness.print_table
+    ~title:
+      (Printf.sprintf
+         "Ablation: N^s cache (CSCliques2P, first 1000, ER n=%s deg 10, s=2)"
+         (abbrev Workloads.n_9d))
+    ~columns:[ "time"; "hit rate" ]
+    ~rows:(List.map row [ 0; 256; 65536 ])
+
+let abl_index () =
+  let g = Workloads.er ~n:Workloads.n_index ~avg_degree:10. in
+  let nh () = Scliques_core.Neighborhood.create ~s:2 g in
+  let row (label, index_mode) =
+    let stats = ref None in
+    let outcome =
+      Harness.timed (fun ~should_continue ->
+          stats :=
+            Some
+              (Scliques_core.Poly_delay.iter_with_stats ~index_mode ~should_continue
+                 (nh ()) (fun _ -> ()));
+          should_continue ())
+    in
+    let extras =
+      match !stats with
+      | Some s ->
+          [ Harness.Note (string_of_int s.Scliques_core.Poly_delay.generated);
+            Harness.Note (string_of_int s.Scliques_core.Poly_delay.index_height) ]
+      | None -> [ Harness.Note "-"; Harness.Note "-" ]
+    in
+    (label, outcome :: extras)
+  in
+  Harness.print_table
+    ~title:
+      (Printf.sprintf "Ablation: PolyDelayEnum index structure (all results, ER n=%s)"
+         (abbrev Workloads.n_index))
+    ~columns:[ "time"; "generated"; "height" ]
+    ~rows:
+      (List.map row
+         [ ("B-tree (paper)", Scliques_core.Poly_delay.Btree);
+           ("hashtable", Scliques_core.Poly_delay.Hashtable) ])
+
+let abl_pivot () =
+  (* full enumeration: the pivot rule's value is the recursion-tree size it
+     saves, which first-100 runs barely exercise *)
+  let n = if Harness.fast then 300 else 1000 in
+  let cell rule g =
+    Harness.timed (fun ~should_continue ->
+        Scliques_core.Cs_cliques2.iter ~pivot:true ~pivot_rule:rule ~should_continue
+          (Scliques_core.Neighborhood.create ~s:2 g)
+          (fun _ -> ());
+        should_continue ())
+  in
+  Harness.print_table
+    ~title:(Printf.sprintf "Ablation: pivot selection rule (ALL results, n=%d, s=2)" n)
+    ~columns:[ "ER"; "SF" ]
+    ~rows:
+      (List.map
+         (fun (label, rule) ->
+           ( label,
+             [ cell rule (Workloads.er ~n ~avg_degree:10.);
+               cell rule (Workloads.sf ~n ~avg_degree:10.) ] ))
+         [ ("min |P - N^s(u)| (paper)", Scliques_core.Cs_cliques2.Min_uncovered);
+           ("first candidate", Scliques_core.Cs_cliques2.First_candidate) ])
+
+let abl_queue () =
+  let g = Workloads.sf ~n:Workloads.n_sf ~avg_degree:10. in
+  let ks = [ 10; 20; 30 ] in
+  let cell queue_mode k =
+    Harness.time_first_n ~quota (fun ~should_continue yield ->
+        Scliques_core.Poly_delay.iter ~queue_mode ~min_size:k ~should_continue
+          (Scliques_core.Neighborhood.create ~s:2 g)
+          yield)
+  in
+  Harness.print_table
+    ~title:
+      (Printf.sprintf
+         "Ablation: PolyDelayEnum queue for large results (SF n=%s, 100 of size>=k)"
+         (abbrev Workloads.n_sf))
+    ~columns:(List.map (fun k -> Printf.sprintf "k=%d" k) ks)
+    ~rows:
+      (List.map
+         (fun (label, queue_mode) -> (label, List.map (cell queue_mode) ks))
+         [ ("FIFO (Fig 4)", Scliques_core.Poly_delay.Fifo);
+           ("largest-first (§6)", Scliques_core.Poly_delay.Largest_first) ])
+
+let abl_degeneracy () =
+  (* footnote 1: degeneracy-ordered root branching vs the plain ascending
+     root, full enumeration (the ordering's value is bounded root P sets;
+     its cost is building G^s first) *)
+  let n = if Harness.fast then 300 else 1000 in
+  let cell root_order g =
+    Harness.timed (fun ~should_continue ->
+        Scliques_core.Cs_cliques2.iter ~pivot:true ~root_order ~should_continue
+          (Scliques_core.Neighborhood.create ~s:2 g)
+          (fun _ -> ());
+        should_continue ())
+  in
+  Harness.print_table
+    ~title:
+      (Printf.sprintf "Ablation: root ordering for CSCliques2P (ALL results, n=%d, s=2)" n)
+    ~columns:[ "ER"; "SF" ]
+    ~rows:
+      (List.map
+         (fun (label, root_order) ->
+           ( label,
+             [ cell root_order (Workloads.er ~n ~avg_degree:10.);
+               cell root_order (Workloads.sf ~n ~avg_degree:10.) ] ))
+         [ ("ascending ids (Fig 7)", Scliques_core.Cs_cliques2.Ascending);
+           ("G^s degeneracy (footnote 1)", Scliques_core.Cs_cliques2.Power_degeneracy) ])
+
+let delays () =
+  (* Theorem 4.2 made visible: worst and mean inter-result delay over the
+     first 1000 results. PD's guarantee is a polynomial worst-case delay;
+     the BK adaptations have none (but behave well in practice). *)
+  let g = Workloads.er ~n:Workloads.n_9f ~avg_degree:10. in
+  let row alg =
+    let monitor = ref (Scliques_core.Delay.create ()) in
+    let outcome =
+      Harness.time_first_n ~quota:1000 (fun ~should_continue yield ->
+          let d = Scliques_core.Delay.create () in
+          monitor := d;
+          E.iter ~should_continue alg g ~s:2 (Scliques_core.Delay.wrap d yield))
+    in
+    let r = Scliques_core.Delay.report !monitor in
+    ( E.name alg,
+      [ outcome;
+        Harness.Note (Printf.sprintf "%.4f" r.Scliques_core.Delay.first);
+        Harness.Note (Printf.sprintf "%.4f" r.Scliques_core.Delay.max_gap);
+        Harness.Note (Printf.sprintf "%.5f" r.Scliques_core.Delay.mean_gap) ] )
+  in
+  Harness.print_table
+    ~title:
+      (Printf.sprintf
+         "Delay profile: first 1000 results on ER n=%s deg 10, s=2 (seconds)"
+         (abbrev Workloads.n_9f))
+    ~columns:[ "total"; "first"; "max gap"; "mean gap" ]
+    ~rows:(List.map row [ E.Cs2_p; E.Cs2_pf; E.Cs1; E.Poly_delay ])
+
+let abl_generic () =
+  (* abstraction penalty: the generic connected-hereditary engine vs the
+     specialized PolyDelayEnum on the same s-clique instance *)
+  let n = if Harness.fast then 200 else 500 in
+  let g = Workloads.er ~n ~avg_degree:8. in
+  let row (label, run) =
+    let count = ref 0 in
+    let outcome =
+      Harness.timed (fun ~should_continue ->
+          run ~should_continue (fun _ -> incr count);
+          should_continue ())
+    in
+    (label, [ outcome; Harness.Note (string_of_int !count) ])
+  in
+  Harness.print_table
+    ~title:
+      (Printf.sprintf
+         "Ablation: generic hereditary engine vs specialized PD (ALL results, ER n=%d, \
+          s=2)"
+         n)
+    ~columns:[ "time"; "results" ]
+    ~rows:
+      [
+        row
+          ( "PolyDelayEnum (specialized)",
+            fun ~should_continue yield ->
+              Scliques_core.Poly_delay.iter ~should_continue
+                (Scliques_core.Neighborhood.create ~s:2 g)
+                yield );
+        row
+          ( "Hereditary engine (generic)",
+            fun ~should_continue yield ->
+              Scliques_core.Hereditary.iter ~should_continue g
+                (Scliques_core.Hereditary.s_clique ~s:2)
+                yield );
+        row
+          ( "CSCliques2P (for scale)",
+            fun ~should_continue yield ->
+              Scliques_core.Cs_cliques2.iter ~pivot:true ~should_continue
+                (Scliques_core.Neighborhood.create ~s:2 g)
+                yield );
+      ]
+
+let parallel_balance () =
+  (* the paper's §8 future work: distribute the enumeration. The root
+     decomposition is exact; the open question is balance, so we report
+     per-worker load for ER (uniform) vs SF (hub-skewed). One-core
+     container: wall-clock speedup is not the point here. *)
+  let n = if Harness.fast then 300 else 1000 in
+  let row (label, g) =
+    let results, stats =
+      Scliques_core.Parallel.enumerate_with_stats ~workers:4 g ~s:2
+    in
+    let loads = stats.Scliques_core.Parallel.results_per_worker in
+    let times = stats.Scliques_core.Parallel.time_per_worker in
+    let max_load = Array.fold_left max 0 loads in
+    let avg_load = float_of_int (List.length results) /. 4. in
+    ( label,
+      [ Harness.Note (string_of_int (List.length results));
+        Harness.Note
+          (String.concat "/" (Array.to_list (Array.map string_of_int loads)));
+        Harness.Note (Printf.sprintf "%.2f" (float_of_int max_load /. avg_load));
+        Harness.Note
+          (Printf.sprintf "%.2f"
+             (Array.fold_left Float.max 0. times
+             /. Float.max 1e-9
+                  (Array.fold_left ( +. ) 0. times /. 4.))) ] )
+  in
+  Harness.print_table
+    ~title:
+      (Printf.sprintf
+         "Future work (§8): 4-worker root decomposition, n=%d, s=2 — load balance" n)
+    ~columns:[ "results"; "per-worker"; "load skew"; "time skew" ]
+    ~rows:
+      [ row ("ER", Workloads.er ~n ~avg_degree:10.);
+        row ("SF", Workloads.sf ~n ~avg_degree:10.) ]
+
+(* ---------- registry ---------- *)
+
+let all : (string * string * (unit -> unit)) list =
+  [
+    ("datasets", "dataset/proxy summary table (paper §7)", datasets);
+    ("fig9a", "BK adaptations on ER graphs", fig9a);
+    ("fig9b", "varying nodes, ER", fig9b);
+    ("fig9c", "varying nodes, SF", fig9c);
+    ("fig9d", "varying density, ER", fig9d);
+    ("fig9e", "varying s, ER", fig9e);
+    ("fig9f", "delay over all results, ER", fig9f);
+    ("fig9g", "varying density, SF", fig9g);
+    ("fig9h", "varying s, SF", fig9h);
+    ("fig9i", "real-data proxies", fig9i);
+    ("fig10a", "large results, ER", fig10a);
+    ("fig10b", "large results, SF", fig10b);
+    ("fig10c", "large results, proxies", fig10c);
+    ("fig11", "avg/max sampled sizes", fig11);
+    ("delays", "per-result delay profile (Theorem 4.2)", delays);
+    ("abl_cache", "ablation: N^s cache", abl_cache);
+    ("abl_index", "ablation: PD index structure", abl_index);
+    ("abl_pivot", "ablation: pivot rule", abl_pivot);
+    ("abl_queue", "ablation: PD queue discipline", abl_queue);
+    ("abl_degeneracy", "ablation: root ordering (footnote 1)", abl_degeneracy);
+    ("abl_generic", "ablation: generic CKS engine vs specialized PD", abl_generic);
+    ("parallel", "future work: parallel decomposition balance", parallel_balance);
+  ]

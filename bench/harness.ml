@@ -1,0 +1,80 @@
+(* Timing, budgets, and table rendering for the experiment suite.
+
+   Every figure of the paper is reproduced as a table: one row per
+   algorithm, one column per swept parameter value. Cells hold wall-clock
+   seconds, or ">B" when the per-cell time budget B was exhausted before
+   the measurement finished (the paper reports the same as "timed out").
+
+   Environment knobs:
+     FAST=1      smaller workloads (quick smoke of the whole suite)
+     BUDGET=<s>  per-cell wall-clock budget in seconds (default 30; 6 fast)
+     SEED=<n>    base RNG seed for all generated workloads (default 42) *)
+
+let fast = match Sys.getenv_opt "FAST" with Some ("1" | "true") -> true | _ -> false
+
+let budget =
+  match Option.bind (Sys.getenv_opt "BUDGET") float_of_string_opt with
+  | Some b when b > 0. -> b
+  | _ -> if fast then 6. else 30.
+
+let seed =
+  match Option.bind (Sys.getenv_opt "SEED") int_of_string_opt with
+  | Some s -> s
+  | None -> 42
+
+let now = Unix.gettimeofday
+
+(* Outcome of one measured cell. *)
+type outcome =
+  | Seconds of float
+  | Timeout
+  | Note of string  (** free-form cell, e.g. a count or size *)
+
+let cell_to_string = function
+  | Seconds t -> if t < 0.0005 then "<0.001" else Printf.sprintf "%.3f" t
+  | Timeout -> Printf.sprintf ">%g" budget
+  | Note s -> s
+
+(* Run [f], handing it a [should_continue] tied to the budget. [f] must
+   return [true] when it finished its measurement and [false] when it was
+   cut short (it sees the same information through should_continue). *)
+let timed (f : should_continue:(unit -> bool) -> bool) : outcome =
+  let t0 = now () in
+  let deadline = t0 +. budget in
+  let completed = f ~should_continue:(fun () -> now () < deadline) in
+  let dt = now () -. t0 in
+  if completed then Seconds dt else Timeout
+
+(* Time to produce [quota] results of an enumeration, budget-bounded.
+   Completing the whole enumeration with fewer than [quota] results counts
+   as success (everything available was produced). *)
+let time_first_n ~quota iter_fn : outcome =
+  timed (fun ~should_continue ->
+      let got = ref 0 in
+      let exception Enough in
+      (try
+         iter_fn ~should_continue (fun _ ->
+             incr got;
+             if !got >= quota then raise Enough)
+       with Enough -> ());
+      !got >= quota || should_continue ())
+
+let print_table ~title ~columns ~rows =
+  let width = 12 in
+  let label_width =
+    List.fold_left (fun acc (label, _) -> max acc (String.length label)) 14 rows
+  in
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%-*s" label_width "";
+  List.iter (fun c -> Printf.printf " %*s" width c) columns;
+  print_newline ();
+  List.iter
+    (fun (label, cells) ->
+      Printf.printf "%-*s" label_width label;
+      List.iter (fun c -> Printf.printf " %*s" width (cell_to_string c)) cells;
+      print_newline ())
+    rows;
+  flush stdout
+
+let section title =
+  Printf.printf "\n############ %s ############\n%!" title

@@ -1,0 +1,45 @@
+(* Benchmark driver.
+
+   Usage:
+     dune exec bench/main.exe                 # every experiment + bechamel
+     dune exec bench/main.exe -- fig9a fig11  # selected experiments
+     dune exec bench/main.exe -- --list       # available experiment ids
+     dune exec bench/main.exe -- --bechamel   # micro-benchmarks only
+
+   Environment: FAST=1 (small workloads), BUDGET=<seconds per cell>,
+   SEED=<workload seed>. See bench/harness.ml. *)
+
+let list_experiments () =
+  print_endline "available experiments:";
+  List.iter
+    (fun (id, descr, _) -> Printf.printf "  %-10s %s\n" id descr)
+    Experiments.all;
+  print_endline "  bechamel   micro-benchmark suite"
+
+let run_experiment (id, descr, f) =
+  Harness.section (Printf.sprintf "%s — %s" id descr);
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t0)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  Printf.printf "s-clique benchmark suite (FAST=%b, per-cell budget %gs, seed %d)\n%!"
+    Harness.fast Harness.budget Harness.seed;
+  match args with
+  | [ "--list" ] -> list_experiments ()
+  | [ "--bechamel" ] -> Bechamel_suite.run ()
+  | [] ->
+      List.iter run_experiment Experiments.all;
+      Bechamel_suite.run ()
+  | ids ->
+      List.iter
+        (fun id ->
+          if id = "bechamel" then Bechamel_suite.run ()
+          else
+            match List.find_opt (fun (i, _, _) -> i = id) Experiments.all with
+            | Some exp -> run_experiment exp
+            | None ->
+                Printf.eprintf "unknown experiment %S (try --list)\n" id;
+                exit 1)
+        ids

@@ -1,0 +1,302 @@
+(* scliques — command-line front-end.
+
+   scliques gen --family sf --nodes 1000 --avg-degree 10 -o g.edges
+   scliques enum g.edges -s 2 --algorithm cs2pf --limit 100
+   scliques stats g.edges
+   scliques power g.edges -s 2 -o g2.edges *)
+
+open Cmdliner
+
+module E = Scliques_core.Enumerate
+module NS = Sgraph.Node_set
+
+(* ---------- shared arguments ---------- *)
+
+let graph_file_arg =
+  let doc = "Input graph file." in
+  Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"GRAPH" ~doc)
+
+let format_arg =
+  let doc =
+    "Graph file format: $(b,edgelist) (\"u v\" per line, # comments) or \
+     $(b,metis) (METIS adjacency format)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("edgelist", `Edgelist); ("metis", `Metis) ]) `Edgelist
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
+let load_graph format path =
+  match format with
+  | `Edgelist -> Sgraph.Edge_list_io.load path
+  | `Metis -> Sgraph.Metis_io.load path
+
+let s_arg =
+  let doc = "The distance bound $(i,s) of the s-clique definition." in
+  Arg.(value & opt int 2 & info [ "s" ] ~docv:"S" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (runs are deterministic for a fixed seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let output_arg =
+  let doc = "Output file (defaults to stdout)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let write_graph g = function
+  | Some path ->
+      Sgraph.Edge_list_io.save g path;
+      Printf.printf "wrote %s: %s\n" path (Sgraph.Metrics.summary g)
+  | None -> print_string (Sgraph.Edge_list_io.to_string g)
+
+(* ---------- gen ---------- *)
+
+let gen_cmd =
+  let family_arg =
+    let families =
+      [ ("er", `Er); ("sf", `Sf); ("ws", `Ws); ("community", `Community);
+        ("proxy", `Proxy); ("gadget", `Gadget) ]
+    in
+    let doc =
+      "Graph family: $(b,er) (Erdős–Rényi), $(b,sf) (scale-free preferential \
+       attachment), $(b,ws) (Watts–Strogatz), $(b,community) (planted \
+       partition), $(b,proxy) (social-network proxy), $(b,gadget) (the \
+       paper's exponential-output gadget; --nodes is its parameter n)."
+    in
+    Arg.(value & opt (enum families) `Er & info [ "family" ] ~docv:"FAMILY" ~doc)
+  in
+  let nodes_arg =
+    Arg.(value & opt int 1000 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+  in
+  let degree_arg =
+    Arg.(
+      value & opt float 10. & info [ "avg-degree" ] ~docv:"D" ~doc:"Average degree.")
+  in
+  let communities_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "communities" ] ~docv:"C" ~doc:"Community count (community/proxy).")
+  in
+  let run family n avg_degree communities seed output =
+    let rng = Scoll.Rng.create seed in
+    let g =
+      match family with
+      | `Er -> Sgraph.Gen.erdos_renyi rng ~n ~avg_degree
+      | `Sf ->
+          Sgraph.Gen.barabasi_albert rng ~n
+            ~m_attach:(max 1 (int_of_float (avg_degree /. 2.)))
+      | `Ws ->
+          Sgraph.Gen.watts_strogatz rng ~n
+            ~k:(max 1 (int_of_float (avg_degree /. 2.)))
+            ~beta:0.1
+      | `Community ->
+          let per = float_of_int n /. float_of_int communities in
+          let p_in = Float.min 1. (avg_degree /. per) in
+          Sgraph.Gen.planted_partition rng ~n ~communities ~p_in ~p_out:0.001
+      | `Proxy -> Sgraph.Gen.social_proxy rng ~n ~avg_degree ~communities
+      | `Gadget -> Sgraph.Gen.exponential_gadget n
+    in
+    write_graph g output
+  in
+  let term =
+    Term.(
+      const run $ family_arg $ nodes_arg $ degree_arg $ communities_arg $ seed_arg
+      $ output_arg)
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic graph.") term
+
+(* ---------- enum ---------- *)
+
+let enum_cmd =
+  let algorithm_arg =
+    let parse s =
+      match E.of_name s with
+      | Some alg -> Ok alg
+      | None -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+    in
+    let print fmt alg = Format.pp_print_string fmt (E.name alg) in
+    let doc =
+      "Algorithm: $(b,pd) (PolyDelayEnum), $(b,cs1), $(b,cs2), $(b,cs2f), \
+       $(b,cs2p), $(b,cs2pf) (Bron–Kerbosch adaptations; P = pivoting, F = \
+       feasibility check), or $(b,brute) (oracle, tiny graphs only)."
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) E.Cs2_pf
+      & info [ "a"; "algorithm" ] ~docv:"ALG" ~doc)
+  in
+  let limit_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"Stop after the first $(docv) results.")
+  in
+  let min_size_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "min-size" ] ~docv:"K"
+          ~doc:"Only report maximal connected s-cliques of at least $(docv) nodes.")
+  in
+  let count_arg =
+    Arg.(value & flag & info [ "count" ] ~doc:"Print only the number of results.")
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print only size statistics.")
+  in
+  let run file format s algorithm limit min_size count_only stats_only =
+    if s < 1 then `Error (false, "s must be >= 1")
+    else begin
+      let g = load_graph format file in
+      let results =
+        match limit with
+        | Some n -> E.first_n ~min_size algorithm g ~s n
+        | None -> E.all_results ~min_size algorithm g ~s
+      in
+      if count_only then Printf.printf "%d\n" (List.length results)
+      else if stats_only then
+        Format.printf "%a@." Scliques_core.Stats.pp
+          (Scliques_core.Stats.of_results results)
+      else
+        List.iter
+          (fun c ->
+            print_endline
+              (String.concat " " (List.map string_of_int (NS.to_list c))))
+          results;
+      `Ok ()
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ graph_file_arg $ format_arg $ s_arg $ algorithm_arg $ limit_arg
+       $ min_size_arg $ count_arg $ stats_arg))
+  in
+  Cmd.v
+    (Cmd.info "enum"
+       ~doc:
+         "Enumerate all maximal connected s-cliques of a graph (one per line, \
+          space-separated node ids).")
+    term
+
+(* ---------- stats ---------- *)
+
+let stats_cmd =
+  let run file format =
+    let g = load_graph format file in
+    print_endline (Sgraph.Metrics.summary g);
+    Printf.printf "components=%d degeneracy=%d approx_diameter=%d clustering=%.4f\n"
+      (Sgraph.Components.count g)
+      (Sgraph.Degeneracy.degeneracy g)
+      (Sgraph.Metrics.approx_diameter g)
+      (Sgraph.Metrics.global_clustering g)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print structural statistics of a graph.")
+    Term.(const run $ graph_file_arg $ format_arg)
+
+(* ---------- power ---------- *)
+
+let power_cmd =
+  let run file format s output =
+    if s < 1 then `Error (false, "s must be >= 1")
+    else begin
+      let g = load_graph format file in
+      write_graph (Sgraph.Power.power g ~s) output;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "power"
+       ~doc:
+         "Write the power graph G^s (edges between nodes at distance at most s; \
+          Remark 1 of the paper).")
+    Term.(ret (const run $ graph_file_arg $ format_arg $ s_arg $ output_arg))
+
+(* ---------- verify ---------- *)
+
+let verify_cmd =
+  let results_arg =
+    let doc = "Results file: one node set per line (the output of $(b,enum))." in
+    Arg.(required & pos 1 (some non_dir_file) None & info [] ~docv:"RESULTS" ~doc)
+  in
+  let complete_arg =
+    Arg.(
+      value & flag
+      & info [ "complete" ]
+          ~doc:
+            "Additionally check completeness by re-enumerating and comparing \
+             counts (may be expensive).")
+  in
+  let run file format results_file s complete =
+    if s < 1 then `Error (false, "s must be >= 1")
+    else begin
+      let g = load_graph format file in
+      let results = Scliques_core.Result_io.load results_file in
+      match Scliques_core.Verify.certify g ~s results with
+      | Error msg -> `Error (false, "certification failed: " ^ msg)
+      | Ok () ->
+          if complete then begin
+            let expected = E.count E.Cs2_pf g ~s in
+            if expected <> List.length results then
+              `Error
+                ( false,
+                  Printf.sprintf "incomplete: file has %d sets, graph has %d"
+                    (List.length results) expected )
+            else begin
+              Printf.printf "OK: %d sets, all maximal connected %d-cliques, complete\n"
+                (List.length results) s;
+              `Ok ()
+            end
+          end
+          else begin
+            Printf.printf
+              "OK: %d sets, all distinct maximal connected %d-cliques\n"
+              (List.length results) s;
+            `Ok ()
+          end
+    end
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Certify that a results file contains distinct maximal connected \
+          s-cliques of the graph.")
+    Term.(
+      ret (const run $ graph_file_arg $ format_arg $ results_arg $ s_arg $ complete_arg))
+
+(* ---------- convert ---------- *)
+
+let convert_cmd =
+  let to_arg =
+    let doc = "Output format: $(b,edgelist), $(b,metis) or $(b,dot)." in
+    Arg.(
+      value
+      & opt (enum [ ("edgelist", `Edgelist); ("metis", `Metis); ("dot", `Dot) ]) `Metis
+      & info [ "to" ] ~docv:"FMT" ~doc)
+  in
+  let run file format target output =
+    let g = load_graph format file in
+    let text =
+      match target with
+      | `Edgelist -> Sgraph.Edge_list_io.to_string g
+      | `Metis -> Sgraph.Metis_io.to_string g
+      | `Dot -> Sgraph.Dot.to_dot g
+    in
+    match output with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s: %s\n" path (Sgraph.Metrics.summary g)
+    | None -> print_string text
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Convert a graph between edge-list, METIS and DOT formats.")
+    Term.(const run $ graph_file_arg $ format_arg $ to_arg $ output_arg)
+
+let () =
+  let doc = "maximal connected s-clique enumeration (Behar & Cohen, EDBT 2018)" in
+  let info = Cmd.info "scliques" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ gen_cmd; enum_cmd; stats_cmd; power_cmd; convert_cmd; verify_cmd ]))

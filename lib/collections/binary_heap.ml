@@ -1,0 +1,80 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable buf : 'a option array;
+  mutable len : int;
+}
+
+let create ~cmp () = { cmp; buf = Array.make 16 None; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let get t i = match t.buf.(i) with None -> assert false | Some x -> x
+
+let swap t i j =
+  let tmp = t.buf.(i) in
+  t.buf.(i) <- t.buf.(j);
+  t.buf.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp (get t i) (get t parent) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && t.cmp (get t l) (get t !smallest) < 0 then smallest := l;
+  if r < t.len && t.cmp (get t r) (get t !smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t x =
+  if t.len = Array.length t.buf then begin
+    let buf' = Array.make (2 * t.len) None in
+    Array.blit t.buf 0 buf' 0 t.len;
+    t.buf <- buf'
+  end;
+  t.buf.(t.len) <- Some x;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let pop t =
+  if t.len = 0 then invalid_arg "Binary_heap.pop: empty heap";
+  let top = get t 0 in
+  t.len <- t.len - 1;
+  t.buf.(0) <- t.buf.(t.len);
+  t.buf.(t.len) <- None;
+  if t.len > 0 then sift_down t 0;
+  top
+
+let pop_opt t = if t.len = 0 then None else Some (pop t)
+
+let peek t =
+  if t.len = 0 then invalid_arg "Binary_heap.peek: empty heap";
+  get t 0
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.len <- 0
+
+let of_array ~cmp arr =
+  let len = Array.length arr in
+  let buf = Array.make (max 16 len) None in
+  Array.iteri (fun i x -> buf.(i) <- Some x) arr;
+  let t = { cmp; buf; len } in
+  for i = (len / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  t
+
+let pop_all t =
+  let rec go acc = if is_empty t then List.rev acc else go (pop t :: acc) in
+  go []

@@ -1,0 +1,36 @@
+(** Array-based binary heap with a caller-supplied priority order.
+
+    Backs the §6 "large results first" variant of PolyDelayEnum, where the
+    FIFO queue is replaced by a priority queue returning larger maximal
+    connected s-cliques first. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap. [pop] returns the minimum according
+    to [cmp]; pass a reversed comparison for max-first behaviour. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** O(log n). *)
+
+val pop : 'a t -> 'a
+(** Remove and return the minimum element. O(log n).
+    @raise Invalid_argument on an empty heap. *)
+
+val pop_opt : 'a t -> 'a option
+
+val peek : 'a t -> 'a
+(** Minimum element without removing it.
+    @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val of_array : cmp:('a -> 'a -> int) -> 'a array -> 'a t
+(** Heapify in O(n). *)
+
+val pop_all : 'a t -> 'a list
+(** Drain the heap; the result is sorted by [cmp]. *)

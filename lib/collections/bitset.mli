@@ -1,0 +1,39 @@
+(** Fixed-capacity mutable bitsets over [0 .. capacity-1].
+
+    Used as BFS "visited" marks and as membership masks when an algorithm
+    repeatedly asks whether a node belongs to a small working set. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is the empty set over [0 .. capacity-1]. *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val clear : t -> unit
+(** Remove all elements (O(capacity / word_size)). *)
+
+val cardinal : t -> int
+(** Population count (O(capacity / word_size)). *)
+
+val is_empty : t -> bool
+
+val add_all : t -> int array -> unit
+
+val remove_all : t -> int array -> unit
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate members in increasing order. *)
+
+val to_list : t -> int list
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+(** Same capacity and same members. *)

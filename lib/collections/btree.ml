@@ -1,0 +1,203 @@
+(* CLRS-style B-tree (insertion by preemptive splitting on the way down).
+   Invariants, for minimum degree t:
+   - every node holds n keys with n <= 2t-1, and n >= t-1 unless it is
+     the root;
+   - an internal node with n keys has exactly n+1 children;
+   - keys within a node are strictly increasing, and all keys of child i
+     lie strictly between keys i-1 and i of the parent. *)
+
+type 'a node = {
+  mutable keys : 'a array; (* physical capacity 2t-1, first [n] used *)
+  mutable n : int;
+  mutable children : 'a node array; (* capacity 2t; empty array for leaves *)
+  mutable leaf : bool;
+}
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  t_deg : int;
+  mutable root : 'a node;
+  mutable size : int;
+}
+
+(* An empty leaf root needs no key storage yet; we allocate key arrays
+   lazily on first insert to avoid a placeholder value of type 'a. *)
+let empty_node () = { keys = [||]; n = 0; children = [||]; leaf = true }
+
+let make_node ~t_deg ~leaf ~proto =
+  {
+    keys = Array.make ((2 * t_deg) - 1) proto;
+    n = 0;
+    (* the shared placeholder node is always overwritten before any read *)
+    children = (if leaf then [||] else Array.make (2 * t_deg) (empty_node ()));
+    leaf;
+  }
+
+let create ?(min_degree = 16) ~cmp () =
+  if min_degree < 2 then invalid_arg "Btree.create: min_degree must be >= 2";
+  { cmp; t_deg = min_degree; root = empty_node (); size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+(* Position of [x] among the first [n] keys of [node]: [Found i] when
+   keys.(i) equals x, otherwise [Insert i], the number of keys < x. *)
+type position = Found of int | Insert of int
+
+let search_keys cmp node x =
+  let rec go lo hi =
+    (* invariant: keys.(lo-1) < x < keys.(hi) (virtual sentinels) *)
+    if lo >= hi then Insert lo
+    else
+      let mid = (lo + hi) / 2 in
+      let c = cmp x node.keys.(mid) in
+      if c = 0 then Found mid else if c < 0 then go lo mid else go (mid + 1) hi
+  in
+  go 0 node.n
+
+let mem t x =
+  let rec go node =
+    if node.n = 0 then false
+    else
+      match search_keys t.cmp node x with
+      | Found _ -> true
+      | Insert i -> if node.leaf then false else go node.children.(i)
+  in
+  go t.root
+
+(* Split the full child [parent.children.(i)]; [parent] must not be full. *)
+let split_child t parent i =
+  let child = parent.children.(i) in
+  let td = t.t_deg in
+  assert (child.n = (2 * td) - 1);
+  let right = make_node ~t_deg:td ~leaf:child.leaf ~proto:child.keys.(0) in
+  right.n <- td - 1;
+  Array.blit child.keys td right.keys 0 (td - 1);
+  if not child.leaf then Array.blit child.children td right.children 0 td;
+  let median = child.keys.(td - 1) in
+  child.n <- td - 1;
+  (* shift parent's keys/children right to make room at slot i *)
+  for j = parent.n downto i + 1 do
+    parent.keys.(j) <- parent.keys.(j - 1)
+  done;
+  for j = parent.n + 1 downto i + 2 do
+    parent.children.(j) <- parent.children.(j - 1)
+  done;
+  parent.keys.(i) <- median;
+  parent.children.(i + 1) <- right;
+  parent.n <- parent.n + 1
+
+(* Insert into a node known to be non-full. Returns false if the key was
+   already present anywhere below. *)
+let rec insert_nonfull t node x =
+  match search_keys t.cmp node x with
+  | Found _ -> false
+  | Insert i ->
+      if node.leaf then begin
+        for j = node.n downto i + 1 do
+          node.keys.(j) <- node.keys.(j - 1)
+        done;
+        node.keys.(i) <- x;
+        node.n <- node.n + 1;
+        true
+      end
+      else begin
+        let i =
+          if node.children.(i).n = (2 * t.t_deg) - 1 then begin
+            split_child t node i;
+            let c = t.cmp x node.keys.(i) in
+            if c = 0 then -1 (* the promoted median equals x *)
+            else if c > 0 then i + 1
+            else i
+          end
+          else i
+        in
+        if i < 0 then false else insert_nonfull t node.children.(i) x
+      end
+
+let add t x =
+  let td = t.t_deg in
+  if Array.length t.root.keys = 0 then t.root.keys <- Array.make ((2 * td) - 1) x;
+  let root = t.root in
+  if root.n = (2 * td) - 1 then begin
+    let new_root = make_node ~t_deg:td ~leaf:false ~proto:root.keys.(0) in
+    new_root.children.(0) <- root;
+    t.root <- new_root;
+    split_child t new_root 0
+  end;
+  let inserted = insert_nonfull t t.root x in
+  if inserted then t.size <- t.size + 1;
+  inserted
+
+let rec min_node node = if node.leaf then node else min_node node.children.(0)
+
+let rec max_node node = if node.leaf then node else max_node node.children.(node.n)
+
+let min_elt t = if t.size = 0 then None else Some (min_node t.root).keys.(0)
+
+let max_elt t =
+  if t.size = 0 then None
+  else
+    let node = max_node t.root in
+    Some node.keys.(node.n - 1)
+
+let iter f t =
+  let rec go node =
+    if node.leaf then
+      for i = 0 to node.n - 1 do
+        f node.keys.(i)
+      done
+    else begin
+      for i = 0 to node.n - 1 do
+        go node.children.(i);
+        f node.keys.(i)
+      done;
+      go node.children.(node.n)
+    end
+  in
+  if t.size > 0 then go t.root
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc
+
+let height t =
+  let rec go node = if node.leaf then 0 else 1 + go node.children.(0) in
+  go t.root
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let td = t.t_deg in
+  let count = ref 0 in
+  (* lo/hi are exclusive bounds from ancestors; None = unbounded *)
+  let rec go node ~is_root ~lo ~hi ~depth =
+    if node.n > (2 * td) - 1 then fail "node overfull: %d keys" node.n;
+    if (not is_root) && node.n < td - 1 then fail "node underfull: %d keys" node.n;
+    count := !count + node.n;
+    for i = 0 to node.n - 2 do
+      if t.cmp node.keys.(i) node.keys.(i + 1) >= 0 then fail "keys not strictly increasing"
+    done;
+    (match lo with
+    | Some l when node.n > 0 && t.cmp node.keys.(0) l <= 0 -> fail "key below lower bound"
+    | _ -> ());
+    (match hi with
+    | Some h when node.n > 0 && t.cmp node.keys.(node.n - 1) h >= 0 ->
+        fail "key above upper bound"
+    | _ -> ());
+    if not node.leaf then begin
+      let leaf_depth = ref (-1) in
+      for i = 0 to node.n do
+        let lo' = if i = 0 then lo else Some node.keys.(i - 1) in
+        let hi' = if i = node.n then hi else Some node.keys.(i) in
+        let d = go node.children.(i) ~is_root:false ~lo:lo' ~hi:hi' ~depth:(depth + 1) in
+        if !leaf_depth = -1 then leaf_depth := d
+        else if d <> !leaf_depth then fail "leaves at unequal depths"
+      done;
+      !leaf_depth
+    end
+    else depth
+  in
+  ignore (go t.root ~is_root:true ~lo:None ~hi:None ~depth:0);
+  if !count <> t.size then fail "size mismatch: counted %d, recorded %d" !count t.size

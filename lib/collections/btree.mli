@@ -1,0 +1,44 @@
+(** In-memory B-tree set with a caller-supplied total order.
+
+    PolyDelayEnum (paper Fig. 4) requires an index [I] of already-generated
+    maximal connected s-cliques with insert and membership "in time that is
+    at most logarithmic in the size of I. Thus, for example, I can be
+    implemented as a BTree." This module is that B-tree: a CLRS-style
+    structure of minimum degree [t], holding between [t-1] and [2t-1] keys
+    per node, so both operations are O(t log_t n) comparisons. *)
+
+type 'a t
+
+val create : ?min_degree:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty set ordered by [cmp]. [min_degree] (the
+    CLRS parameter [t], default 16) must be at least 2. *)
+
+val length : 'a t -> int
+(** Number of keys stored. O(1). *)
+
+val is_empty : 'a t -> bool
+
+val mem : 'a t -> 'a -> bool
+(** O(log n). *)
+
+val add : 'a t -> 'a -> bool
+(** [add t x] inserts [x]; returns [false] when an equal key was already
+    present (the set is unchanged), [true] when [x] was inserted. O(log n). *)
+
+val min_elt : 'a t -> 'a option
+
+val max_elt : 'a t -> 'a option
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterate all keys in increasing [cmp] order. *)
+
+val to_list : 'a t -> 'a list
+(** Keys in increasing order. *)
+
+val height : 'a t -> int
+(** Height of the tree (0 for a tree holding only a root). Exposed for
+    tests asserting the logarithmic-depth invariant. *)
+
+val check_invariants : 'a t -> unit
+(** Validate ordering and occupancy invariants of every node.
+    @raise Failure describing the first violated invariant. *)

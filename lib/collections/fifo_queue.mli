@@ -1,0 +1,32 @@
+(** Growable ring-buffer FIFO queue.
+
+    Backs PolyDelayEnum's queue [Q] of pending maximal connected s-cliques
+    (paper Fig. 4) and the BFS frontiers of the graph substrate. *)
+
+type 'a t
+
+val create : ?initial_capacity:int -> unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Enqueue at the back. Amortized O(1). *)
+
+val pop : 'a t -> 'a
+(** Dequeue from the front.
+    @raise Invalid_argument on an empty queue. *)
+
+val pop_opt : 'a t -> 'a option
+
+val peek : 'a t -> 'a
+(** Front element without removing it.
+    @raise Invalid_argument on an empty queue. *)
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front-to-back iteration over current contents. *)
+
+val to_list : 'a t -> 'a list

@@ -1,0 +1,72 @@
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, 'v) Hashtbl.t;
+  order : 'k Fifo_queue.t; (* insertion order; front = oldest *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int }
+
+let create ~capacity () =
+  if capacity < 0 then invalid_arg "Lri_cache.create: negative capacity";
+  {
+    capacity;
+    table = Hashtbl.create (max 16 (min capacity 65536));
+    order = Fifo_queue.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.capacity
+
+let length t = Hashtbl.length t.table
+
+let find_opt t k =
+  match Hashtbl.find_opt t.table k with
+  | Some _ as r ->
+      t.hits <- t.hits + 1;
+      r
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let mem t k = Hashtbl.mem t.table k
+
+let rec evict_one t =
+  (* queue entries for keys replaced by [add] may be stale duplicates;
+     skip entries that are no longer the table's binding count *)
+  match Fifo_queue.pop_opt t.order with
+  | None -> ()
+  | Some oldest ->
+      if Hashtbl.mem t.table oldest then begin
+        Hashtbl.remove t.table oldest;
+        t.evictions <- t.evictions + 1
+      end
+      else evict_one t
+
+let add t k v =
+  if t.capacity > 0 then begin
+    if Hashtbl.mem t.table k then Hashtbl.replace t.table k v
+    else begin
+      if Hashtbl.length t.table >= t.capacity then evict_one t;
+      Hashtbl.replace t.table k v;
+      Fifo_queue.push t.order k
+    end
+  end
+
+let find_or_add t k ~compute =
+  match find_opt t k with
+  | Some v -> v
+  | None ->
+      let v = compute k in
+      add t k v;
+      v
+
+let clear t =
+  Hashtbl.reset t.table;
+  Fifo_queue.clear t.order
+
+let stats (t : (_, _) t) = { hits = t.hits; misses = t.misses; evictions = t.evictions }

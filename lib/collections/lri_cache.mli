@@ -1,0 +1,40 @@
+(** Bounded cache with least-recently-inserted (LRI) eviction.
+
+    The paper (§7) memoizes the expensive [N^s(v)] neighborhood sets in a
+    hash table and, "when memory begins to run low, removes some entries
+    from the hash table (using an LRI ordering) to make room for new
+    neighbor results". LRI evicts in insertion order — a FIFO policy, as
+    opposed to LRU's access order — which this module reproduces, together
+    with hit/miss/eviction counters for the cache ablation benchmark. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> unit -> ('k, 'v) t
+(** [create ~capacity ()] caches at most [capacity] bindings; inserting
+    into a full cache evicts the oldest-inserted binding. [capacity = 0]
+    disables caching entirely (every lookup misses and nothing is stored).
+    Requires [capacity >= 0]. *)
+
+val capacity : ('k, 'v) t -> int
+
+val length : ('k, 'v) t -> int
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Updates the hit/miss counters but never the eviction order. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership without touching the statistics. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert a binding, evicting the oldest one when full. Re-inserting an
+    existing key replaces its value without changing its eviction rank. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> compute:('k -> 'v) -> 'v
+(** Return the cached value, or compute, store and return it. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop all bindings; statistics are kept. *)
+
+type stats = { hits : int; misses : int; evictions : int }
+
+val stats : ('k, 'v) t -> stats

@@ -1,0 +1,63 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014. Passes BigCrush; one multiplication-xor chain
+   per output, which is all the generators need. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  assert (bound > 0);
+  (* drop two bits so the result fits OCaml's 63-bit int non-negatively *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let float t bound =
+  assert (bound > 0.);
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992. *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let pair_distinct t n =
+  assert (n >= 2);
+  let u = int t n in
+  let v = int t (n - 1) in
+  let v = if v >= u then v + 1 else v in
+  if u < v then (u, v) else (v, u)
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t ~k ~n =
+  assert (0 <= k && k <= n);
+  (* Floyd's algorithm: k hash insertions regardless of n. *)
+  let chosen = Hashtbl.create (2 * k) in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    if Hashtbl.mem chosen r then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen r ()
+  done;
+  let out = Array.make k 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun key () ->
+      out.(!i) <- key;
+      incr i)
+    chosen;
+  Array.sort compare out;
+  out

@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All randomized graph generators take an explicit [Rng.t] so that every
+    workload in the test and benchmark suites is reproducible from a seed,
+    independently of the OCaml stdlib [Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the current state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output of the splitmix64 stream. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. Requires [bound > 0.]. *)
+
+val bool : t -> bool
+
+val pair_distinct : t -> int -> int * int
+(** [pair_distinct t n] draws an unordered pair of distinct ints below [n].
+    Requires [n >= 2]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample_without_replacement : t -> k:int -> n:int -> int array
+(** [sample_without_replacement t ~k ~n] draws [k] distinct ints below [n],
+    returned sorted. Requires [0 <= k <= n]. *)

@@ -1,0 +1,20 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used by the graph substrate's connected-component routines and by the
+    spanning-tree step of some generators. *)
+
+type t
+
+val create : int -> t
+(** [create n] puts each of [0 .. n-1] in its own singleton set. *)
+
+val find : t -> int -> int
+(** Canonical representative; compresses paths. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two sets; returns [false] when already merged. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Current number of disjoint sets. *)

@@ -1,0 +1,78 @@
+module Node_set = Sgraph.Node_set
+module Graph = Sgraph.Graph
+
+type strategy = Plain | Pivot | Degeneracy
+
+let select_pivot g p x =
+  (* u ∈ P ∪ X maximizing |P ∩ N(u)| — Tomita et al.'s rule *)
+  let best = ref (-1) and best_score = ref (-1) in
+  let consider u =
+    let score = Node_set.inter_cardinal p (Graph.neighbor_set g u) in
+    if score > !best_score then begin
+      best := u;
+      best_score := score
+    end
+  in
+  Node_set.iter consider p;
+  Node_set.iter consider x;
+  !best
+
+let rec recurse g ~pivoting ~min_size ~should_continue yield r p x =
+  if should_continue () && Node_set.cardinal r + Node_set.cardinal p >= min_size
+  then begin
+    if Node_set.is_empty p && Node_set.is_empty x then begin
+      if (not (Node_set.is_empty r)) && Node_set.cardinal r >= min_size then yield r
+    end
+    else begin
+      let branchable =
+        if not pivoting then p
+        else begin
+          let u = select_pivot g p x in
+          Node_set.diff p (Graph.neighbor_set g u)
+        end
+      in
+      let p = ref p and x = ref x in
+      Node_set.iter
+        (fun v ->
+          let nv = Graph.neighbor_set g v in
+          recurse g ~pivoting ~min_size ~should_continue yield (Node_set.add v r)
+            (Node_set.inter !p nv) (Node_set.inter !x nv);
+          p := Node_set.remove v !p;
+          x := Node_set.add v !x)
+        branchable
+    end
+  end
+
+let iter ?(strategy = Pivot) ?(min_size = 0) ?(should_continue = fun () -> true) g
+    yield =
+  match strategy with
+  | Plain ->
+      recurse g ~pivoting:false ~min_size ~should_continue yield Node_set.empty
+        (Graph.nodes g) Node_set.empty
+  | Pivot ->
+      recurse g ~pivoting:true ~min_size ~should_continue yield Node_set.empty
+        (Graph.nodes g) Node_set.empty
+  | Degeneracy ->
+      let order = Sgraph.Degeneracy.ordering g in
+      let position = Array.make (Graph.n g) 0 in
+      Array.iteri (fun i v -> position.(v) <- i) order;
+      Array.iter
+        (fun v ->
+          let nv = Graph.neighbor_set g v in
+          let later = Node_set.filter (fun u -> position.(u) > position.(v)) nv in
+          let earlier = Node_set.filter (fun u -> position.(u) < position.(v)) nv in
+          recurse g ~pivoting:true ~min_size ~should_continue yield
+            (Node_set.singleton v) later earlier)
+        order
+
+let maximal_cliques ?strategy g =
+  let acc = ref [] in
+  iter ?strategy g (fun c -> acc := c :: !acc);
+  List.rev !acc
+
+let maximal_s_cliques_via_power g ~s = maximal_cliques (Sgraph.Power.power g ~s)
+
+let max_clique_size g =
+  let best = ref 0 in
+  iter g (fun c -> best := max !best (Node_set.cardinal c));
+  !best

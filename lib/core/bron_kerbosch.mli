@@ -1,0 +1,36 @@
+(** Classic Bron–Kerbosch maximal {e clique} enumeration (paper Fig. 5).
+
+    This is the baseline the paper's adaptations generalize, in its three
+    standard incarnations: the 1973 original, the Tomita–Tanaka–Takahashi
+    pivoting variant (worst-case O(3^{n/3}), the paper's §5.1), and the
+    Eppstein–Löffler–Strash degeneracy-ordered variant for sparse graphs
+    (footnote 1). For [s = 1] maximal cliques coincide with maximal
+    connected s-cliques; combined with {!Sgraph.Power}, [Pivot] also
+    implements Remark 1's reduction for not-necessarily-connected
+    s-cliques ({!maximal_s_cliques_via_power}). *)
+
+type strategy =
+  | Plain  (** Fig. 5 verbatim: branch on every node of [P] *)
+  | Pivot  (** branch on [P − N(u)], [u ∈ P ∪ X] maximizing [|P ∩ N(u)|] *)
+  | Degeneracy
+      (** outer level in degeneracy order, pivoting below: delay bounded
+          by the graph's degeneracy rather than its max degree *)
+
+val iter :
+  ?strategy:strategy ->
+  ?min_size:int ->
+  ?should_continue:(unit -> bool) ->
+  Sgraph.Graph.t ->
+  (Sgraph.Node_set.t -> unit) ->
+  unit
+(** Call the function on every maximal clique exactly once (default
+    strategy [Pivot]). [min_size] prunes branches with [|R| + |P| < k]. *)
+
+val maximal_cliques : ?strategy:strategy -> Sgraph.Graph.t -> Sgraph.Node_set.t list
+
+val maximal_s_cliques_via_power : Sgraph.Graph.t -> s:int -> Sgraph.Node_set.t list
+(** Remark 1: the maximal (not necessarily connected) s-cliques of [g] are
+    the maximal cliques of the power graph [g^s]. *)
+
+val max_clique_size : Sgraph.Graph.t -> int
+(** Size of a maximum clique (0 for the empty graph). *)

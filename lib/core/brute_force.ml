@@ -1,0 +1,108 @@
+module Node_set = Sgraph.Node_set
+module Graph = Sgraph.Graph
+
+let max_nodes = 22
+
+let check_size g =
+  if Graph.n g > max_nodes then
+    invalid_arg
+      (Printf.sprintf "Brute_force: graph has %d nodes, limit is %d" (Graph.n g)
+         max_nodes)
+
+(* close.(v) = bitmask of nodes within distance s of v (excluding v) *)
+let closeness g ~s =
+  Array.init (Graph.n g) (fun v ->
+      Node_set.fold (fun u acc -> acc lor (1 lsl u)) (Sgraph.Bfs.ball g v ~radius:s) 0)
+
+(* adj.(v) = bitmask of direct neighbors *)
+let adjacency g =
+  Array.init (Graph.n g) (fun v ->
+      Array.fold_left (fun acc u -> acc lor (1 lsl u)) 0 (Graph.neighbors g v))
+
+let is_s_clique_mask close mask =
+  let ok = ref true in
+  let rest = ref mask in
+  while !rest <> 0 do
+    let v = ref 0 in
+    while !rest land (1 lsl !v) = 0 do
+      incr v
+    done;
+    rest := !rest land lnot (1 lsl !v);
+    (* every other member must be within distance s of v *)
+    if mask land lnot (close.(!v) lor (1 lsl !v)) <> 0 then ok := false
+  done;
+  !ok
+
+let is_connected_mask adj mask =
+  if mask = 0 then true
+  else begin
+    let start = ref 0 in
+    while mask land (1 lsl !start) = 0 do
+      incr start
+    done;
+    let reached = ref (1 lsl !start) in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let frontier = ref !reached in
+      while !frontier <> 0 do
+        let v = ref 0 in
+        while !frontier land (1 lsl !v) = 0 do
+          incr v
+        done;
+        frontier := !frontier land lnot (1 lsl !v);
+        let expand = adj.(!v) land mask land lnot !reached in
+        if expand <> 0 then begin
+          reached := !reached lor expand;
+          changed := true
+        end
+      done
+    done;
+    !reached = mask
+  end
+
+let mask_to_set mask =
+  let members = ref [] in
+  let rest = ref mask in
+  let v = ref 0 in
+  while !rest <> 0 do
+    if !rest land 1 = 1 then members := !v :: !members;
+    rest := !rest lsr 1;
+    incr v
+  done;
+  Node_set.of_list !members
+
+let enumerate g ~s ~require_connected ~only_maximal =
+  check_size g;
+  let n = Graph.n g in
+  let close = closeness g ~s in
+  let adj = adjacency g in
+  let qualifies mask =
+    is_s_clique_mask close mask
+    && ((not require_connected) || is_connected_mask adj mask)
+  in
+  let results = ref [] in
+  for mask = (1 lsl n) - 1 downto 1 do
+    if qualifies mask then begin
+      let maximal =
+        (not only_maximal)
+        ||
+        let extensible = ref false in
+        for v = 0 to n - 1 do
+          if mask land (1 lsl v) = 0 && qualifies (mask lor (1 lsl v)) then
+            extensible := true
+        done;
+        not !extensible
+      in
+      if maximal then results := mask_to_set mask :: !results
+    end
+  done;
+  List.sort Node_set.compare !results
+
+let maximal_connected_s_cliques g ~s =
+  enumerate g ~s ~require_connected:true ~only_maximal:true
+
+let connected_s_cliques g ~s =
+  enumerate g ~s ~require_connected:true ~only_maximal:false
+
+let maximal_s_cliques g ~s = enumerate g ~s ~require_connected:false ~only_maximal:true

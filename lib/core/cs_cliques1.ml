@@ -1,0 +1,35 @@
+module Node_set = Sgraph.Node_set
+module Graph = Sgraph.Graph
+
+let iter ?(min_size = 0) ?(should_continue = fun () -> true) nh yield =
+  let g = Neighborhood.graph nh in
+  (* frontier = N^{∃,1}(R) maintained incrementally as a running union of
+     member neighborhoods; stray R-members inside it are harmless because
+     P and X are always disjoint from R *)
+  let rec recurse r p x frontier =
+    if should_continue () && Node_set.cardinal r + Node_set.cardinal p >= min_size
+    then begin
+      (* paper's convention: N^{∃,1}(∅) is the whole node set *)
+      let p_adj = if Node_set.is_empty r then p else Node_set.inter p frontier in
+      let x_adj = if Node_set.is_empty r then x else Node_set.inter x frontier in
+      if
+        Node_set.is_empty p_adj
+        && Node_set.is_empty x_adj
+        && (not (Node_set.is_empty r))
+        && Node_set.cardinal r >= min_size
+      then yield r;
+      let branchable = p_adj in
+      let p = ref p and x = ref x in
+      Node_set.iter
+        (fun v ->
+          let ball_v = Neighborhood.ball nh v in
+          recurse (Node_set.add v r)
+            (Node_set.inter !p ball_v)
+            (Node_set.inter !x ball_v)
+            (Node_set.union frontier (Graph.neighbor_set g v));
+          p := Node_set.remove v !p;
+          x := Node_set.add v !x)
+        branchable
+    end
+  in
+  recurse Node_set.empty (Graph.nodes g) Node_set.empty Node_set.empty

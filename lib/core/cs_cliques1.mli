@@ -1,0 +1,22 @@
+(** CsCliques1 (paper Fig. 6): Bron–Kerbosch adaptation in which the
+    growing set [R] is a {e connected} s-clique at every step.
+
+    The recursion state is [(R, P, X)] with the invariant
+    [P ∪ X = N^{∀,s}(R)] (nodes within distance s of all of [R]); only
+    nodes of [P] adjacent to [R] are branched on, which preserves
+    connectivity of [R]. [R] is printed when neither [P] nor [X] contains
+    a neighbor of [R] — i.e. [R] is maximal. The paper shows (§5.3) that
+    neither pivoting nor the feasibility check can be combined with this
+    variant, which is why it loses to the optimized CsCliques2 despite
+    doing no unconnected work. *)
+
+val iter :
+  ?min_size:int ->
+  ?should_continue:(unit -> bool) ->
+  Neighborhood.t ->
+  (Sgraph.Node_set.t -> unit) ->
+  unit
+(** Call the function on every maximal connected s-clique exactly once.
+    [min_size] enables the §6 pruning ([|R| + |P| < k] branches are cut)
+    and suppresses smaller results. [should_continue] is polled at every
+    recursion entry; [false] abandons the remaining search. *)

@@ -1,0 +1,119 @@
+module Node_set = Sgraph.Node_set
+module Graph = Sgraph.Graph
+
+(* R ∪ {v} must sit inside one connected component of
+   G[R ∪ {v} ∪ (P ∩ N^s(v))] for v to ever reach a connected s-clique
+   together with R (§5.3). BFS from v restricted to that universe. *)
+let feasible nh r v p_cap_ball =
+  let g = Neighborhood.graph nh in
+  let universe = Node_set.add v (Node_set.union r p_cap_ball) in
+  let reached = Sgraph.Bfs.reachable_within g ~universe v in
+  Node_set.subset r reached
+
+type pivot_rule = Min_uncovered | First_candidate
+
+let select_pivot nh rule p x frontier =
+  (* candidates are (P ∪ X) ∩ N^{∃,1}(R): a pivot must neighbor R *)
+  let candidates = Node_set.inter (Node_set.union p x) frontier in
+  if Node_set.is_empty candidates then None
+  else
+    match rule with
+    | First_candidate -> Some (Node_set.min_elt candidates)
+    | Min_uncovered ->
+        (* smallest |P − N^s(u)|; ties go to the smaller node id (first
+           scanned) for determinism *)
+        let best = ref (-1) and best_cost = ref max_int in
+        Node_set.iter
+          (fun u ->
+            let cost = Node_set.diff_cardinal p (Neighborhood.ball nh u) in
+            if cost < !best_cost then begin
+              best := u;
+              best_cost := cost
+            end)
+          candidates;
+        Some !best
+
+type root_order = Ascending | Power_degeneracy
+
+(* The recursion shared by [iter] (whole graph) and [iter_rooted] (a
+   single root branch, used by the Parallel decomposition). *)
+let make_recurse ~pivot ~pivot_rule ~feasibility ~min_size ~should_continue nh yield =
+  let g = Neighborhood.graph nh in
+  let rec recurse r p x frontier =
+    if should_continue () && Node_set.cardinal r + Node_set.cardinal p >= min_size
+    then begin
+      let r_empty = Node_set.is_empty r in
+      let p_adj = if r_empty then p else Node_set.inter p frontier in
+      let x_adj = if r_empty then x else Node_set.inter x frontier in
+      if
+        Node_set.is_empty p_adj
+        && Node_set.is_empty x_adj
+        && (not r_empty)
+        && Node_set.cardinal r >= min_size
+        && Sgraph.Bfs.is_connected_subset g r
+      then yield r;
+      let branchable =
+        if not pivot then p
+        else if r_empty then p (* a pivot must neighbor R: none exists yet *)
+        else
+          match select_pivot nh pivot_rule p x frontier with
+          | None ->
+              (* no node of P ∪ X touches R: R cannot grow connectedly,
+                 and disconnected growth can never reconnect either *)
+              Node_set.empty
+          | Some u -> Node_set.diff p (Neighborhood.ball nh u)
+      in
+      let p = ref p and x = ref x in
+      Node_set.iter
+        (fun v ->
+          let ball_v = Neighborhood.ball nh v in
+          let p_cap_ball = Node_set.inter !p ball_v in
+          if feasibility && (not r_empty) && not (feasible nh r v p_cap_ball) then
+            p := Node_set.remove v !p
+          else begin
+            recurse (Node_set.add v r) p_cap_ball
+              (Node_set.inter !x ball_v)
+              (Node_set.union frontier (Graph.neighbor_set g v));
+            p := Node_set.remove v !p;
+            x := Node_set.add v !x
+          end)
+        branchable
+    end
+  in
+  recurse
+
+let iter ?(pivot = false) ?(pivot_rule = Min_uncovered) ?(feasibility = false)
+    ?(root_order = Ascending) ?(min_size = 0) ?(should_continue = fun () -> true) nh
+    yield =
+  let g = Neighborhood.graph nh in
+  let recurse =
+    make_recurse ~pivot ~pivot_rule ~feasibility ~min_size ~should_continue nh yield
+  in
+  match root_order with
+  | Ascending -> recurse Node_set.empty (Graph.nodes g) Node_set.empty Node_set.empty
+  | Power_degeneracy ->
+      (* branch the root in a degeneracy order of G^s: each root call's P
+         is v's later s-neighbors, X its earlier ones — exactly the state
+         the ascending root loop would reach, but with |P| bounded by the
+         s-degeneracy instead of the max ball size *)
+      let gs = Sgraph.Power.power g ~s:(Neighborhood.s nh) in
+      let order = Sgraph.Degeneracy.ordering gs in
+      let position = Array.make (Graph.n g) 0 in
+      Array.iteri (fun i v -> position.(v) <- i) order;
+      Array.iter
+        (fun v ->
+          if should_continue () then begin
+            let ball_v = Neighborhood.ball nh v in
+            let later = Node_set.filter (fun u -> position.(u) > position.(v)) ball_v in
+            let earlier = Node_set.filter (fun u -> position.(u) < position.(v)) ball_v in
+            recurse (Node_set.singleton v) later earlier (Graph.neighbor_set g v)
+          end)
+        order
+
+let iter_rooted ?(pivot = false) ?(pivot_rule = Min_uncovered) ?(feasibility = false)
+    ?(min_size = 0) ?(should_continue = fun () -> true) nh ~root ~p ~x yield =
+  let g = Neighborhood.graph nh in
+  let recurse =
+    make_recurse ~pivot ~pivot_rule ~feasibility ~min_size ~should_continue nh yield
+  in
+  recurse (Node_set.singleton root) p x (Graph.neighbor_set g root)

@@ -1,0 +1,69 @@
+(** CsCliques2 (paper Fig. 7): Bron–Kerbosch adaptation in which the
+    growing set [R] is an s-clique that may be temporarily disconnected;
+    connectivity is only required at print time.
+
+    Allowing a disconnected [R] costs exploration of branches that can
+    never print, but unlocks the two optimizations of the paper's §5.3:
+
+    - {b pivoting} ([~pivot:true], "P" in the paper's plots): choose
+      [u ∈ (P ∪ X) ∩ N^{∃,1}(R)] minimizing [|P − N^s(u)|] and branch only
+      on [P − N^s(u)]. The pivot must be adjacent to [R] (Prop. 5.5's
+      third case), so no pivot is applied while [R = ∅]. If no candidate
+      pivot exists, no extension of [R] can be connected-maximal through
+      new adjacent nodes and the branch only needs its print check.
+    - {b feasibility} ([~feasibility:true], "F"): before branching on [v],
+      require [R ∪ {v}] to lie inside a single connected component of
+      [G[R ∪ {v} ∪ (P ∩ N^s(v))]]; infeasible [v] are dropped from [P]
+      outright (they can never complete to a connected s-clique with [R],
+      so they are not needed in [X] either). Complete pruning is
+      NP-complete (Thm. 5.6); this check is the paper's sound
+      approximation. *)
+
+type pivot_rule =
+  | Min_uncovered
+      (** the paper's rule: minimize [|P − N^s(u)|] over the candidates *)
+  | First_candidate
+      (** take the smallest-id candidate without scoring — a cheaper but
+          weaker choice, exposed for the pivot ablation benchmark *)
+
+type root_order =
+  | Ascending  (** Fig. 7 verbatim: the root loop scans node ids upward *)
+  | Power_degeneracy
+      (** footnote 1's Eppstein–Löffler–Strash adaptation: the root
+          branches in a degeneracy ordering of the power graph [G^s], so
+          each root call's candidate set is bounded by the s-degeneracy.
+          Costs building [G^s] up front — the trade-off the
+          [abl_degeneracy] benchmark measures. *)
+
+val iter :
+  ?pivot:bool ->
+  ?pivot_rule:pivot_rule ->
+  ?feasibility:bool ->
+  ?root_order:root_order ->
+  ?min_size:int ->
+  ?should_continue:(unit -> bool) ->
+  Neighborhood.t ->
+  (Sgraph.Node_set.t -> unit) ->
+  unit
+(** Call the function on every maximal connected s-clique exactly once.
+    Defaults: [pivot = false], [pivot_rule = Min_uncovered],
+    [feasibility = false]. [min_size] enables the §6 pruning and filters
+    the output; [should_continue] is polled at every recursion entry. *)
+
+val iter_rooted :
+  ?pivot:bool ->
+  ?pivot_rule:pivot_rule ->
+  ?feasibility:bool ->
+  ?min_size:int ->
+  ?should_continue:(unit -> bool) ->
+  Neighborhood.t ->
+  root:int ->
+  p:Sgraph.Node_set.t ->
+  x:Sgraph.Node_set.t ->
+  (Sgraph.Node_set.t -> unit) ->
+  unit
+(** Explore only the subtree rooted at [R = {root}] with the given
+    candidate and exclusion sets — the state the ascending root loop
+    reaches at [root] is [p = N^s(root) ∩ {u > root}],
+    [x = N^s(root) ∩ {u < root}]. Disjoint root branches partition the
+    output, which is what {!Parallel} exploits. *)

@@ -1,0 +1,70 @@
+type t = {
+  clock : unit -> float;
+  start : float;
+  mutable last : float;
+  mutable results : int;
+  mutable first_gap : float option;  (** delay before the first result *)
+  mutable max_gap : float;
+  mutable sum_gaps : float;
+  mutable gaps : int;
+  mutable finished : bool;
+}
+
+let create ?(clock = Unix.gettimeofday) () =
+  let now = clock () in
+  {
+    clock;
+    start = now;
+    last = now;
+    results = 0;
+    first_gap = None;
+    max_gap = 0.;
+    sum_gaps = 0.;
+    gaps = 0;
+    finished = false;
+  }
+
+let observe_gap t now =
+  let gap = now -. t.last in
+  if t.first_gap = None then t.first_gap <- Some gap;
+  t.max_gap <- Float.max t.max_gap gap;
+  t.sum_gaps <- t.sum_gaps +. gap;
+  t.gaps <- t.gaps + 1;
+  t.last <- now
+
+let tick t =
+  if t.finished then invalid_arg "Delay.tick: already finished";
+  observe_gap t (t.clock ());
+  t.results <- t.results + 1
+
+let wrap t yield c =
+  tick t;
+  yield c
+
+let finish t =
+  if not t.finished then begin
+    observe_gap t (t.clock ());
+    t.finished <- true
+  end
+
+type report = {
+  results : int;
+  total : float;
+  first : float;
+  max_gap : float;
+  mean_gap : float;
+}
+
+let report t =
+  let total = t.last -. t.start in
+  {
+    results = t.results;
+    total;
+    first = Option.value ~default:total t.first_gap;
+    max_gap = t.max_gap;
+    mean_gap = (if t.gaps = 0 then 0. else t.sum_gaps /. float_of_int t.gaps);
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "results=%d total=%.3fs first=%.3fs max_gap=%.3fs mean_gap=%.4fs"
+    r.results r.total r.first r.max_gap r.mean_gap

@@ -1,0 +1,39 @@
+(** Per-result delay instrumentation.
+
+    The paper's headline guarantee is about {e delay} — the time before
+    the first result, between consecutive results, and after the last one
+    (Theorem 4.2 bounds all three by O(|V|^3) for PolyDelayEnum, while the
+    Bron–Kerbosch adaptations have no such bound). This module wraps an
+    enumeration callback and records exactly those three kinds of gaps, so
+    experiments (Fig. 9f) and users can inspect worst-case and average
+    delay rather than only total time. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** Start the clock now. [clock] defaults to [Unix.gettimeofday]; tests
+    inject a fake clock. *)
+
+val wrap : t -> (Sgraph.Node_set.t -> unit) -> Sgraph.Node_set.t -> unit
+(** [wrap t yield] is a callback that records the inter-result delay and
+    then calls [yield]. Pass it to any [iter]. *)
+
+val tick : t -> unit
+(** Record a result arrival without forwarding (when no inner callback is
+    needed). *)
+
+val finish : t -> unit
+(** Mark the end of the enumeration: records the final gap (last result →
+    termination). Idempotent. *)
+
+type report = {
+  results : int;
+  total : float;  (** creation → finish (or last observation) *)
+  first : float;  (** delay before the first result; total when none *)
+  max_gap : float;  (** largest inter-result gap, including first and final *)
+  mean_gap : float;  (** mean inter-result gap (0 when no gaps recorded) *)
+}
+
+val report : t -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,104 @@
+module Node_set = Sgraph.Node_set
+
+type algorithm = Poly_delay | Cs1 | Cs2 | Cs2_f | Cs2_p | Cs2_pf | Brute
+
+let all = [ Poly_delay; Cs1; Cs2; Cs2_f; Cs2_p; Cs2_pf; Brute ]
+
+let name = function
+  | Poly_delay -> "PD"
+  | Cs1 -> "CSCliques1"
+  | Cs2 -> "CSCliques2"
+  | Cs2_f -> "CSCliques2F"
+  | Cs2_p -> "CSCliques2P"
+  | Cs2_pf -> "CSCliques2PF"
+  | Brute -> "BruteForce"
+
+let of_name n =
+  match String.lowercase_ascii n with
+  | "pd" | "polydelayenum" | "poly_delay" -> Some Poly_delay
+  | "cs1" | "cscliques1" -> Some Cs1
+  | "cs2" | "cscliques2" -> Some Cs2
+  | "cs2f" | "cscliques2f" -> Some Cs2_f
+  | "cs2p" | "cscliques2p" -> Some Cs2_p
+  | "cs2pf" | "cscliques2pf" -> Some Cs2_pf
+  | "brute" | "bruteforce" -> Some Brute
+  | _ -> None
+
+let iter ?(min_size = 0) ?(optimized = true) ?cache_capacity
+    ?(should_continue = fun () -> true) algorithm g ~s yield =
+  (* Without the §6 optimizations the full enumeration runs and the size
+     bound is applied only at the output (Fig. 10's baseline). *)
+  let pushed_min = if optimized then min_size else 0 in
+  let yield = if optimized then yield
+    else fun c -> if Node_set.cardinal c >= min_size then yield c
+  in
+  let nh () = Neighborhood.create ?cache_capacity ~s g in
+  match algorithm with
+  | Poly_delay ->
+      let queue_mode =
+        if optimized && min_size > 0 then Poly_delay.Largest_first else Poly_delay.Fifo
+      in
+      Poly_delay.iter ~queue_mode ~min_size:pushed_min ~should_continue (nh ()) yield
+  | Cs1 -> Cs_cliques1.iter ~min_size:pushed_min ~should_continue (nh ()) yield
+  | Cs2 ->
+      Cs_cliques2.iter ~pivot:false ~feasibility:false ~min_size:pushed_min
+        ~should_continue (nh ()) yield
+  | Cs2_f ->
+      Cs_cliques2.iter ~pivot:false ~feasibility:true ~min_size:pushed_min
+        ~should_continue (nh ()) yield
+  | Cs2_p ->
+      Cs_cliques2.iter ~pivot:true ~feasibility:false ~min_size:pushed_min
+        ~should_continue (nh ()) yield
+  | Cs2_pf ->
+      Cs_cliques2.iter ~pivot:true ~feasibility:true ~min_size:pushed_min
+        ~should_continue (nh ()) yield
+  | Brute ->
+      if s < 1 then invalid_arg "Enumerate.iter: s must be >= 1";
+      List.iter
+        (fun c -> if Node_set.cardinal c >= min_size then yield c)
+        (Brute_force.maximal_connected_s_cliques g ~s)
+
+let all_results ?min_size ?optimized ?cache_capacity algorithm g ~s =
+  let acc = ref [] in
+  iter ?min_size ?optimized ?cache_capacity algorithm g ~s (fun c -> acc := c :: !acc);
+  List.rev !acc
+
+exception Enough
+
+let first_n ?min_size ?optimized ?cache_capacity ?(should_continue = fun () -> true)
+    algorithm g ~s n =
+  let acc = ref [] in
+  let got = ref 0 in
+  (try
+     iter ?min_size ?optimized ?cache_capacity ~should_continue algorithm g ~s
+       (fun c ->
+         acc := c :: !acc;
+         incr got;
+         if !got >= n then raise Enough)
+   with Enough -> ());
+  List.rev !acc
+
+let count ?min_size ?cache_capacity algorithm g ~s =
+  let total = ref 0 in
+  iter ?min_size ?cache_capacity algorithm g ~s (fun _ -> incr total);
+  !total
+
+let sorted_results ?min_size ?cache_capacity algorithm g ~s =
+  List.sort Node_set.compare (all_results ?min_size ?cache_capacity algorithm g ~s)
+
+let largest ?cache_capacity ?should_continue algorithm g ~s k =
+  if k < 0 then invalid_arg "Enumerate.largest: negative k";
+  (* min-heap of the current champions: the root is the smallest kept set,
+     evicted whenever something bigger arrives *)
+  let cmp a b =
+    let c = compare (Node_set.cardinal a) (Node_set.cardinal b) in
+    if c <> 0 then c else Node_set.compare b a
+  in
+  let heap = Scoll.Binary_heap.create ~cmp () in
+  iter ?cache_capacity ?should_continue algorithm g ~s (fun c ->
+      if Scoll.Binary_heap.length heap < k then Scoll.Binary_heap.push heap c
+      else if k > 0 && cmp c (Scoll.Binary_heap.peek heap) > 0 then begin
+        ignore (Scoll.Binary_heap.pop heap);
+        Scoll.Binary_heap.push heap c
+      end);
+  List.rev (Scoll.Binary_heap.pop_all heap)

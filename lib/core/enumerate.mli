@@ -1,0 +1,96 @@
+(** Unified front-end over every enumeration algorithm in the library.
+
+    The variants carry the names used in the paper's plots:
+    [PD] (PolyDelayEnum), [CS1] (CsCliques1), [CS2] with optional [P]
+    (pivoting) and [F] (feasibility) suffixes, plus the brute-force
+    oracle. The benchmark harness, CLI, and tests all dispatch through
+    this module so an algorithm is always selected the same way. *)
+
+type algorithm =
+  | Poly_delay  (** paper "PD" *)
+  | Cs1  (** "CSCliques1" *)
+  | Cs2  (** "CSCliques2", no optimizations *)
+  | Cs2_f  (** + feasibility check *)
+  | Cs2_p  (** + pivoting *)
+  | Cs2_pf  (** + pivoting and feasibility *)
+  | Brute  (** exhaustive oracle, tiny graphs only *)
+
+val all : algorithm list
+(** Every variant, in the order above. *)
+
+val name : algorithm -> string
+(** Paper-style name, e.g. ["CSCliques2PF"]. *)
+
+val of_name : string -> algorithm option
+(** Case-insensitive inverse of {!name}; also accepts the short aliases
+    ["pd"], ["cs1"], ["cs2"], ["cs2f"], ["cs2p"], ["cs2pf"], ["brute"]. *)
+
+val iter :
+  ?min_size:int ->
+  ?optimized:bool ->
+  ?cache_capacity:int ->
+  ?should_continue:(unit -> bool) ->
+  algorithm ->
+  Sgraph.Graph.t ->
+  s:int ->
+  (Sgraph.Node_set.t -> unit) ->
+  unit
+(** Enumerate all maximal connected s-cliques (each exactly once) and
+    pass them to the callback.
+
+    [min_size] restricts the output to sets of at least that many nodes.
+    With [optimized = true] (default) the §6 machinery is engaged —
+    [|R| + |P|] pruning in the BK variants, a largest-first priority
+    queue in PolyDelayEnum; with [optimized = false] the full enumeration
+    runs and small results are merely filtered out (the paper's
+    "nonoptimized" Figure 10 baseline).
+
+    @raise Invalid_argument when [s < 1], or when [Brute] is applied to a
+    graph beyond {!Brute_force.max_nodes} nodes. *)
+
+val all_results :
+  ?min_size:int ->
+  ?optimized:bool ->
+  ?cache_capacity:int ->
+  algorithm ->
+  Sgraph.Graph.t ->
+  s:int ->
+  Sgraph.Node_set.t list
+(** Materialized {!iter}, results in generation order. *)
+
+val first_n :
+  ?min_size:int ->
+  ?optimized:bool ->
+  ?cache_capacity:int ->
+  ?should_continue:(unit -> bool) ->
+  algorithm ->
+  Sgraph.Graph.t ->
+  s:int ->
+  int ->
+  Sgraph.Node_set.t list
+(** The first [n] results (fewer when the graph has fewer); enumeration
+    stops as soon as the quota is reached — the paper's "time to return
+    100 connected s-cliques" measurement shape. *)
+
+val count : ?min_size:int -> ?cache_capacity:int -> algorithm -> Sgraph.Graph.t -> s:int -> int
+(** Number of maximal connected s-cliques (of size ≥ [min_size]). *)
+
+val sorted_results :
+  ?min_size:int -> ?cache_capacity:int -> algorithm -> Sgraph.Graph.t -> s:int ->
+  Sgraph.Node_set.t list
+(** {!all_results} sorted by {!Sgraph.Node_set.compare} — canonical form
+    for cross-algorithm comparison in tests. *)
+
+val largest :
+  ?cache_capacity:int ->
+  ?should_continue:(unit -> bool) ->
+  algorithm ->
+  Sgraph.Graph.t ->
+  s:int ->
+  int ->
+  Sgraph.Node_set.t list
+(** [largest alg g ~s k] is the [k] biggest maximal connected s-cliques
+    (fewer when the graph has fewer), largest first, ties broken by
+    {!Sgraph.Node_set.compare}. A full enumeration is performed, keeping
+    only a size-[k] heap of champions — the "find the top communities" use
+    case of the paper's introduction. *)

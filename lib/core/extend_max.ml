@@ -1,0 +1,82 @@
+module Node_set = Sgraph.Node_set
+module Graph = Sgraph.Graph
+
+let in_graph nh c =
+  let g = Neighborhood.graph nh in
+  if Graph.n g = 0 then Node_set.empty
+  else begin
+    let c = if Node_set.is_empty c then Node_set.singleton 0 else c in
+    (* candidates = N^{∀,s}(C); frontier = N^{∃,1}(C); both shrink/grow
+       incrementally as nodes join *)
+    let candidates = ref (Neighborhood.ball_forall nh c) in
+    let frontier = ref (Neighborhood.adjacent_any nh c) in
+    let result = ref c in
+    let continue_ = ref true in
+    while !continue_ do
+      let eligible = Node_set.inter !candidates !frontier in
+      if Node_set.is_empty eligible then continue_ := false
+      else begin
+        let v = Node_set.min_elt eligible in
+        result := Node_set.add v !result;
+        candidates := Node_set.remove v (Node_set.inter !candidates (Neighborhood.ball nh v));
+        frontier :=
+          Node_set.diff (Node_set.union !frontier (Graph.neighbor_set g v)) !result
+      end
+    done;
+    !result
+  end
+
+let in_induced nh ~universe ~seed =
+  if Node_set.is_empty seed then invalid_arg "Extend_max.in_induced: empty seed";
+  if not (Node_set.subset seed universe) then
+    invalid_arg "Extend_max.in_induced: seed outside universe";
+  let g = Neighborhood.graph nh in
+  let s = Neighborhood.s nh in
+  let sub, back = Graph.induced g universe in
+  let k = Graph.n sub in
+  (* map original ids to induced ids *)
+  let fwd = Hashtbl.create (2 * k) in
+  Array.iteri (fun i orig -> Hashtbl.replace fwd orig i) back;
+  let to_sub v = Hashtbl.find fwd v in
+  (* all-pairs distances in the induced subgraph, bounded universe size *)
+  let dist = Array.init k (fun i -> Sgraph.Bfs.distances sub i) in
+  let in_result = Array.make k false in
+  Node_set.iter (fun v -> in_result.(to_sub v) <- true) seed;
+  let close_enough i j = dist.(i).(j) >= 0 && dist.(i).(j) <= s in
+  (* ok.(i): i is within distance s (in the induced graph) of every current
+     member; adjacency to the current set is rechecked on demand *)
+  let ok = Array.make k true in
+  for i = 0 to k - 1 do
+    if not in_result.(i) then
+      Node_set.iter (fun v -> if not (close_enough i (to_sub v)) then ok.(i) <- false) seed
+  done;
+  let adjacent_to_result i =
+    Array.exists (fun j -> in_result.(j)) (Graph.neighbors sub i)
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    (* smallest original id among eligible nodes; [back] is increasing, so
+       scanning induced ids in order respects original-id order *)
+    let picked = ref (-1) in
+    (try
+       for i = 0 to k - 1 do
+         if (not in_result.(i)) && ok.(i) && adjacent_to_result i then begin
+           picked := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !picked < 0 then continue_ := false
+    else begin
+      let i = !picked in
+      in_result.(i) <- true;
+      for j = 0 to k - 1 do
+        if (not in_result.(j)) && ok.(j) && not (close_enough i j) then ok.(j) <- false
+      done
+    end
+  done;
+  let members = ref [] in
+  for i = k - 1 downto 0 do
+    if in_result.(i) then members := back.(i) :: !members
+  done;
+  Node_set.of_list !members

@@ -1,0 +1,33 @@
+(** The ExtendMax sub-procedure of PolyDelayEnum (paper Fig. 4).
+
+    ExtendMax greedily grows a connected s-clique [C] by repeatedly adding
+    a node from [N^{∀,s}(C) ∩ N^{∃,1}(C)] — a node close enough (distance
+    ≤ s) to every member and adjacent to at least one — until no such node
+    exists. The result is a maximal connected s-clique containing [C].
+    Both call sites of the paper are covered:
+
+    - line 3 / line 11 extend with respect to the {e whole} graph
+      ({!in_graph});
+    - line 10 extends [{v}] inside the induced subgraph [G\[C ∪ {v}\]],
+      where distances are measured {e in the induced subgraph}
+      ({!in_induced}) — this is what lets the algorithm carve the portion
+      of [C] compatible with [v].
+
+    Node choice is deterministic: the smallest eligible id is added first,
+    so results are reproducible across runs. *)
+
+val in_graph : Neighborhood.t -> Sgraph.Node_set.t -> Sgraph.Node_set.t
+(** [in_graph nh c] grows the connected s-clique [c] to a maximal one in
+    the whole graph. An empty [c] starts from node 0 (the paper's
+    "arbitrary node"); the empty graph yields the empty set. The caller
+    must pass a connected s-clique. *)
+
+val in_induced :
+  Neighborhood.t ->
+  universe:Sgraph.Node_set.t ->
+  seed:Sgraph.Node_set.t ->
+  Sgraph.Node_set.t
+(** [in_induced nh ~universe ~seed] runs ExtendMax(seed, G[universe], s):
+    distances and adjacency are those of the induced subgraph. [seed] must
+    be a nonempty connected s-clique of G[universe] and a subset of
+    [universe]. O(|universe|^2 + |universe| * edges-in-universe). *)

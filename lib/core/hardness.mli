@@ -1,0 +1,58 @@
+(** The NP-completeness reduction of the paper's Theorem 5.6.
+
+    Theorem 5.6: given a graph [G], [s > 1] and an s-clique [R], deciding
+    whether some connected s-clique [C ⊇ R] exists is NP-complete — this
+    is why CsCliques2's feasibility check must be incomplete. The proof
+    reduces from 3-SAT; this module implements that reduction so the
+    construction is executable and testable: a formula [ψ] maps to a graph
+    and a seed s-clique [R] such that [R] extends to a connected s-clique
+    iff [ψ] is satisfiable.
+
+    Construction (§5.3): per clause [i] a chain [c_i^1 .. c_i^s], a node
+    [x_i^j] per literal, and a terminal [f]; chains, literal nodes and [f]
+    are wired in sequence, then every non-conflicting pair of original
+    nodes at distance > s is joined by a fresh path of length [s]
+    (conflicting = two literal nodes, one the negation of the other). *)
+
+type literal = { variable : int; negated : bool }
+(** Variables are non-negative integers. *)
+
+type clause = literal * literal * literal
+
+type cnf = clause list
+(** The paper assumes no clause contains both a variable and its
+    negation; {!reduce} checks this. *)
+
+val satisfiable : cnf -> bool
+(** Brute-force SAT over all assignments — the reference the reduction is
+    validated against. Exponential in the number of distinct variables
+    (capped at 20). *)
+
+type reduction = {
+  graph : Sgraph.Graph.t;
+  seed : Sgraph.Node_set.t;  (** the s-clique [R] of the theorem *)
+  s : int;
+  literal_node : int -> int -> int;
+      (** [literal_node i j] is the node [x_i^j] of clause [i] (0-based),
+          literal position [j ∈ 0..2] *)
+  original_nodes : Sgraph.Node_set.t;  (** [V_0]: the pre-path-filling nodes *)
+}
+
+val reduce : cnf -> s:int -> reduction
+(** Build the reduction graph. Requires [s > 1] and a nonempty formula in
+    which no clause contains a variable and its negation.
+    @raise Invalid_argument otherwise. *)
+
+val seed_is_s_clique : reduction -> bool
+(** Sanity of the construction: [R] must itself be an s-clique. *)
+
+val feasible : reduction -> bool
+(** Does a connected s-clique containing [seed] exist? Decided by
+    enumerating maximal connected s-cliques (early exit on the first
+    superset) — exponential, as the theorem says it must be in the worst
+    case. [feasible (reduce ψ ~s) = satisfiable ψ]. *)
+
+val witness_of_assignment : reduction -> cnf -> (int -> bool) -> Sgraph.Node_set.t
+(** [witness_of_assignment r ψ truth] is the set [C = R ∪ {x_i^j : literal
+    j of clause i satisfied under truth}] from the proof's forward
+    direction — a connected s-clique whenever [truth] satisfies [ψ]. *)

@@ -1,0 +1,47 @@
+module Node_set = Sgraph.Node_set
+module Graph = Sgraph.Graph
+
+type t = {
+  graph : Graph.t;
+  s : int;
+  cache : (int, Node_set.t) Scoll.Lri_cache.t;
+}
+
+let create ?(cache_capacity = 65536) ~s graph =
+  if s < 1 then invalid_arg "Neighborhood.create: s must be >= 1";
+  { graph; s; cache = Scoll.Lri_cache.create ~capacity:cache_capacity () }
+
+let graph t = t.graph
+
+let s t = t.s
+
+let ball t v =
+  if t.s = 1 then Graph.neighbor_set t.graph v (* already materialized *)
+  else
+    Scoll.Lri_cache.find_or_add t.cache v ~compute:(fun v ->
+        Sgraph.Bfs.ball t.graph v ~radius:t.s)
+
+let ball_forall t c =
+  if Node_set.is_empty c then Graph.nodes t.graph
+  else
+    (* intersect balls smallest-first so intermediate results shrink fast *)
+    let balls = List.map (ball t) (Node_set.to_list c) in
+    let balls =
+      List.sort (fun a b -> compare (Node_set.cardinal a) (Node_set.cardinal b)) balls
+    in
+    match balls with
+    | [] -> assert false
+    | first :: rest ->
+        let inter = List.fold_left Node_set.inter first rest in
+        Node_set.diff inter c
+
+let adjacent_any t c =
+  let acc = ref Node_set.empty in
+  Node_set.iter
+    (fun v -> acc := Node_set.union !acc (Graph.neighbor_set t.graph v))
+    c;
+  Node_set.diff !acc c
+
+let within_distance t u v = u = v || Node_set.mem v (ball t u)
+
+let cache_stats t = Scoll.Lri_cache.stats t.cache

@@ -1,0 +1,45 @@
+(** Cached distance-s neighborhoods — the N-operators of the paper's §3.
+
+    Every algorithm in the paper is phrased in terms of three operators
+    over a graph [G] and parameter [s]:
+    - [N^s(v)]     — nodes at distance 1..s from [v] ({!ball});
+    - [N^{∀,s}(C)] — nodes at distance ≤ s from {e all} of [C] ({!ball_forall});
+    - [N^{∃,1}(C)] — nodes adjacent to {e at least one} node of [C]
+      ({!adjacent_any}).
+
+    Computing [N^s(v)] (a bounded BFS) is "one of the most costly
+    operations in all algorithms" (§7), so the paper memoizes it in a hash
+    table with LRI eviction under a memory cap. A [Neighborhood.t] bundles
+    the graph, [s], and that cache; all enumeration algorithms take one. *)
+
+type t
+
+val create : ?cache_capacity:int -> s:int -> Sgraph.Graph.t -> t
+(** [create ~s g] prepares a neighborhood oracle for [g] with parameter
+    [s >= 1]. [cache_capacity] bounds the number of memoized balls
+    (default [65536]; [0] disables caching — every query recomputes).
+    @raise Invalid_argument when [s < 1]. *)
+
+val graph : t -> Sgraph.Graph.t
+
+val s : t -> int
+
+val ball : t -> int -> Sgraph.Node_set.t
+(** [ball t v] is [N^s(v)], {b excluding} [v] itself. Cached. *)
+
+val ball_forall : t -> Sgraph.Node_set.t -> Sgraph.Node_set.t
+(** [ball_forall t c] is [N^{∀,s}(c)]: nodes (outside [c]) at distance at
+    most [s] in the whole graph from every node of [c]. For an empty [c]
+    it returns every node of the graph (an empty conjunction holds). *)
+
+val adjacent_any : t -> Sgraph.Node_set.t -> Sgraph.Node_set.t
+(** [adjacent_any t c] is [N^{∃,1}(c)]: nodes outside [c] adjacent to at
+    least one member. Empty for an empty [c]. *)
+
+val within_distance : t -> int -> int -> bool
+(** [within_distance t u v] decides [dist(u,v) <= s] using the cache
+    ([u = v] counts as within distance). *)
+
+val cache_stats : t -> Scoll.Lri_cache.stats
+(** Hit/miss/eviction counters of the ball cache (for the ablation
+    benchmark). *)

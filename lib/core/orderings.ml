@@ -1,0 +1,44 @@
+module Node_set = Sgraph.Node_set
+module Graph = Sgraph.Graph
+
+let omega2 c = Node_set.to_list c
+
+let is_connected_prefix_order g order =
+  let rec go prefix = function
+    | [] -> true
+    | v :: rest ->
+        let prefix = Node_set.add v prefix in
+        Sgraph.Bfs.is_connected_subset g prefix && go prefix rest
+  in
+  go Node_set.empty order
+
+let omega1 g c =
+  if not (Sgraph.Bfs.is_connected_subset g c) then
+    invalid_arg "Orderings.omega1: set does not induce a connected subgraph";
+  if Node_set.is_empty c then []
+  else begin
+    let first = Node_set.min_elt c in
+    let rec grow chosen order remaining =
+      if Node_set.is_empty remaining then List.rev order
+      else begin
+        (* ≺-first remaining member adjacent to the chosen prefix *)
+        let next =
+          Node_set.fold
+            (fun v found ->
+              match found with
+              | Some _ -> found
+              | None ->
+                  if
+                    Node_set.exists (fun u -> Graph.mem_edge g u v) chosen
+                  then Some v
+                  else None)
+            remaining None
+        in
+        match next with
+        | None -> assert false (* impossible: C induces a connected graph *)
+        | Some v ->
+            grow (Node_set.add v chosen) (v :: order) (Node_set.remove v remaining)
+      end
+    in
+    grow (Node_set.singleton first) [ first ] (Node_set.remove first c)
+  end

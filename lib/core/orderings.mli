@@ -1,0 +1,26 @@
+(** The ω-orderings of the paper's correctness proof (Lemma 5.3).
+
+    Fix the total order ≺ on nodes (here: increasing id). For a connected
+    s-clique [C] the proof uses two total orderings of [C]'s members:
+
+    - [ω2(C)] — plainly ≺-sorted; the order in which CsCliques2's
+      execution tree reaches [C];
+    - [ω1(C)] — starts at [C]'s ≺-minimum and repeatedly appends the
+      ≺-first unused member that keeps the prefix connected; the order in
+      which CsCliques1 reaches [C] (Property 6 of Lemma 5.3: [ωi(C)] is a
+      path in the execution tree [Ti]).
+
+    Exposed primarily for the test suite, which checks the paper's worked
+    Example 5.2 and the prefix-connectivity invariant on random inputs. *)
+
+val omega2 : Sgraph.Node_set.t -> int list
+(** Members in increasing id order. *)
+
+val omega1 : Sgraph.Graph.t -> Sgraph.Node_set.t -> int list
+(** Members ordered by connected-prefix insertion. The set must induce a
+    connected subgraph.
+    @raise Invalid_argument when [G\[C\]] is not connected. *)
+
+val is_connected_prefix_order : Sgraph.Graph.t -> int list -> bool
+(** Does every nonempty prefix of the list induce a connected subgraph?
+    (Defines validity of an ω1-style ordering.) *)

@@ -1,0 +1,52 @@
+module Node_set = Sgraph.Node_set
+module Graph = Sgraph.Graph
+
+type stats = { results_per_worker : int array; time_per_worker : float array }
+
+(* Work done by one domain: the CsCliques2 subtree of every root node
+   assigned to this worker. Root branch v starts from the same state the
+   sequential ascending root loop would reach at v. *)
+let run_worker ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity roots =
+  let t0 = Unix.gettimeofday () in
+  let nh = Neighborhood.create ~cache_capacity ~s g in
+  let results = ref [] in
+  List.iter
+    (fun v ->
+      let ball_v = Neighborhood.ball nh v in
+      let later = Node_set.filter (fun u -> u > v) ball_v in
+      let earlier = Node_set.filter (fun u -> u < v) ball_v in
+      (* reuse the sequential engine on the singleton-rooted subproblem:
+         R = {v}, P = later s-neighbors, X = earlier ones *)
+      Cs_cliques2.iter_rooted ~pivot ~feasibility ~min_size nh ~root:v ~p:later
+        ~x:earlier (fun c -> results := c :: !results))
+    roots;
+  (!results, Unix.gettimeofday () -. t0)
+
+let enumerate_with_stats ?workers ?(pivot = true) ?(feasibility = false)
+    ?(min_size = 0) ?(cache_capacity = 65536) g ~s =
+  let workers =
+    match workers with Some w -> w | None -> Domain.recommended_domain_count ()
+  in
+  if workers < 1 then invalid_arg "Parallel.enumerate: workers must be >= 1";
+  let n = Graph.n g in
+  let buckets = Array.make workers [] in
+  for v = n - 1 downto 0 do
+    buckets.(v mod workers) <- v :: buckets.(v mod workers)
+  done;
+  let spawn roots =
+    Domain.spawn (fun () ->
+        run_worker ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity roots)
+  in
+  (* the first bucket runs in the calling domain *)
+  let helpers = Array.to_list (Array.map spawn (Array.sub buckets 1 (workers - 1))) in
+  let own =
+    run_worker ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity buckets.(0)
+  in
+  let parts = own :: List.map Domain.join helpers in
+  let results_per_worker = Array.of_list (List.map (fun (r, _) -> List.length r) parts) in
+  let time_per_worker = Array.of_list (List.map snd parts) in
+  let all = List.sort Node_set.compare (List.concat_map fst parts) in
+  (all, { results_per_worker; time_per_worker })
+
+let enumerate ?workers ?pivot ?feasibility ?min_size ?cache_capacity g ~s =
+  fst (enumerate_with_stats ?workers ?pivot ?feasibility ?min_size ?cache_capacity g ~s)

@@ -1,0 +1,47 @@
+(** Parallel enumeration across OCaml 5 domains — the paper's future-work
+    direction ("adapting the algorithms to a distributed environment", §8).
+
+    The root level of CsCliques2 is embarrassingly parallel: branch [v]
+    explores exactly the maximal connected s-cliques whose smallest node
+    is [v] (its candidate set is [N^s(v) ∩ {u > v}] and its exclusion set
+    [N^s(v) ∩ {u < v}]), so distinct root branches never produce the same
+    result. This module deals the root branches round-robin across
+    [workers] domains, each with a private graph-shared-but-immutable view
+    and its own [N^s] cache (the cache is the only mutable state, so no
+    synchronization is needed), and merges the outputs.
+
+    The same decomposition would ship each branch to a remote machine in a
+    genuinely distributed setting; per-worker load statistics are exposed
+    because balance — not correctness — is the open problem the paper
+    alludes to (hub-rooted branches of a scale-free graph dwarf the
+    rest). *)
+
+type stats = {
+  results_per_worker : int array;
+  time_per_worker : float array;  (** wall-clock seconds in each domain *)
+}
+
+val enumerate :
+  ?workers:int ->
+  ?pivot:bool ->
+  ?feasibility:bool ->
+  ?min_size:int ->
+  ?cache_capacity:int ->
+  Sgraph.Graph.t ->
+  s:int ->
+  Sgraph.Node_set.t list
+(** All maximal connected s-cliques, each exactly once, in increasing
+    {!Sgraph.Node_set.compare} order. [workers] defaults to
+    [Domain.recommended_domain_count ()]; [pivot] defaults to [true].
+    @raise Invalid_argument when [workers < 1] or [s < 1]. *)
+
+val enumerate_with_stats :
+  ?workers:int ->
+  ?pivot:bool ->
+  ?feasibility:bool ->
+  ?min_size:int ->
+  ?cache_capacity:int ->
+  Sgraph.Graph.t ->
+  s:int ->
+  Sgraph.Node_set.t list * stats
+(** Same, plus per-worker load statistics. *)

@@ -1,0 +1,60 @@
+(** PolyDelayEnum (paper Fig. 4): enumeration with polynomial delay.
+
+    The algorithm maintains a queue [Q] of maximal connected s-cliques
+    still to be processed and an index [I] (a B-tree over canonical node
+    sets, {!Scoll.Btree}) of everything generated so far. It seeds [Q]
+    with one maximal set obtained by ExtendMax from an arbitrary node,
+    then, for each dequeued [C] and each neighbor [v] of [C]:
+    [C' = ExtendMax({v}, G[C ∪ {v}], s)] (carve the part of [C] compatible
+    with [v]) and [C'' = ExtendMax(C', G, s)] (re-maximize); new [C''] are
+    queued. The paper's Theorem 4.2: every maximal connected s-clique is
+    printed exactly once, with O(|V|^3) delay.
+
+    The paper assumes a connected input; this implementation seeds one
+    initial set per connected component, which extends the theorem to
+    arbitrary graphs (s-clique distances never cross components).
+
+    §6 large-results mode: with [~queue_mode:Largest_first] the FIFO is
+    replaced by a max-size priority queue, and with [~min_size:k] only
+    results of size ≥ k are reported (everything is still explored —
+    smaller sets may lead to large undiscovered ones). *)
+
+type queue_mode =
+  | Fifo  (** paper Fig. 4: breadth-first over the solution graph *)
+  | Largest_first  (** §6 heuristic: priority queue, larger sets first *)
+
+type index_mode =
+  | Btree  (** the paper's suggestion — O(log n) worst case per operation *)
+  | Hashtable
+      (** amortized O(1) expected per operation; trades the B-tree's
+          worst-case delay guarantee for hashing. Exposed for the index
+          ablation benchmark. *)
+
+val iter :
+  ?queue_mode:queue_mode ->
+  ?index_mode:index_mode ->
+  ?min_size:int ->
+  ?should_continue:(unit -> bool) ->
+  Neighborhood.t ->
+  (Sgraph.Node_set.t -> unit) ->
+  unit
+(** Call the function on each maximal connected s-clique, exactly once.
+    [should_continue] is polled once per dequeue; returning [false]
+    abandons the remaining work (used by time-budgeted benchmarks). *)
+
+type run_stats = {
+  results : int;  (** sets reported *)
+  generated : int;  (** sets inserted into the index *)
+  index_height : int;  (** final B-tree height *)
+}
+
+val iter_with_stats :
+  ?queue_mode:queue_mode ->
+  ?index_mode:index_mode ->
+  ?min_size:int ->
+  ?should_continue:(unit -> bool) ->
+  Neighborhood.t ->
+  (Sgraph.Node_set.t -> unit) ->
+  run_stats
+(** Same, returning counters about the run (exposed for the index
+    ablation benchmark and the memory discussion of §7). *)

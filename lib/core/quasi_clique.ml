@@ -1,0 +1,30 @@
+module Node_set = Sgraph.Node_set
+module Graph = Sgraph.Graph
+
+let internal_degree g u v = Node_set.inter_cardinal u (Graph.neighbor_set g v)
+
+let min_internal_degree g u =
+  if Node_set.cardinal u <= 1 then 0
+  else Node_set.fold (fun v acc -> min acc (internal_degree g u v)) u max_int
+
+let is_gamma_quasi_clique g ~gamma u =
+  if gamma < 0. || gamma > 1. then
+    invalid_arg "Quasi_clique.is_gamma_quasi_clique: gamma outside [0,1]";
+  let k = Node_set.cardinal u in
+  k <= 1
+  || float_of_int (min_internal_degree g u) >= gamma *. float_of_int (k - 1)
+
+let induced_diameter g u =
+  let k = Node_set.cardinal u in
+  if k <= 1 then 0
+  else begin
+    let sub, _ = Graph.induced g u in
+    let worst = ref 0 in
+    for v = 0 to k - 1 do
+      let dist = Sgraph.Bfs.distances sub v in
+      Array.iter
+        (fun d -> if d < 0 then worst := max_int else worst := max !worst d)
+        dist
+    done;
+    !worst
+  end

@@ -1,0 +1,24 @@
+(** γ-quasi-cliques — the degree-based relaxation of the paper's §2.
+
+    A set [S] is a {e γ-quasi-clique} when every node of [S] has at least
+    [γ * (|S| - 1)] neighbors inside [S]. The paper recalls (citing Jiang
+    & Pei) that for [1/2 <= γ <= (|S|-2)/(|S|-1)] the induced subgraph has
+    diameter at most 2 — which at first glance suggests enumerating
+    2-cliques via quasi-cliques — and then explains why that fails: an
+    s-clique's short paths may leave the set, while every quasi-clique
+    guarantee is about the induced subgraph. These predicates make that
+    §2 discussion executable and testable. *)
+
+val is_gamma_quasi_clique : Sgraph.Graph.t -> gamma:float -> Sgraph.Node_set.t -> bool
+(** Every member has at least [gamma * (|S| - 1)] neighbors within [S].
+    Empty sets and singletons qualify. Requires [0 <= gamma <= 1]. *)
+
+val internal_degree : Sgraph.Graph.t -> Sgraph.Node_set.t -> int -> int
+(** Number of neighbors of the node inside the set. *)
+
+val min_internal_degree : Sgraph.Graph.t -> Sgraph.Node_set.t -> int
+(** Minimum over members; 0 for sets of size <= 1. *)
+
+val induced_diameter : Sgraph.Graph.t -> Sgraph.Node_set.t -> int
+(** Diameter of [G\[S\]]; [max_int] when disconnected, 0 for sets of
+    size <= 1. Used to test the diameter-2 property quoted in §2. *)

@@ -1,0 +1,58 @@
+module Node_set = Sgraph.Node_set
+
+let to_string results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# %d node sets\n" (List.length results));
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (String.concat " " (List.map string_of_int (Node_set.to_list c)));
+      Buffer.add_char buf '\n')
+    results;
+  Buffer.contents buf
+
+let save results path =
+  let oc = open_out path in
+  (try output_string oc (to_string results) with
+  | e ->
+      close_out oc;
+      raise e);
+  close_out oc
+
+let parse_line lineno line =
+  let fail msg = failwith (Printf.sprintf "results line %d: %s" lineno msg) in
+  let tokens =
+    List.filter
+      (fun t -> t <> "")
+      (String.split_on_char ' '
+         (String.map (function '\t' | '\r' -> ' ' | c -> c) line))
+  in
+  let members =
+    List.map
+      (fun tok ->
+        match int_of_string_opt tok with
+        | Some v when v >= 0 -> v
+        | Some _ -> fail (Printf.sprintf "negative node id %S" tok)
+        | None -> fail (Printf.sprintf "expected a node id, got %S" tok))
+      tokens
+  in
+  let set = Node_set.of_list members in
+  if Node_set.cardinal set <> List.length members then fail "duplicate node in set";
+  set
+
+let parse_string s =
+  let lines = String.split_on_char '\n' s in
+  List.concat
+    (List.mapi
+       (fun i line ->
+         let trimmed = String.trim line in
+         if trimmed = "" || trimmed.[0] = '#' then []
+         else [ parse_line (i + 1) line ])
+       lines)
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  parse_string contents

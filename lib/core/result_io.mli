@@ -1,0 +1,17 @@
+(** Serialization of enumeration results.
+
+    The CLI's output format, round-trippable so that results can be piped
+    between tools and re-certified later: one node set per line, members
+    as whitespace-separated ids; [#] lines are comments. Parsing validates
+    that members are distinct. *)
+
+val to_string : Sgraph.Node_set.t list -> string
+
+val save : Sgraph.Node_set.t list -> string -> unit
+
+val parse_string : string -> Sgraph.Node_set.t list
+(** @raise Failure with a line-numbered message on malformed input. *)
+
+val load : string -> Sgraph.Node_set.t list
+(** @raise Sys_error when the file cannot be read.
+    @raise Failure on malformed input. *)

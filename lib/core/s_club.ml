@@ -1,0 +1,124 @@
+module Node_set = Sgraph.Node_set
+module Graph = Sgraph.Graph
+
+let max_nodes = 16
+
+let is_s_club g ~s u =
+  let k = Node_set.cardinal u in
+  if k <= 1 then true
+  else begin
+    let sub, _ = Graph.induced g u in
+    let ok = ref true in
+    for v = 0 to k - 1 do
+      if !ok then begin
+        let dist = Sgraph.Bfs.distances sub v in
+        for w = 0 to k - 1 do
+          if dist.(w) < 0 || dist.(w) > s then ok := false
+        done
+      end
+    done;
+    !ok
+  end
+
+let check_size g =
+  if Graph.n g > max_nodes then
+    invalid_arg
+      (Printf.sprintf "S_club: graph has %d nodes, limit is %d" (Graph.n g) max_nodes)
+
+(* bitmask club test over the precomputed adjacency masks *)
+let club_mask adj s mask =
+  (* BFS from each member restricted to the mask, depth-bounded *)
+  let n = Array.length adj in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if !ok && mask land (1 lsl v) <> 0 then begin
+      let reached = ref (1 lsl v) in
+      let frontier = ref (1 lsl v) in
+      let depth = ref 0 in
+      while !frontier <> 0 && !depth < s do
+        incr depth;
+        let next = ref 0 in
+        let rest = ref !frontier in
+        while !rest <> 0 do
+          let u = ref 0 in
+          while !rest land (1 lsl !u) = 0 do
+            incr u
+          done;
+          rest := !rest land lnot (1 lsl !u);
+          next := !next lor (adj.(!u) land mask land lnot !reached)
+        done;
+        reached := !reached lor !next;
+        frontier := !next
+      done;
+      if !reached land mask <> mask then ok := false
+    end
+  done;
+  !ok
+
+let adjacency g =
+  Array.init (Graph.n g) (fun v ->
+      Array.fold_left (fun acc u -> acc lor (1 lsl u)) 0 (Graph.neighbors g v))
+
+let mask_to_set mask =
+  let members = ref [] in
+  let v = ref 0 in
+  let rest = ref mask in
+  while !rest <> 0 do
+    if !rest land 1 = 1 then members := !v :: !members;
+    rest := !rest lsr 1;
+    incr v
+  done;
+  Node_set.of_list !members
+
+let all_club_masks g ~s =
+  check_size g;
+  let n = Graph.n g in
+  let adj = adjacency g in
+  let clubs = ref [] in
+  for mask = 1 to (1 lsl n) - 1 do
+    if club_mask adj s mask then clubs := mask :: !clubs
+  done;
+  !clubs
+
+let maximal_s_clubs g ~s =
+  let clubs = all_club_masks g ~s in
+  (* non-hereditary family: maximal = not strictly contained in any club *)
+  let maximal =
+    List.filter
+      (fun m ->
+        not (List.exists (fun m' -> m' <> m && m land m' = m) clubs))
+      clubs
+  in
+  List.sort Node_set.compare (List.map mask_to_set maximal)
+
+let is_maximal_s_club g ~s u =
+  check_size g;
+  let n = Graph.n g in
+  let adj = adjacency g in
+  let mask = Node_set.fold (fun v acc -> acc lor (1 lsl v)) u 0 in
+  if not (club_mask adj s mask) then false
+  else begin
+    (* enumerate strict supersets: any club among them kills maximality *)
+    let outside = lnot mask land ((1 lsl n) - 1) in
+    let rec subsets bits acc =
+      if bits = 0 then acc
+      else begin
+        let low = bits land -bits in
+        subsets (bits lxor low) (List.concat_map (fun m -> [ m; m lor low ]) acc)
+      end
+    in
+    not
+      (List.exists
+         (fun extra -> extra <> 0 && club_mask adj s (mask lor extra))
+         (subsets outside [ 0 ]))
+  end
+
+let non_hereditary_witness () =
+  (* the 5-cycle with one chord is overkill; the canonical example is the
+     star: {hub, leaves} is a 2-club, the leaves alone are not *)
+  let g = Sgraph.Gen.star 4 in
+  let club = Node_set.of_list [ 0; 1; 2; 3 ] in
+  let subset = Node_set.of_list [ 1; 2; 3 ] in
+  assert (is_s_club g ~s:2 club);
+  assert (not (is_s_club g ~s:2 subset));
+  (g, club, subset)

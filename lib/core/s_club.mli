@@ -1,0 +1,41 @@
+(** s-clubs — the rival clique relaxation discussed in the paper's §2.
+
+    A node set [U] is an {e s-club} when the {e induced} subgraph [G\[U\]]
+    has diameter at most [s]: every pair must be joined by a short path
+    {e inside} [U], whereas an s-clique may route its short paths through
+    the rest of the graph. Consequences the paper leans on:
+
+    - every s-club is a connected s-clique, but not conversely;
+    - s-clubs are not hereditary, so a non-maximal s-club can have
+      {e no} single-node extension — maximality testing is NP-complete
+      (Pajouh & Balasundaram, cited as \[28\]), and no polynomial-delay
+      enumeration can exist (§2), in contrast to this library's main
+      result for connected s-cliques;
+    - on some graph classes the notions coincide (\[28\]); e.g. on trees,
+      maximal s-clubs equal maximal connected s-cliques — property-tested
+      in the test suite.
+
+    Everything here is an exponential-time reference implementation for
+    small graphs, used to compare the notions experimentally. *)
+
+val is_s_club : Sgraph.Graph.t -> s:int -> Sgraph.Node_set.t -> bool
+(** Diameter of the induced subgraph at most [s]. Empty sets and
+    singletons qualify. *)
+
+val is_maximal_s_club : Sgraph.Graph.t -> s:int -> Sgraph.Node_set.t -> bool
+(** No strict superset is an s-club. Because s-clubs are not hereditary
+    this requires scanning supersets of every size — exponential; capped
+    at {!max_nodes} nodes. *)
+
+val maximal_s_clubs : Sgraph.Graph.t -> s:int -> Sgraph.Node_set.t list
+(** All maximal s-clubs, in increasing {!Sgraph.Node_set.compare} order.
+    Exponential; graphs are capped at {!max_nodes} nodes.
+    @raise Invalid_argument beyond the cap. *)
+
+val max_nodes : int
+(** Size cap for the exhaustive routines (16). *)
+
+val non_hereditary_witness : unit -> Sgraph.Graph.t * Sgraph.Node_set.t * Sgraph.Node_set.t
+(** A concrete demonstration that s-clubs are not hereditary: returns
+    [(g, club, subset)] where [club] is a 2-club of [g], [subset ⊂ club],
+    and [subset] is {e not} a 2-club. *)

@@ -1,0 +1,32 @@
+type t = {
+  count : int;
+  min_size : int;
+  max_size : int;
+  avg_size : float;
+  total_nodes : int;
+}
+
+let of_sizes sizes =
+  match sizes with
+  | [] -> { count = 0; min_size = 0; max_size = 0; avg_size = 0.; total_nodes = 0 }
+  | first :: rest ->
+      let count = List.length sizes in
+      let min_size = List.fold_left min first rest in
+      let max_size = List.fold_left max first rest in
+      let total_nodes = List.fold_left ( + ) 0 sizes in
+      {
+        count;
+        min_size;
+        max_size;
+        avg_size = float_of_int total_nodes /. float_of_int count;
+        total_nodes;
+      }
+
+let of_results results = of_sizes (List.map Sgraph.Node_set.cardinal results)
+
+let sample ?cache_capacity algorithm g ~s n =
+  of_results (Enumerate.first_n ?cache_capacity algorithm g ~s n)
+
+let pp fmt t =
+  Format.fprintf fmt "count=%d min=%d avg=%.2f max=%d" t.count t.min_size t.avg_size
+    t.max_size

@@ -1,0 +1,71 @@
+module Node_set = Sgraph.Node_set
+module Graph = Sgraph.Graph
+
+let is_clique g c =
+  let members = Node_set.to_array c in
+  let n = Array.length members in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (Graph.mem_edge g members.(i) members.(j)) then ok := false
+    done
+  done;
+  !ok
+
+let is_s_clique g ~s c =
+  let members = Node_set.to_array c in
+  let n = Array.length members in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if !ok then begin
+      let dist = Sgraph.Bfs.distances g members.(i) in
+      for j = i + 1 to n - 1 do
+        let d = dist.(members.(j)) in
+        if d < 0 || d > s then ok := false
+      done
+    end
+  done;
+  !ok
+
+let is_connected_s_clique g ~s c =
+  is_s_clique g ~s c && Sgraph.Bfs.is_connected_subset g c
+
+let extension_candidates g ~s c =
+  if Node_set.is_empty c then Graph.nodes g
+  else begin
+    let candidates = ref [] in
+    Graph.iter_nodes
+      (fun v ->
+        if
+          (not (Node_set.mem v c))
+          && is_connected_s_clique g ~s (Node_set.add v c)
+        then candidates := v :: !candidates)
+      g;
+    Node_set.of_list !candidates
+  end
+
+let is_maximal_connected_s_clique g ~s c =
+  (not (Node_set.is_empty c))
+  && is_connected_s_clique g ~s c
+  && Node_set.is_empty (extension_candidates g ~s c)
+
+let certify g ~s results =
+  let module Set_of_sets = Set.Make (struct
+    type t = Node_set.t
+
+    let compare = Node_set.compare
+  end) in
+  let rec go seen = function
+    | [] -> Ok ()
+    | c :: rest ->
+        if Set_of_sets.mem c seen then
+          Error (Printf.sprintf "duplicate result %s" (Node_set.to_string c))
+        else if not (is_connected_s_clique g ~s c) then
+          Error (Printf.sprintf "%s is not a connected %d-clique" (Node_set.to_string c) s)
+        else if not (Node_set.is_empty (extension_candidates g ~s c)) then
+          Error
+            (Printf.sprintf "%s is not maximal (extensible by %s)" (Node_set.to_string c)
+               (Node_set.to_string (extension_candidates g ~s c)))
+        else go (Set_of_sets.add c seen) rest
+  in
+  go Set_of_sets.empty results

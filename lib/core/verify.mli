@@ -1,0 +1,32 @@
+(** Decision procedures for the s-clique definitions of the paper's §3.
+
+    These are the specifications the enumeration algorithms are tested
+    against: straightforward, obviously-correct implementations that favor
+    clarity over speed. *)
+
+val is_clique : Sgraph.Graph.t -> Sgraph.Node_set.t -> bool
+(** Every pair adjacent. Empty sets and singletons are cliques. *)
+
+val is_s_clique : Sgraph.Graph.t -> s:int -> Sgraph.Node_set.t -> bool
+(** Every pair at distance at most [s] {e in the whole graph} — the
+    defining subtlety of s-cliques (distances may leave the set). *)
+
+val is_connected_s_clique : Sgraph.Graph.t -> s:int -> Sgraph.Node_set.t -> bool
+(** {!is_s_clique} and the induced subgraph is connected. *)
+
+val is_maximal_connected_s_clique : Sgraph.Graph.t -> s:int -> Sgraph.Node_set.t -> bool
+(** A connected s-clique that no single node can extend. Single-node
+    extension suffices: connected s-cliques form a connected-hereditary
+    family, so any proper connected-s-clique superset contains a one-node
+    extension (see the discussion around the paper's Theorem 4.2). *)
+
+val extension_candidates : Sgraph.Graph.t -> s:int -> Sgraph.Node_set.t -> Sgraph.Node_set.t
+(** All nodes [v] such that [c ∪ {v}] is again a connected s-clique —
+    empty iff [c] is maximal (for a nonempty connected s-clique [c]). *)
+
+val certify :
+  Sgraph.Graph.t -> s:int -> Sgraph.Node_set.t list -> (unit, string) result
+(** Check that a claimed enumeration output is sound: every set is a
+    maximal connected s-clique and no set appears twice. (Completeness —
+    that no maximal set is missing — requires an oracle; see
+    {!Brute_force.maximal_connected_s_cliques}.) *)

@@ -1,0 +1,109 @@
+let distances g src =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let queue = Scoll.Fifo_queue.create () in
+  dist.(src) <- 0;
+  Scoll.Fifo_queue.push queue src;
+  while not (Scoll.Fifo_queue.is_empty queue) do
+    let v = Scoll.Fifo_queue.pop queue in
+    Array.iter
+      (fun u ->
+        if dist.(u) < 0 then begin
+          dist.(u) <- dist.(v) + 1;
+          Scoll.Fifo_queue.push queue u
+        end)
+      (Graph.neighbors g v)
+  done;
+  dist
+
+exception Reached of int
+
+let distance g src dst =
+  if src = dst then 0
+  else
+    let n = Graph.n g in
+    let dist = Array.make n (-1) in
+    let queue = Scoll.Fifo_queue.create () in
+    dist.(src) <- 0;
+    Scoll.Fifo_queue.push queue src;
+    try
+      while not (Scoll.Fifo_queue.is_empty queue) do
+        let v = Scoll.Fifo_queue.pop queue in
+        Array.iter
+          (fun u ->
+            if dist.(u) < 0 then begin
+              dist.(u) <- dist.(v) + 1;
+              if u = dst then raise (Reached dist.(u));
+              Scoll.Fifo_queue.push queue u
+            end)
+          (Graph.neighbors g v)
+      done;
+      -1
+    with Reached d -> d
+
+(* Bounded BFS without an O(n) distance array: depth-synchronous frontier
+   expansion with a hash table of visited nodes, so a radius-s ball over a
+   huge graph costs only the size of the ball. *)
+let ball g v ~radius =
+  if radius < 0 then invalid_arg "Bfs.ball: negative radius";
+  let visited = Hashtbl.create 64 in
+  Hashtbl.replace visited v ();
+  let frontier = ref [ v ] in
+  let members = ref [] in
+  let depth = ref 0 in
+  while !depth < radius && !frontier <> [] do
+    incr depth;
+    let next = ref [] in
+    List.iter
+      (fun x ->
+        Array.iter
+          (fun u ->
+            if not (Hashtbl.mem visited u) then begin
+              Hashtbl.replace visited u ();
+              members := u :: !members;
+              next := u :: !next
+            end)
+          (Graph.neighbors g x))
+      !frontier;
+    frontier := !next
+  done;
+  Node_set.of_list !members
+
+let ball_within g ~universe v ~radius =
+  if radius < 0 then invalid_arg "Bfs.ball_within: negative radius";
+  if not (Node_set.mem v universe) then
+    invalid_arg "Bfs.ball_within: source outside universe";
+  let visited = Hashtbl.create 64 in
+  Hashtbl.replace visited v ();
+  let frontier = ref [ v ] in
+  let members = ref [] in
+  let depth = ref 0 in
+  while !depth < radius && !frontier <> [] do
+    incr depth;
+    let next = ref [] in
+    List.iter
+      (fun x ->
+        Array.iter
+          (fun u ->
+            if Node_set.mem u universe && not (Hashtbl.mem visited u) then begin
+              Hashtbl.replace visited u ();
+              members := u :: !members;
+              next := u :: !next
+            end)
+          (Graph.neighbors g x))
+      !frontier;
+    frontier := !next
+  done;
+  Node_set.of_list !members
+
+let reachable_within g ~universe v =
+  if not (Node_set.mem v universe) then
+    invalid_arg "Bfs.reachable_within: source outside universe";
+  Node_set.add v (ball_within g ~universe v ~radius:(Node_set.cardinal universe))
+
+let is_connected_subset g u =
+  match Node_set.cardinal u with
+  | 0 | 1 -> true
+  | k ->
+      let reached = reachable_within g ~universe:u (Node_set.min_elt u) in
+      Node_set.cardinal reached = k

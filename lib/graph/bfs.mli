@@ -1,0 +1,32 @@
+(** Breadth-first traversals and shortest-path distances.
+
+    Everything the s-clique algorithms need from BFS: full single-source
+    distances, radius-bounded balls [N^r(v)] (the paper's distance-s
+    neighborhoods, computed in the whole graph), and the same restricted to
+    an induced subgraph (needed by ExtendMax's line-10 call, where
+    distances are measured inside [G\[C ∪ {v}\]]). *)
+
+val distances : Graph.t -> int -> int array
+(** [distances g src] maps each node to its hop distance from [src]
+    ([-1] when unreachable). O(n + m). *)
+
+val distance : Graph.t -> int -> int -> int
+(** Pairwise distance, [-1] when disconnected. Early-exits on reaching the
+    target. *)
+
+val ball : Graph.t -> int -> radius:int -> Node_set.t
+(** [ball g v ~radius] is [N^radius(v)]: all nodes at distance in
+    [\[1, radius\]] from [v] — {b excluding} [v] itself, following the
+    paper's definition. O(nodes visited + edges touched). *)
+
+val ball_within : Graph.t -> universe:Node_set.t -> int -> radius:int -> Node_set.t
+(** Like {!ball} but traversing only nodes of [universe] (distances in the
+    induced subgraph [g\[universe\]]). [v] must belong to [universe]. *)
+
+val reachable_within : Graph.t -> universe:Node_set.t -> int -> Node_set.t
+(** Nodes of [universe] reachable from [v] inside [g\[universe\]],
+    including [v]. [v] must belong to [universe]. *)
+
+val is_connected_subset : Graph.t -> Node_set.t -> bool
+(** Does [u] induce a connected subgraph? The empty set and singletons are
+    connected. *)

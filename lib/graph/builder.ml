@@ -1,0 +1,55 @@
+type t = {
+  mutable us : int array; (* parallel edge endpoint arrays *)
+  mutable vs : int array;
+  mutable len : int;
+  mutable max_node : int; (* -1 when no node seen *)
+}
+
+let create ?(expected_nodes = 16) () =
+  let cap = max 16 expected_nodes in
+  { us = Array.make cap 0; vs = Array.make cap 0; len = 0; max_node = -1 }
+
+let add_node t v =
+  if v < 0 then invalid_arg "Builder.add_node: negative id";
+  if v > t.max_node then t.max_node <- v
+
+let grow t =
+  let cap = Array.length t.us in
+  let us' = Array.make (2 * cap) 0 and vs' = Array.make (2 * cap) 0 in
+  Array.blit t.us 0 us' 0 t.len;
+  Array.blit t.vs 0 vs' 0 t.len;
+  t.us <- us';
+  t.vs <- vs'
+
+let add_edge t u v =
+  if u < 0 || v < 0 then invalid_arg "Builder.add_edge: negative id";
+  add_node t u;
+  add_node t v;
+  if u <> v then begin
+    if t.len = Array.length t.us then grow t;
+    t.us.(t.len) <- u;
+    t.vs.(t.len) <- v;
+    t.len <- t.len + 1
+  end
+
+let node_count t = t.max_node + 1
+
+let edge_count t = t.len
+
+let build t =
+  let n = t.max_node + 1 in
+  let deg = Array.make n 0 in
+  for i = 0 to t.len - 1 do
+    deg.(t.us.(i)) <- deg.(t.us.(i)) + 1;
+    deg.(t.vs.(i)) <- deg.(t.vs.(i)) + 1
+  done;
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  for i = 0 to t.len - 1 do
+    let u = t.us.(i) and v = t.vs.(i) in
+    adj.(u).(fill.(u)) <- v;
+    fill.(u) <- fill.(u) + 1;
+    adj.(v).(fill.(v)) <- u;
+    fill.(v) <- fill.(v) + 1
+  done;
+  Graph.of_unsorted_adjacency adj

@@ -1,0 +1,27 @@
+(** Mutable accumulator for constructing a {!Graph.t} edge by edge.
+
+    Grows automatically as larger node ids appear; self-loops and duplicate
+    edges are tolerated on input and absent from the built graph. This is
+    the entry point used by the generators and the edge-list parser. *)
+
+type t
+
+val create : ?expected_nodes:int -> unit -> t
+
+val add_node : t -> int -> unit
+(** Ensure the node exists (useful for isolated nodes). *)
+
+val add_edge : t -> int -> int -> unit
+(** Record an undirected edge; both endpoints are created as needed.
+    Self-loops are silently dropped.
+    @raise Invalid_argument on negative ids. *)
+
+val node_count : t -> int
+(** Current number of nodes ([1 + ] the largest id seen, or 0). *)
+
+val edge_count : t -> int
+(** Number of edge insertions so far (before deduplication). *)
+
+val build : t -> Graph.t
+(** Freeze into an immutable graph, deduplicating edges. The builder stays
+    usable afterwards. *)

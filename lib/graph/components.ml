@@ -1,0 +1,56 @@
+let labels g =
+  let n = Graph.n g in
+  let label = Array.make n (-1) in
+  let next = ref 0 in
+  let queue = Scoll.Fifo_queue.create () in
+  for src = 0 to n - 1 do
+    if label.(src) < 0 then begin
+      let c = !next in
+      incr next;
+      label.(src) <- c;
+      Scoll.Fifo_queue.push queue src;
+      while not (Scoll.Fifo_queue.is_empty queue) do
+        let v = Scoll.Fifo_queue.pop queue in
+        Array.iter
+          (fun u ->
+            if label.(u) < 0 then begin
+              label.(u) <- c;
+              Scoll.Fifo_queue.push queue u
+            end)
+          (Graph.neighbors g v)
+      done
+    end
+  done;
+  (label, !next)
+
+let components g =
+  let label, c = labels g in
+  let buckets = Array.make c [] in
+  for v = Graph.n g - 1 downto 0 do
+    buckets.(label.(v)) <- v :: buckets.(label.(v))
+  done;
+  Array.to_list (Array.map Node_set.of_list buckets)
+
+let count g = snd (labels g)
+
+let is_connected g = Graph.n g <= 1 || count g = 1
+
+let largest g =
+  if Graph.n g = 0 then invalid_arg "Components.largest: empty graph";
+  match components g with
+  | [] -> assert false
+  | first :: rest ->
+      List.fold_left
+        (fun best c -> if Node_set.cardinal c > Node_set.cardinal best then c else best)
+        first rest
+
+let component_of g v = Bfs.reachable_within g ~universe:(Graph.nodes g) v
+
+let components_within g u =
+  let rec go remaining acc =
+    if Node_set.is_empty remaining then List.rev acc
+    else
+      let comp = Bfs.reachable_within g ~universe:remaining (Node_set.min_elt remaining) in
+      go (Node_set.diff remaining comp) (comp :: acc)
+  in
+  go u []

@@ -1,0 +1,25 @@
+(** Connected components of a graph and of induced subgraphs. *)
+
+val components : Graph.t -> Node_set.t list
+(** All connected components, each as a node set, ordered by smallest
+    member. Isolated nodes form singleton components. *)
+
+val count : Graph.t -> int
+
+val is_connected : Graph.t -> bool
+(** A graph with at most one node is connected. *)
+
+val largest : Graph.t -> Node_set.t
+(** Largest component (ties broken by smallest member).
+    @raise Invalid_argument on an empty graph. *)
+
+val component_of : Graph.t -> int -> Node_set.t
+(** The component containing the given node. *)
+
+val components_within : Graph.t -> Node_set.t -> Node_set.t list
+(** Connected components of the induced subgraph [g\[u\]], ordered by
+    smallest member. *)
+
+val labels : Graph.t -> int array * int
+(** [labels g] assigns each node a component id in [0 .. c-1] (in order of
+    discovery by increasing node id) and returns the id array and [c]. *)

@@ -1,0 +1,57 @@
+(* Bucket-queue peeling: repeatedly remove a node of minimum remaining
+   degree. [core] records the degree at removal time, made monotone to give
+   core numbers; the removal sequence is the degeneracy ordering. *)
+
+let peel g =
+  let n = Graph.n g in
+  let deg = Array.init n (Graph.degree g) in
+  let max_deg = Array.fold_left max 0 deg in
+  (* bucket.(d) = nodes of current degree d, as a stack *)
+  let bucket = Array.make (max_deg + 1) [] in
+  Array.iteri (fun v d -> bucket.(d) <- v :: bucket.(d)) deg;
+  let removed = Array.make n false in
+  let order = Array.make n 0 in
+  let core = Array.make n 0 in
+  let current = ref 0 in
+  let cursor = ref 0 in
+  for pos = 0 to n - 1 do
+    (* find the lowest non-empty bucket; degrees only decrease, but the
+       cursor may need to back up by one after neighbor updates *)
+    while !cursor > 0 && bucket.(!cursor - 1) <> [] do
+      decr cursor
+    done;
+    let rec pick () =
+      match bucket.(!cursor) with
+      | [] ->
+          incr cursor;
+          pick ()
+      | v :: rest ->
+          bucket.(!cursor) <- rest;
+          if removed.(v) || deg.(v) <> !cursor then pick () else v
+    in
+    let v = pick () in
+    removed.(v) <- true;
+    current := max !current !cursor;
+    core.(v) <- !current;
+    order.(pos) <- v;
+    Array.iter
+      (fun u ->
+        if not removed.(u) then begin
+          deg.(u) <- deg.(u) - 1;
+          bucket.(deg.(u)) <- u :: bucket.(deg.(u))
+        end)
+      (Graph.neighbors g v)
+  done;
+  (order, core)
+
+let core_numbers g = snd (peel g)
+
+let degeneracy g = Array.fold_left max 0 (core_numbers g)
+
+let ordering g = fst (peel g)
+
+let k_core g k =
+  let core = core_numbers g in
+  let members = ref [] in
+  Array.iteri (fun v c -> if c >= k then members := v :: !members) core;
+  Node_set.of_list !members

@@ -1,0 +1,22 @@
+(** Core decomposition and degeneracy ordering.
+
+    The degeneracy ordering drives the Eppstein–Löffler–Strash variant of
+    Bron–Kerbosch (footnote 1 of the paper): processing nodes in order of
+    repeated minimum-degree removal bounds every recursion's candidate set
+    by the degeneracy of the graph. *)
+
+val core_numbers : Graph.t -> int array
+(** [core_numbers g].(v) is the largest [k] such that [v] belongs to the
+    [k]-core (the maximal subgraph of minimum degree [k]). Computed with
+    the O(n + m) bucket algorithm of Batagelj–Zaveršnik. *)
+
+val degeneracy : Graph.t -> int
+(** Maximum core number (0 for edgeless graphs). *)
+
+val ordering : Graph.t -> int array
+(** A degeneracy ordering: nodes in the order of repeated removal of a
+    minimum-degree node. Every node has at most [degeneracy g] neighbors
+    later in the ordering. *)
+
+val k_core : Graph.t -> int -> Node_set.t
+(** Nodes of the [k]-core (possibly empty). *)

@@ -1,0 +1,43 @@
+let palette =
+  [| "#a6cee3"; "#b2df8a"; "#fb9a99"; "#fdbf6f"; "#cab2d6"; "#ffff99"; "#1f78b4";
+     "#33a02c" |]
+
+let to_dot ?(name = string_of_int) ?(highlight = []) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph scliques {\n";
+  Buffer.add_string buf "  node [style=filled, fillcolor=white, shape=circle];\n";
+  (* indices of the highlight sets containing v *)
+  let memberships v =
+    List.concat
+      (List.mapi (fun i set -> if Node_set.mem v set then [ i ] else []) highlight)
+  in
+  Graph.iter_nodes
+    (fun v ->
+      let members = memberships v in
+      let color =
+        match members with
+        | [] -> "white"
+        | i :: _ -> palette.(i mod Array.length palette)
+      in
+      let label =
+        if members = [] then name v
+        else
+          Printf.sprintf "%s\\n[%s]" (name v)
+            (String.concat "," (List.map string_of_int members))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d [label=\"%s\", fillcolor=\"%s\"];\n" v label color))
+    g;
+  Graph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write ?name ?highlight g path =
+  let oc = open_out path in
+  (try output_string oc (to_dot ?name ?highlight g) with
+  | e ->
+      close_out oc;
+      raise e);
+  close_out oc

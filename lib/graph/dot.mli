@@ -1,0 +1,18 @@
+(** Graphviz DOT export.
+
+    Rendering a graph together with a family of node sets (maximal
+    connected s-cliques, communities) for inspection. Overlapping sets are
+    shown by coloring: each node is filled with the color of the first set
+    containing it and labeled with the indices of all of them. *)
+
+val to_dot :
+  ?name:(int -> string) ->
+  ?highlight:Node_set.t list ->
+  Graph.t ->
+  string
+(** [to_dot g] is a DOT [graph { ... }] document. [name] supplies node
+    labels (default: the id); [highlight] assigns a color per listed set
+    (cycling through a fixed palette) and annotates membership. *)
+
+val write : ?name:(int -> string) -> ?highlight:Node_set.t list -> Graph.t -> string -> unit
+(** Write the DOT document to a file. *)

@@ -1,0 +1,74 @@
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+let parse_line builder lineno line =
+  let len = String.length line in
+  let fail msg = failwith (Printf.sprintf "edge list line %d: %s" lineno msg) in
+  let rec skip_spaces i = if i < len && is_space line.[i] then skip_spaces (i + 1) else i in
+  let read_int i =
+    let j = ref i in
+    while !j < len && not (is_space line.[!j]) do
+      incr j
+    done;
+    let tok = String.sub line i (!j - i) in
+    match int_of_string_opt tok with
+    | Some v when v >= 0 -> (v, !j)
+    | Some _ -> fail (Printf.sprintf "negative node id %S" tok)
+    | None -> fail (Printf.sprintf "expected a node id, got %S" tok)
+  in
+  let i = skip_spaces 0 in
+  if i >= len || line.[i] = '#' then ()
+  else begin
+    let u, i = read_int i in
+    let i = skip_spaces i in
+    if i >= len then Builder.add_node builder u
+    else begin
+      let v, i = read_int i in
+      let i = skip_spaces i in
+      if i < len then fail "trailing characters after edge";
+      Builder.add_edge builder u v
+    end
+  end
+
+let parse_string s =
+  let builder = Builder.create () in
+  let lines = String.split_on_char '\n' s in
+  List.iteri (fun i line -> parse_line builder (i + 1) line) lines;
+  Builder.build builder
+
+let load path =
+  let ic = open_in path in
+  let builder = Builder.create () in
+  let lineno = ref 0 in
+  (try
+     let rec loop () =
+       let line = input_line ic in
+       incr lineno;
+       parse_line builder !lineno line;
+       loop ()
+     in
+     loop ()
+   with
+  | End_of_file -> close_in ic
+  | e ->
+      close_in ic;
+      raise e);
+  Builder.build builder
+
+let to_string g =
+  let buf = Buffer.create (16 * (Graph.m g + 2)) in
+  Buffer.add_string buf
+    (Printf.sprintf "# undirected graph: %d nodes, %d edges\n" (Graph.n g) (Graph.m g));
+  (* isolated nodes first so they are not lost on a round trip *)
+  Graph.iter_nodes
+    (fun v -> if Graph.degree g v = 0 then Buffer.add_string buf (Printf.sprintf "%d\n" v))
+    g;
+  Graph.iter_edges (fun u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v)) g;
+  Buffer.contents buf
+
+let save g path =
+  let oc = open_out path in
+  (try output_string oc (to_string g) with
+  | e ->
+      close_out oc;
+      raise e);
+  close_out oc

@@ -1,0 +1,20 @@
+(** Plain-text edge list serialization, SNAP dataset style.
+
+    Format: one ["u v"] pair per line (whitespace separated), blank lines
+    and lines starting with [#] ignored. Node ids must be non-negative;
+    a lone id on a line declares an isolated node. This matches the format
+    of the snap.stanford.edu datasets the paper evaluates on, so real
+    datasets drop in directly when available. *)
+
+val parse_string : string -> Graph.t
+(** @raise Failure with a line-numbered message on malformed input. *)
+
+val load : string -> Graph.t
+(** Read a graph from a file.
+    @raise Sys_error when the file cannot be read.
+    @raise Failure with a line-numbered message on malformed input. *)
+
+val save : Graph.t -> string -> unit
+(** Write the graph: a [#]-comment header, one edge per line ([u < v]). *)
+
+val to_string : Graph.t -> string

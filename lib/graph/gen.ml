@@ -1,0 +1,313 @@
+module Rng = Scoll.Rng
+
+(* ---------- random families ---------- *)
+
+let erdos_renyi_gnm rng ~n ~m =
+  if n < 0 || m < 0 then invalid_arg "Gen.erdos_renyi_gnm: negative size";
+  let max_m = n * (n - 1) / 2 in
+  if m > max_m then
+    invalid_arg (Printf.sprintf "Gen.erdos_renyi_gnm: m=%d exceeds %d" m max_m);
+  let builder = Builder.create ~expected_nodes:n () in
+  if n > 0 then Builder.add_node builder (n - 1);
+  let seen = Hashtbl.create (2 * m) in
+  let added = ref 0 in
+  while !added < m do
+    let u, v = Rng.pair_distinct rng n in
+    let key = (u * n) + v in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      Builder.add_edge builder u v;
+      incr added
+    end
+  done;
+  Builder.build builder
+
+let erdos_renyi rng ~n ~avg_degree =
+  if avg_degree < 0. then invalid_arg "Gen.erdos_renyi: negative degree";
+  let m = int_of_float (Float.round (float_of_int n *. avg_degree /. 2.)) in
+  erdos_renyi_gnm rng ~n ~m:(min m (n * (n - 1) / 2))
+
+let erdos_renyi_gnp rng ~n ~p =
+  if p < 0. || p > 1. then invalid_arg "Gen.erdos_renyi_gnp: p outside [0,1]";
+  let builder = Builder.create ~expected_nodes:n () in
+  if n > 0 then Builder.add_node builder (n - 1);
+  if p > 0. then begin
+    (* skip-ahead sampling over the n(n-1)/2 pair indices: the gap to the
+       next sampled pair is geometric with parameter p *)
+    let total = n * (n - 1) / 2 in
+    let log1mp = log (1. -. p) in
+    let pos = ref (-1) in
+    let finished = ref false in
+    while not !finished do
+      let skip =
+        if p >= 1. then 1
+        else
+          let r = Rng.float rng 1. in
+          1 + int_of_float (log (1. -. r) /. log1mp)
+      in
+      pos := !pos + skip;
+      if !pos >= total then finished := true
+      else begin
+        (* invert pair index: row u has n-1-u entries *)
+        let rec find_row u remaining =
+          let row_len = n - 1 - u in
+          if remaining < row_len then (u, u + 1 + remaining)
+          else find_row (u + 1) (remaining - row_len)
+        in
+        let u, v = find_row 0 !pos in
+        Builder.add_edge builder u v
+      end
+    done
+  end;
+  Builder.build builder
+
+let barabasi_albert rng ~n ~m_attach =
+  if m_attach < 1 then invalid_arg "Gen.barabasi_albert: m_attach must be >= 1";
+  if n < m_attach + 1 then
+    invalid_arg "Gen.barabasi_albert: need n >= m_attach + 1";
+  let builder = Builder.create ~expected_nodes:n () in
+  (* endpoint pool: each node appears once per incident edge, so uniform
+     draws from the pool are degree-proportional; growable array with
+     amortized O(1) appends *)
+  let seed = m_attach + 1 in
+  let expected = (seed * (seed - 1)) + (2 * m_attach * (n - seed)) in
+  let pool = Array.make (max 16 expected) 0 in
+  let pool_len = ref 0 in
+  let pool_ref = ref pool in
+  let push v =
+    if !pool_len = Array.length !pool_ref then begin
+      let bigger = Array.make (2 * !pool_len) 0 in
+      Array.blit !pool_ref 0 bigger 0 !pool_len;
+      pool_ref := bigger
+    end;
+    !pool_ref.(!pool_len) <- v;
+    incr pool_len
+  in
+  for u = 0 to seed - 1 do
+    for v = u + 1 to seed - 1 do
+      Builder.add_edge builder u v;
+      push u;
+      push v
+    done
+  done;
+  for v = seed to n - 1 do
+    (* draw targets from the pool frozen before v's own stubs join it *)
+    let frozen_len = !pool_len in
+    let targets = Hashtbl.create (2 * m_attach) in
+    while Hashtbl.length targets < m_attach do
+      let t = !pool_ref.(Rng.int rng frozen_len) in
+      if not (Hashtbl.mem targets t) then Hashtbl.replace targets t ()
+    done;
+    Hashtbl.iter
+      (fun t () ->
+        Builder.add_edge builder v t;
+        push v;
+        push t)
+      targets
+  done;
+  Builder.build builder
+
+let watts_strogatz rng ~n ~k ~beta =
+  if k < 1 then invalid_arg "Gen.watts_strogatz: k must be >= 1";
+  if n <= 2 * k then invalid_arg "Gen.watts_strogatz: need n > 2k";
+  if beta < 0. || beta > 1. then invalid_arg "Gen.watts_strogatz: beta outside [0,1]";
+  let edges = Hashtbl.create (2 * n * k) in
+  let key u v = if u < v then (u * n) + v else (v * n) + u in
+  let mem u v = Hashtbl.mem edges (key u v) in
+  let add u v = Hashtbl.replace edges (key u v) (u, v) in
+  let remove u v = Hashtbl.remove edges (key u v) in
+  for u = 0 to n - 1 do
+    for j = 1 to k do
+      add u ((u + j) mod n)
+    done
+  done;
+  (* rewire the "clockwise" endpoint of each original lattice edge *)
+  for u = 0 to n - 1 do
+    for j = 1 to k do
+      let v = (u + j) mod n in
+      if Rng.float rng 1. < beta && mem u v then begin
+        let attempts = ref 0 in
+        let done_ = ref false in
+        while (not !done_) && !attempts < 32 do
+          incr attempts;
+          let w = Rng.int rng n in
+          if w <> u && (not (mem u w)) && w <> v then begin
+            remove u v;
+            add u w;
+            done_ := true
+          end
+        done
+      end
+    done
+  done;
+  let builder = Builder.create ~expected_nodes:n () in
+  Builder.add_node builder (n - 1);
+  Hashtbl.iter (fun _ (u, v) -> Builder.add_edge builder u v) edges;
+  Builder.build builder
+
+let planted_partition rng ~n ~communities ~p_in ~p_out =
+  if communities < 1 then invalid_arg "Gen.planted_partition: communities must be >= 1";
+  if p_in < 0. || p_in > 1. || p_out < 0. || p_out > 1. then
+    invalid_arg "Gen.planted_partition: probabilities outside [0,1]";
+  let builder = Builder.create ~expected_nodes:n () in
+  if n > 0 then Builder.add_node builder (n - 1);
+  let community v = v * communities / n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let p = if community u = community v then p_in else p_out in
+      if p > 0. && Rng.float rng 1. < p then Builder.add_edge builder u v
+    done
+  done;
+  Builder.build builder
+
+let random_tree rng ~n =
+  Graph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i + 1, Rng.int rng (i + 1))))
+
+let social_proxy rng ~n ~avg_degree ~communities =
+  if communities < 1 then invalid_arg "Gen.social_proxy: communities must be >= 1";
+  if avg_degree < 2. then invalid_arg "Gen.social_proxy: avg_degree must be >= 2";
+  (* Backbone: preferential attachment carrying ~half the edges. *)
+  let m_attach = max 1 (int_of_float (avg_degree /. 4.)) in
+  let backbone = barabasi_albert rng ~n ~m_attach in
+  let builder = Builder.create ~expected_nodes:n () in
+  Builder.add_node builder (n - 1);
+  Graph.iter_edges (fun u v -> Builder.add_edge builder u v) backbone;
+  (* Community overlay: remaining edges drawn inside random communities,
+     giving the high clustering / overlapping-community structure of real
+     social graphs. Nodes are assigned round-robin so communities are
+     interleaved with the backbone's age-ordered degrees. *)
+  let target_m = int_of_float (Float.round (float_of_int n *. avg_degree /. 2.)) in
+  let overlay_m = max 0 (target_m - Graph.m backbone) in
+  let members = Array.make communities [] in
+  for v = 0 to n - 1 do
+    let c = v mod communities in
+    members.(c) <- v :: members.(c)
+  done;
+  let members = Array.map Array.of_list members in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = 20 * (overlay_m + 1) in
+  while !added < overlay_m && !attempts < max_attempts do
+    incr attempts;
+    let c = Rng.int rng communities in
+    let arr = members.(c) in
+    if Array.length arr >= 2 then begin
+      let i, j = Rng.pair_distinct rng (Array.length arr) in
+      let u = arr.(i) and v = arr.(j) in
+      if not (Graph.mem_edge backbone u v) then begin
+        Builder.add_edge builder u v;
+        incr added
+      end
+    end
+  done;
+  Builder.build builder
+
+(* ---------- deterministic fixtures ---------- *)
+
+let complete n =
+  let builder = Builder.create ~expected_nodes:n () in
+  if n > 0 then Builder.add_node builder (n - 1);
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Builder.add_edge builder u v
+    done
+  done;
+  Builder.build builder
+
+let path n =
+  Graph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n <= 2 then path n
+  else Graph.of_edges ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n =
+  Graph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (0, i + 1)))
+
+let grid rows cols =
+  let n = rows * cols in
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let complete_bipartite a b =
+  let edges = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(a + b) !edges
+
+let complete_multipartite ~parts ~part_size =
+  if parts < 1 || part_size < 1 then
+    invalid_arg "Gen.complete_multipartite: sizes must be >= 1";
+  let n = parts * part_size in
+  let part v = v / part_size in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if part u <> part v then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let petersen () =
+  (* outer 5-cycle 0..4, inner pentagram 5..9, spokes i - (i+5) *)
+  let outer = List.init 5 (fun i -> (i, (i + 1) mod 5)) in
+  let inner = List.init 5 (fun i -> (5 + i, 5 + ((i + 2) mod 5))) in
+  let spokes = List.init 5 (fun i -> (i, i + 5)) in
+  Graph.of_edges ~n:10 (outer @ inner @ spokes)
+
+(* ---------- paper gadgets ---------- *)
+
+let figure1 () =
+  (* 0=Ann 1=Bob 2=Cal 3=Dan 4=Eli 5=Fay 6=Guy 7=Hal; edges read off the
+     paper's Figure 1: maximal cliques {a,b,c}, {b,c,d}, {d,e,f}, {e,f,h},
+     {d,g}, {g,h}. *)
+  let a = 0 and b = 1 and c = 2 and d = 3 and e = 4 and f = 5 and g = 6 and h = 7 in
+  let edges =
+    [ (a, b); (a, c); (b, c); (b, d); (c, d); (d, e); (d, f); (e, f); (e, h); (f, h);
+      (d, g); (g, h) ]
+  in
+  let names = [| "Ann"; "Bob"; "Cal"; "Dan"; "Eli"; "Fay"; "Guy"; "Hal" |] in
+  (Graph.of_edges ~n:8 edges, fun v -> names.(v))
+
+let figure3_h () =
+  (* v1..v6 are ids 0..5 *)
+  Graph.of_edges ~n:6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0); (1, 5) ]
+
+let exponential_gadget n =
+  if n < 1 then invalid_arg "Gen.exponential_gadget: n must be >= 1";
+  let v i = i in
+  let v' i = n + i in
+  let w = 2 * n in
+  let w' = (2 * n) + 1 in
+  (* u_{i,j} for i <> j, packed after w' *)
+  let u =
+    let table = Hashtbl.create (n * n) in
+    let next = ref ((2 * n) + 2) in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then begin
+          Hashtbl.replace table (i, j) !next;
+          incr next
+        end
+      done
+    done;
+    fun i j -> Hashtbl.find table (i, j)
+  in
+  let edges = ref [ (w, w') ] in
+  for i = 0 to n - 1 do
+    edges := (v i, w) :: (v' i, w') :: !edges;
+    for j = 0 to n - 1 do
+      if i <> j then edges := (v i, u i j) :: (u i j, v' j) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:((2 * n) + (n * (n - 1)) + 2) !edges

@@ -1,0 +1,167 @@
+type t = { adj : int array array; m : int }
+
+let count_edges adj =
+  let total = Array.fold_left (fun acc nbrs -> acc + Array.length nbrs) 0 adj in
+  total / 2
+
+let validate adj =
+  let n = Array.length adj in
+  Array.iteri
+    (fun v nbrs ->
+      Array.iteri
+        (fun i u ->
+          if u < 0 || u >= n then
+            invalid_arg (Printf.sprintf "Graph.of_adjacency: node %d lists %d (n=%d)" v u n);
+          if u = v then
+            invalid_arg (Printf.sprintf "Graph.of_adjacency: self-loop at %d" v);
+          if i > 0 && nbrs.(i - 1) >= u then
+            invalid_arg
+              (Printf.sprintf "Graph.of_adjacency: neighbors of %d not strictly sorted" v))
+        nbrs)
+    adj;
+  (* symmetry *)
+  let mem arr x =
+    let rec go lo hi =
+      if lo >= hi then false
+      else
+        let mid = (lo + hi) / 2 in
+        if arr.(mid) = x then true else if arr.(mid) < x then go (mid + 1) hi else go lo mid
+    in
+    go 0 (Array.length arr)
+  in
+  Array.iteri
+    (fun v nbrs ->
+      Array.iter
+        (fun u ->
+          if not (mem adj.(u) v) then
+            invalid_arg (Printf.sprintf "Graph.of_adjacency: edge %d->%d not symmetric" v u))
+        nbrs)
+    adj
+
+let of_adjacency adj =
+  validate adj;
+  { adj; m = count_edges adj }
+
+let sort_dedup_row nbrs =
+  Array.sort compare nbrs;
+  let len = Array.length nbrs in
+  if len <= 1 then nbrs
+  else begin
+    let w = ref 1 in
+    for r = 1 to len - 1 do
+      if nbrs.(r) <> nbrs.(!w - 1) then begin
+        nbrs.(!w) <- nbrs.(r);
+        incr w
+      end
+    done;
+    if !w = len then nbrs else Array.sub nbrs 0 !w
+  end
+
+let of_unsorted_adjacency adj = of_adjacency (Array.map sort_dedup_row adj)
+
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  let deg = Array.make n 0 in
+  let check (u, v) =
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Graph.of_edges: edge (%d,%d) out of range (n=%d)" u v n)
+  in
+  List.iter check edges;
+  let edges = List.filter (fun (u, v) -> u <> v) edges in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    edges;
+  of_unsorted_adjacency adj
+
+let empty n = { adj = Array.make (max n 0) [||]; m = 0 }
+
+let n t = Array.length t.adj
+
+let m t = t.m
+
+let check_node t v =
+  if v < 0 || v >= Array.length t.adj then
+    invalid_arg (Printf.sprintf "Graph: node %d out of range (n=%d)" v (Array.length t.adj))
+
+let degree t v =
+  check_node t v;
+  Array.length t.adj.(v)
+
+let neighbors t v =
+  check_node t v;
+  t.adj.(v)
+
+let neighbor_set t v = Node_set.of_sorted_array_unchecked (neighbors t v)
+
+let mem_edge t u v =
+  check_node t u;
+  check_node t v;
+  if u = v then false
+  else
+    let arr = t.adj.(u) in
+    let rec go lo hi =
+      if lo >= hi then false
+      else
+        let mid = (lo + hi) / 2 in
+        if arr.(mid) = v then true else if arr.(mid) < v then go (mid + 1) hi else go lo mid
+    in
+    go 0 (Array.length arr)
+
+let nodes t = Node_set.range 0 (Array.length t.adj)
+
+let iter_nodes f t =
+  for v = 0 to Array.length t.adj - 1 do
+    f v
+  done
+
+let iter_edges f t =
+  Array.iteri (fun u nbrs -> Array.iter (fun v -> if u < v then f u v) nbrs) t.adj
+
+let fold_edges f t init =
+  let acc = ref init in
+  iter_edges (fun u v -> acc := f u v !acc) t;
+  !acc
+
+let edges t = List.rev (fold_edges (fun u v acc -> (u, v) :: acc) t [])
+
+let max_degree t = Array.fold_left (fun acc nbrs -> max acc (Array.length nbrs)) 0 t.adj
+
+let induced t u =
+  let k = Node_set.cardinal u in
+  let back = Node_set.to_array u in
+  (* original id -> new id, for members of u *)
+  let fwd = Hashtbl.create (2 * k) in
+  Array.iteri (fun i v -> Hashtbl.replace fwd v i) back;
+  let adj =
+    Array.init k (fun i ->
+        let orig = back.(i) in
+        let nbrs = t.adj.(orig) in
+        let out = Array.make (Array.length nbrs) 0 in
+        let w = ref 0 in
+        Array.iter
+          (fun nb ->
+            match Hashtbl.find_opt fwd nb with
+            | Some j ->
+                out.(!w) <- j;
+                incr w
+            | None -> ())
+          nbrs;
+        Array.sub out 0 !w)
+  in
+  ({ adj; m = count_edges adj }, back)
+
+let equal a b = Array.length a.adj = Array.length b.adj && a.adj = b.adj
+
+let pp fmt t =
+  Format.fprintf fmt "graph(n=%d, m=%d, max_deg=%d)" (Array.length t.adj) t.m (max_degree t)

@@ -1,0 +1,71 @@
+(** Immutable simple undirected graphs over dense int node ids.
+
+    A graph over [n] nodes has ids [0 .. n-1]; adjacency is one sorted
+    array of neighbors per node (no self-loops, no parallel edges), so
+    neighbor iteration is a cache-friendly scan and [mem_edge] is a binary
+    search. Construction goes through {!Builder} or the checked
+    [of_adjacency] / [of_edges] below. *)
+
+type t
+
+val of_adjacency : int array array -> t
+(** Adopts the arrays after validating that every list is sorted, distinct,
+    in-range, loop free, and symmetric (u lists v iff v lists u).
+    @raise Invalid_argument when the adjacency is malformed. *)
+
+val of_unsorted_adjacency : int array array -> t
+(** Like [of_adjacency] but sorts each neighbor array and drops duplicate
+    entries first (the arrays are mutated). Symmetry and absence of
+    self-loops are still required.
+    @raise Invalid_argument when the adjacency is malformed. *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** Graph with [n] nodes and the given undirected edges; duplicates and
+    self-loops are dropped, endpoints may come in any order.
+    @raise Invalid_argument when an endpoint is outside [0 .. n-1]. *)
+
+val empty : int -> t
+(** [empty n] has [n] nodes and no edges. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of (undirected) edges. *)
+
+val degree : t -> int -> int
+
+val neighbors : t -> int -> int array
+(** The sorted neighbor array itself — O(1), {b do not mutate}. *)
+
+val neighbor_set : t -> int -> Node_set.t
+(** Neighbors as a {!Node_set.t} — O(1), shares storage with the graph. *)
+
+val mem_edge : t -> int -> int -> bool
+(** O(log deg). Checks bounds; [mem_edge g v v] is always false. *)
+
+val nodes : t -> Node_set.t
+(** All node ids. *)
+
+val iter_nodes : (int -> unit) -> t -> unit
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+(** Each undirected edge exactly once, with [u < v], in increasing order. *)
+
+val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val edges : t -> (int * int) list
+(** All edges with [u < v], in increasing order. *)
+
+val max_degree : t -> int
+
+val induced : t -> Node_set.t -> t * int array
+(** [induced g u] is the induced subgraph [g\[u\]] with nodes relabeled to
+    [0 .. |u|-1] in increasing original-id order, together with the array
+    mapping new ids back to original ids. *)
+
+val equal : t -> t -> bool
+(** Same node count and same edge set. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact summary: node count, edge count, max degree. *)

@@ -1,0 +1,97 @@
+let fail lineno fmt =
+  Printf.ksprintf (fun msg -> failwith (Printf.sprintf "METIS line %d: %s" lineno msg)) fmt
+
+let tokens line =
+  List.filter (fun t -> t <> "") (String.split_on_char ' ' (String.map (function '\t' | '\r' -> ' ' | c -> c) line))
+
+let parse_lines lines =
+  (* drop comments but keep original line numbers for messages *)
+  let numbered =
+    List.filter
+      (fun (_, line) -> String.length line = 0 || line.[0] <> '%')
+      (List.mapi (fun i line -> (i + 1, line)) lines)
+  in
+  match numbered with
+  | [] -> failwith "METIS: empty input"
+  | (hline, header) :: rest ->
+      let n, m =
+        match tokens header with
+        | [ n; m ] | [ n; m; "0" ] -> (
+            match (int_of_string_opt n, int_of_string_opt m) with
+            | Some n, Some m when n >= 0 && m >= 0 -> (n, m)
+            | _ -> fail hline "malformed header %S" header)
+        | [ _; _; fmt ] -> fail hline "unsupported format field %S (only 0)" fmt
+        | _ -> fail hline "expected header \"n m\""
+      in
+      (* exactly n data lines; blank lines are isolated nodes *)
+      let data = List.filteri (fun i _ -> i < n) rest in
+      if List.length data < n then
+        failwith (Printf.sprintf "METIS: expected %d node lines, found %d" n (List.length data));
+      let builder = Builder.create ~expected_nodes:n () in
+      if n > 0 then Builder.add_node builder (n - 1);
+      List.iteri
+        (fun i (lineno, line) ->
+          List.iter
+            (fun tok ->
+              match int_of_string_opt tok with
+              | Some u when u >= 1 && u <= n -> Builder.add_edge builder i (u - 1)
+              | Some u -> fail lineno "neighbor %d out of range [1, %d]" u n
+              | None -> fail lineno "expected a node id, got %S" tok)
+            (tokens line))
+        data;
+      let g = Builder.build builder in
+      (* every edge must have been listed from both endpoints *)
+      if Builder.edge_count builder <> 2 * Graph.m g then
+        failwith
+          (Printf.sprintf
+             "METIS: adjacency not symmetric or has duplicate entries (%d directed \
+              entries for %d edges)"
+             (Builder.edge_count builder) (Graph.m g));
+      if Graph.m g <> m then
+        failwith (Printf.sprintf "METIS: header claims %d edges, found %d" m (Graph.m g));
+      g
+
+let parse_string s =
+  (* drop the empty element a final newline leaves behind, so it is not
+     mistaken for an isolated node's blank line *)
+  let lines =
+    match List.rev (String.split_on_char '\n' s) with
+    | "" :: rest -> List.rev rest
+    | lines -> List.rev lines
+  in
+  parse_lines lines
+
+let load path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with
+  | End_of_file -> close_in ic
+  | e ->
+      close_in ic;
+      raise e);
+  parse_lines (List.rev !lines)
+
+let to_string g =
+  let buf = Buffer.create (16 * (Graph.m g + 2)) in
+  Buffer.add_string buf (Printf.sprintf "%% undirected graph in METIS format\n");
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" (Graph.n g) (Graph.m g));
+  Graph.iter_nodes
+    (fun v ->
+      let nbrs = Graph.neighbors g v in
+      Buffer.add_string buf
+        (String.concat " " (List.map (fun u -> string_of_int (u + 1)) (Array.to_list nbrs)));
+      Buffer.add_char buf '\n')
+    g;
+  Buffer.contents buf
+
+let save g path =
+  let oc = open_out path in
+  (try output_string oc (to_string g) with
+  | e ->
+      close_out oc;
+      raise e);
+  close_out oc

@@ -1,0 +1,20 @@
+(** METIS graph format.
+
+    The adjacency format used by the METIS/ParMETIS partitioners and many
+    graph repositories (e.g. the 10th DIMACS challenge): a header line
+    ["n m"], then one line per node (1-based) listing its neighbors
+    (1-based ids). [%]-lines are comments. Only the plain unweighted
+    variant is supported; headers with a format field other than ["0"]
+    are rejected. *)
+
+val parse_string : string -> Graph.t
+(** @raise Failure with a line-numbered message on malformed input,
+    including inconsistent edge counts or asymmetric adjacency. *)
+
+val load : string -> Graph.t
+(** @raise Sys_error when the file cannot be read.
+    @raise Failure on malformed input. *)
+
+val to_string : Graph.t -> string
+
+val save : Graph.t -> string -> unit

@@ -1,0 +1,76 @@
+let avg_degree g =
+  let n = Graph.n g in
+  if n = 0 then 0. else 2. *. float_of_int (Graph.m g) /. float_of_int n
+
+let density g =
+  let n = Graph.n g in
+  if n < 2 then 0.
+  else 2. *. float_of_int (Graph.m g) /. (float_of_int n *. float_of_int (n - 1))
+
+let degree_histogram g =
+  let hist = Array.make (Graph.max_degree g + 1) 0 in
+  Graph.iter_nodes (fun v -> hist.(Graph.degree g v) <- hist.(Graph.degree g v) + 1) g;
+  hist
+
+let triangle_count g =
+  let count = ref 0 in
+  Graph.iter_edges
+    (fun u v ->
+      (* triangles through edge (u,v) with third node > v keep each
+         triangle counted exactly once (u < v < w) *)
+      let a = Graph.neighbors g u and b = Graph.neighbors g v in
+      let i = ref 0 and j = ref 0 in
+      let na = Array.length a and nb = Array.length b in
+      while !i < na && !j < nb do
+        let x = a.(!i) and y = b.(!j) in
+        if x < y then incr i
+        else if x > y then incr j
+        else begin
+          if x > v then incr count;
+          incr i;
+          incr j
+        end
+      done)
+    g;
+  !count
+
+let wedge_count g =
+  let total = ref 0 in
+  Graph.iter_nodes
+    (fun v ->
+      let d = Graph.degree g v in
+      total := !total + (d * (d - 1) / 2))
+    g;
+  !total
+
+let global_clustering g =
+  let wedges = wedge_count g in
+  if wedges = 0 then 0. else 3. *. float_of_int (triangle_count g) /. float_of_int wedges
+
+let eccentric_from g src =
+  let dist = Bfs.distances g src in
+  let best = ref src and best_d = ref 0 in
+  Array.iteri
+    (fun v d ->
+      if d > !best_d then begin
+        best := v;
+        best_d := d
+      end)
+    dist;
+  (!best, !best_d)
+
+let approx_diameter g =
+  if Graph.m g = 0 then 0
+  else begin
+    (* double sweep inside the largest component: BFS to a farthest node,
+       then BFS again from there *)
+    let start = Node_set.min_elt (Components.largest g) in
+    let far, _ = eccentric_from g start in
+    let _, d = eccentric_from g far in
+    d
+  end
+
+let summary g =
+  Printf.sprintf "n=%d m=%d avg_deg=%.2f density=%.6f max_deg=%d triangles=%d"
+    (Graph.n g) (Graph.m g) (avg_degree g) (density g) (Graph.max_degree g)
+    (triangle_count g)

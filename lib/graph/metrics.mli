@@ -1,0 +1,30 @@
+(** Structural summary statistics of a graph.
+
+    Used by the benchmark harness to report the §7 dataset table (nodes,
+    edges, density) and to sanity-check that synthetic proxies match the
+    degree profile of the datasets they stand in for. *)
+
+val avg_degree : Graph.t -> float
+(** [2m / n]; 0 for the empty graph. *)
+
+val density : Graph.t -> float
+(** [m / (n choose 2)]; 0 when [n < 2]. *)
+
+val degree_histogram : Graph.t -> int array
+(** Index [d] holds the number of nodes of degree [d]. *)
+
+val triangle_count : Graph.t -> int
+(** Number of triangles, by merging sorted adjacency lists of the two
+    lower-id endpoints of each edge: O(sum of deg(u)+deg(v) over edges). *)
+
+val global_clustering : Graph.t -> float
+(** Transitivity: [3 * triangles / open-or-closed wedges]; 0 when there are
+    no wedges. *)
+
+val approx_diameter : Graph.t -> int
+(** Lower bound on the diameter of the largest component via a double BFS
+    sweep (exact on trees, a good estimate on social graphs). 0 for graphs
+    with no edges. *)
+
+val summary : Graph.t -> string
+(** One-line human-readable summary. *)

@@ -1,0 +1,302 @@
+type t = int array (* sorted, distinct *)
+
+let empty = [||]
+
+let singleton v = [| v |]
+
+let dedup_sorted arr =
+  let n = Array.length arr in
+  if n = 0 then arr
+  else begin
+    let w = ref 1 in
+    for r = 1 to n - 1 do
+      if arr.(r) <> arr.(!w - 1) then begin
+        arr.(!w) <- arr.(r);
+        incr w
+      end
+    done;
+    if !w = n then arr else Array.sub arr 0 !w
+  end
+
+let of_array arr =
+  let copy = Array.copy arr in
+  Array.sort compare copy;
+  dedup_sorted copy
+
+let of_list l = of_array (Array.of_list l)
+
+let of_sorted_array_unchecked arr = arr
+
+let to_list = Array.to_list
+
+let to_array = Array.copy
+
+let cardinal = Array.length
+
+let is_empty s = Array.length s = 0
+
+(* index of v in s, or -1 *)
+let index_of v s =
+  let rec go lo hi =
+    if lo >= hi then -1
+    else
+      let mid = (lo + hi) / 2 in
+      if s.(mid) = v then mid else if s.(mid) < v then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length s)
+
+let mem v s = index_of v s >= 0
+
+(* number of elements of s strictly below v *)
+let rank v s =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if s.(mid) < v then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length s)
+
+let add v s =
+  let i = rank v s in
+  let n = Array.length s in
+  if i < n && s.(i) = v then s
+  else begin
+    let out = Array.make (n + 1) v in
+    Array.blit s 0 out 0 i;
+    Array.blit s i out (i + 1) (n - i);
+    out
+  end
+
+let remove v s =
+  let i = index_of v s in
+  if i < 0 then s
+  else begin
+    let n = Array.length s in
+    let out = Array.make (n - 1) 0 in
+    Array.blit s 0 out 0 i;
+    Array.blit s (i + 1) out i (n - 1 - i);
+    out
+  end
+
+let union a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 then b
+  else if nb = 0 then a
+  else begin
+    let out = Array.make (na + nb) 0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < na && !j < nb do
+      let x = a.(!i) and y = b.(!j) in
+      if x < y then begin
+        out.(!k) <- x;
+        incr i
+      end
+      else if x > y then begin
+        out.(!k) <- y;
+        incr j
+      end
+      else begin
+        out.(!k) <- x;
+        incr i;
+        incr j
+      end;
+      incr k
+    done;
+    while !i < na do
+      out.(!k) <- a.(!i);
+      incr i;
+      incr k
+    done;
+    while !j < nb do
+      out.(!k) <- b.(!j);
+      incr j;
+      incr k
+    done;
+    if !k = na + nb then out else Array.sub out 0 !k
+  end
+
+(* When one operand is [gallop_ratio] times smaller, scanning the small one
+   and binary searching the big one beats the linear merge. *)
+let gallop_ratio = 16
+
+let inter_merge a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make (min na nb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < na && !j < nb do
+    let x = a.(!i) and y = b.(!j) in
+    if x < y then incr i
+    else if x > y then incr j
+    else begin
+      out.(!k) <- x;
+      incr i;
+      incr j;
+      incr k
+    end
+  done;
+  if !k = Array.length out then out else Array.sub out 0 !k
+
+let inter_gallop small big =
+  let n = Array.length small in
+  let out = Array.make n 0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if mem small.(i) big then begin
+      out.(!k) <- small.(i);
+      incr k
+    end
+  done;
+  if !k = n then out else Array.sub out 0 !k
+
+let inter a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then empty
+  else if na * gallop_ratio <= nb then inter_gallop a b
+  else if nb * gallop_ratio <= na then inter_gallop b a
+  else inter_merge a b
+
+let diff a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then a
+  else if nb * gallop_ratio <= na || na * gallop_ratio <= nb then begin
+    (* scan a, binary search b *)
+    let out = Array.make na 0 in
+    let k = ref 0 in
+    for i = 0 to na - 1 do
+      if not (mem a.(i) b) then begin
+        out.(!k) <- a.(i);
+        incr k
+      end
+    done;
+    if !k = na then out else Array.sub out 0 !k
+  end
+  else begin
+    let out = Array.make na 0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < na && !j < nb do
+      let x = a.(!i) and y = b.(!j) in
+      if x < y then begin
+        out.(!k) <- x;
+        incr i;
+        incr k
+      end
+      else if x > y then incr j
+      else begin
+        incr i;
+        incr j
+      end
+    done;
+    while !i < na do
+      out.(!k) <- a.(!i);
+      incr i;
+      incr k
+    done;
+    if !k = na then out else Array.sub out 0 !k
+  end
+
+let subset a b =
+  let na = Array.length a and nb = Array.length b in
+  if na > nb then false
+  else if na * gallop_ratio <= nb then Array.for_all (fun v -> mem v b) a
+  else begin
+    let rec go i j =
+      if i >= na then true
+      else if j >= nb then false
+      else if a.(i) = b.(j) then go (i + 1) (j + 1)
+      else if a.(i) > b.(j) then go i (j + 1)
+      else false
+    in
+    go 0 0
+  end
+
+let disjoint a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then true
+  else if na * gallop_ratio <= nb then not (Array.exists (fun v -> mem v b) a)
+  else if nb * gallop_ratio <= na then not (Array.exists (fun v -> mem v a) b)
+  else begin
+    let rec go i j =
+      if i >= na || j >= nb then true
+      else if a.(i) = b.(j) then false
+      else if a.(i) < b.(j) then go (i + 1) j
+      else go i (j + 1)
+    in
+    go 0 0
+  end
+
+let equal (a : t) b = a = b
+
+let compare (a : t) b =
+  let na = Array.length a and nb = Array.length b in
+  let rec go i =
+    if i >= na && i >= nb then 0
+    else if i >= na then -1
+    else if i >= nb then 1
+    else
+      let c = Stdlib.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let min_elt s = if Array.length s = 0 then raise Not_found else s.(0)
+
+let max_elt s =
+  let n = Array.length s in
+  if n = 0 then raise Not_found else s.(n - 1)
+
+let choose = min_elt
+
+let nth s i =
+  if i < 0 || i >= Array.length s then invalid_arg "Node_set.nth: out of bounds";
+  s.(i)
+
+let iter f s = Array.iter f s
+
+let fold f s init = Array.fold_left (fun acc v -> f v acc) init s
+
+let for_all = Array.for_all
+
+let exists = Array.exists
+
+let filter f s =
+  let n = Array.length s in
+  let out = Array.make n 0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if f s.(i) then begin
+      out.(!k) <- s.(i);
+      incr k
+    end
+  done;
+  if !k = n then s else Array.sub out 0 !k
+
+let inter_cardinal a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then 0
+  else if na * gallop_ratio <= nb then
+    Array.fold_left (fun acc v -> if mem v b then acc + 1 else acc) 0 a
+  else if nb * gallop_ratio <= na then
+    Array.fold_left (fun acc v -> if mem v a then acc + 1 else acc) 0 b
+  else begin
+    let rec go i j acc =
+      if i >= na || j >= nb then acc
+      else if a.(i) = b.(j) then go (i + 1) (j + 1) (acc + 1)
+      else if a.(i) < b.(j) then go (i + 1) j acc
+      else go i (j + 1) acc
+    in
+    go 0 0 0
+  end
+
+let diff_cardinal a b = Array.length a - inter_cardinal a b
+
+let range lo hi = if lo >= hi then empty else Array.init (hi - lo) (fun i -> lo + i)
+
+let pp fmt s =
+  Format.fprintf fmt "{";
+  Array.iteri
+    (fun i v -> if i = 0 then Format.fprintf fmt "%d" v else Format.fprintf fmt ", %d" v)
+    s;
+  Format.fprintf fmt "}"
+
+let to_string s = Format.asprintf "%a" pp s

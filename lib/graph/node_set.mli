@@ -1,0 +1,98 @@
+(** Immutable sets of node ids, stored as sorted arrays of distinct ints.
+
+    This is the representation of every node set the enumeration algorithms
+    manipulate: the growing solution [R], the candidate set [P], the
+    exclusion set [X], [N^s(v)] balls and the emitted results. The
+    operations that dominate the algorithms' running time — intersection
+    and difference against a ball — use a linear merge when the operands
+    have similar sizes and a galloping (binary-search) scan when one side
+    is much smaller, so intersecting a huge [P] with a small ball costs
+    O(|ball| log |P|) rather than O(|P|). *)
+
+type t
+
+val empty : t
+
+val singleton : int -> t
+
+val of_list : int list -> t
+(** Sorts and deduplicates. *)
+
+val of_array : int array -> t
+(** Sorts and deduplicates; the argument is not modified. *)
+
+val of_sorted_array_unchecked : int array -> t
+(** O(1) adoption of an array the caller promises is sorted and duplicate
+    free. The caller must not mutate it afterwards. *)
+
+val to_list : t -> int list
+
+val to_array : t -> int array
+(** Fresh copy; safe to mutate. *)
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val mem : int -> t -> bool
+(** O(log n) binary search. *)
+
+val add : int -> t -> t
+
+val remove : int -> t -> t
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val subset : t -> t -> bool
+(** [subset a b] is true when every element of [a] is in [b]. *)
+
+val disjoint : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order: lexicographic on the sorted elements. This is the key
+    order of PolyDelayEnum's B-tree index. *)
+
+val min_elt : t -> int
+(** @raise Not_found on the empty set. *)
+
+val max_elt : t -> int
+(** @raise Not_found on the empty set. *)
+
+val choose : t -> int
+(** An arbitrary (deterministic) element. @raise Not_found when empty. *)
+
+val nth : t -> int -> int
+(** [nth s i] is the [i]-th smallest element. @raise Invalid_argument when
+    out of bounds. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val for_all : (int -> bool) -> t -> bool
+
+val exists : (int -> bool) -> t -> bool
+
+val filter : (int -> bool) -> t -> t
+
+val inter_cardinal : t -> t -> int
+(** [inter_cardinal a b = cardinal (inter a b)] without allocating the
+    intersection. *)
+
+val diff_cardinal : t -> t -> int
+(** [diff_cardinal a b = cardinal (diff a b)] without allocating. *)
+
+val range : int -> int -> t
+(** [range lo hi] is [{lo, .., hi-1}] (empty when [lo >= hi]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{1, 5, 9}]. *)
+
+val to_string : t -> string

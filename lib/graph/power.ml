@@ -1,0 +1,9 @@
+let power g ~s =
+  if s < 1 then invalid_arg "Power.power: s must be >= 1";
+  let n = Graph.n g in
+  let adj =
+    Array.init n (fun v ->
+        let ball = Bfs.ball g v ~radius:s in
+        Node_set.to_array ball)
+  in
+  Graph.of_adjacency adj

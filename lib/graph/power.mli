@@ -1,0 +1,12 @@
+(** Graph powers: [G^s] connects every pair at distance at most [s].
+
+    Remark 1 of the paper: the maximal {e not-necessarily-connected}
+    s-cliques of [G] are exactly the maximal cliques of [G^s], so the power
+    graph plus classic Bron–Kerbosch solves the unconnected variant. The
+    remark also shows why this reduction is {e not} enough for connected
+    s-cliques — connectivity information is lost in [G^s]. *)
+
+val power : Graph.t -> s:int -> Graph.t
+(** [power g ~s] has the same nodes as [g] and an edge [{u,v}] whenever
+    [1 <= dist_g(u,v) <= s]. [power g ~s:1] equals [g]. Costs one
+    radius-[s] BFS per node. @raise Invalid_argument when [s < 1]. *)

@@ -1,0 +1,322 @@
+(* Unit suites for the core library's building blocks: Neighborhood,
+   Extend_max, Verify, Brute_force, Stats. *)
+
+module G = Sgraph.Graph
+module NS = Sgraph.Node_set
+module Nh = Scliques_core.Neighborhood
+module Em = Scliques_core.Extend_max
+module V = Scliques_core.Verify
+module Bf = Scliques_core.Brute_force
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let ns = Test_support.ns
+let of_l = NS.of_list
+
+let fig1 () = fst (Sgraph.Gen.figure1 ())
+
+let neighborhood_tests =
+  [
+    Alcotest.test_case "ball equals Bfs.ball" `Quick (fun () ->
+        let g = fig1 () in
+        let nh = Nh.create ~s:2 g in
+        G.iter_nodes
+          (fun v -> check ns "agree" (Sgraph.Bfs.ball g v ~radius:2) (Nh.ball nh v))
+          g);
+    Alcotest.test_case "s=1 ball is the neighbor set" `Quick (fun () ->
+        let g = fig1 () in
+        let nh = Nh.create ~s:1 g in
+        check ns "neighbors of Dan" (of_l [ 1; 2; 4; 5; 6 ]) (Nh.ball nh 3));
+    Alcotest.test_case "example 3.1: N-forall and N-exists on figure 1" `Quick (fun () ->
+        (* V = {e, h} = ids {4, 7}. Paper: N^{∃,1} = {d,f,g}, N^{∀,1} = {f},
+           N^{∃,2} adds {b,c}, N^{∀,2} = {d,f,g}. *)
+        let g = fig1 () in
+        let v = of_l [ 4; 7 ] in
+        let nh1 = Nh.create ~s:1 g in
+        let nh2 = Nh.create ~s:2 g in
+        check ns "N exists 1" (of_l [ 3; 5; 6 ]) (Nh.adjacent_any nh1 v);
+        check ns "N forall 1" (of_l [ 5 ]) (Nh.ball_forall nh1 v);
+        check ns "N forall 2" (of_l [ 3; 5; 6 ]) (Nh.ball_forall nh2 v));
+    Alcotest.test_case "ball_forall of empty set is all nodes" `Quick (fun () ->
+        let g = fig1 () in
+        let nh = Nh.create ~s:2 g in
+        check ns "all" (G.nodes g) (Nh.ball_forall nh NS.empty));
+    Alcotest.test_case "adjacent_any of empty set is empty" `Quick (fun () ->
+        let nh = Nh.create ~s:2 (fig1 ()) in
+        check ns "empty" NS.empty (Nh.adjacent_any nh NS.empty));
+    Alcotest.test_case "ball_forall excludes the set itself" `Quick (fun () ->
+        let nh = Nh.create ~s:3 (fig1 ()) in
+        let c = of_l [ 3; 4 ] in
+        check bool "disjoint" true (NS.disjoint c (Nh.ball_forall nh c)));
+    Alcotest.test_case "within_distance" `Quick (fun () ->
+        let nh = Nh.create ~s:2 (fig1 ()) in
+        check bool "a-d dist2" true (Nh.within_distance nh 0 3);
+        check bool "a-f dist3" false (Nh.within_distance nh 0 5);
+        check bool "self" true (Nh.within_distance nh 0 0));
+    Alcotest.test_case "cache hits accumulate" `Quick (fun () ->
+        let nh = Nh.create ~s:2 (fig1 ()) in
+        ignore (Nh.ball nh 0);
+        ignore (Nh.ball nh 0);
+        ignore (Nh.ball nh 0);
+        let stats = Nh.cache_stats nh in
+        check int "2 hits" 2 stats.Scoll.Lri_cache.hits;
+        check int "1 miss" 1 stats.Scoll.Lri_cache.misses);
+    Alcotest.test_case "capacity 0 disables the cache but stays correct" `Quick (fun () ->
+        let g = fig1 () in
+        let cached = Nh.create ~s:2 g in
+        let uncached = Nh.create ~cache_capacity:0 ~s:2 g in
+        G.iter_nodes (fun v -> check ns "same ball" (Nh.ball cached v) (Nh.ball uncached v)) g);
+    Alcotest.test_case "tiny capacity evicts but stays correct" `Quick (fun () ->
+        let g = fig1 () in
+        let nh = Nh.create ~cache_capacity:2 ~s:2 g in
+        for _ = 1 to 3 do
+          G.iter_nodes
+            (fun v -> check ns "ball" (Sgraph.Bfs.ball g v ~radius:2) (Nh.ball nh v))
+            g
+        done;
+        check bool "evictions happened" true
+          ((Nh.cache_stats nh).Scoll.Lri_cache.evictions > 0));
+    Alcotest.test_case "s < 1 rejected" `Quick (fun () ->
+        Alcotest.check_raises "s=0" (Invalid_argument "Neighborhood.create: s must be >= 1")
+          (fun () -> ignore (Nh.create ~s:0 (fig1 ()))));
+  ]
+
+let extend_max_tests =
+  [
+    Alcotest.test_case "result is maximal and contains the seed" `Quick (fun () ->
+        let g = fig1 () in
+        let nh = Nh.create ~s:2 g in
+        G.iter_nodes
+          (fun v ->
+            let r = Em.in_graph nh (NS.singleton v) in
+            check bool "contains seed" true (NS.mem v r);
+            check bool "maximal" true (V.is_maximal_connected_s_clique g ~s:2 r))
+          g);
+    Alcotest.test_case "empty seed starts from node 0" `Quick (fun () ->
+        let nh = Nh.create ~s:2 (fig1 ()) in
+        let r = Em.in_graph nh NS.empty in
+        check bool "has node 0" true (NS.mem 0 r);
+        check ns "the a-community" (of_l [ 0; 1; 2; 3 ]) r);
+    Alcotest.test_case "empty graph yields empty set" `Quick (fun () ->
+        let nh = Nh.create ~s:2 (G.empty 0) in
+        check ns "empty" NS.empty (Em.in_graph nh NS.empty));
+    Alcotest.test_case "isolated node is its own maximal set" `Quick (fun () ->
+        let nh = Nh.create ~s:2 (G.empty 3) in
+        check ns "singleton" (of_l [ 1 ]) (Em.in_graph nh (NS.singleton 1)));
+    Alcotest.test_case "example 4.1 shape: extending {e} inside G[C ∪ {e}]" `Quick
+      (fun () ->
+        (* paper: C = {a,b,c,d}, v = e; ExtendMax({e}, G[C∪{e}], 2) = {b,c,d,e} *)
+        let nh = Nh.create ~s:2 (fig1 ()) in
+        let universe = of_l [ 0; 1; 2; 3; 4 ] in
+        check ns "carved set" (of_l [ 1; 2; 3; 4 ])
+          (Em.in_induced nh ~universe ~seed:(NS.singleton 4)));
+    Alcotest.test_case "example 4.1 continued: re-maximizing in G" `Quick (fun () ->
+        let nh = Nh.create ~s:2 (fig1 ()) in
+        check ns "{b,c,d,e} grows to {b,c,d,e,f,g}" (of_l [ 1; 2; 3; 4; 5; 6 ])
+          (Em.in_graph nh (of_l [ 1; 2; 3; 4 ])));
+    Alcotest.test_case "in_induced uses induced distances, not global" `Quick (fun () ->
+        (* path 0-1-2 plus shortcut 0-3-2: within universe {0,1,2} distance
+           0..2 is 2; cutting 1 from the universe leaves distance via 3
+           unavailable, so {0,2} cannot pair at s=2 inside {0,2} *)
+        let g = G.of_edges ~n:4 [ (0, 1); (1, 2); (0, 3); (3, 2) ] in
+        let nh = Nh.create ~s:2 g in
+        let r = Em.in_induced nh ~universe:(of_l [ 0; 2 ]) ~seed:(NS.singleton 0) in
+        check ns "cannot absorb 2" (of_l [ 0 ]) r;
+        let r = Em.in_induced nh ~universe:(of_l [ 0; 1; 2 ]) ~seed:(NS.singleton 0) in
+        check ns "absorbs via 1" (of_l [ 0; 1; 2 ]) r);
+    Alcotest.test_case "in_induced validates the seed" `Quick (fun () ->
+        let nh = Nh.create ~s:2 (fig1 ()) in
+        Alcotest.check_raises "empty seed"
+          (Invalid_argument "Extend_max.in_induced: empty seed") (fun () ->
+            ignore (Em.in_induced nh ~universe:(of_l [ 0 ]) ~seed:NS.empty));
+        Alcotest.check_raises "outside"
+          (Invalid_argument "Extend_max.in_induced: seed outside universe") (fun () ->
+            ignore (Em.in_induced nh ~universe:(of_l [ 0 ]) ~seed:(of_l [ 1 ]))));
+    Alcotest.test_case "random: in_graph always produces maximal sets" `Quick (fun () ->
+        let rng = Scoll.Rng.create 77 in
+        for _ = 1 to 20 do
+          let g = Sgraph.Gen.erdos_renyi_gnm rng ~n:12 ~m:18 in
+          let s = 1 + Scoll.Rng.int rng 3 in
+          let nh = Nh.create ~s g in
+          G.iter_nodes
+            (fun v ->
+              let r = Em.in_graph nh (NS.singleton v) in
+              check bool "maximal connected s-clique" true
+                (V.is_maximal_connected_s_clique g ~s r))
+            g
+        done);
+  ]
+
+let verify_tests =
+  [
+    Alcotest.test_case "is_clique" `Quick (fun () ->
+        let g = fig1 () in
+        check bool "abc" true (V.is_clique g (of_l [ 0; 1; 2 ]));
+        check bool "abcd not" false (V.is_clique g (of_l [ 0; 1; 2; 3 ]));
+        check bool "empty" true (V.is_clique g NS.empty);
+        check bool "singleton" true (V.is_clique g (of_l [ 5 ])));
+    Alcotest.test_case "example 3.2: s-clique but not 2-clique" `Quick (fun () ->
+        let g = fig1 () in
+        let c = of_l [ 0; 1; 2; 3; 4; 5; 6 ] in
+        check bool "3-clique" true (V.is_s_clique g ~s:3 c);
+        check bool "not 2-clique (dist a f = 3)" false (V.is_s_clique g ~s:2 c));
+    Alcotest.test_case "example 3.2: {a,d} 2-clique but unconnected" `Quick (fun () ->
+        let g = fig1 () in
+        let c = of_l [ 0; 3 ] in
+        check bool "2-clique" true (V.is_s_clique g ~s:2 c);
+        check bool "not connected" false (V.is_connected_s_clique g ~s:2 c));
+    Alcotest.test_case "distances leave the set (the s-clique subtlety)" `Quick (fun () ->
+        (* 4-cycle: {0, 2} is a 2-clique via nodes outside the pair *)
+        let g = Sgraph.Gen.cycle 4 in
+        check bool "2-clique through outside" true (V.is_s_clique g ~s:2 (of_l [ 0; 2 ])));
+    Alcotest.test_case "nodes in different components are never s-close" `Quick (fun () ->
+        let g = G.empty 3 in
+        check bool "not an s-clique" false (V.is_s_clique g ~s:5 (of_l [ 0; 1 ])));
+    Alcotest.test_case "maximality on figure 1 ground truth" `Quick (fun () ->
+        let g = fig1 () in
+        check bool "{a,b,c,d} maximal" true
+          (V.is_maximal_connected_s_clique g ~s:2 (of_l [ 0; 1; 2; 3 ]));
+        check bool "{a,b,c} not maximal at s=2" false
+          (V.is_maximal_connected_s_clique g ~s:2 (of_l [ 0; 1; 2 ]));
+        check bool "empty not maximal" false (V.is_maximal_connected_s_clique g ~s:2 NS.empty));
+    Alcotest.test_case "extension_candidates" `Quick (fun () ->
+        let g = fig1 () in
+        check ns "abc extends by d" (of_l [ 3 ]) (V.extension_candidates g ~s:2 (of_l [ 0; 1; 2 ]));
+        check ns "maximal set has none" NS.empty
+          (V.extension_candidates g ~s:2 (of_l [ 0; 1; 2; 3 ])));
+    Alcotest.test_case "certify accepts the truth" `Quick (fun () ->
+        let g = fig1 () in
+        let truth = [ of_l [ 0; 1; 2; 3 ]; of_l [ 1; 2; 3; 4; 5; 6 ]; of_l [ 3; 4; 5; 6; 7 ] ] in
+        check bool "ok" true (Result.is_ok (V.certify g ~s:2 truth)));
+    Alcotest.test_case "certify rejects duplicates" `Quick (fun () ->
+        let g = fig1 () in
+        let c = of_l [ 0; 1; 2; 3 ] in
+        check bool "dup" true (Result.is_error (V.certify g ~s:2 [ c; c ])));
+    Alcotest.test_case "certify rejects non-maximal" `Quick (fun () ->
+        let g = fig1 () in
+        check bool "non-maximal" true
+          (Result.is_error (V.certify g ~s:2 [ of_l [ 0; 1; 2 ] ])));
+    Alcotest.test_case "certify rejects unconnected" `Quick (fun () ->
+        let g = fig1 () in
+        check bool "unconnected" true (Result.is_error (V.certify g ~s:2 [ of_l [ 0; 3 ] ])));
+  ]
+
+let brute_force_tests =
+  [
+    Alcotest.test_case "figure 1 counts for s=1..4" `Quick (fun () ->
+        let g = fig1 () in
+        List.iter
+          (fun (s, expected) ->
+            check int
+              (Printf.sprintf "s=%d" s)
+              expected
+              (List.length (Bf.maximal_connected_s_cliques g ~s)))
+          [ (1, 6); (2, 3); (3, 2); (4, 1) ]);
+    Alcotest.test_case "complete graph has one maximal set" `Quick (fun () ->
+        check Test_support.ns_list "K5" [ NS.range 0 5 ]
+          (Bf.maximal_connected_s_cliques (Sgraph.Gen.complete 5) ~s:1));
+    Alcotest.test_case "edgeless graph: singletons" `Quick (fun () ->
+        check Test_support.ns_list "three singletons"
+          [ of_l [ 0 ]; of_l [ 1 ]; of_l [ 2 ] ]
+          (Bf.maximal_connected_s_cliques (G.empty 3) ~s:2));
+    Alcotest.test_case "path at s=2: overlapping triples" `Quick (fun () ->
+        check Test_support.ns_list "triples"
+          [ of_l [ 0; 1; 2 ]; of_l [ 1; 2; 3 ]; of_l [ 2; 3; 4 ] ]
+          (Bf.maximal_connected_s_cliques (Sgraph.Gen.path 5) ~s:2));
+    Alcotest.test_case "connected_s_cliques includes non-maximal" `Quick (fun () ->
+        let all = Bf.connected_s_cliques (Sgraph.Gen.path 3) ~s:2 in
+        (* {0},{1},{2},{0,1},{1,2},{0,1,2} and {0,2}? 0-2 at distance 2 but
+           induced {0,2} unconnected -> excluded: 6 sets *)
+        check int "6 connected 2-cliques" 6 (List.length all));
+    Alcotest.test_case "maximal_s_cliques can be unconnected" `Quick (fun () ->
+        (* 6-cycle: {0,2,4} is pairwise at distance 2 but induces no edge,
+           and no further node fits — a maximal unconnected 2-clique *)
+        let c6 = Sgraph.Gen.cycle 6 in
+        let all = Bf.maximal_s_cliques c6 ~s:2 in
+        check bool "contains {0,2,4}" true (List.exists (NS.equal (of_l [ 0; 2; 4 ])) all);
+        check bool "it is not connected" false
+          (Sgraph.Bfs.is_connected_subset c6 (of_l [ 0; 2; 4 ])));
+    Alcotest.test_case "oversized graph rejected" `Quick (fun () ->
+        match Bf.maximal_connected_s_cliques (G.empty 23) ~s:1 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "results are sorted and duplicate-free" `Quick (fun () ->
+        let g = Test_support.random_graph 42 ~n:9 ~m:14 in
+        let r = Bf.maximal_connected_s_cliques g ~s:2 in
+        let rec sorted = function
+          | a :: (b :: _ as rest) -> NS.compare a b < 0 && sorted rest
+          | _ -> true
+        in
+        check bool "strictly sorted" true (sorted r));
+  ]
+
+let stats_tests =
+  let module S = Scliques_core.Stats in
+  let feq = Alcotest.float 1e-9 in
+  [
+    Alcotest.test_case "empty" `Quick (fun () ->
+        let s = S.of_results [] in
+        check int "count" 0 s.S.count;
+        check feq "avg" 0. s.S.avg_size);
+    Alcotest.test_case "of_sizes" `Quick (fun () ->
+        let s = S.of_sizes [ 2; 4; 6 ] in
+        check int "count" 3 s.S.count;
+        check int "min" 2 s.S.min_size;
+        check int "max" 6 s.S.max_size;
+        check feq "avg" 4. s.S.avg_size;
+        check int "total" 12 s.S.total_nodes);
+    Alcotest.test_case "of_results uses cardinals" `Quick (fun () ->
+        let s = S.of_results [ of_l [ 1; 2 ]; of_l [ 3; 4; 5 ] ] in
+        check int "max" 3 s.S.max_size;
+        check feq "avg" 2.5 s.S.avg_size);
+    Alcotest.test_case "sample matches direct enumeration" `Quick (fun () ->
+        let g = fig1 () in
+        let s = S.sample Scliques_core.Enumerate.Cs2_p g ~s:2 100 in
+        check int "3 results available" 3 s.S.count;
+        check int "largest is 6" 6 s.S.max_size);
+    Alcotest.test_case "sample truncates at n" `Quick (fun () ->
+        let g = fig1 () in
+        let s = S.sample Scliques_core.Enumerate.Cs2_p g ~s:1 2 in
+        check int "only 2" 2 s.S.count);
+  ]
+
+let result_io_tests =
+  let module R = Scliques_core.Result_io in
+  [
+    Alcotest.test_case "round trip" `Quick (fun () ->
+        let results = [ of_l [ 3; 1; 2 ]; of_l [ 7 ]; of_l [ 0; 9 ] ] in
+        check Test_support.ns_list "same sets" results (R.parse_string (R.to_string results)));
+    Alcotest.test_case "comments and blank lines ignored" `Quick (fun () ->
+        check Test_support.ns_list "one set" [ of_l [ 1; 2 ] ]
+          (R.parse_string "# header\n\n1 2\n"));
+    Alcotest.test_case "empty input" `Quick (fun () ->
+        check Test_support.ns_list "none" [] (R.parse_string ""));
+    Alcotest.test_case "duplicate member rejected with line number" `Quick (fun () ->
+        Alcotest.check_raises "dup" (Failure "results line 2: duplicate node in set")
+          (fun () -> ignore (R.parse_string "1 2\n3 3\n")));
+    Alcotest.test_case "bad token rejected" `Quick (fun () ->
+        Alcotest.check_raises "token"
+          (Failure "results line 1: expected a node id, got \"x\"") (fun () ->
+            ignore (R.parse_string "1 x\n")));
+    Alcotest.test_case "file round trip" `Quick (fun () ->
+        let g = fst (Sgraph.Gen.figure1 ()) in
+        let results = Scliques_core.Enumerate.sorted_results Scliques_core.Enumerate.Cs2_p g ~s:2 in
+        let path = Filename.temp_file "scliques" ".results" in
+        R.save results path;
+        let back = R.load path in
+        Sys.remove path;
+        check Test_support.ns_list "same" results back;
+        check bool "still certifies" true
+          (Result.is_ok (Scliques_core.Verify.certify g ~s:2 back)));
+  ]
+
+let suites =
+  [
+    ("neighborhood", neighborhood_tests);
+    ("extend_max", extend_max_tests);
+    ("verify", verify_tests);
+    ("brute_force", brute_force_tests);
+    ("stats", stats_tests);
+    ("result_io", result_io_tests);
+  ]

@@ -1,0 +1,40 @@
+(* Parser robustness: arbitrary input must either parse or raise [Failure]
+   with a diagnostic — never crash, assert, or loop. *)
+
+let printable_junk =
+  QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 32 126)) (int_range 0 200))
+
+let lines_of_numbers =
+  (* near-miss inputs: lines of numbers with occasional corruption *)
+  let open QCheck2.Gen in
+  let token = oneof [ map string_of_int (int_range (-5) 30); return "x"; return "" ] in
+  let line = map (String.concat " ") (list_size (int_range 0 4) token) in
+  map (String.concat "\n") (list_size (int_range 0 12) line)
+
+let total name parse gen =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name ~print:(Printf.sprintf "%S") gen
+       (fun input ->
+         match parse input with
+         | _ -> true
+         | exception Failure msg -> String.length msg > 0
+         | exception Invalid_argument _ -> false
+         | exception _ -> false))
+
+let tests =
+  [
+    total "edge list parser is total on printable junk" Sgraph.Edge_list_io.parse_string
+      printable_junk;
+    total "edge list parser is total on number soup" Sgraph.Edge_list_io.parse_string
+      lines_of_numbers;
+    total "METIS parser is total on printable junk" Sgraph.Metis_io.parse_string
+      printable_junk;
+    total "METIS parser is total on number soup" Sgraph.Metis_io.parse_string
+      lines_of_numbers;
+    total "results parser is total on printable junk"
+      Scliques_core.Result_io.parse_string printable_junk;
+    total "results parser is total on number soup" Scliques_core.Result_io.parse_string
+      lines_of_numbers;
+  ]
+
+let suites = [ ("parser_fuzz", tests) ]

@@ -1,0 +1,100 @@
+(* The Theorem 5.6 reduction: 3-SAT ↔ extendability of an s-clique. *)
+
+module H = Scliques_core.Hardness
+module NS = Sgraph.Node_set
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let lit v n = { H.variable = v; H.negated = n }
+
+(* the formula from the paper's Figure 8 *)
+let paper_psi =
+  [ (lit 1 false, lit 2 true, lit 3 false);
+    (lit 1 false, lit 2 false, lit 3 false);
+    (lit 1 true, lit 2 true, lit 3 false) ]
+
+let unsat_psi =
+  [ (lit 0 false, lit 0 false, lit 0 false); (lit 0 true, lit 0 true, lit 0 true) ]
+
+let unit_tests =
+  [
+    Alcotest.test_case "satisfiable: brute-force basics" `Quick (fun () ->
+        check bool "paper formula" true (H.satisfiable paper_psi);
+        check bool "x and not-x" false (H.satisfiable unsat_psi);
+        check bool "empty formula" true (H.satisfiable []));
+    Alcotest.test_case "reduce rejects bad inputs" `Quick (fun () ->
+        Alcotest.check_raises "s=1" (Invalid_argument "Hardness.reduce: requires s > 1")
+          (fun () -> ignore (H.reduce paper_psi ~s:1));
+        Alcotest.check_raises "empty" (Invalid_argument "Hardness.reduce: empty formula")
+          (fun () -> ignore (H.reduce [] ~s:2));
+        Alcotest.check_raises "tautological clause"
+          (Invalid_argument "Hardness.reduce: clause contains a variable and its negation")
+          (fun () -> ignore (H.reduce [ (lit 0 false, lit 0 true, lit 1 false) ] ~s:2)));
+    Alcotest.test_case "seed is an s-clique (both formulas, s=2 and s=3)" `Quick
+      (fun () ->
+        List.iter
+          (fun s ->
+            check bool "paper" true (H.seed_is_s_clique (H.reduce paper_psi ~s));
+            check bool "unsat" true (H.seed_is_s_clique (H.reduce unsat_psi ~s)))
+          [ 2; 3 ]);
+    Alcotest.test_case "figure 8 distances: conflicting literals stay far" `Quick
+      (fun () ->
+        (* the paper highlights x_1^2 (literal ¬X2 of clause 1) and x_2^2
+           (literal X2 of clause 2): no path of length <= 2 between them *)
+        let r = H.reduce paper_psi ~s:2 in
+        let u = r.H.literal_node 0 1 and v = r.H.literal_node 1 1 in
+        let d = Sgraph.Bfs.distance r.H.graph u v in
+        check bool "distance > 2" true (d > 2 || d < 0));
+    Alcotest.test_case "non-conflicting original pairs end up within s" `Quick
+      (fun () ->
+        let r = H.reduce paper_psi ~s:2 in
+        let g = r.H.graph in
+        NS.iter
+          (fun u ->
+            NS.iter
+              (fun v ->
+                if u < v then begin
+                  let d = Sgraph.Bfs.distance g u v in
+                  (* either they conflict (far) or they are within s *)
+                  check bool
+                    (Printf.sprintf "pair %d-%d" u v)
+                    true
+                    (d > r.H.s || d < 0
+                    || (d >= 1 && d <= r.H.s))
+                end)
+              r.H.original_nodes)
+          r.H.original_nodes);
+    Alcotest.test_case "satisfiable formula: feasible, with explicit witness" `Quick
+      (fun () ->
+        let r = H.reduce paper_psi ~s:2 in
+        check bool "feasible" true (H.feasible r);
+        (* X3 = true satisfies every clause *)
+        let w = H.witness_of_assignment r paper_psi (fun v -> v = 3) in
+        check bool "witness is a connected 2-clique" true
+          (Scliques_core.Verify.is_connected_s_clique r.H.graph ~s:2 w);
+        check bool "witness contains the seed" true (NS.subset r.H.seed w));
+    Alcotest.test_case "unsatisfiable formula: not feasible" `Quick (fun () ->
+        check bool "infeasible" false (H.feasible (H.reduce unsat_psi ~s:2)));
+    Alcotest.test_case "unsatisfiable formula at s=3: not feasible" `Quick (fun () ->
+        check bool "infeasible" false (H.feasible (H.reduce unsat_psi ~s:3)));
+    Alcotest.test_case "two-clause equivalence sweep" `Quick (fun () ->
+        (* all two-clause formulas over variables {0,1} with uniform
+           literals per clause: satisfiable iff feasible *)
+        let all_lits = [ lit 0 false; lit 0 true; lit 1 false; lit 1 true ] in
+        List.iter
+          (fun l1 ->
+            List.iter
+              (fun l2 ->
+                let cnf = [ (l1, l1, l1); (l2, l2, l2) ] in
+                let expected = H.satisfiable cnf in
+                let r = H.reduce cnf ~s:2 in
+                check bool
+                  (Printf.sprintf "(%d,%b)(%d,%b)" l1.H.variable l1.H.negated
+                     l2.H.variable l2.H.negated)
+                  expected (H.feasible r))
+              all_lits)
+          all_lits);
+  ]
+
+let suites = [ ("hardness", unit_tests) ]

@@ -1,0 +1,68 @@
+(* METIS adjacency format I/O. *)
+
+module G = Sgraph.Graph
+module M = Sgraph.Metis_io
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let tests =
+  [
+    Alcotest.test_case "parse the METIS manual's style of file" `Quick (fun () ->
+        (* triangle plus a pendant: 4 nodes, 4 edges *)
+        let g = M.parse_string "% a comment\n4 4\n2 3\n1 3\n1 2 4\n3\n" in
+        check int "n" 4 (G.n g);
+        check int "m" 4 (G.m g);
+        check bool "edge 0-1" true (G.mem_edge g 0 1);
+        check bool "edge 2-3" true (G.mem_edge g 2 3);
+        check bool "no 0-3" false (G.mem_edge g 0 3));
+    Alcotest.test_case "isolated node = blank line" `Quick (fun () ->
+        let g = M.parse_string "3 1\n2\n1\n\n" in
+        check int "n" 3 (G.n g);
+        check int "deg node 2" 0 (G.degree g 2));
+    Alcotest.test_case "explicit fmt field 0 accepted" `Quick (fun () ->
+        check int "m" 1 (G.m (M.parse_string "2 1 0\n2\n1\n")));
+    Alcotest.test_case "weighted fmt rejected" `Quick (fun () ->
+        match M.parse_string "2 1 011\n2\n1\n" with
+        | exception Failure msg ->
+            check bool "mentions format" true (Astring_contains.contains msg "format")
+        | _ -> Alcotest.fail "expected Failure");
+    Alcotest.test_case "asymmetric adjacency rejected" `Quick (fun () ->
+        match M.parse_string "2 1\n2\n\n" with
+        | exception Failure msg ->
+            check bool "mentions symmetry" true (Astring_contains.contains msg "symmetric")
+        | _ -> Alcotest.fail "expected Failure");
+    Alcotest.test_case "wrong edge count rejected" `Quick (fun () ->
+        match M.parse_string "2 5\n2\n1\n" with
+        | exception Failure msg ->
+            check bool "mentions count" true (Astring_contains.contains msg "edges")
+        | _ -> Alcotest.fail "expected Failure");
+    Alcotest.test_case "out-of-range neighbor rejected with line number" `Quick
+      (fun () ->
+        match M.parse_string "2 1\n3\n1\n" with
+        | exception Failure msg ->
+            check bool "line 2" true (Astring_contains.contains msg "line 2")
+        | _ -> Alcotest.fail "expected Failure");
+    Alcotest.test_case "missing node lines rejected" `Quick (fun () ->
+        match M.parse_string "3 1\n2\n1\n" with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected Failure");
+    Alcotest.test_case "round trip through to_string" `Quick (fun () ->
+        let g = Sgraph.Gen.erdos_renyi (Scoll.Rng.create 7) ~n:40 ~avg_degree:5. in
+        check bool "equal" true (G.equal g (M.parse_string (M.to_string g))));
+    Alcotest.test_case "file round trip" `Quick (fun () ->
+        let g = Sgraph.Gen.petersen () in
+        let path = Filename.temp_file "scliques" ".graph" in
+        M.save g path;
+        let g' = M.load path in
+        Sys.remove path;
+        check bool "equal" true (G.equal g g'));
+    Alcotest.test_case "cross-format agreement with the edge list" `Quick (fun () ->
+        let g = Sgraph.Gen.grid 4 5 in
+        let via_metis = M.parse_string (M.to_string g) in
+        let via_edges = Sgraph.Edge_list_io.parse_string (Sgraph.Edge_list_io.to_string g) in
+        check bool "all equal" true (G.equal via_metis via_edges));
+  ]
+
+let suites = [ ("metis_io", tests) ]

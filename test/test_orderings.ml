@@ -1,0 +1,76 @@
+(* The ω-orderings of Lemma 5.3, including the paper's Example 5.2. *)
+
+module G = Sgraph.Graph
+module NS = Sgraph.Node_set
+module O = Scliques_core.Orderings
+
+let check = Alcotest.check
+let int_list = Alcotest.(list Alcotest.int)
+let bool = Alcotest.bool
+
+(* The graph G' of the paper's Figure 2 with the ids of Example 5.2's
+   ordering ≺: v1,v2,v3 = 0,1,2; w = 3; u_{1,2},u_{1,3},u_{2,1},u_{2,3},
+   u_{3,1},u_{3,2} = 4..9; v'1,v'2,v'3 = 10,11,12; w' = 13. *)
+let paper_gprime () =
+  let v = [| 0; 1; 2 |] and w = 3 and w' = 13 in
+  let v' = [| 10; 11; 12 |] in
+  let u = function
+    | 1, 2 -> 4 | 1, 3 -> 5 | 2, 1 -> 6 | 2, 3 -> 7 | 3, 1 -> 8 | 3, 2 -> 9
+    | _ -> invalid_arg "u"
+  in
+  let edges = ref [ (w, w') ] in
+  for i = 1 to 3 do
+    edges := (v.(i - 1), w) :: (v'.(i - 1), w') :: !edges;
+    for j = 1 to 3 do
+      if i <> j then edges := (v.(i - 1), u (i, j)) :: (u (i, j), v'.(j - 1)) :: !edges
+    done
+  done;
+  G.of_edges ~n:14 !edges
+
+let tests =
+  [
+    Alcotest.test_case "example 5.2: omega1 of {v1, v'2, w, w', u12}" `Quick
+      (fun () ->
+        (* the paper: ω1(C) = v1, w, u_{1,2}, v'2, w'.
+           With our ids: 0, 3, 4, 11, 13. *)
+        let g = paper_gprime () in
+        let c = NS.of_list [ 0; 11; 3; 13; 4 ] in
+        check int_list "paper's order" [ 0; 3; 4; 11; 13 ] (O.omega1 g c));
+    Alcotest.test_case "example 5.2: omega2 is plain ascending" `Quick (fun () ->
+        let c = NS.of_list [ 0; 11; 3; 13; 4 ] in
+        check int_list "sorted" [ 0; 3; 4; 11; 13 ] (O.omega2 c));
+    Alcotest.test_case "omega1 differs from omega2 when low ids are far" `Quick
+      (fun () ->
+        (* path 0-2-1: ascending order 0,1 is not connected-prefix *)
+        let g = G.of_edges ~n:3 [ (0, 2); (2, 1) ] in
+        let c = NS.of_list [ 0; 1; 2 ] in
+        check int_list "omega2" [ 0; 1; 2 ] (O.omega2 c);
+        check int_list "omega1 takes 2 before 1" [ 0; 2; 1 ] (O.omega1 g c));
+    Alcotest.test_case "omega1 prefixes are connected (random)" `Quick (fun () ->
+        let rng = Scoll.Rng.create 41 in
+        for _ = 1 to 20 do
+          let n = 3 + Scoll.Rng.int rng 10 in
+          let g = Sgraph.Gen.erdos_renyi_gnm rng ~n ~m:(min (2 * n) (n * (n - 1) / 2)) in
+          let comp = Sgraph.Components.largest g in
+          let order = O.omega1 g comp in
+          check bool "valid prefix order" true (O.is_connected_prefix_order g order);
+          check int_list "permutation of the component" (NS.to_list comp)
+            (List.sort compare order)
+        done);
+    Alcotest.test_case "omega1 rejects disconnected sets" `Quick (fun () ->
+        let g = G.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+        Alcotest.check_raises "disconnected"
+          (Invalid_argument "Orderings.omega1: set does not induce a connected subgraph")
+          (fun () -> ignore (O.omega1 g (NS.of_list [ 0; 2 ]))));
+    Alcotest.test_case "empty and singleton sets" `Quick (fun () ->
+        let g = G.empty 2 in
+        check int_list "empty" [] (O.omega1 g NS.empty);
+        check int_list "singleton" [ 1 ] (O.omega1 g (NS.singleton 1)));
+    Alcotest.test_case "is_connected_prefix_order detects violations" `Quick
+      (fun () ->
+        let g = Sgraph.Gen.path 4 in
+        check bool "good" true (O.is_connected_prefix_order g [ 1; 2; 0; 3 ]);
+        check bool "bad" false (O.is_connected_prefix_order g [ 0; 2; 1; 3 ]));
+  ]
+
+let suites = [ ("orderings", tests) ]

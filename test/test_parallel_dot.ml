@@ -1,0 +1,102 @@
+(* Parallel (domain-based) enumeration and DOT export. *)
+
+module G = Sgraph.Graph
+module NS = Sgraph.Node_set
+module P = Scliques_core.Parallel
+module E = Scliques_core.Enumerate
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let parallel_tests =
+  [
+    Alcotest.test_case "matches sequential on figure 1" `Quick (fun () ->
+        let g = fst (Sgraph.Gen.figure1 ()) in
+        List.iter
+          (fun s ->
+            check Test_support.ns_list
+              (Printf.sprintf "s=%d" s)
+              (E.sorted_results E.Cs2_p g ~s)
+              (P.enumerate ~workers:3 g ~s))
+          [ 1; 2; 3 ]);
+    Alcotest.test_case "matches the oracle on random graphs, various workers" `Quick
+      (fun () ->
+        let rng = Scoll.Rng.create 81 in
+        for _ = 1 to 10 do
+          let n = 4 + Scoll.Rng.int rng 7 in
+          let m = Scoll.Rng.int rng ((n * (n - 1) / 2) + 1) in
+          let g = Sgraph.Gen.erdos_renyi_gnm rng ~n ~m in
+          let s = 1 + Scoll.Rng.int rng 2 in
+          let expected = Scliques_core.Brute_force.maximal_connected_s_cliques g ~s in
+          List.iter
+            (fun workers ->
+              check Test_support.ns_list
+                (Printf.sprintf "n=%d workers=%d" n workers)
+                expected
+                (P.enumerate ~workers g ~s))
+            [ 1; 2; 4 ]
+        done);
+    Alcotest.test_case "more workers than nodes" `Quick (fun () ->
+        let g = Sgraph.Gen.path 3 in
+        check Test_support.ns_list "still complete"
+          (E.sorted_results E.Cs2_p g ~s:2)
+          (P.enumerate ~workers:8 g ~s:2));
+    Alcotest.test_case "feasibility and min_size pass through" `Quick (fun () ->
+        let g = Test_support.random_graph 82 ~n:20 ~m:45 in
+        check Test_support.ns_list "min_size"
+          (E.sorted_results ~min_size:4 E.Cs2_pf g ~s:2)
+          (P.enumerate ~workers:3 ~feasibility:true ~min_size:4 g ~s:2));
+    Alcotest.test_case "stats account for every result" `Quick (fun () ->
+        let g = Test_support.random_graph 83 ~n:25 ~m:60 in
+        let results, stats = P.enumerate_with_stats ~workers:3 g ~s:2 in
+        check int "worker counts sum to total" (List.length results)
+          (Array.fold_left ( + ) 0 stats.P.results_per_worker);
+        check int "3 workers" 3 (Array.length stats.P.time_per_worker);
+        Array.iter (fun t -> check bool "time non-negative" true (t >= 0.))
+          stats.P.time_per_worker);
+    Alcotest.test_case "workers < 1 rejected" `Quick (fun () ->
+        match P.enumerate ~workers:0 (Sgraph.Gen.path 3) ~s:2 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "empty graph" `Quick (fun () ->
+        check Test_support.ns_list "nothing" [] (P.enumerate ~workers:2 (G.empty 0) ~s:2));
+  ]
+
+let dot_tests =
+  let module Dot = Sgraph.Dot in
+  [
+    Alcotest.test_case "contains every node and edge" `Quick (fun () ->
+        let g = Sgraph.Gen.cycle 4 in
+        let dot = Dot.to_dot g in
+        for v = 0 to 3 do
+          check bool (Printf.sprintf "node %d" v) true
+            (Astring_contains.contains dot (Printf.sprintf "  %d [label=" v))
+        done;
+        check bool "edge 0--1" true (Astring_contains.contains dot "0 -- 1;");
+        check bool "edge 3--0... as 0 -- 3" true (Astring_contains.contains dot "0 -- 3;"));
+    Alcotest.test_case "names appear" `Quick (fun () ->
+        let g, name = Sgraph.Gen.figure1 () in
+        let dot = Dot.to_dot ~name g in
+        check bool "Ann labeled" true (Astring_contains.contains dot "label=\"Ann\"");
+        check bool "Hal labeled" true (Astring_contains.contains dot "label=\"Hal\""));
+    Alcotest.test_case "highlights color members and annotate membership" `Quick
+      (fun () ->
+        let g = Sgraph.Gen.path 3 in
+        let dot = Dot.to_dot ~highlight:[ NS.of_list [ 0; 1 ] ] g in
+        check bool "member colored" true (Astring_contains.contains dot "#a6cee3");
+        check bool "membership index" true (Astring_contains.contains dot "[0]");
+        check bool "non-member stays white" true
+          (Astring_contains.contains dot "label=\"2\", fillcolor=\"white\""));
+    Alcotest.test_case "write creates a parseable file" `Quick (fun () ->
+        let g = Sgraph.Gen.star 4 in
+        let path = Filename.temp_file "scliques" ".dot" in
+        Dot.write g path;
+        let ic = open_in path in
+        let first = input_line ic in
+        close_in ic;
+        Sys.remove path;
+        check Alcotest.string "header" "graph scliques {" first);
+  ]
+
+let suites = [ ("parallel", parallel_tests); ("dot", dot_tests) ]
