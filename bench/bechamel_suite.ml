@@ -45,6 +45,19 @@ let tests () =
       (Staged.stage (fun () -> ignore (E.first_n ~min_size:8 E.Cs2_p er ~s:2 micro_quota)));
     Test.make ~name:"fig11:sample-sizes"
       (Staged.stage (fun () -> ignore (Scliques_core.Stats.sample E.Cs2_p er ~s:2 micro_quota)));
+    (* instrumentation overhead: the ?obs-less path must sit within noise
+       of the pre-observability baseline (it is the same code compiled
+       with one more [match] on None); obs:on shows the enabled cost *)
+    Test.make ~name:"obs:off-CS2P-ER" (Staged.stage (first_n E.Cs2_p er ~s:2));
+    Test.make ~name:"obs:on-CS2P-ER"
+      (Staged.stage (fun () ->
+           let obs = Scliques_obs.Obs.create () in
+           ignore (E.first_n ~obs E.Cs2_p er ~s:2 micro_quota)));
+    Test.make ~name:"obs:off-PD-ER" (Staged.stage (first_n E.Poly_delay er ~s:2));
+    Test.make ~name:"obs:on-PD-ER"
+      (Staged.stage (fun () ->
+           let obs = Scliques_obs.Obs.create () in
+           ignore (E.first_n ~obs E.Poly_delay er ~s:2 micro_quota)));
   ]
 
 let run () =

@@ -378,32 +378,53 @@ let abl_degeneracy () =
            ("G^s degeneracy (footnote 1)", Scliques_core.Cs_cliques2.Power_degeneracy) ])
 
 let delays () =
-  (* Theorem 4.2 made visible: worst and mean inter-result delay over the
-     first 1000 results. PD's guarantee is a polynomial worst-case delay;
-     the BK adaptations have none (but behave well in practice). *)
+  (* Theorem 4.2 made visible: per-result delay quantiles over the first
+     1000 results, via the Scliques_obs recorder. PD's guarantee is a
+     polynomial worst-case delay; the BK adaptations have none (but behave
+     well in practice). Besides the table, the run leaves a machine-
+     readable BENCH_delay.json (full snapshots: delay summary + cache and
+     search counters per algorithm) so the perf trajectory across commits
+     is diffable. *)
+  let quota = 1000 in
   let g = Workloads.er ~n:Workloads.n_9f ~avg_degree:10. in
+  let snapshots = ref [] in
   let row alg =
-    let monitor = ref (Scliques_core.Delay.create ()) in
+    let obs = Scliques_obs.Obs.create () in
     let outcome =
-      Harness.time_first_n ~quota:1000 (fun ~should_continue yield ->
-          let d = Scliques_core.Delay.create () in
-          monitor := d;
-          E.iter ~should_continue alg g ~s:2 (Scliques_core.Delay.wrap d yield))
+      Harness.time_first_n ~quota (fun ~should_continue yield ->
+          E.iter ~should_continue ~obs alg g ~s:2 yield)
     in
-    let r = Scliques_core.Delay.report !monitor in
+    let s = Scliques_obs.Recorder.summary (Scliques_obs.Obs.delay obs) in
+    snapshots := (E.name alg, Scliques_obs.Obs.snapshot_json obs) :: !snapshots;
     ( E.name alg,
       [ outcome;
-        Harness.Note (Printf.sprintf "%.4f" r.Scliques_core.Delay.first);
-        Harness.Note (Printf.sprintf "%.4f" r.Scliques_core.Delay.max_gap);
-        Harness.Note (Printf.sprintf "%.5f" r.Scliques_core.Delay.mean_gap) ] )
+        Harness.Note (Printf.sprintf "%.4f" s.Scliques_obs.Recorder.first);
+        Harness.Note (Printf.sprintf "%.4f" s.Scliques_obs.Recorder.max);
+        Harness.Note (Printf.sprintf "%.5f" s.Scliques_obs.Recorder.mean);
+        Harness.Note (Printf.sprintf "%.5f" s.Scliques_obs.Recorder.p50);
+        Harness.Note (Printf.sprintf "%.5f" s.Scliques_obs.Recorder.p95);
+        Harness.Note (Printf.sprintf "%.5f" s.Scliques_obs.Recorder.p99) ] )
   in
+  let rows = List.map row [ E.Cs2_p; E.Cs2_pf; E.Cs1; E.Poly_delay ] in
   Harness.print_table
     ~title:
       (Printf.sprintf
          "Delay profile: first 1000 results on ER n=%s deg 10, s=2 (seconds)"
          (abbrev Workloads.n_9f))
-    ~columns:[ "total"; "first"; "max gap"; "mean gap" ]
-    ~rows:(List.map row [ E.Cs2_p; E.Cs2_pf; E.Cs1; E.Poly_delay ])
+    ~columns:[ "total"; "first"; "max gap"; "mean"; "p50"; "p95"; "p99" ]
+    ~rows;
+  Harness.write_json ~path:"BENCH_delay.json"
+    (Scliques_obs.Sink.Obj
+       [
+         ("experiment", Scliques_obs.Sink.String "delays");
+         ( "graph",
+           Scliques_obs.Sink.String
+             (Printf.sprintf "er n=%d avg_degree=10 seed=%d" Workloads.n_9f Harness.seed)
+         );
+         ("s", Scliques_obs.Sink.Int 2);
+         ("quota", Scliques_obs.Sink.Int quota);
+         ("algorithms", Scliques_obs.Sink.Obj (List.rev !snapshots));
+       ])
 
 let abl_generic () =
   (* abstraction penalty: the generic connected-hereditary engine vs the

@@ -78,3 +78,11 @@ let print_table ~title ~columns ~rows =
 
 let section title =
   Printf.printf "\n############ %s ############\n%!" title
+
+(* Machine-readable sink next to the human tables: experiments append
+   JSON snapshots (delay quantiles, cache counters) to files like
+   BENCH_delay.json in the working directory, so successive runs leave a
+   comparable perf trail. *)
+let write_json ~path json =
+  Scliques_obs.Sink.write_file ~path (Scliques_obs.Sink.to_string json);
+  Printf.printf "[wrote %s]\n%!" path

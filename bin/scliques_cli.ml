@@ -55,13 +55,14 @@ let gen_cmd =
   let family_arg =
     let families =
       [ ("er", `Er); ("sf", `Sf); ("ws", `Ws); ("community", `Community);
-        ("proxy", `Proxy); ("gadget", `Gadget) ]
+        ("proxy", `Proxy); ("gadget", `Gadget); ("path", `Path) ]
     in
     let doc =
       "Graph family: $(b,er) (Erdős–Rényi), $(b,sf) (scale-free preferential \
        attachment), $(b,ws) (Watts–Strogatz), $(b,community) (planted \
        partition), $(b,proxy) (social-network proxy), $(b,gadget) (the \
-       paper's exponential-output gadget; --nodes is its parameter n)."
+       paper's exponential-output gadget; --nodes is its parameter n), \
+       $(b,path) (the deterministic path 0-1-...-(n-1))."
     in
     Arg.(value & opt (enum families) `Er & info [ "family" ] ~docv:"FAMILY" ~doc)
   in
@@ -95,6 +96,7 @@ let gen_cmd =
           Sgraph.Gen.planted_partition rng ~n ~communities ~p_in ~p_out:0.001
       | `Proxy -> Sgraph.Gen.social_proxy rng ~n ~avg_degree ~communities
       | `Gadget -> Sgraph.Gen.exponential_gadget n
+      | `Path -> Sgraph.Gen.path n
     in
     write_graph g output
   in
@@ -140,27 +142,71 @@ let enum_cmd =
     Arg.(value & flag & info [ "count" ] ~doc:"Print only the number of results.")
   in
   let stats_arg =
-    Arg.(value & flag & info [ "stats" ] ~doc:"Print only size statistics.")
+    let doc =
+      "Print only run statistics in the given format: $(b,text) (size \
+       statistics, one line) or $(b,json) (size statistics plus the \
+       observability snapshot — per-result delay quantiles, N^s-cache \
+       hit/miss/eviction counters, and the algorithm's search counters)."
+    in
+    Arg.(
+      value
+      & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
+      & info [ "stats" ] ~docv:"FMT" ~doc)
   in
-  let run file format s algorithm limit min_size count_only stats_only =
+  let run file format s algorithm limit min_size count_only stats_fmt =
     if s < 1 then `Error (false, "s must be >= 1")
     else begin
       let g = load_graph format file in
+      (* observe only when the observability output was asked for, so the
+         default enumeration path stays uninstrumented *)
+      let obs =
+        match stats_fmt with Some `Json -> Some (Scliques_obs.Obs.create ()) | _ -> None
+      in
       let results =
         match limit with
-        | Some n -> E.first_n ~min_size algorithm g ~s n
-        | None -> E.all_results ~min_size algorithm g ~s
+        | Some n -> E.first_n ~min_size ?obs algorithm g ~s n
+        | None -> E.all_results ~min_size ?obs algorithm g ~s
       in
       if count_only then Printf.printf "%d\n" (List.length results)
-      else if stats_only then
-        Format.printf "%a@." Scliques_core.Stats.pp
-          (Scliques_core.Stats.of_results results)
-      else
-        List.iter
-          (fun c ->
-            print_endline
-              (String.concat " " (List.map string_of_int (NS.to_list c))))
-          results;
+      else begin
+        match stats_fmt with
+        | Some `Text ->
+            Format.printf "%a@." Scliques_core.Stats.pp
+              (Scliques_core.Stats.of_results results)
+        | Some `Json ->
+            let stats = Scliques_core.Stats.of_results results in
+            let open Scliques_obs in
+            let obs_fields =
+              match obs with
+              | Some o -> (
+                  match Obs.snapshot_json o with Sink.Obj fields -> fields | _ -> [])
+              | None -> []
+            in
+            let json =
+              Sink.Obj
+                ([
+                   ("algorithm", Sink.String (E.name algorithm));
+                   ("s", Sink.Int s);
+                   ( "results",
+                     Sink.Obj
+                       [
+                         ("count", Sink.Int stats.Scliques_core.Stats.count);
+                         ("min_size", Sink.Int stats.Scliques_core.Stats.min_size);
+                         ("avg_size", Sink.Float stats.Scliques_core.Stats.avg_size);
+                         ("max_size", Sink.Int stats.Scliques_core.Stats.max_size);
+                         ("total_nodes", Sink.Int stats.Scliques_core.Stats.total_nodes);
+                       ] );
+                 ]
+                @ obs_fields)
+            in
+            print_endline (Sink.to_string json)
+        | None ->
+            List.iter
+              (fun c ->
+                print_endline
+                  (String.concat " " (List.map string_of_int (NS.to_list c))))
+              results
+      end;
       `Ok ()
     end
   in

@@ -1,12 +1,23 @@
 module Node_set = Sgraph.Node_set
 module Graph = Sgraph.Graph
 
-let iter ?(min_size = 0) ?(should_continue = fun () -> true) nh yield =
+let c_incr = function None -> () | Some c -> Scliques_obs.Counters.incr c
+
+let c_set_max c n = match c with None -> () | Some c -> Scliques_obs.Counters.set_max c n
+
+let iter ?(min_size = 0) ?(should_continue = fun () -> true) ?obs nh yield =
   let g = Neighborhood.graph nh in
+  let ctr name = Option.map (fun o -> Scliques_obs.Obs.counter o name) obs in
+  let c_calls = ctr "cs1.calls" in
+  let c_depth = ctr "cs1.max_depth" in
+  let c_emits = ctr "cs1.emits" in
+  (match obs with None -> () | Some o -> Scliques_obs.Obs.reset_clock o);
   (* frontier = N^{∃,1}(R) maintained incrementally as a running union of
      member neighborhoods; stray R-members inside it are harmless because
      P and X are always disjoint from R *)
-  let rec recurse r p x frontier =
+  let rec recurse depth r p x frontier =
+    c_incr c_calls;
+    c_set_max c_depth depth;
     if should_continue () && Node_set.cardinal r + Node_set.cardinal p >= min_size
     then begin
       (* paper's convention: N^{∃,1}(∅) is the whole node set *)
@@ -17,13 +28,17 @@ let iter ?(min_size = 0) ?(should_continue = fun () -> true) nh yield =
         && Node_set.is_empty x_adj
         && (not (Node_set.is_empty r))
         && Node_set.cardinal r >= min_size
-      then yield r;
+      then begin
+        c_incr c_emits;
+        (match obs with None -> () | Some o -> Scliques_obs.Obs.tick o);
+        yield r
+      end;
       let branchable = p_adj in
       let p = ref p and x = ref x in
       Node_set.iter
         (fun v ->
           let ball_v = Neighborhood.ball nh v in
-          recurse (Node_set.add v r)
+          recurse (depth + 1) (Node_set.add v r)
             (Node_set.inter !p ball_v)
             (Node_set.inter !x ball_v)
             (Node_set.union frontier (Graph.neighbor_set g v));
@@ -32,4 +47,5 @@ let iter ?(min_size = 0) ?(should_continue = fun () -> true) nh yield =
         branchable
     end
   in
-  recurse Node_set.empty (Graph.nodes g) Node_set.empty Node_set.empty
+  recurse 0 Node_set.empty (Graph.nodes g) Node_set.empty Node_set.empty;
+  match obs with None -> () | Some _ -> Neighborhood.sync_obs nh

@@ -13,10 +13,15 @@
 val iter :
   ?min_size:int ->
   ?should_continue:(unit -> bool) ->
+  ?obs:Scliques_obs.Obs.t ->
   Neighborhood.t ->
   (Sgraph.Node_set.t -> unit) ->
   unit
 (** Call the function on every maximal connected s-clique exactly once.
     [min_size] enables the §6 pruning ([|R| + |P| < k] branches are cut)
     and suppresses smaller results. [should_continue] is polled at every
-    recursion entry; [false] abandons the remaining search. *)
+    recursion entry; [false] abandons the remaining search.
+
+    With [obs], the delay recorder ticks per emission and the
+    recursion-tree counters [cs1.calls], [cs1.max_depth] and [cs1.emits]
+    are maintained; without it the search is uninstrumented. *)

@@ -35,11 +35,26 @@ let select_pivot nh rule p x frontier =
 
 type root_order = Ascending | Power_degeneracy
 
+let c_incr = function None -> () | Some c -> Scliques_obs.Counters.incr c
+
+let c_add c n = match c with None -> () | Some c -> Scliques_obs.Counters.add c n
+
+let c_set_max c n = match c with None -> () | Some c -> Scliques_obs.Counters.set_max c n
+
 (* The recursion shared by [iter] (whole graph) and [iter_rooted] (a
    single root branch, used by the Parallel decomposition). *)
-let make_recurse ~pivot ~pivot_rule ~feasibility ~min_size ~should_continue nh yield =
+let make_recurse ~pivot ~pivot_rule ~feasibility ~min_size ~should_continue ?obs nh
+    yield =
   let g = Neighborhood.graph nh in
-  let rec recurse r p x frontier =
+  let ctr name = Option.map (fun o -> Scliques_obs.Obs.counter o name) obs in
+  let c_calls = ctr "cs2.calls" in
+  let c_depth = ctr "cs2.max_depth" in
+  let c_emits = ctr "cs2.emits" in
+  let c_pivot_prunes = ctr "cs2.pivot_prunes" in
+  let c_feas_prunes = ctr "cs2.feasibility_prunes" in
+  let rec recurse depth r p x frontier =
+    c_incr c_calls;
+    c_set_max c_depth depth;
     if should_continue () && Node_set.cardinal r + Node_set.cardinal p >= min_size
     then begin
       let r_empty = Node_set.is_empty r in
@@ -51,7 +66,11 @@ let make_recurse ~pivot ~pivot_rule ~feasibility ~min_size ~should_continue nh y
         && (not r_empty)
         && Node_set.cardinal r >= min_size
         && Sgraph.Bfs.is_connected_subset g r
-      then yield r;
+      then begin
+        c_incr c_emits;
+        (match obs with None -> () | Some o -> Scliques_obs.Obs.tick o);
+        yield r
+      end;
       let branchable =
         if not pivot then p
         else if r_empty then p (* a pivot must neighbor R: none exists yet *)
@@ -60,18 +79,24 @@ let make_recurse ~pivot ~pivot_rule ~feasibility ~min_size ~should_continue nh y
           | None ->
               (* no node of P ∪ X touches R: R cannot grow connectedly,
                  and disconnected growth can never reconnect either *)
+              c_add c_pivot_prunes (Node_set.cardinal p);
               Node_set.empty
-          | Some u -> Node_set.diff p (Neighborhood.ball nh u)
+          | Some u ->
+              let kept = Node_set.diff p (Neighborhood.ball nh u) in
+              c_add c_pivot_prunes (Node_set.cardinal p - Node_set.cardinal kept);
+              kept
       in
       let p = ref p and x = ref x in
       Node_set.iter
         (fun v ->
           let ball_v = Neighborhood.ball nh v in
           let p_cap_ball = Node_set.inter !p ball_v in
-          if feasibility && (not r_empty) && not (feasible nh r v p_cap_ball) then
+          if feasibility && (not r_empty) && not (feasible nh r v p_cap_ball) then begin
+            c_incr c_feas_prunes;
             p := Node_set.remove v !p
+          end
           else begin
-            recurse (Node_set.add v r) p_cap_ball
+            recurse (depth + 1) (Node_set.add v r) p_cap_ball
               (Node_set.inter !x ball_v)
               (Node_set.union frontier (Graph.neighbor_set g v));
             p := Node_set.remove v !p;
@@ -80,16 +105,18 @@ let make_recurse ~pivot ~pivot_rule ~feasibility ~min_size ~should_continue nh y
         branchable
     end
   in
-  recurse
+  (match obs with None -> () | Some o -> Scliques_obs.Obs.reset_clock o);
+  recurse 0
 
 let iter ?(pivot = false) ?(pivot_rule = Min_uncovered) ?(feasibility = false)
-    ?(root_order = Ascending) ?(min_size = 0) ?(should_continue = fun () -> true) nh
-    yield =
+    ?(root_order = Ascending) ?(min_size = 0) ?(should_continue = fun () -> true) ?obs
+    nh yield =
   let g = Neighborhood.graph nh in
   let recurse =
-    make_recurse ~pivot ~pivot_rule ~feasibility ~min_size ~should_continue nh yield
+    make_recurse ~pivot ~pivot_rule ~feasibility ~min_size ~should_continue ?obs nh
+      yield
   in
-  match root_order with
+  (match root_order with
   | Ascending -> recurse Node_set.empty (Graph.nodes g) Node_set.empty Node_set.empty
   | Power_degeneracy ->
       (* branch the root in a degeneracy order of G^s: each root call's P
@@ -108,12 +135,15 @@ let iter ?(pivot = false) ?(pivot_rule = Min_uncovered) ?(feasibility = false)
             let earlier = Node_set.filter (fun u -> position.(u) < position.(v)) ball_v in
             recurse (Node_set.singleton v) later earlier (Graph.neighbor_set g v)
           end)
-        order
+        order);
+  match obs with None -> () | Some _ -> Neighborhood.sync_obs nh
 
 let iter_rooted ?(pivot = false) ?(pivot_rule = Min_uncovered) ?(feasibility = false)
-    ?(min_size = 0) ?(should_continue = fun () -> true) nh ~root ~p ~x yield =
+    ?(min_size = 0) ?(should_continue = fun () -> true) ?obs nh ~root ~p ~x yield =
   let g = Neighborhood.graph nh in
   let recurse =
-    make_recurse ~pivot ~pivot_rule ~feasibility ~min_size ~should_continue nh yield
+    make_recurse ~pivot ~pivot_rule ~feasibility ~min_size ~should_continue ?obs nh
+      yield
   in
-  recurse (Node_set.singleton root) p x (Graph.neighbor_set g root)
+  recurse (Node_set.singleton root) p x (Graph.neighbor_set g root);
+  match obs with None -> () | Some _ -> Neighborhood.sync_obs nh

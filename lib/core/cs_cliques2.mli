@@ -42,13 +42,20 @@ val iter :
   ?root_order:root_order ->
   ?min_size:int ->
   ?should_continue:(unit -> bool) ->
+  ?obs:Scliques_obs.Obs.t ->
   Neighborhood.t ->
   (Sgraph.Node_set.t -> unit) ->
   unit
 (** Call the function on every maximal connected s-clique exactly once.
     Defaults: [pivot = false], [pivot_rule = Min_uncovered],
     [feasibility = false]. [min_size] enables the §6 pruning and filters
-    the output; [should_continue] is polled at every recursion entry. *)
+    the output; [should_continue] is polled at every recursion entry.
+
+    With [obs], the delay recorder ticks per emission and the counters
+    [cs2.calls], [cs2.max_depth], [cs2.emits], [cs2.pivot_prunes]
+    (candidates removed from branching by the §5.3 pivot) and
+    [cs2.feasibility_prunes] (nodes dropped by the §5.3 feasibility
+    check) are maintained; without it the search is uninstrumented. *)
 
 val iter_rooted :
   ?pivot:bool ->
@@ -56,6 +63,7 @@ val iter_rooted :
   ?feasibility:bool ->
   ?min_size:int ->
   ?should_continue:(unit -> bool) ->
+  ?obs:Scliques_obs.Obs.t ->
   Neighborhood.t ->
   root:int ->
   p:Sgraph.Node_set.t ->

@@ -25,52 +25,76 @@ let of_name n =
   | _ -> None
 
 let iter ?(min_size = 0) ?(optimized = true) ?cache_capacity
-    ?(should_continue = fun () -> true) algorithm g ~s yield =
+    ?(should_continue = fun () -> true) ?obs algorithm g ~s yield =
   (* Without the §6 optimizations the full enumeration runs and the size
      bound is applied only at the output (Fig. 10's baseline). *)
   let pushed_min = if optimized then min_size else 0 in
   let yield = if optimized then yield
     else fun c -> if Node_set.cardinal c >= min_size then yield c
   in
-  let nh () = Neighborhood.create ?cache_capacity ~s g in
   match algorithm with
-  | Poly_delay ->
-      let queue_mode =
-        if optimized && min_size > 0 then Poly_delay.Largest_first else Poly_delay.Fifo
-      in
-      Poly_delay.iter ~queue_mode ~min_size:pushed_min ~should_continue (nh ()) yield
-  | Cs1 -> Cs_cliques1.iter ~min_size:pushed_min ~should_continue (nh ()) yield
-  | Cs2 ->
-      Cs_cliques2.iter ~pivot:false ~feasibility:false ~min_size:pushed_min
-        ~should_continue (nh ()) yield
-  | Cs2_f ->
-      Cs_cliques2.iter ~pivot:false ~feasibility:true ~min_size:pushed_min
-        ~should_continue (nh ()) yield
-  | Cs2_p ->
-      Cs_cliques2.iter ~pivot:true ~feasibility:false ~min_size:pushed_min
-        ~should_continue (nh ()) yield
-  | Cs2_pf ->
-      Cs_cliques2.iter ~pivot:true ~feasibility:true ~min_size:pushed_min
-        ~should_continue (nh ()) yield
   | Brute ->
       if s < 1 then invalid_arg "Enumerate.iter: s must be >= 1";
+      let c_emits = Option.map (fun o -> Scliques_obs.Obs.counter o "brute.emits") obs in
+      (match obs with None -> () | Some o -> Scliques_obs.Obs.reset_clock o);
       List.iter
-        (fun c -> if Node_set.cardinal c >= min_size then yield c)
+        (fun c ->
+          if Node_set.cardinal c >= min_size then begin
+            (match (obs, c_emits) with
+            | Some o, Some ctr ->
+                Scliques_obs.Counters.incr ctr;
+                Scliques_obs.Obs.tick o
+            | _ -> ());
+            yield c
+          end)
         (Brute_force.maximal_connected_s_cliques g ~s)
+  | _ ->
+      let nh = Neighborhood.create ?cache_capacity ?obs ~s g in
+      let run () =
+        match algorithm with
+        | Poly_delay ->
+            let queue_mode =
+              if optimized && min_size > 0 then Poly_delay.Largest_first
+              else Poly_delay.Fifo
+            in
+            Poly_delay.iter ~queue_mode ~min_size:pushed_min ~should_continue ?obs nh
+              yield
+        | Cs1 -> Cs_cliques1.iter ~min_size:pushed_min ~should_continue ?obs nh yield
+        | Cs2 ->
+            Cs_cliques2.iter ~pivot:false ~feasibility:false ~min_size:pushed_min
+              ~should_continue ?obs nh yield
+        | Cs2_f ->
+            Cs_cliques2.iter ~pivot:false ~feasibility:true ~min_size:pushed_min
+              ~should_continue ?obs nh yield
+        | Cs2_p ->
+            Cs_cliques2.iter ~pivot:true ~feasibility:false ~min_size:pushed_min
+              ~should_continue ?obs nh yield
+        | Cs2_pf ->
+            Cs_cliques2.iter ~pivot:true ~feasibility:true ~min_size:pushed_min
+              ~should_continue ?obs nh yield
+        | Brute -> assert false
+      in
+      (match obs with
+      | None -> run ()
+      | Some _ ->
+          (* early termination escapes via the caller's exception (e.g.
+             [first_n]'s quota): still publish the cache counters *)
+          Fun.protect ~finally:(fun () -> Neighborhood.sync_obs nh) run)
 
-let all_results ?min_size ?optimized ?cache_capacity algorithm g ~s =
+let all_results ?min_size ?optimized ?cache_capacity ?obs algorithm g ~s =
   let acc = ref [] in
-  iter ?min_size ?optimized ?cache_capacity algorithm g ~s (fun c -> acc := c :: !acc);
+  iter ?min_size ?optimized ?cache_capacity ?obs algorithm g ~s
+    (fun c -> acc := c :: !acc);
   List.rev !acc
 
 exception Enough
 
 let first_n ?min_size ?optimized ?cache_capacity ?(should_continue = fun () -> true)
-    algorithm g ~s n =
+    ?obs algorithm g ~s n =
   let acc = ref [] in
   let got = ref 0 in
   (try
-     iter ?min_size ?optimized ?cache_capacity ~should_continue algorithm g ~s
+     iter ?min_size ?optimized ?cache_capacity ~should_continue ?obs algorithm g ~s
        (fun c ->
          acc := c :: !acc;
          incr got;

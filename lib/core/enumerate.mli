@@ -30,6 +30,7 @@ val iter :
   ?optimized:bool ->
   ?cache_capacity:int ->
   ?should_continue:(unit -> bool) ->
+  ?obs:Scliques_obs.Obs.t ->
   algorithm ->
   Sgraph.Graph.t ->
   s:int ->
@@ -37,6 +38,12 @@ val iter :
   unit
 (** Enumerate all maximal connected s-cliques (each exactly once) and
     pass them to the callback.
+
+    With [obs], the selected algorithm records per-result delays and its
+    counters into the handle (see {!Scliques_obs.Obs} for the counter
+    vocabulary), and the N^s-cache statistics are published when the run
+    ends — including runs cut short by an exception from the callback.
+    Omitting [obs] (the default) leaves every hot path uninstrumented.
 
     [min_size] restricts the output to sets of at least that many nodes.
     With [optimized = true] (default) the §6 machinery is engaged —
@@ -52,6 +59,7 @@ val all_results :
   ?min_size:int ->
   ?optimized:bool ->
   ?cache_capacity:int ->
+  ?obs:Scliques_obs.Obs.t ->
   algorithm ->
   Sgraph.Graph.t ->
   s:int ->
@@ -63,6 +71,7 @@ val first_n :
   ?optimized:bool ->
   ?cache_capacity:int ->
   ?should_continue:(unit -> bool) ->
+  ?obs:Scliques_obs.Obs.t ->
   algorithm ->
   Sgraph.Graph.t ->
   s:int ->

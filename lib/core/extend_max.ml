@@ -31,52 +31,26 @@ let in_induced nh ~universe ~seed =
   if not (Node_set.subset seed universe) then
     invalid_arg "Extend_max.in_induced: seed outside universe";
   let g = Neighborhood.graph nh in
-  let s = Neighborhood.s nh in
-  let sub, back = Graph.induced g universe in
-  let k = Graph.n sub in
-  (* map original ids to induced ids *)
-  let fwd = Hashtbl.create (2 * k) in
-  Array.iteri (fun i orig -> Hashtbl.replace fwd orig i) back;
-  let to_sub v = Hashtbl.find fwd v in
-  (* all-pairs distances in the induced subgraph, bounded universe size *)
-  let dist = Array.init k (fun i -> Sgraph.Bfs.distances sub i) in
-  let in_result = Array.make k false in
-  Node_set.iter (fun v -> in_result.(to_sub v) <- true) seed;
-  let close_enough i j = dist.(i).(j) >= 0 && dist.(i).(j) <= s in
-  (* ok.(i): i is within distance s (in the induced graph) of every current
-     member; adjacency to the current set is rechecked on demand *)
-  let ok = Array.make k true in
-  for i = 0 to k - 1 do
-    if not in_result.(i) then
-      Node_set.iter (fun v -> if not (close_enough i (to_sub v)) then ok.(i) <- false) seed
-  done;
-  let adjacent_to_result i =
-    Array.exists (fun j -> in_result.(j)) (Graph.neighbors sub i)
-  in
+  (* Same greedy loop as [in_graph], with membership and growth adjacency
+     restricted to [universe]. Distances stay those of the WHOLE graph:
+     s-cliques are defined by ambient distances (§3), and the carve of
+     Fig. 4 line 10 must keep every member of C ∪ {v} within ambient
+     distance s of v — measuring inside G[C ∪ {v}] loses witness paths
+     that leave the universe and breaks Theorem 4.2's completeness. *)
+  let restrict set = Node_set.inter set universe in
+  let candidates = ref (restrict (Neighborhood.ball_forall nh seed)) in
+  let frontier = ref (restrict (Neighborhood.adjacent_any nh seed)) in
+  let result = ref seed in
   let continue_ = ref true in
   while !continue_ do
-    (* smallest original id among eligible nodes; [back] is increasing, so
-       scanning induced ids in order respects original-id order *)
-    let picked = ref (-1) in
-    (try
-       for i = 0 to k - 1 do
-         if (not in_result.(i)) && ok.(i) && adjacent_to_result i then begin
-           picked := i;
-           raise Exit
-         end
-       done
-     with Exit -> ());
-    if !picked < 0 then continue_ := false
+    let eligible = Node_set.inter !candidates !frontier in
+    if Node_set.is_empty eligible then continue_ := false
     else begin
-      let i = !picked in
-      in_result.(i) <- true;
-      for j = 0 to k - 1 do
-        if (not in_result.(j)) && ok.(j) && not (close_enough i j) then ok.(j) <- false
-      done
+      let v = Node_set.min_elt eligible in
+      result := Node_set.add v !result;
+      candidates := Node_set.remove v (Node_set.inter !candidates (Neighborhood.ball nh v));
+      frontier :=
+        restrict (Node_set.diff (Node_set.union !frontier (Graph.neighbor_set g v)) !result)
     end
   done;
-  let members = ref [] in
-  for i = k - 1 downto 0 do
-    if in_result.(i) then members := back.(i) :: !members
-  done;
-  Node_set.of_list !members
+  !result

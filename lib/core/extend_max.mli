@@ -8,10 +8,15 @@
 
     - line 3 / line 11 extend with respect to the {e whole} graph
       ({!in_graph});
-    - line 10 extends [{v}] inside the induced subgraph [G\[C ∪ {v}\]],
-      where distances are measured {e in the induced subgraph}
+    - line 10 extends [{v}] inside the induced subgraph [G\[C ∪ {v}\]]
       ({!in_induced}) — this is what lets the algorithm carve the portion
-      of [C] compatible with [v].
+      of [C] compatible with [v]. The restriction applies to membership
+      and to the adjacency driving connected growth only; distances are
+      still those of the whole graph, because §3 defines s-cliques by
+      ambient distances (witness paths may leave the set — and hence the
+      universe). Restricting distances too would drop members of [C]
+      whose only witness path to [v] runs outside [C ∪ {v}] and lose
+      results, violating Theorem 4.2.
 
     Node choice is deterministic: the smallest eligible id is added first,
     so results are reproducible across runs. *)
@@ -28,6 +33,7 @@ val in_induced :
   seed:Sgraph.Node_set.t ->
   Sgraph.Node_set.t
 (** [in_induced nh ~universe ~seed] runs ExtendMax(seed, G[universe], s):
-    distances and adjacency are those of the induced subgraph. [seed] must
-    be a nonempty connected s-clique of G[universe] and a subset of
-    [universe]. O(|universe|^2 + |universe| * edges-in-universe). *)
+    only members of [universe] may join and growth follows adjacency
+    within the universe, but distance-s closeness is decided in the whole
+    graph (see the module comment). [seed] must be a nonempty connected
+    s-clique and a subset of [universe]. *)

@@ -60,20 +60,27 @@ let extend_max g holds seed =
   !result
 
 (* Carve step (paper line 10 generalized): the restricted problem on
-   G[C ∪ {v}] with the property rebuilt on the induced subgraph. For
-   carve-unique properties the greedy growth from {v} is the (single)
-   answer; otherwise every maximal restricted solution containing v is
-   enumerated by brute force — CKS's input-restricted problem. *)
-let carve g property ~emitted v =
+   G[C ∪ {v}] — membership and connectivity live in the induced
+   subgraph, but the property itself stays that of the ORIGINAL graph.
+   The distinction only matters for non-local properties: an s-clique's
+   witness paths may leave the universe (§3 measures distances in the
+   ambient graph), so rebuilding the predicate on the induced subgraph
+   would lose results (the same trap as Extend_max.in_induced). Local
+   properties (cliques, k-plexes) read only internal edges and cannot
+   tell the difference. For carve-unique properties the greedy growth
+   from {v} is the (single) answer; otherwise every maximal restricted
+   solution containing v is enumerated by brute force — CKS's
+   input-restricted problem. *)
+let carve g property ~holds ~emitted v =
   let universe = Node_set.add v emitted in
   let sub, back = Graph.induced g universe in
   let fwd = Hashtbl.create (2 * Node_set.cardinal universe) in
   Array.iteri (fun i orig -> Hashtbl.replace fwd orig i) back;
-  let holds_sub = property.build sub in
   let v_sub = Hashtbl.find fwd v in
   let to_original grown =
     Node_set.of_list (List.map (fun i -> back.(i)) (Node_set.to_list grown))
   in
+  let holds_sub u = holds (to_original u) in
   if property.carve_unique then
     [ to_original (extend_max sub holds_sub (Node_set.singleton v_sub)) ]
   else begin
@@ -136,7 +143,7 @@ let iter ?(should_continue = fun () -> true) g property yield =
             (fun v ->
               List.iter
                 (fun carved -> register (extend_max g holds carved))
-                (carve g property ~emitted:c v))
+                (carve g property ~holds ~emitted:c v))
             frontier
   done
 

@@ -15,15 +15,19 @@
       always has a one-node extension (connectivity of the bigger set
       provides an adjacent node; heredity keeps the property);
     - the line-10 "carve" step — re-growing from [{v}] inside
-      [G[C ∪ {v}]], with the property {e re-interpreted on the induced
-      subgraph} — transfers progressively larger pieces of any target set
-      from already-found results, so the queue eventually reaches it.
+      [G[C ∪ {v}]] — transfers progressively larger pieces of any target
+      set from already-found results, so the queue eventually reaches it.
+      The restriction to [G[C ∪ {v}]] limits {e membership and
+      connectivity} only; the property itself stays that of the original
+      graph. This matters for non-local properties: an s-clique's witness
+      paths may leave the universe, and re-interpreting the predicate on
+      the induced subgraph would drop members whose only witness path
+      runs outside it, losing results. For purely local properties
+      (clique, k-plex) the two readings coincide.
 
-    A property is therefore a {e constructor}: it builds its predicate for
-    whichever graph it is asked about, because the induced reinterpretation
-    matters (an s-clique of [G[C ∪ {v}]] measures distances there, not in
-    [G]). For purely local properties (clique, k-plex) the two
-    interpretations coincide.
+    A property is still a {e constructor} — it builds its predicate for a
+    given graph — so the engine can memoize per-graph state (the s-clique
+    instance shares one distance-ball cache across all queries).
 
     Instantiations provided: cliques, connected s-cliques (cross-checked
     against the specialized {!Poly_delay} in the tests) and connected

@@ -5,11 +5,20 @@ type t = {
   graph : Graph.t;
   s : int;
   cache : (int, Node_set.t) Scoll.Lri_cache.t;
+  obs : Scliques_obs.Obs.t option;
+  c_bfs : Scliques_obs.Counters.counter option;
+      (* resolved once at creation so each cached-miss BFS costs one add *)
 }
 
-let create ?(cache_capacity = 65536) ~s graph =
+let create ?(cache_capacity = 65536) ?obs ~s graph =
   if s < 1 then invalid_arg "Neighborhood.create: s must be >= 1";
-  { graph; s; cache = Scoll.Lri_cache.create ~capacity:cache_capacity () }
+  {
+    graph;
+    s;
+    cache = Scoll.Lri_cache.create ~capacity:cache_capacity ();
+    obs;
+    c_bfs = Option.map (fun o -> Scliques_obs.Obs.counter o "nh.bfs_expansions") obs;
+  }
 
 let graph t = t.graph
 
@@ -19,7 +28,11 @@ let ball t v =
   if t.s = 1 then Graph.neighbor_set t.graph v (* already materialized *)
   else
     Scoll.Lri_cache.find_or_add t.cache v ~compute:(fun v ->
-        Sgraph.Bfs.ball t.graph v ~radius:t.s)
+        let b = Sgraph.Bfs.ball t.graph v ~radius:t.s in
+        (match t.c_bfs with
+        | None -> ()
+        | Some c -> Scliques_obs.Counters.add c (Node_set.cardinal b + 1));
+        b)
 
 let ball_forall t c =
   if Node_set.is_empty c then Graph.nodes t.graph
@@ -45,3 +58,13 @@ let adjacent_any t c =
 let within_distance t u v = u = v || Node_set.mem v (ball t u)
 
 let cache_stats t = Scoll.Lri_cache.stats t.cache
+
+let sync_obs t =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      let stats = Scoll.Lri_cache.stats t.cache in
+      let set name v = Scliques_obs.Counters.set (Scliques_obs.Obs.counter o name) v in
+      set "nh.cache_hits" stats.Scoll.Lri_cache.hits;
+      set "nh.cache_misses" stats.Scoll.Lri_cache.misses;
+      set "nh.cache_evictions" stats.Scoll.Lri_cache.evictions

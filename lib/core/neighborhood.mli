@@ -14,10 +14,13 @@
 
 type t
 
-val create : ?cache_capacity:int -> s:int -> Sgraph.Graph.t -> t
+val create : ?cache_capacity:int -> ?obs:Scliques_obs.Obs.t -> s:int -> Sgraph.Graph.t -> t
 (** [create ~s g] prepares a neighborhood oracle for [g] with parameter
     [s >= 1]. [cache_capacity] bounds the number of memoized balls
     (default [65536]; [0] disables caching — every query recomputes).
+    With [obs], each ball BFS adds its visited-node count to the
+    [nh.bfs_expansions] counter as it happens; cache counters are
+    published on {!sync_obs}.
     @raise Invalid_argument when [s < 1]. *)
 
 val graph : t -> Sgraph.Graph.t
@@ -43,3 +46,10 @@ val within_distance : t -> int -> int -> bool
 val cache_stats : t -> Scoll.Lri_cache.stats
 (** Hit/miss/eviction counters of the ball cache (for the ablation
     benchmark). *)
+
+val sync_obs : t -> unit
+(** Publish the ball cache's cumulative hit/miss/eviction counts into the
+    observer's [nh.cache_hits] / [nh.cache_misses] / [nh.cache_evictions]
+    counters (overwriting — the LRI cache is the source of truth). No-op
+    without an observer. Algorithms call this once when a run ends so the
+    per-query path stays counter-free. *)

@@ -5,10 +5,12 @@ type stats = { results_per_worker : int array; time_per_worker : float array }
 
 (* Work done by one domain: the CsCliques2 subtree of every root node
    assigned to this worker. Root branch v starts from the same state the
-   sequential ascending root loop would reach at v. *)
-let run_worker ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity roots =
+   sequential ascending root loop would reach at v. Each worker gets its
+   own observer (domains must not share one) — merged after the join. *)
+let run_worker ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed roots =
   let t0 = Unix.gettimeofday () in
-  let nh = Neighborhood.create ~cache_capacity ~s g in
+  let obs = if observed then Some (Scliques_obs.Obs.create ()) else None in
+  let nh = Neighborhood.create ~cache_capacity ?obs ~s g in
   let results = ref [] in
   List.iter
     (fun v ->
@@ -17,17 +19,18 @@ let run_worker ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity roots =
       let earlier = Node_set.filter (fun u -> u < v) ball_v in
       (* reuse the sequential engine on the singleton-rooted subproblem:
          R = {v}, P = later s-neighbors, X = earlier ones *)
-      Cs_cliques2.iter_rooted ~pivot ~feasibility ~min_size nh ~root:v ~p:later
+      Cs_cliques2.iter_rooted ~pivot ~feasibility ~min_size ?obs nh ~root:v ~p:later
         ~x:earlier (fun c -> results := c :: !results))
     roots;
-  (!results, Unix.gettimeofday () -. t0)
+  (!results, Unix.gettimeofday () -. t0, obs)
 
 let enumerate_with_stats ?workers ?(pivot = true) ?(feasibility = false)
-    ?(min_size = 0) ?(cache_capacity = 65536) g ~s =
+    ?(min_size = 0) ?(cache_capacity = 65536) ?obs g ~s =
   let workers =
     match workers with Some w -> w | None -> Domain.recommended_domain_count ()
   in
   if workers < 1 then invalid_arg "Parallel.enumerate: workers must be >= 1";
+  let observed = obs <> None in
   let n = Graph.n g in
   let buckets = Array.make workers [] in
   for v = n - 1 downto 0 do
@@ -35,18 +38,48 @@ let enumerate_with_stats ?workers ?(pivot = true) ?(feasibility = false)
   done;
   let spawn roots =
     Domain.spawn (fun () ->
-        run_worker ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity roots)
+        run_worker ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed roots)
   in
   (* the first bucket runs in the calling domain *)
   let helpers = Array.to_list (Array.map spawn (Array.sub buckets 1 (workers - 1))) in
   let own =
-    run_worker ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity buckets.(0)
+    run_worker ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed buckets.(0)
   in
   let parts = own :: List.map Domain.join helpers in
-  let results_per_worker = Array.of_list (List.map (fun (r, _) -> List.length r) parts) in
-  let time_per_worker = Array.of_list (List.map snd parts) in
-  let all = List.sort Node_set.compare (List.concat_map fst parts) in
+  let results_per_worker =
+    Array.of_list (List.map (fun (r, _, _) -> List.length r) parts)
+  in
+  let time_per_worker = Array.of_list (List.map (fun (_, t, _) -> t) parts) in
+  (* canonical output: sorted by Node_set.compare, so the result list is
+     identical for every worker count (root branches partition the output,
+     only their arrival order differs) *)
+  let all =
+    List.sort Node_set.compare (List.concat_map (fun (r, _, _) -> r) parts)
+  in
+  (match obs with
+  | None -> ()
+  | Some into ->
+      List.iteri
+        (fun i (r, _, worker_obs) ->
+          match worker_obs with
+          | None -> ()
+          | Some o ->
+              Scliques_obs.Counters.set
+                (Scliques_obs.Obs.counter into (Printf.sprintf "par.worker%d.results" i))
+                (List.length r);
+              Scliques_obs.Obs.merge_into ~into o)
+        parts;
+      let set name v =
+        Scliques_obs.Counters.set (Scliques_obs.Obs.counter into name) v
+      in
+      set "par.workers" workers;
+      set "par.results" (List.length all);
+      set "par.max_worker_results" (Array.fold_left max 0 results_per_worker);
+      set "par.min_worker_results"
+        (Array.fold_left min max_int results_per_worker));
   (all, { results_per_worker; time_per_worker })
 
-let enumerate ?workers ?pivot ?feasibility ?min_size ?cache_capacity g ~s =
-  fst (enumerate_with_stats ?workers ?pivot ?feasibility ?min_size ?cache_capacity g ~s)
+let enumerate ?workers ?pivot ?feasibility ?min_size ?cache_capacity ?obs g ~s =
+  fst
+    (enumerate_with_stats ?workers ?pivot ?feasibility ?min_size ?cache_capacity ?obs g
+       ~s)

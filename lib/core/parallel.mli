@@ -27,12 +27,16 @@ val enumerate :
   ?feasibility:bool ->
   ?min_size:int ->
   ?cache_capacity:int ->
+  ?obs:Scliques_obs.Obs.t ->
   Sgraph.Graph.t ->
   s:int ->
   Sgraph.Node_set.t list
-(** All maximal connected s-cliques, each exactly once, in increasing
-    {!Sgraph.Node_set.compare} order. [workers] defaults to
-    [Domain.recommended_domain_count ()]; [pivot] defaults to [true].
+(** All maximal connected s-cliques, each exactly once, {b canonicalized}:
+    sorted in increasing {!Sgraph.Node_set.compare} order, so the returned
+    list is identical for every [workers] value (the root decomposition
+    partitions the output; only arrival order varies, and sorting removes
+    it). [workers] defaults to [Domain.recommended_domain_count ()];
+    [pivot] defaults to [true].
     @raise Invalid_argument when [workers < 1] or [s < 1]. *)
 
 val enumerate_with_stats :
@@ -41,7 +45,13 @@ val enumerate_with_stats :
   ?feasibility:bool ->
   ?min_size:int ->
   ?cache_capacity:int ->
+  ?obs:Scliques_obs.Obs.t ->
   Sgraph.Graph.t ->
   s:int ->
   Sgraph.Node_set.t list * stats
-(** Same, plus per-worker load statistics. *)
+(** Same, plus per-worker load statistics. With [obs], every worker runs
+    its own observer (domains never share one): per-worker delay
+    recorders and recursion counters are merged into [obs] after the
+    join, and the imbalance counters [par.workers], [par.results],
+    [par.worker<i>.results], [par.max_worker_results] and
+    [par.min_worker_results] are published. *)

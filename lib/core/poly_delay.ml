@@ -60,19 +60,56 @@ let queue_pop_opt q =
   | Q_fifo f -> Scoll.Fifo_queue.pop_opt f
   | Q_heap h -> Scoll.Binary_heap.pop_opt h
 
+(* optional-counter helpers: one [match] on the off path, a field write on *)
+let c_incr = function None -> () | Some c -> Scliques_obs.Counters.incr c
+
+let c_set_max c n = match c with None -> () | Some c -> Scliques_obs.Counters.set_max c n
+
 let iter_with_stats ?(queue_mode = Fifo) ?(index_mode = Btree) ?(min_size = 0)
-    ?(should_continue = fun () -> true) nh yield =
+    ?(should_continue = fun () -> true) ?obs nh yield =
   let g = Neighborhood.graph nh in
   let queue = queue_create queue_mode in
   let index = index_create index_mode in
   let results = ref 0 in
-  let register c = if index_add index c then queue_push queue c in
+  (* counter handles resolved once; all None when running unobserved *)
+  let ctr name = Option.map (fun o -> Scliques_obs.Obs.counter o name) obs in
+  let c_dequeues = ctr "pd.dequeues" in
+  let c_emits = ctr "pd.emits" in
+  let c_extend = ctr "pd.extend_max_calls" in
+  let c_inserts = ctr "pd.index_inserts" in
+  let c_duplicates = ctr "pd.index_duplicates" in
+  let c_qhw = ctr "pd.queue_high_water" in
+  let c_gap_work = ctr "pd.max_extend_calls_between_emits" in
+  let qlen = ref 0 in
+  (* ExtendMax invocations since the last emission: a deterministic,
+     machine-independent proxy for Theorem 4.2's delay *)
+  let work_since_emit = ref 0 in
+  let extend_in_graph c =
+    c_incr c_extend;
+    incr work_since_emit;
+    Extend_max.in_graph nh c
+  in
+  let extend_in_induced ~universe ~seed =
+    c_incr c_extend;
+    incr work_since_emit;
+    Extend_max.in_induced nh ~universe ~seed
+  in
+  let register c =
+    if index_add index c then begin
+      c_incr c_inserts;
+      queue_push queue c;
+      incr qlen;
+      c_set_max c_qhw !qlen
+    end
+    else c_incr c_duplicates
+  in
+  (match obs with None -> () | Some o -> Scliques_obs.Obs.reset_clock o);
   (* one seed per connected component: distances never cross components,
      so the connected graph assumed by the paper generalizes *)
   List.iter
     (fun comp ->
       let seed = Node_set.singleton (Node_set.min_elt comp) in
-      register (Extend_max.in_graph nh seed))
+      register (extend_in_graph seed))
     (Sgraph.Components.components g);
   let running = ref true in
   while !running do
@@ -81,24 +118,31 @@ let iter_with_stats ?(queue_mode = Fifo) ?(index_mode = Btree) ?(min_size = 0)
       match queue_pop_opt queue with
       | None -> running := false
       | Some c ->
+          decr qlen;
+          c_incr c_dequeues;
           if Node_set.cardinal c >= min_size then begin
             incr results;
+            c_incr c_emits;
+            c_set_max c_gap_work !work_since_emit;
+            work_since_emit := 0;
+            (match obs with None -> () | Some o -> Scliques_obs.Obs.tick o);
             yield c
           end;
           Node_set.iter
             (fun v ->
               let universe = Node_set.add v c in
               let carved =
-                Extend_max.in_induced nh ~universe ~seed:(Node_set.singleton v)
+                extend_in_induced ~universe ~seed:(Node_set.singleton v)
               in
-              register (Extend_max.in_graph nh carved))
+              register (extend_in_graph carved))
             (Neighborhood.adjacent_any nh c)
   done;
+  (match obs with None -> () | Some _ -> Neighborhood.sync_obs nh);
   {
     results = !results;
     generated = index_length index;
     index_height = index_height index;
   }
 
-let iter ?queue_mode ?index_mode ?min_size ?should_continue nh yield =
-  ignore (iter_with_stats ?queue_mode ?index_mode ?min_size ?should_continue nh yield)
+let iter ?queue_mode ?index_mode ?min_size ?should_continue ?obs nh yield =
+  ignore (iter_with_stats ?queue_mode ?index_mode ?min_size ?should_continue ?obs nh yield)

@@ -35,12 +35,21 @@ val iter :
   ?index_mode:index_mode ->
   ?min_size:int ->
   ?should_continue:(unit -> bool) ->
+  ?obs:Scliques_obs.Obs.t ->
   Neighborhood.t ->
   (Sgraph.Node_set.t -> unit) ->
   unit
 (** Call the function on each maximal connected s-clique, exactly once.
     [should_continue] is polled once per dequeue; returning [false]
-    abandons the remaining work (used by time-budgeted benchmarks). *)
+    abandons the remaining work (used by time-budgeted benchmarks).
+
+    With [obs], the run is instrumented: the delay recorder ticks on each
+    emission (the paper's per-result delay), and the counters
+    [pd.dequeues], [pd.emits], [pd.extend_max_calls], [pd.index_inserts],
+    [pd.index_duplicates], [pd.queue_high_water] and the deterministic
+    delay proxy [pd.max_extend_calls_between_emits] (most ExtendMax
+    invocations between two consecutive emissions) are maintained.
+    Without [obs] the loop is unchanged — no clock reads, no counters. *)
 
 type run_stats = {
   results : int;  (** sets reported *)
@@ -53,6 +62,7 @@ val iter_with_stats :
   ?index_mode:index_mode ->
   ?min_size:int ->
   ?should_continue:(unit -> bool) ->
+  ?obs:Scliques_obs.Obs.t ->
   Neighborhood.t ->
   (Sgraph.Node_set.t -> unit) ->
   run_stats

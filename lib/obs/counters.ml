@@ -1,0 +1,34 @@
+type counter = { name : string; mutable value : int }
+
+type t = (string, counter) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let counter t name =
+  match Hashtbl.find_opt t name with
+  | Some c -> c
+  | None ->
+      let c = { name; value = 0 } in
+      Hashtbl.add t name c;
+      c
+
+let incr c = c.value <- c.value + 1
+
+let add c n = c.value <- c.value + n
+
+let set c n = c.value <- n
+
+let set_max c n = if n > c.value then c.value <- n
+
+let value c = c.value
+
+let name c = c.name
+
+let find t name = Option.map (fun c -> c.value) (Hashtbl.find_opt t name)
+
+let to_list t =
+  Hashtbl.fold (fun name c acc -> (name, c.value) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge_into ~into src =
+  List.iter (fun (name, v) -> add (counter into name) v) (to_list src)

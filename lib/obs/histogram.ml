@@ -1,0 +1,91 @@
+let buckets_per_decade = 5
+
+let decades = 12 (* 1e-9 .. 1e3 seconds *)
+
+let lo = 1e-9
+
+let hi = 1e3
+
+let log_buckets = decades * buckets_per_decade
+
+let bucket_count = log_buckets + 2 (* + underflow + overflow *)
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () =
+  { buckets = Array.make bucket_count 0; count = 0; sum = 0.; min = infinity; max = 0. }
+
+let bucket_index v =
+  if v < lo then 0
+  else if v >= hi then bucket_count - 1
+  else
+    (* log10 (v / lo) is in [0, decades); truncation picks the geometric
+       step, clamping guards the float-boundary cases *)
+    let i = int_of_float (Float.log10 (v /. lo) *. float_of_int buckets_per_decade) in
+    1 + Stdlib.max 0 (Stdlib.min (log_buckets - 1) i)
+
+let bucket_bounds i =
+  if i < 0 || i >= bucket_count then invalid_arg "Histogram.bucket_bounds"
+  else if i = 0 then (0., lo)
+  else if i = bucket_count - 1 then (hi, infinity)
+  else
+    let step j = lo *. Float.pow 10. (float_of_int j /. float_of_int buckets_per_decade) in
+    (step (i - 1), step i)
+
+let observe t v =
+  let v = Float.max 0. v in
+  t.buckets.(bucket_index v) <- t.buckets.(bucket_index v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min then t.min <- v;
+  if v > t.max then t.max <- v
+
+let count t = t.count
+
+let sum t = t.sum
+
+let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+
+let min_value t = if t.count = 0 then 0. else t.min
+
+let max_value t = t.max
+
+let quantile t q =
+  if not (q >= 0. && q <= 1.) then invalid_arg "Histogram.quantile";
+  if t.count = 0 then 0.
+  else begin
+    let rank =
+      Stdlib.max 1 (Stdlib.min t.count (int_of_float (Float.ceil (q *. float_of_int t.count))))
+    in
+    let cum = ref 0 and idx = ref (bucket_count - 1) in
+    (try
+       for i = 0 to bucket_count - 1 do
+         cum := !cum + t.buckets.(i);
+         if !cum >= rank then begin
+           idx := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* the bucket's upper bound, clamped into the exact observed range so
+       quantiles never exceed max (overflow bucket included) *)
+    let _, upper = bucket_bounds !idx in
+    Float.max t.min (Float.min t.max upper)
+  end
+
+let counts t = Array.copy t.buckets
+
+let merge_into ~into src =
+  Array.iteri (fun i c -> into.buckets.(i) <- into.buckets.(i) + c) src.buckets;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.count > 0 then begin
+    if src.min < into.min then into.min <- src.min;
+    if src.max > into.max then into.max <- src.max
+  end

@@ -1,0 +1,70 @@
+(** Fixed-bucket log-scale histogram for latency-like values.
+
+    The paper's headline guarantee is {e per-result delay} (Theorem 4.2),
+    so the quantity we must observe spans many orders of magnitude: a
+    cache-hit emission is sub-microsecond while a worst-case gap can be
+    seconds. A log-scale histogram with a fixed, allocation-free bucket
+    layout covers that range with bounded relative error and O(1) insert:
+    buckets split each decade of [1e-9 .. 1e3] seconds into
+    {!buckets_per_decade} geometric steps, plus one underflow bucket
+    (values below 1 ns, including 0) and one overflow bucket.
+
+    Exact [count], [sum], [min] and [max] are tracked on the side, so
+    [mean] and [max] are exact while quantiles are bucket-resolution
+    estimates clamped into [[min, max]]. By construction
+    [quantile q1 <= quantile q2] whenever [q1 <= q2], and every quantile
+    is at most {!max_value} — the monotonicity the delay reports rely on.
+
+    Two histograms always share the same geometry, so {!merge_into} is a
+    plain bucket-wise sum — exactly what the parallel decomposition needs
+    to combine per-worker recorders. *)
+
+type t
+
+val buckets_per_decade : int
+(** Geometric steps per decade (5: each bucket spans a factor of
+    [10^0.2 ≈ 1.58]). *)
+
+val bucket_count : int
+(** Total number of buckets, underflow and overflow included. *)
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+(** Record one value (seconds). Negative values are clamped to [0.] and
+    land in the underflow bucket. *)
+
+val count : t -> int
+
+val sum : t -> float
+
+val mean : t -> float
+(** [0.] when empty; exact otherwise. *)
+
+val min_value : t -> float
+(** Smallest observed value; [0.] when empty. *)
+
+val max_value : t -> float
+(** Largest observed value; [0.] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [[0, 1]]: an upper estimate of the [q]-th
+    quantile at bucket resolution, clamped into [[min_value, max_value]].
+    [0.] when empty. Monotone in [q].
+    @raise Invalid_argument when [q] is outside [[0, 1]]. *)
+
+val bucket_index : float -> int
+(** Bucket a value falls into (exposed for tests). *)
+
+val bucket_bounds : int -> float * float
+(** [bucket_bounds i] is the half-open range [[lo, hi)] of bucket [i];
+    the underflow bucket starts at [0.], the overflow bucket ends at
+    [infinity].
+    @raise Invalid_argument when [i] is out of range. *)
+
+val counts : t -> int array
+(** A copy of the raw bucket counts (index [i] = bucket [i]). *)
+
+val merge_into : into:t -> t -> unit
+(** Add every observation of the second histogram into [into] (bucket-wise
+    sum plus exact-statistic merge). The source is not modified. *)

@@ -1,0 +1,39 @@
+type t = { counters : Counters.t; delay : Recorder.t }
+
+let create ?clock () = { counters = Counters.create (); delay = Recorder.create ?clock () }
+
+let counters t = t.counters
+
+let delay t = t.delay
+
+let counter t name = Counters.counter t.counters name
+
+let tick t = Recorder.tick t.delay
+
+let reset_clock t = Recorder.reset t.delay
+
+let merge_into ~into src =
+  Counters.merge_into ~into:into.counters src.counters;
+  Recorder.merge_into ~into:into.delay src.delay
+
+let snapshot_json t =
+  let fields =
+    if Recorder.count t.delay = 0 then []
+    else [ ("delay", Sink.summary_json (Recorder.summary t.delay)) ]
+  in
+  Sink.Obj (fields @ [ ("counters", Sink.counters_json t.counters) ])
+
+let to_json t = Sink.to_string (snapshot_json t)
+
+let to_lines ?(measurement = "scliques") t =
+  let summary_fields =
+    if Recorder.count t.delay = 0 then []
+    else
+      match Sink.summary_json (Recorder.summary t.delay) with
+      | Sink.Obj fields -> List.map (fun (k, v) -> ("delay_" ^ k, v)) fields
+      | _ -> []
+  in
+  let counter_fields =
+    List.map (fun (name, v) -> (name, Sink.Int v)) (Counters.to_list t.counters)
+  in
+  Sink.line_protocol ~measurement (counter_fields @ summary_fields)

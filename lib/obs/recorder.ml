@@ -1,0 +1,72 @@
+type t = {
+  clock : unit -> float;
+  histogram : Histogram.t;
+  mutable origin : float;
+  mutable last : float;
+  mutable first : float option;
+  mutable total : float;
+}
+
+let create ?(clock = Unix.gettimeofday) () =
+  let now = clock () in
+  { clock; histogram = Histogram.create (); origin = now; last = now; first = None; total = 0. }
+
+let reset t =
+  let now = t.clock () in
+  t.origin <- now;
+  t.last <- now
+
+let observe t gap =
+  Histogram.observe t.histogram gap;
+  if t.first = None then t.first <- Some gap
+
+let tick t =
+  let now = t.clock () in
+  observe t (now -. t.last);
+  t.last <- now;
+  t.total <- Float.max t.total (now -. t.origin)
+
+let count t = Histogram.count t.histogram
+
+let mean t = Histogram.mean t.histogram
+
+let max_delay t = Histogram.max_value t.histogram
+
+let quantile t q = Histogram.quantile t.histogram q
+
+let first_delay t = t.first
+
+let total t = t.total
+
+let histogram t = t.histogram
+
+type summary = {
+  count : int;
+  mean : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  first : float;
+  total : float;
+}
+
+let summary t =
+  {
+    count = count t;
+    mean = mean t;
+    max = max_delay t;
+    p50 = quantile t 0.5;
+    p95 = quantile t 0.95;
+    p99 = quantile t 0.99;
+    first = Option.value ~default:0. t.first;
+    total = t.total;
+  }
+
+let merge_into ~into src =
+  Histogram.merge_into ~into:into.histogram src.histogram;
+  (match (into.first, src.first) with
+  | None, f -> into.first <- f
+  | Some a, Some b -> into.first <- Some (Float.min a b)
+  | Some _, None -> ());
+  into.total <- Float.max into.total src.total

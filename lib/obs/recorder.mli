@@ -1,0 +1,68 @@
+(** Per-result delay recorder — Theorem 4.2 made observable.
+
+    A recorder timestamps each emitted result and feeds the gap since the
+    previous one (or since {!reset} for the first) into a log-scale
+    {!Histogram.t}, keeping the delay before the first result and the
+    total elapsed time on the side. The summary exposes exactly the
+    profile the paper's delay guarantee is about: count, mean, max and
+    p50/p95/p99 per-result delay.
+
+    The clock defaults to [Unix.gettimeofday] and is injectable, both for
+    deterministic tests and so a caller with access to a better monotonic
+    source can supply it. All quantities are in seconds. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** A fresh recorder whose delay origin is "now". *)
+
+val reset : t -> unit
+(** Restart the delay origin at "now", keeping nothing. Call at the start
+    of the measured enumeration when the recorder was created earlier. *)
+
+val tick : t -> unit
+(** Record one result: observe the gap since the previous tick (or since
+    creation/{!reset}). *)
+
+val observe : t -> float -> unit
+(** Feed a pre-measured gap directly (used when merging measurements made
+    outside this recorder, and by tests). Does not advance the clock
+    origin. *)
+
+val count : t -> int
+
+val mean : t -> float
+
+val max_delay : t -> float
+
+val quantile : t -> float -> float
+(** See {!Histogram.quantile}. *)
+
+val first_delay : t -> float option
+(** Delay before the first result; [None] until the first tick. *)
+
+val total : t -> float
+(** Elapsed time from the origin to the latest tick ([0.] before any). *)
+
+val histogram : t -> Histogram.t
+
+type summary = {
+  count : int;
+  mean : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  first : float;
+  total : float;
+}
+
+val summary : t -> summary
+(** Snapshot of the delay profile; [first] falls back to [0.] when no
+    result was ever emitted. Satisfies [p50 <= p95 <= p99 <= max]. *)
+
+val merge_into : into:t -> t -> unit
+(** Combine a second recorder's observations into [into]: histogram
+    bucket-sum, [first] takes the minimum, [total] the maximum — the
+    combination rule for per-worker recorders of one parallel run. The
+    source is not modified. *)

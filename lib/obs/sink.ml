@@ -1,0 +1,131 @@
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_to_string f =
+  if Float.is_nan f || Float.abs f = infinity then "null"
+  else Printf.sprintf "%.9g" f
+
+let rec to_buf buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_to_string f)
+  | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape_string s);
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buf buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape_string k);
+          Buffer.add_string buf "\":";
+          to_buf buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string json =
+  let buf = Buffer.create 256 in
+  to_buf buf json;
+  Buffer.contents buf
+
+let counters_json counters =
+  Obj (List.map (fun (name, v) -> (name, Int v)) (Counters.to_list counters))
+
+let summary_json (s : Recorder.summary) =
+  Obj
+    [
+      ("count", Int s.count);
+      ("mean", Float s.mean);
+      ("max", Float s.max);
+      ("p50", Float s.p50);
+      ("p95", Float s.p95);
+      ("p99", Float s.p99);
+      ("first", Float s.first);
+      ("total", Float s.total);
+    ]
+
+(* line protocol: commas and spaces in identifiers must be escaped *)
+let escape_ident s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      (match c with ',' | ' ' | '=' -> Buffer.add_char buf '\\' | _ -> ());
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let line_protocol ~measurement ?(tags = []) fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (escape_ident measurement);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (escape_ident k);
+      Buffer.add_char buf '=';
+      Buffer.add_string buf (escape_ident v))
+    tags;
+  Buffer.add_char buf ' ';
+  let first = ref true in
+  List.iter
+    (fun (k, v) ->
+      let scalar =
+        match v with
+        | Int i -> Some (string_of_int i ^ "i")
+        | Float f -> Some (float_to_string f)
+        | Bool b -> Some (string_of_bool b)
+        | String s -> Some ("\"" ^ escape_string s ^ "\"")
+        | Null | List _ | Obj _ -> None
+      in
+      match scalar with
+      | None -> ()
+      | Some s ->
+          if not !first then Buffer.add_char buf ',';
+          first := false;
+          Buffer.add_string buf (escape_ident k);
+          Buffer.add_char buf '=';
+          Buffer.add_string buf s)
+    fields;
+  Buffer.contents buf
+
+let lines_of_counters ~measurement ?tags counters =
+  line_protocol ~measurement ?tags
+    (List.map (fun (name, v) -> (name, Int v)) (Counters.to_list counters))
+
+let write_file ~path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  if String.length contents = 0 || contents.[String.length contents - 1] <> '\n' then
+    output_char oc '\n';
+  close_out oc

@@ -1,0 +1,46 @@
+(** Serialization sinks for observability snapshots.
+
+    Two wire formats, both dependency-free:
+    - compact JSON (the CLI's [--stats json], the bench harness's
+      [BENCH_delay.json]);
+    - an InfluxDB-style line protocol
+      ([measurement,tag=val field=1i field2=0.5]) for piping counters
+      into a metrics store.
+
+    The {!json} type is a minimal value tree; builders below render
+    registries and delay summaries into it deterministically (counters
+    sorted by name), so snapshots of deterministic runs diff cleanly. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val to_string : json -> string
+(** Compact single-line JSON. Floats are rendered with ["%.9g"] (NaN and
+    infinities degrade to [null]); strings are escaped per RFC 8259. *)
+
+val counters_json : Counters.t -> json
+(** [Obj] mapping counter names to integer values, sorted by name. *)
+
+val summary_json : Recorder.summary -> json
+(** [Obj] with fields [count], [mean], [max], [p50], [p95], [p99],
+    [first], [total] (seconds). *)
+
+val line_protocol :
+  measurement:string -> ?tags:(string * string) list -> (string * json) list -> string
+(** One line-protocol record: scalar fields only ([Int] is suffixed [i],
+    [Bool] rendered as [true]/[false]); [List]/[Obj]/[Null] fields are
+    skipped. Spaces and commas in measurement/tag parts are escaped with
+    a backslash. *)
+
+val lines_of_counters : measurement:string -> ?tags:(string * string) list -> Counters.t -> string
+(** All counters of a registry as a single line-protocol record. *)
+
+val write_file : path:string -> string -> unit
+(** Write (truncate) the string to the file, appending a final newline
+    when missing. *)

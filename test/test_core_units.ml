@@ -115,16 +115,27 @@ let extend_max_tests =
         let nh = Nh.create ~s:2 (fig1 ()) in
         check ns "{b,c,d,e} grows to {b,c,d,e,f,g}" (of_l [ 1; 2; 3; 4; 5; 6 ])
           (Em.in_graph nh (of_l [ 1; 2; 3; 4 ])));
-    Alcotest.test_case "in_induced uses induced distances, not global" `Quick (fun () ->
-        (* path 0-1-2 plus shortcut 0-3-2: within universe {0,1,2} distance
-           0..2 is 2; cutting 1 from the universe leaves distance via 3
-           unavailable, so {0,2} cannot pair at s=2 inside {0,2} *)
+    Alcotest.test_case "in_induced restricts membership, not distances" `Quick (fun () ->
+        (* path 0-1-2 plus shortcut 0-3-2: universe {0,2} cannot grow
+           because 0 and 2 are not adjacent inside it (no connected
+           growth), even though d_G(0,2) = 2 *)
         let g = G.of_edges ~n:4 [ (0, 1); (1, 2); (0, 3); (3, 2) ] in
         let nh = Nh.create ~s:2 g in
         let r = Em.in_induced nh ~universe:(of_l [ 0; 2 ]) ~seed:(NS.singleton 0) in
-        check ns "cannot absorb 2" (of_l [ 0 ]) r;
+        check ns "no adjacency inside the universe" (of_l [ 0 ]) r;
         let r = Em.in_induced nh ~universe:(of_l [ 0; 1; 2 ]) ~seed:(NS.singleton 0) in
         check ns "absorbs via 1" (of_l [ 0; 1; 2 ]) r);
+    Alcotest.test_case "in_induced measures distances in the whole graph" `Quick
+      (fun () ->
+        (* cycle 0-1-2-3-4-0: inside universe {0,1,2,3} the induced path
+           0-1-2-3 puts 3 at distance 3 from 0, but the ambient witness
+           0-4-3 keeps d_G(0,3) = 2, so the carve must keep 3 — exactly
+           the situation where the Fig. 4 carve loses results if it
+           (wrongly) measures distances in the induced subgraph *)
+        let g = G.of_edges ~n:5 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ] in
+        let nh = Nh.create ~s:2 g in
+        check ns "keeps the far endpoint" (of_l [ 0; 1; 2; 3 ])
+          (Em.in_induced nh ~universe:(of_l [ 0; 1; 2; 3 ]) ~seed:(NS.singleton 0)));
     Alcotest.test_case "in_induced validates the seed" `Quick (fun () ->
         let nh = Nh.create ~s:2 (fig1 ()) in
         Alcotest.check_raises "empty seed"

@@ -1,0 +1,208 @@
+(* Cross-algorithm differential harness: every implementation of the
+   paper — CsCliques1, CsCliques2 under all four pivot/feasibility
+   switches, PolyDelayEnum under all four queue/index switches, and the
+   domain-parallel decomposition — must emit exactly the same sorted
+   set-of-sets on random Erdős–Rényi and scale-free graphs, and every
+   emitted set must pass the Verify oracle. *)
+
+module NS = Sgraph.Node_set
+module E = Scliques_core.Enumerate
+module C2 = Scliques_core.Cs_cliques2
+module PD = Scliques_core.Poly_delay
+module V = Scliques_core.Verify
+
+let nh ~s g = Scliques_core.Neighborhood.create ~s g
+
+let collect iter_fn =
+  let acc = ref [] in
+  iter_fn (fun c -> acc := c :: !acc);
+  List.sort NS.compare !acc
+
+(* Every algorithm variant under test, by name. The parameter sweep is
+   the point: a bug hiding behind (say) pivoting without feasibility
+   shows up as a mismatch against the other eleven. *)
+let variants =
+  let cs2 ~pivot ~feasibility g s =
+    collect (C2.iter ~pivot ~feasibility (nh ~s g))
+  in
+  let pd ~queue_mode ~index_mode g s =
+    collect (PD.iter ~queue_mode ~index_mode (nh ~s g))
+  in
+  [
+    ("cs1", fun g s -> collect (Scliques_core.Cs_cliques1.iter (nh ~s g)));
+    ("cs2", cs2 ~pivot:false ~feasibility:false);
+    ("cs2-p", cs2 ~pivot:true ~feasibility:false);
+    ("cs2-f", cs2 ~pivot:false ~feasibility:true);
+    ("cs2-pf", cs2 ~pivot:true ~feasibility:true);
+    ( "cs2-p-deg",
+      fun g s ->
+        collect (C2.iter ~pivot:true ~root_order:C2.Power_degeneracy (nh ~s g)) );
+    ("pd-fifo-btree", pd ~queue_mode:PD.Fifo ~index_mode:PD.Btree);
+    ("pd-fifo-hash", pd ~queue_mode:PD.Fifo ~index_mode:PD.Hashtable);
+    ("pd-lf-btree", pd ~queue_mode:PD.Largest_first ~index_mode:PD.Btree);
+    ("pd-lf-hash", pd ~queue_mode:PD.Largest_first ~index_mode:PD.Hashtable);
+    ("parallel-3", fun g s -> Scliques_core.Parallel.enumerate ~workers:3 g ~s);
+  ]
+
+(* (family, n, edge parameter, s, seed) — graphs up to 30 nodes; both the
+   ER and preferential-attachment families from the paper's §7 setup.
+   The size scales down with s: at s = 3 the power graph is near-complete
+   and the deliberately unpruned variants (CS1, CS2 without pivoting)
+   take seconds per case beyond ~20 nodes — the paper's own Figure 9
+   shows them timing out first. *)
+let arb_graph_case =
+  let open QCheck2.Gen in
+  let gen =
+    oneofl [ `Er; `Sf ] >>= fun family ->
+    int_range 1 3 >>= fun s ->
+    int_range 2 (if s >= 3 then 16 else 30) >>= fun n ->
+    int_range 0 (3 * n) >>= fun m ->
+    int_range 0 1_000_000 >>= fun seed ->
+    return (family, n, m, s, seed)
+  in
+  gen
+
+let print_case (family, n, m, s, seed) =
+  Printf.sprintf "(%s, n=%d, m=%d, s=%d, seed=%d)"
+    (match family with `Er -> "er" | `Sf -> "sf")
+    n m s seed
+
+let graph_of_case (family, n, m, seed) =
+  let rng = Scoll.Rng.create seed in
+  match family with
+  | `Er -> Sgraph.Gen.erdos_renyi_gnm rng ~n ~m:(min m (n * (n - 1) / 2))
+  | `Sf -> Sgraph.Gen.barabasi_albert rng ~n ~m_attach:(min (n - 1) (1 + (m mod 3)))
+
+let same_sets = List.equal NS.equal
+
+let show_mismatch name expected actual =
+  QCheck2.Test.fail_reportf
+    "variant %s disagrees:@.expected %d sets: %a@.got %d sets: %a" name
+    (List.length expected)
+    (Fmt.Dump.list NS.pp) expected (List.length actual)
+    (Fmt.Dump.list NS.pp) actual
+
+let prop_all_variants_agree =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:120 ~name:"all 11 variants emit identical sorted sets"
+       ~print:print_case arb_graph_case
+       (fun (family, n, m, s, seed) ->
+         let g = graph_of_case (family, n, m, seed) in
+         let reference =
+           match variants with
+           | (_, run) :: _ -> run g s
+           | [] -> assert false
+         in
+         List.for_all
+           (fun (name, run) ->
+             let got = run g s in
+             same_sets reference got || show_mismatch name reference got)
+           variants))
+
+(* On oracle-sized graphs, also pin the common answer to brute force. *)
+let prop_variants_match_oracle =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:80 ~name:"variants match the brute-force oracle (n<=12)"
+       ~print:print_case
+       QCheck2.Gen.(
+         arb_graph_case >>= fun (family, n, m, s, seed) ->
+         return (family, 2 + (n mod 11), m, s, seed))
+       (fun (family, n, m, s, seed) ->
+         let g = graph_of_case (family, n, m, seed) in
+         let expected = Scliques_core.Brute_force.maximal_connected_s_cliques g ~s in
+         List.for_all
+           (fun (name, run) ->
+             let got = run g s in
+             same_sets expected got || show_mismatch name expected got)
+           variants))
+
+(* Soundness oracle, both directions of the paper's maximality test:
+   emitted sets verify as maximal (extension_candidates empty), and
+   dropping any node from a result yields a set that is either no longer
+   a connected s-clique or demonstrably non-maximal. *)
+let prop_results_are_maximal =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:80
+       ~name:"every emitted set is a maximal connected s-clique" ~print:print_case
+       arb_graph_case
+       (fun (family, n, m, s, seed) ->
+         let g = graph_of_case (family, n, m, seed) in
+         let results = E.sorted_results E.Cs2_pf g ~s in
+         (match V.certify g ~s results with
+         | Ok () -> ()
+         | Error e -> QCheck2.Test.fail_reportf "certify: %s" e);
+         List.for_all
+           (fun c ->
+             V.is_maximal_connected_s_clique g ~s c
+             && NS.is_empty (V.extension_candidates g ~s c))
+           results))
+
+let prop_extension_candidates_exact =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60
+       ~name:"extension_candidates empty exactly on maximal sets" ~print:print_case
+       QCheck2.Gen.(
+         arb_graph_case >>= fun (family, n, m, s, seed) ->
+         return (family, 2 + (n mod 9), m, s, seed))
+       (fun (family, n, m, s, seed) ->
+         let g = graph_of_case (family, n, m, seed) in
+         (* all nonempty connected s-cliques, maximal or not *)
+         let all = Scliques_core.Brute_force.connected_s_cliques g ~s in
+         List.for_all
+           (fun c ->
+             let maximal = V.is_maximal_connected_s_clique g ~s c in
+             let ext = V.extension_candidates g ~s c in
+             maximal = NS.is_empty ext
+             (* and the candidates really extend: each one yields a
+                bigger connected s-clique *)
+             && NS.for_all
+                  (fun v -> V.is_connected_s_clique g ~s (NS.add v c))
+                  ext)
+           all))
+
+(* Regression for the worker-count canonicalization guarantee of
+   Parallel.enumerate: the returned list must be bit-identical for
+   workers ∈ {1, 2, 4}, and equal to the sequential sweep. *)
+let prop_parallel_worker_independent =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:40
+       ~name:"Parallel.enumerate independent of worker count" ~print:print_case
+       arb_graph_case
+       (fun (family, n, m, s, seed) ->
+         let g = graph_of_case (family, n, m, seed) in
+         let sequential = E.sorted_results E.Cs2_p g ~s in
+         List.for_all
+           (fun workers ->
+             let got = Scliques_core.Parallel.enumerate ~workers g ~s in
+             same_sets sequential got
+             || show_mismatch (Printf.sprintf "workers=%d" workers) sequential got)
+           [ 1; 2; 4 ]))
+
+let test_parallel_fixed_graph () =
+  (* deterministic pin of the same guarantee on one scale-free instance *)
+  let g = Sgraph.Gen.barabasi_albert (Scoll.Rng.create 7) ~n:40 ~m_attach:2 in
+  let reference = Scliques_core.Parallel.enumerate ~workers:1 g ~s:2 in
+  List.iter
+    (fun workers ->
+      Test_support.check_sets
+        (Printf.sprintf "workers=%d" workers)
+        reference
+        (Scliques_core.Parallel.enumerate ~workers g ~s:2))
+    [ 2; 4 ]
+
+let suites =
+  [
+    ( "differential",
+      [
+        prop_all_variants_agree;
+        prop_variants_match_oracle;
+        prop_results_are_maximal;
+        prop_extension_candidates_exact;
+      ] );
+    ( "parallel_canonical",
+      [
+        prop_parallel_worker_independent;
+        Alcotest.test_case "fixed graph, workers 1/2/4" `Quick
+          test_parallel_fixed_graph;
+      ] );
+  ]
