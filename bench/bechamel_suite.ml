@@ -23,10 +23,95 @@ let micro_er_s3 () = Workloads.er ~n:100 ~avg_degree:6.
 
 let micro_sf_s3 () = Workloads.sf ~n:100 ~avg_degree:6.
 
+(* List-vs-bitset kernel pairs, each shaped like a real hot path: the
+   bitset side must be no slower than the sorted-merge baseline it
+   replaced (EXPERIMENTS.md records the measured margins). Balls are
+   materialized once, outside the staged closures. *)
+let kernel_tests () =
+  let module NS = Sgraph.Node_set in
+  let module NH = Scliques_core.Neighborhood in
+  let g = Workloads.er ~n:1000 ~avg_degree:12. in
+  let nh = NH.create ~s:2 g in
+  let p = NH.ball nh 0 and x = NH.ball nh 1 and b = NH.ball nh 2 in
+  (* a C set shaped like a real carve set: ball members, so neighbor rows
+     overlap heavily *)
+  let take k s = NS.of_list (List.filteri (fun i _ -> i < k) (NS.to_list s)) in
+  let c_big = take 32 p in
+  (* pivot scoring scans every candidate ball once; balls are
+     materialized outside the staged closures so the pair measures the
+     counting kernels, not the shared ball-cache lookups. The list
+     baseline is the seed's non-allocating merge count. *)
+  let cand_balls = List.map (NH.ball nh) (NS.to_list (take 20 b)) in
+  let cap = Sgraph.Graph.n g in
+  let bp = NS.to_bitset p ~capacity:cap and bb = NS.to_bitset b ~capacity:cap in
+  let scratch = Scoll.Bitset.copy bp in
+  [
+    (* the word-parallel kernel itself, operands preloaded: intersect
+       then restore (union back) so every run starts from the same state —
+       even doing TWO word passes per run it must beat one sorted merge *)
+    Test.make ~name:"kernel:interword-list"
+      (Staged.stage (fun () -> ignore (NS.inter p b)));
+    Test.make ~name:"kernel:interword-bitset"
+      (Staged.stage (fun () ->
+           Scoll.Bitset.inter_into ~into:scratch bb;
+           Scoll.Bitset.union_into ~into:scratch bp));
+    Test.make ~name:"kernel:unionword-list"
+      (Staged.stage (fun () -> ignore (NS.union p b)));
+    Test.make ~name:"kernel:unionword-bitset"
+      (Staged.stage (fun () ->
+           Scoll.Bitset.union_into ~into:scratch bb;
+           Scoll.Bitset.inter_into ~into:scratch bp));
+    Test.make ~name:"kernel:diffword-list"
+      (Staged.stage (fun () -> ignore (NS.diff p b)));
+    Test.make ~name:"kernel:diffword-bitset"
+      (Staged.stage (fun () ->
+           Scoll.Bitset.diff_into ~into:scratch bb;
+           Scoll.Bitset.union_into ~into:scratch bp));
+    (* branch-loop shape: one ball filters both P and X *)
+    Test.make ~name:"kernel:px-filter-list"
+      (Staged.stage (fun () ->
+           ignore (NS.inter p b);
+           ignore (NS.inter x b)));
+    Test.make ~name:"kernel:px-filter-bitset"
+      (Staged.stage (fun () ->
+           let m = NH.load_mask nh b in
+           ignore (NS.inter_bitset p m);
+           ignore (NS.inter_bitset x m)));
+    (* pivot shape: |P \ ball(u)| for every candidate u *)
+    Test.make ~name:"kernel:pivot-scan-list"
+      (Staged.stage (fun () ->
+           List.iter (fun b -> ignore (NS.diff_cardinal p b)) cand_balls));
+    Test.make ~name:"kernel:pivot-scan-bitset"
+      (Staged.stage (fun () ->
+           (* the shape select_pivot uses: P loaded once, candidate balls
+              scanned against it — |P \ ball(u)| = |P| − |ball(u) ∩ P| *)
+           let pm = NH.load_mask nh p in
+           let psz = NS.cardinal p in
+           List.iter
+             (fun b -> ignore (psz - NS.inter_bitset_cardinal b pm))
+             cand_balls));
+    (* N^{∀,s}(C) has NO mask pair: the chained ball intersection stays on
+       galloping sorted merges, which beat mask reloads ~2x there (see
+       Neighborhood.ball_forall and EXPERIMENTS.md).
+       N^{∃,1}(C): running sorted union (grows with the accumulator) vs
+       bitset scatter-collect *)
+    Test.make ~name:"kernel:adjany-list"
+      (Staged.stage (fun () ->
+           ignore
+             (NS.diff
+                (NS.fold
+                   (fun v acc -> NS.union acc (Sgraph.Graph.neighbor_set g v))
+                   c_big NS.empty)
+                c_big)));
+    Test.make ~name:"kernel:adjany-bitset"
+      (Staged.stage (fun () -> ignore (NH.adjacent_any nh c_big)));
+  ]
+
 let tests () =
   let er = micro_er () and sf = micro_sf () and dense = micro_dense () in
   let proxy = (List.hd (Workloads.datasets ())).Workloads.proxy () in
-  [
+  kernel_tests ()
+  @ [
     (* one per figure, on its family's micro instance *)
     Test.make ~name:"fig9a:CS1-ER" (Staged.stage (first_n E.Cs1 er ~s:2));
     Test.make ~name:"fig9a:CS2-ER" (Staged.stage (first_n E.Cs2 er ~s:2));
@@ -60,14 +145,25 @@ let tests () =
            ignore (E.first_n ~obs E.Poly_delay er ~s:2 micro_quota)));
   ]
 
-let run () =
+let run ?filter () =
   let cfg =
     Benchmark.cfg ~limit:50
       ~quota:(Time.second (if Harness.fast then 0.15 else 0.4))
       ~kde:None ~stabilize:false ()
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
-  let grouped = Test.make_grouped ~name:"scliques" ~fmt:"%s %s" (tests ()) in
+  let selected =
+    match filter with
+    | None -> tests ()
+    | Some prefix ->
+        List.filter
+          (fun t ->
+            let name = Test.name t in
+            String.length name >= String.length prefix
+            && String.sub name 0 (String.length prefix) = prefix)
+          (tests ())
+  in
+  let grouped = Test.make_grouped ~name:"scliques" ~fmt:"%s %s" selected in
   let raw = Benchmark.all cfg instances grouped in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]

@@ -470,38 +470,122 @@ let abl_generic () =
       ]
 
 let parallel_balance () =
-  (* the paper's §8 future work: distribute the enumeration. The root
+  (* the paper's §8 future work: distribute the enumeration. The task
      decomposition is exact; the open question is balance, so we report
-     per-worker load for ER (uniform) vs SF (hub-skewed). One-core
-     container: wall-clock speedup is not the point here. *)
+     per-worker load for ER (uniform) vs SF (hub-skewed), with the
+     work-stealing columns showing how much the scheduler had to move.
+     One-core container: wall-clock speedup is not the point here. *)
   let n = if Harness.fast then 300 else 1000 in
   let row (label, g) =
     let results, stats =
       Scliques_core.Parallel.enumerate_with_stats ~workers:4 g ~s:2
     in
-    let loads = stats.Scliques_core.Parallel.results_per_worker in
-    let times = stats.Scliques_core.Parallel.time_per_worker in
+    let loads = stats.Scliques_core.Parallel.tasks_per_worker in
     let max_load = Array.fold_left max 0 loads in
-    let avg_load = float_of_int (List.length results) /. 4. in
+    let avg_load =
+      float_of_int (Array.fold_left ( + ) 0 loads) /. float_of_int (Array.length loads)
+    in
     ( label,
       [ Harness.Note (string_of_int (List.length results));
         Harness.Note
           (String.concat "/" (Array.to_list (Array.map string_of_int loads)));
-        Harness.Note (Printf.sprintf "%.2f" (float_of_int max_load /. avg_load));
         Harness.Note
-          (Printf.sprintf "%.2f"
-             (Array.fold_left Float.max 0. times
-             /. Float.max 1e-9
-                  (Array.fold_left ( +. ) 0. times /. 4.))) ] )
+          (Printf.sprintf "%.2f" (float_of_int max_load /. Float.max 1. avg_load));
+        Harness.Note (string_of_int stats.Scliques_core.Parallel.steals);
+        Harness.Note (string_of_int stats.Scliques_core.Parallel.splits) ] )
   in
   Harness.print_table
     ~title:
       (Printf.sprintf
-         "Future work (§8): 4-worker root decomposition, n=%d, s=2 — load balance" n)
-    ~columns:[ "results"; "per-worker"; "load skew"; "time skew" ]
+         "Future work (§8): 4-worker work-stealing decomposition, n=%d, s=2 — balance" n)
+    ~columns:[ "results"; "tasks/worker"; "task skew"; "steals"; "splits" ]
     ~rows:
       [ row ("ER", Workloads.er ~n ~avg_degree:10.);
         row ("SF", Workloads.sf ~n ~avg_degree:10.) ]
+
+let scaling () =
+  (* the tentpole measurement: workers × graph family, full enumeration,
+     against the sequential CsCliques2P baseline. Each cell also records
+     scheduler health (task skew, steals, splits), and every (family,
+     workers) measurement appends one JSON line to BENCH_parallel.json so
+     successive commits leave a comparable trail.
+
+     Caveat recorded in the JSON too: on a container with a single
+     hardware core (cores=1 below), OCaml domains time-share it and
+     wall-clock speedup > 1 is physically impossible — there the
+     interesting signal is that the speedup stays near 1 (scheduling
+     overhead is small) while steals/splits show the balancer working. *)
+  (* SF full enumeration blows up fast with n (n=300 already yields ~400K
+     results), so the FAST/smoke tier runs much smaller instances to keep
+     the whole sweep within a CI minute *)
+  let n = if Harness.fast then 120 else 1000 in
+  let worker_counts = if Harness.fast then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let cores = Domain.recommended_domain_count () in
+  let families =
+    [ ("ER", Workloads.er ~n ~avg_degree:10.); ("SF", Workloads.sf ~n ~avg_degree:10.) ]
+  in
+  let rows =
+    List.concat_map
+      (fun (family, g) ->
+        (* sequential baseline: the same engine the workers run, no scheduler *)
+        let t0 = Harness.now () in
+        let baseline = ref 0 in
+        Scliques_core.Cs_cliques2.iter ~pivot:true
+          (Scliques_core.Neighborhood.create ~s:2 g)
+          (fun _ -> incr baseline);
+        let t_seq = Harness.now () -. t0 in
+        List.map
+          (fun workers ->
+            let t0 = Harness.now () in
+            let results, stats =
+              Scliques_core.Parallel.enumerate_with_stats ~workers g ~s:2
+            in
+            let wall = Harness.now () -. t0 in
+            let speedup = t_seq /. Float.max 1e-9 wall in
+            let tasks = stats.Scliques_core.Parallel.tasks_per_worker in
+            let max_tasks = Array.fold_left max 0 tasks in
+            let avg_tasks =
+              float_of_int (Array.fold_left ( + ) 0 tasks)
+              /. float_of_int (Array.length tasks)
+            in
+            let skew = float_of_int max_tasks /. Float.max 1. avg_tasks in
+            Harness.append_json ~path:"BENCH_parallel.json"
+              (Scliques_obs.Sink.Obj
+                 [
+                   ("experiment", Scliques_obs.Sink.String "scaling");
+                   ("family", Scliques_obs.Sink.String family);
+                   ("n", Scliques_obs.Sink.Int n);
+                   ("s", Scliques_obs.Sink.Int 2);
+                   ("seed", Scliques_obs.Sink.Int Harness.seed);
+                   ("cores", Scliques_obs.Sink.Int cores);
+                   ("workers", Scliques_obs.Sink.Int workers);
+                   ("results", Scliques_obs.Sink.Int (List.length results));
+                   ("seq_seconds", Scliques_obs.Sink.Float t_seq);
+                   ("wall_seconds", Scliques_obs.Sink.Float wall);
+                   ("speedup", Scliques_obs.Sink.Float speedup);
+                   ("task_skew", Scliques_obs.Sink.Float skew);
+                   ("steals", Scliques_obs.Sink.Int stats.Scliques_core.Parallel.steals);
+                   ("splits", Scliques_obs.Sink.Int stats.Scliques_core.Parallel.splits);
+                 ]);
+            ( Printf.sprintf "%s w=%d" family workers,
+              [
+                Harness.Seconds wall;
+                Harness.Note (Printf.sprintf "%.2fx" speedup);
+                Harness.Note (Printf.sprintf "%.2f" skew);
+                Harness.Note (string_of_int stats.Scliques_core.Parallel.steals);
+                Harness.Note (string_of_int stats.Scliques_core.Parallel.splits);
+              ] ))
+          worker_counts)
+      families
+  in
+  Harness.print_table
+    ~title:
+      (Printf.sprintf
+         "Scaling: work-stealing enumeration, ALL results, n=%d, s=2 (%d cores; \
+          sequential CS2P is the speedup baseline)"
+         n cores)
+    ~columns:[ "wall"; "speedup"; "task skew"; "steals"; "splits" ]
+    ~rows
 
 (* ---------- registry ---------- *)
 
@@ -529,4 +613,5 @@ let all : (string * string * (unit -> unit)) list =
     ("abl_degeneracy", "ablation: root ordering (footnote 1)", abl_degeneracy);
     ("abl_generic", "ablation: generic CKS engine vs specialized PD", abl_generic);
     ("parallel", "future work: parallel decomposition balance", parallel_balance);
+    ("scaling", "work-stealing speedup: workers x graph family", scaling);
   ]

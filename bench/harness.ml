@@ -8,9 +8,18 @@
    Environment knobs:
      FAST=1      smaller workloads (quick smoke of the whole suite)
      BUDGET=<s>  per-cell wall-clock budget in seconds (default 30; 6 fast)
-     SEED=<n>    base RNG seed for all generated workloads (default 42) *)
+     SEED=<n>    base RNG seed for all generated workloads (default 42)
 
-let fast = match Sys.getenv_opt "FAST" with Some ("1" | "true") -> true | _ -> false
+   The --smoke command-line flag (used by CI) is equivalent to FAST=1;
+   it is detected here, at module initialization, because the workload
+   size lists derived from [fast] are themselves computed when the
+   Workloads module initializes — a flag parsed later in main would come
+   too late to shrink them. *)
+
+let smoke = Array.exists (( = ) "--smoke") Sys.argv
+
+let fast =
+  smoke || match Sys.getenv_opt "FAST" with Some ("1" | "true") -> true | _ -> false
 
 let budget =
   match Option.bind (Sys.getenv_opt "BUDGET") float_of_string_opt with
@@ -22,7 +31,8 @@ let seed =
   | Some s -> s
   | None -> 42
 
-let now = Unix.gettimeofday
+(* monotonic: a budget must not be stretched or cut by NTP slew *)
+let now = Scliques_obs.Clock.now
 
 (* Outcome of one measured cell. *)
 type outcome =
@@ -86,3 +96,13 @@ let section title =
 let write_json ~path json =
   Scliques_obs.Sink.write_file ~path (Scliques_obs.Sink.to_string json);
   Printf.printf "[wrote %s]\n%!" path
+
+(* Append one compact JSON object as a new line (JSONL), preserving the
+   records of earlier runs — the scaling experiment accumulates a
+   cross-commit perf trail this way. *)
+let append_json ~path json =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (Scliques_obs.Sink.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[appended to %s]\n%!" path

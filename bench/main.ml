@@ -5,9 +5,13 @@
      dune exec bench/main.exe -- fig9a fig11  # selected experiments
      dune exec bench/main.exe -- --list       # available experiment ids
      dune exec bench/main.exe -- --bechamel   # micro-benchmarks only
+     dune exec bench/main.exe -- --bechamel kernel:  # name-prefix subset
+     dune exec bench/main.exe -- scaling --smoke  # CI smoke: FAST sizes
 
    Environment: FAST=1 (small workloads), BUDGET=<seconds per cell>,
-   SEED=<workload seed>. See bench/harness.ml. *)
+   SEED=<workload seed>. See bench/harness.ml. The --smoke flag is
+   consumed by Harness at startup (it implies FAST=1) and stripped from
+   the experiment ids here. *)
 
 let list_experiments () =
   print_endline "available experiments:";
@@ -23,12 +27,15 @@ let run_experiment (id, descr, f) =
   Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t0)
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter (( <> ) "--smoke") (List.tl (Array.to_list Sys.argv))
+  in
   Printf.printf "s-clique benchmark suite (FAST=%b, per-cell budget %gs, seed %d)\n%!"
     Harness.fast Harness.budget Harness.seed;
   match args with
   | [ "--list" ] -> list_experiments ()
   | [ "--bechamel" ] -> Bechamel_suite.run ()
+  | [ "--bechamel"; prefix ] -> Bechamel_suite.run ~filter:prefix ()
   | [] ->
       List.iter run_experiment Experiments.all;
       Bechamel_suite.run ()

@@ -112,20 +112,36 @@ let gen_cmd =
 let enum_cmd =
   let algorithm_arg =
     let parse s =
-      match E.of_name s with
-      | Some alg -> Ok alg
-      | None -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+      match String.lowercase_ascii s with
+      | "par" | "parallel" -> Ok `Par
+      | _ -> (
+          match E.of_name s with
+          | Some alg -> Ok (`Alg alg)
+          | None -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s)))
     in
-    let print fmt alg = Format.pp_print_string fmt (E.name alg) in
+    let print fmt = function
+      | `Par -> Format.pp_print_string fmt "par"
+      | `Alg alg -> Format.pp_print_string fmt (E.name alg)
+    in
     let doc =
       "Algorithm: $(b,pd) (PolyDelayEnum), $(b,cs1), $(b,cs2), $(b,cs2f), \
        $(b,cs2p), $(b,cs2pf) (Bron–Kerbosch adaptations; P = pivoting, F = \
-       feasibility check), or $(b,brute) (oracle, tiny graphs only)."
+       feasibility check), $(b,brute) (oracle, tiny graphs only), or $(b,par) \
+       (work-stealing parallel CSCliques2P across domains; output is \
+       canonicalized ascending, and $(b,--limit) truncates it after the full \
+       run rather than stopping early)."
     in
     Arg.(
       value
-      & opt (conv (parse, print)) E.Cs2_pf
+      & opt (conv (parse, print)) (`Alg E.Cs2_pf)
       & info [ "a"; "algorithm" ] ~docv:"ALG" ~doc)
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"W"
+          ~doc:"Worker domains for $(b,-a par) (default: all cores).")
   in
   let limit_arg =
     Arg.(
@@ -153,7 +169,7 @@ let enum_cmd =
       & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
       & info [ "stats" ] ~docv:"FMT" ~doc)
   in
-  let run file format s algorithm limit min_size count_only stats_fmt =
+  let run file format s algorithm workers limit min_size count_only stats_fmt =
     if s < 1 then `Error (false, "s must be >= 1")
     else begin
       let g = load_graph format file in
@@ -163,9 +179,16 @@ let enum_cmd =
         match stats_fmt with Some `Json -> Some (Scliques_obs.Obs.create ()) | _ -> None
       in
       let results =
-        match limit with
-        | Some n -> E.first_n ~min_size ?obs algorithm g ~s n
-        | None -> E.all_results ~min_size ?obs algorithm g ~s
+        match algorithm with
+        | `Alg alg -> (
+            match limit with
+            | Some n -> E.first_n ~min_size ?obs alg g ~s n
+            | None -> E.all_results ~min_size ?obs alg g ~s)
+        | `Par ->
+            let all = Scliques_core.Parallel.enumerate ?workers ~min_size ?obs g ~s in
+            (match limit with
+            | Some n -> List.filteri (fun i _ -> i < n) all
+            | None -> all)
       in
       if count_only then Printf.printf "%d\n" (List.length results)
       else begin
@@ -185,7 +208,11 @@ let enum_cmd =
             let json =
               Sink.Obj
                 ([
-                   ("algorithm", Sink.String (E.name algorithm));
+                   ( "algorithm",
+                     Sink.String
+                       (match algorithm with
+                       | `Alg alg -> E.name alg
+                       | `Par -> "Parallel") );
                    ("s", Sink.Int s);
                    ( "results",
                      Sink.Obj
@@ -213,8 +240,8 @@ let enum_cmd =
   let term =
     Term.(
       ret
-        (const run $ graph_file_arg $ format_arg $ s_arg $ algorithm_arg $ limit_arg
-       $ min_size_arg $ count_arg $ stats_arg))
+        (const run $ graph_file_arg $ format_arg $ s_arg $ algorithm_arg
+       $ workers_arg $ limit_arg $ min_size_arg $ count_arg $ stats_arg))
   in
   Cmd.v
     (Cmd.info "enum"

@@ -1,6 +1,12 @@
 type t = { words : int array; capacity : int }
 
-let bits_per_word = 63
+(* 32 bits per word, not the full 63 of an OCaml int: word/bit indices
+   become a shift and a mask ([lsr 5] / [land 31]) instead of the
+   hardware division that ocamlopt emits for [/ 63], and membership tests
+   are the single hottest operation here. The top 31 bits of every word
+   stay zero (only [lor] of single bits below 32 and [land] combinations
+   ever write), so word-array equality and popcounts remain exact. *)
+let bits_per_word = 32
 
 let create capacity =
   assert (capacity >= 0);
@@ -8,23 +14,39 @@ let create capacity =
 
 let capacity t = t.capacity
 
+let unsafe_words t = t.words
+
 let check t i =
   if i < 0 || i >= t.capacity then
     invalid_arg (Printf.sprintf "Bitset: index %d out of bounds [0, %d)" i t.capacity)
 
+(* i < capacity implies i lsr 5 < Array.length words, so the word access
+   needs no bounds check — that check is measurable in the mask scans *)
+let unsafe_mem t i = Array.unsafe_get t.words (i lsr 5) land (1 lsl (i land 31)) <> 0
+
+(* membership as 0/1 with no boolean materialization: counting loops add
+   it straight into an accumulator, branch-free *)
+let unsafe_mem01 t i = (Array.unsafe_get t.words (i lsr 5) lsr (i land 31)) land 1
+
 let mem t i =
   check t i;
-  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+  unsafe_mem t i
+
+let unsafe_add t i =
+  let w = i lsr 5 in
+  Array.unsafe_set t.words w (Array.unsafe_get t.words w lor (1 lsl (i land 31)))
 
 let add t i =
   check t i;
-  let w = i / bits_per_word in
-  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+  unsafe_add t i
+
+let unsafe_remove t i =
+  let w = i lsr 5 in
+  Array.unsafe_set t.words w (Array.unsafe_get t.words w land lnot (1 lsl (i land 31)))
 
 let remove t i =
   check t i;
-  let w = i / bits_per_word in
-  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+  unsafe_remove t i
 
 let clear t = Array.fill t.words 0 (Array.length t.words) 0
 
@@ -40,14 +62,95 @@ let add_all t arr = Array.iter (add t) arr
 
 let remove_all t arr = Array.iter (remove t) arr
 
+(* Batched scratch-mask loads: direct loops over a member array, no
+   per-element closure invocation — these two back the hot reload path of
+   Neighborhood masks, where a closure call per member costs more than
+   the bit operation itself. *)
+
+let unsafe_add_all t arr =
+  let words = t.words in
+  for k = 0 to Array.length arr - 1 do
+    let i = Array.unsafe_get arr k in
+    let w = i lsr 5 in
+    Array.unsafe_set words w (Array.unsafe_get words w lor (1 lsl (i land 31)))
+  done
+
+(* Store 0 to every word holding a member of [arr]: clears a mask whose
+   entire content is [arr] with one store per member. Any OTHER bit
+   sharing a word with a member is wiped too — only valid when [arr] is
+   exactly the mask's current contents. When the member array is at least
+   as long as the word array a full clear is fewer stores, so do that. *)
+let unsafe_zero_words t arr =
+  let words = t.words in
+  if Array.length arr >= Array.length words then Array.fill words 0 (Array.length words) 0
+  else
+    for k = 0 to Array.length arr - 1 do
+      Array.unsafe_set words (Array.unsafe_get arr k lsr 5) 0
+    done
+
+(* Load a SORTED member array into a cleared mask, one store per touched
+   word: members sharing a word (common for ball arrays, whose ids
+   cluster) are OR-ed together in a register first. Overwrites touched
+   words, so any prior contents must already be zeroed. *)
+let unsafe_load_sorted t arr =
+  let words = t.words in
+  let n = Array.length arr in
+  let k = ref 0 in
+  while !k < n do
+    let i = Array.unsafe_get arr !k in
+    let w = i lsr 5 in
+    let bits = ref (1 lsl (i land 31)) in
+    incr k;
+    while !k < n && Array.unsafe_get arr !k lsr 5 = w do
+      bits := !bits lor (1 lsl (Array.unsafe_get arr !k land 31));
+      incr k
+    done;
+    Array.unsafe_set words w !bits
+  done
+
+(* number of trailing zeros of a nonzero word: binary-partition descent,
+   six comparisons per call, no table *)
+let ntz x =
+  let n = ref 0 and x = ref x in
+  if !x land 0xFFFFFFFF = 0 then begin
+    n := !n + 32;
+    x := !x lsr 32
+  end;
+  if !x land 0xFFFF = 0 then begin
+    n := !n + 16;
+    x := !x lsr 16
+  end;
+  if !x land 0xFF = 0 then begin
+    n := !n + 8;
+    x := !x lsr 8
+  end;
+  if !x land 0xF = 0 then begin
+    n := !n + 4;
+    x := !x lsr 4
+  end;
+  if !x land 0x3 = 0 then begin
+    n := !n + 2;
+    x := !x lsr 2
+  end;
+  if !x land 0x1 = 0 then n := !n + 1;
+  !n
+
+(* Iterate set bits only: extract the lowest set bit of each word until it
+   is exhausted — O(words + members), not O(capacity). *)
 let iter f t =
   for w = 0 to Array.length t.words - 1 do
-    let word = t.words.(w) in
-    if word <> 0 then
-      for b = 0 to bits_per_word - 1 do
-        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
-      done
+    let word = ref t.words.(w) in
+    let base = w * bits_per_word in
+    while !word <> 0 do
+      f (base + ntz !word);
+      word := !word land (!word - 1)
+    done
   done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
 
 let to_list t =
   let acc = ref [] in
@@ -57,3 +160,31 @@ let to_list t =
 let copy t = { words = Array.copy t.words; capacity = t.capacity }
 
 let equal a b = a.capacity = b.capacity && a.words = b.words
+
+(* ---------- word-parallel kernels ---------- *)
+
+let check_same_capacity op a b =
+  if a.capacity <> b.capacity then
+    invalid_arg
+      (Printf.sprintf "Bitset.%s: capacity mismatch (%d vs %d)" op a.capacity b.capacity)
+
+let inter_into ~into src =
+  check_same_capacity "inter_into" into src;
+  let iw = into.words and sw = src.words in
+  for w = 0 to Array.length iw - 1 do
+    iw.(w) <- iw.(w) land sw.(w)
+  done
+
+let union_into ~into src =
+  check_same_capacity "union_into" into src;
+  let iw = into.words and sw = src.words in
+  for w = 0 to Array.length iw - 1 do
+    iw.(w) <- iw.(w) lor sw.(w)
+  done
+
+let diff_into ~into src =
+  check_same_capacity "diff_into" into src;
+  let iw = into.words and sw = src.words in
+  for w = 0 to Array.length iw - 1 do
+    iw.(w) <- iw.(w) land lnot sw.(w)
+  done

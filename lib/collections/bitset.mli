@@ -1,7 +1,12 @@
 (** Fixed-capacity mutable bitsets over [0 .. capacity-1].
 
-    Used as BFS "visited" marks and as membership masks when an algorithm
-    repeatedly asks whether a node belongs to a small working set. *)
+    Used as BFS "visited" marks, as membership masks when an algorithm
+    repeatedly asks whether a node belongs to a small working set, and —
+    through the word-parallel kernels below — as the dense set-algebra
+    substrate of the enumeration hot paths (the Eppstein–Löffler–Strash
+    bitset tradition of maximal-clique enumeration): intersection, union
+    and difference run one machine-word AND/OR/ANDNOT at a time instead
+    of one element at a time. *)
 
 type t
 
@@ -29,7 +34,12 @@ val add_all : t -> int array -> unit
 val remove_all : t -> int array -> unit
 
 val iter : (int -> unit) -> t -> unit
-(** Iterate members in increasing order. *)
+(** Iterate members in increasing order. O(words + members): each word's
+    set bits are extracted lowest-first, so sparse sets over a large
+    capacity cost the word scan, not a test per possible element. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over members in increasing order (same cost as {!iter}). *)
 
 val to_list : t -> int list
 
@@ -37,3 +47,58 @@ val copy : t -> t
 
 val equal : t -> t -> bool
 (** Same capacity and same members. *)
+
+(** {2 Unchecked element operations}
+
+    Same as {!mem}/{!add}/{!remove} without the bounds check — for hot
+    loops whose indices are already known to be in range (e.g. node ids
+    of a graph the mask was sized for). Out-of-range indices are
+    undefined behaviour (they may corrupt a neighboring word). *)
+
+val unsafe_mem : t -> int -> bool
+
+val unsafe_mem01 : t -> int -> int
+(** Membership as 0/1, for branch-free counting loops. *)
+
+val unsafe_words : t -> int array
+(** The backing word array (bit [i] of the set is bit [i land 31] of word
+    [i lsr 5]). Escape hatch for external scan kernels: without flambda a
+    cross-module {!unsafe_mem} call per element costs more than the bit
+    test itself. Callers must not resize or hold onto the array, and
+    writes must preserve the all-zero top 31 bits invariant. *)
+
+val unsafe_add : t -> int -> unit
+
+val unsafe_remove : t -> int -> unit
+
+val unsafe_add_all : t -> int array -> unit
+(** Add every element of the array — a direct loop with no per-element
+    closure, for scratch-mask loads. Same caveats as {!unsafe_add}. *)
+
+val unsafe_zero_words : t -> int array -> unit
+(** Store zero to every word holding an element of the array: clears a
+    mask whose current contents are EXACTLY the given array, with one
+    store per element instead of a read-modify-write {!unsafe_remove}
+    (or a full {!clear} when that is fewer stores). Any other member
+    sharing a word with a listed element is wiped too — callers must
+    pass the mask's full contents. *)
+
+val unsafe_load_sorted : t -> int array -> unit
+(** Load a sorted array into an empty mask, one store per touched word
+    (elements sharing a word are combined in a register first). The words
+    it touches are overwritten, not OR-ed: the mask must be empty. *)
+
+(** {2 Word-parallel kernels}
+
+    In-place set algebra processing one machine word per step. Both
+    operands must have the same capacity.
+    @raise Invalid_argument on capacity mismatch. *)
+
+val inter_into : into:t -> t -> unit
+(** [inter_into ~into src] is [into := into ∩ src]. *)
+
+val union_into : into:t -> t -> unit
+(** [union_into ~into src] is [into := into ∪ src]. *)
+
+val diff_into : into:t -> t -> unit
+(** [diff_into ~into src] is [into := into − src]. *)

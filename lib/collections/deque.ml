@@ -1,0 +1,73 @@
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int; (* index of front element *)
+  mutable len : int;
+}
+
+let create ?(initial_capacity = 16) () =
+  { buf = Array.make (max 1 initial_capacity) None; head = 0; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf' = Array.make (2 * cap) None in
+  for i = 0 to t.len - 1 do
+    buf'.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- buf';
+  t.head <- 0
+
+let push_back t x =
+  if t.len = Array.length t.buf then grow t;
+  t.buf.((t.head + t.len) mod Array.length t.buf) <- Some x;
+  t.len <- t.len + 1
+
+let push_front t x =
+  if t.len = Array.length t.buf then grow t;
+  let cap = Array.length t.buf in
+  t.head <- (t.head + cap - 1) mod cap;
+  t.buf.(t.head) <- Some x;
+  t.len <- t.len + 1
+
+let pop_front_opt t =
+  if t.len = 0 then None
+  else
+    match t.buf.(t.head) with
+    | None -> assert false
+    | Some x ->
+        t.buf.(t.head) <- None;
+        t.head <- (t.head + 1) mod Array.length t.buf;
+        t.len <- t.len - 1;
+        Some x
+
+let pop_back_opt t =
+  if t.len = 0 then None
+  else begin
+    let i = (t.head + t.len - 1) mod Array.length t.buf in
+    match t.buf.(i) with
+    | None -> assert false
+    | Some x ->
+        t.buf.(i) <- None;
+        t.len <- t.len - 1;
+        Some x
+  end
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    match t.buf.((t.head + i) mod Array.length t.buf) with
+    | None -> assert false
+    | Some x -> f x
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc

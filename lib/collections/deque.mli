@@ -1,0 +1,34 @@
+(** Double-ended queue on a growable circular buffer.
+
+    The owner side of a work-stealing scheduler pushes and pops at the
+    {e back} (LIFO — newest, cache-hot subproblems first); thieves pop at
+    the {e front} (FIFO — oldest, typically largest subproblems), which is
+    also the end that minimizes contention with the owner. The structure
+    itself is not thread-safe: callers serialize access (the scheduler
+    holds one mutex per deque). *)
+
+type 'a t
+
+val create : ?initial_capacity:int -> unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push_back : 'a t -> 'a -> unit
+
+val push_front : 'a t -> 'a -> unit
+
+val pop_back_opt : 'a t -> 'a option
+(** Newest element ([None] when empty) — the owner's end. *)
+
+val pop_front_opt : 'a t -> 'a option
+(** Oldest element ([None] when empty) — the thief's end. *)
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front to back. *)
+
+val to_list : 'a t -> 'a list
+(** Front to back. *)

@@ -21,8 +21,14 @@ let iter ?(min_size = 0) ?(should_continue = fun () -> true) ?obs nh yield =
     if should_continue () && Node_set.cardinal r + Node_set.cardinal p >= min_size
     then begin
       (* paper's convention: N^{∃,1}(∅) is the whole node set *)
-      let p_adj = if Node_set.is_empty r then p else Node_set.inter p frontier in
-      let x_adj = if Node_set.is_empty r then x else Node_set.inter x frontier in
+      let p_adj, x_adj =
+        if Node_set.is_empty r then (p, x)
+        else begin
+          (* one mask load of the frontier filters both P and X *)
+          let m = Neighborhood.load_mask nh frontier in
+          (Node_set.inter_bitset p m, Node_set.inter_bitset x m)
+        end
+      in
       if
         Node_set.is_empty p_adj
         && Node_set.is_empty x_adj
@@ -37,10 +43,12 @@ let iter ?(min_size = 0) ?(should_continue = fun () -> true) ?obs nh yield =
       let p = ref p and x = ref x in
       Node_set.iter
         (fun v ->
-          let ball_v = Neighborhood.ball nh v in
-          recurse (depth + 1) (Node_set.add v r)
-            (Node_set.inter !p ball_v)
-            (Node_set.inter !x ball_v)
+          (* the ball mask filters P and X together; the recursion below
+             reuses the scratch, so both must be computed before it *)
+          let m = Neighborhood.ball_mask nh v in
+          let p' = Node_set.inter_bitset !p m in
+          let x' = Node_set.inter_bitset !x m in
+          recurse (depth + 1) (Node_set.add v r) p' x'
             (Node_set.union frontier (Graph.neighbor_set g v));
           p := Node_set.remove v !p;
           x := Node_set.add v !x)

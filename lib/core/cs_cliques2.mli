@@ -75,3 +75,58 @@ val iter_rooted :
     reaches at [root] is [p = N^s(root) ∩ {u > root}],
     [x = N^s(root) ∩ {u < root}]. Disjoint root branches partition the
     output, which is what {!Parallel} exploits. *)
+
+(** {2 Explicit task interface}
+
+    The work-stealing {!Parallel} scheduler needs the recursion as
+    first-class subproblems it can move between workers. A {!task} is one
+    node of the recursion tree — the state [(depth, R, P, X, frontier)] —
+    and a {!runner} bundles a search configuration with its output sink.
+    {!run_task} explores a subtree depth-first exactly as {!iter} would;
+    {!expand_task} performs ONE visit step (emitting [R] if it is a
+    maximal connected s-clique) and returns the child subproblems in
+    branch order. Both paths execute the same shared visit code, and
+    every child state is fully computed before any child runs, so
+    running the children in any order — or on any worker — explores
+    exactly the subtree [run_task] would: the emitted multiset is
+    schedule-independent. *)
+
+type task
+
+val task_depth : task -> int
+(** Distance from the task's originating root call (the split-depth
+    knob's unit). *)
+
+val task_width : task -> int
+(** [|P|] — the branching factor bound the scheduler's split-width
+    threshold compares against. *)
+
+type runner
+
+val make_runner :
+  ?pivot:bool ->
+  ?pivot_rule:pivot_rule ->
+  ?feasibility:bool ->
+  ?min_size:int ->
+  ?should_continue:(unit -> bool) ->
+  ?obs:Scliques_obs.Obs.t ->
+  Neighborhood.t ->
+  (Sgraph.Node_set.t -> unit) ->
+  runner
+(** Same configuration surface as {!iter}. Emissions go to the given
+    sink; counters (when [obs] is set) use the same [cs2.*] vocabulary.
+    The runner is only as thread-safe as its neighborhood oracle and
+    sink: give each worker its own. The caller is responsible for
+    {!Neighborhood.sync_obs} when a run ends. *)
+
+val root_task : Neighborhood.t -> int -> task
+(** [root_task nh v] is the state the ascending root loop reaches at
+    [v]: [R = {v}], [p = N^s(v) ∩ {u > v}], [x = N^s(v) ∩ {u < v}].
+    The tasks of all roots partition the output. *)
+
+val run_task : runner -> task -> unit
+(** Explore the whole subtree depth-first. *)
+
+val expand_task : runner -> task -> task list
+(** One visit step: emit [R] if maximal, return the children. An empty
+    list means the subtree is exhausted. *)

@@ -10,7 +10,7 @@ type t = {
   mutable finished : bool;
 }
 
-let create ?(clock = Unix.gettimeofday) () =
+let create ?(clock = Scliques_obs.Clock.now) () =
   let now = clock () in
   {
     clock;

@@ -11,7 +11,7 @@
 type t
 
 val create : ?clock:(unit -> float) -> unit -> t
-(** Start the clock now. [clock] defaults to [Unix.gettimeofday]; tests
+(** Start the clock now. [clock] defaults to the monotonic [Scliques_obs.Clock.now]; tests
     inject a fake clock. *)
 
 val wrap : t -> (Sgraph.Node_set.t -> unit) -> Sgraph.Node_set.t -> unit

@@ -18,7 +18,8 @@ let in_graph nh c =
       else begin
         let v = Node_set.min_elt eligible in
         result := Node_set.add v !result;
-        candidates := Node_set.remove v (Node_set.inter !candidates (Neighborhood.ball nh v));
+        candidates :=
+          Node_set.remove v (Node_set.inter_bitset !candidates (Neighborhood.ball_mask nh v));
         frontier :=
           Node_set.diff (Node_set.union !frontier (Graph.neighbor_set g v)) !result
       end
@@ -48,7 +49,8 @@ let in_induced nh ~universe ~seed =
     else begin
       let v = Node_set.min_elt eligible in
       result := Node_set.add v !result;
-      candidates := Node_set.remove v (Node_set.inter !candidates (Neighborhood.ball nh v));
+      candidates :=
+        Node_set.remove v (Node_set.inter_bitset !candidates (Neighborhood.ball_mask nh v));
       frontier :=
         restrict (Node_set.diff (Node_set.union !frontier (Graph.neighbor_set g v)) !result)
     end

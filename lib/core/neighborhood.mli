@@ -39,6 +39,18 @@ val adjacent_any : t -> Sgraph.Node_set.t -> Sgraph.Node_set.t
 (** [adjacent_any t c] is [N^{∃,1}(c)]: nodes outside [c] adjacent to at
     least one member. Empty for an empty [c]. *)
 
+val load_mask : t -> Sgraph.Node_set.t -> Scoll.Bitset.t
+(** [load_mask t c] loads [c] into the oracle's scratch membership bitset
+    and returns it, so several sorted sets can be filtered against [c]
+    with {!Sgraph.Node_set.inter_bitset} / [diff_bitset] at O(1) per
+    element. Clearing is O(|previous load|), not O(n). The returned
+    bitset is only valid until the next [load_mask] / {!ball_mask} call
+    on [t] — do not hold on to it across other oracle operations. *)
+
+val ball_mask : t -> int -> Scoll.Bitset.t
+(** [ball_mask t v] is [load_mask t (ball t v)] — the ball of [v] as a
+    scratch bitset, with the same single-load validity rule. *)
+
 val within_distance : t -> int -> int -> bool
 (** [within_distance t u v] decides [dist(u,v) <= s] using the cache
     ([u = v] counts as within distance). *)

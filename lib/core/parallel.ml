@@ -1,85 +1,207 @@
 module Node_set = Sgraph.Node_set
 module Graph = Sgraph.Graph
 
-type stats = { results_per_worker : int array; time_per_worker : float array }
+type stats = {
+  results_per_worker : int array;
+  time_per_worker : float array;
+  tasks_per_worker : int array;
+  steals : int;
+  splits : int;
+}
 
-(* Work done by one domain: the CsCliques2 subtree of every root node
-   assigned to this worker. Root branch v starts from the same state the
-   sequential ascending root loop would reach at v. Each worker gets its
-   own observer (domains must not share one) — merged after the join. *)
-let run_worker ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed roots =
-  let t0 = Unix.gettimeofday () in
+(* A unit of schedulable work. Roots travel as bare ids so the ball
+   computation that materializes the root state happens on whichever
+   worker executes (or steals) it, not serially up front. *)
+type work =
+  | Root of int
+  | Sub of Cs_cliques2.task
+
+type shared = {
+  deques : work Scoll.Deque.t array; (* one per worker, mutex-sharded *)
+  locks : Mutex.t array;
+  pending : int Atomic.t;
+      (* work items created and not yet retired; children are registered
+         before their parent retires, so 0 means no work exists anywhere *)
+}
+
+(* What one worker hands back after the join. *)
+type worker_result = {
+  w_results : Node_set.t list;
+  w_time : float;
+  w_tasks : int;
+  w_steals : int;
+  w_splits : int;
+  w_obs : Scliques_obs.Obs.t option;
+}
+
+let run_worker ~id ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed
+    ~split_depth ~split_width ~shared () =
+  let t0 = Scliques_obs.Clock.now () in
+  (* per-worker observer, oracle and sink: domains share only the
+     immutable graph and the scheduler state *)
   let obs = if observed then Some (Scliques_obs.Obs.create ()) else None in
   let nh = Neighborhood.create ~cache_capacity ?obs ~s g in
   let results = ref [] in
-  List.iter
-    (fun v ->
-      let ball_v = Neighborhood.ball nh v in
-      let later = Node_set.filter (fun u -> u > v) ball_v in
-      let earlier = Node_set.filter (fun u -> u < v) ball_v in
-      (* reuse the sequential engine on the singleton-rooted subproblem:
-         R = {v}, P = later s-neighbors, X = earlier ones *)
-      Cs_cliques2.iter_rooted ~pivot ~feasibility ~min_size ?obs nh ~root:v ~p:later
-        ~x:earlier (fun c -> results := c :: !results))
-    roots;
-  (!results, Unix.gettimeofday () -. t0, obs)
+  let rn =
+    Cs_cliques2.make_runner ~pivot ~feasibility ~min_size ?obs nh (fun c ->
+        results := c :: !results)
+  in
+  let tasks = ref 0 and steals = ref 0 and splits = ref 0 in
+  let workers = Array.length shared.deques in
+  let pop_own () =
+    Mutex.lock shared.locks.(id);
+    let w = Scoll.Deque.pop_back_opt shared.deques.(id) in
+    Mutex.unlock shared.locks.(id);
+    w
+  in
+  let steal () =
+    (* victims longest-backlog first; the unlocked length reads are only a
+       heuristic ordering — the pop itself is under the victim's lock *)
+    let victims =
+      List.init workers (fun j -> (Scoll.Deque.length shared.deques.(j), j))
+      |> List.filter (fun (len, j) -> j <> id && len > 0)
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+    in
+    List.fold_left
+      (fun acc (_, j) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            Mutex.lock shared.locks.(j);
+            let w = Scoll.Deque.pop_front_opt shared.deques.(j) in
+            Mutex.unlock shared.locks.(j);
+            w)
+      None victims
+  in
+  let push_children children =
+    ignore (Atomic.fetch_and_add shared.pending (List.length children));
+    Mutex.lock shared.locks.(id);
+    List.iter (fun c -> Scoll.Deque.push_back shared.deques.(id) (Sub c)) children;
+    Mutex.unlock shared.locks.(id)
+  in
+  let execute w =
+    incr tasks;
+    let t = match w with Root v -> Cs_cliques2.root_task nh v | Sub t -> t in
+    if
+      Cs_cliques2.task_depth t < split_depth
+      && Cs_cliques2.task_width t >= split_width
+    then begin
+      (* oversized shallow subtree: do one visit step (emitting if
+         maximal) and requeue the children so idle workers can take them *)
+      match Cs_cliques2.expand_task rn t with
+      | [] -> ()
+      | children ->
+          incr splits;
+          push_children children
+    end
+    else Cs_cliques2.run_task rn t;
+    Atomic.decr shared.pending
+  in
+  let backoff = ref 1e-5 in
+  let rec loop () =
+    match pop_own () with
+    | Some w ->
+        backoff := 1e-5;
+        execute w;
+        loop ()
+    | None ->
+        if Atomic.get shared.pending > 0 then begin
+          (match steal () with
+          | Some w ->
+              backoff := 1e-5;
+              incr steals;
+              execute w
+          | None ->
+              (* work is in flight but nothing is stealable: sleep rather
+                 than spin — the machine may have fewer cores than
+                 workers, and a spinning thief would starve the owner *)
+              Unix.sleepf !backoff;
+              backoff := Float.min (2. *. !backoff) 1e-3);
+          loop ()
+        end
+  in
+  loop ();
+  (match obs with None -> () | Some _ -> Neighborhood.sync_obs nh);
+  {
+    w_results = !results;
+    w_time = Scliques_obs.Clock.now () -. t0;
+    w_tasks = !tasks;
+    w_steals = !steals;
+    w_splits = !splits;
+    w_obs = obs;
+  }
 
-let enumerate_with_stats ?workers ?(pivot = true) ?(feasibility = false)
-    ?(min_size = 0) ?(cache_capacity = 65536) ?obs g ~s =
+let enumerate_with_stats ?workers ?(split_depth = 3) ?(split_width = 8)
+    ?(pivot = true) ?(feasibility = false) ?(min_size = 0) ?(cache_capacity = 65536)
+    ?obs g ~s =
   let workers =
     match workers with Some w -> w | None -> Domain.recommended_domain_count ()
   in
   if workers < 1 then invalid_arg "Parallel.enumerate: workers must be >= 1";
   let observed = obs <> None in
   let n = Graph.n g in
-  let buckets = Array.make workers [] in
-  for v = n - 1 downto 0 do
-    buckets.(v mod workers) <- v :: buckets.(v mod workers)
+  let shared =
+    {
+      deques = Array.init workers (fun _ -> Scoll.Deque.create ());
+      locks = Array.init workers (fun _ -> Mutex.create ());
+      pending = Atomic.make n;
+    }
+  in
+  (* deal roots round-robin, ascending toward the back: owners drain their
+     own deque newest-first, so thieves (who take the front) steal the
+     SMALLEST remaining root id — the branch with the largest candidate
+     set, i.e. the heaviest work, which is what balancing wants moved *)
+  for v = 0 to n - 1 do
+    Scoll.Deque.push_back shared.deques.(v mod workers) (Root v)
   done;
-  let spawn roots =
-    Domain.spawn (fun () ->
-        run_worker ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed roots)
+  let worker id () =
+    run_worker ~id ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed
+      ~split_depth ~split_width ~shared ()
   in
-  (* the first bucket runs in the calling domain *)
-  let helpers = Array.to_list (Array.map spawn (Array.sub buckets 1 (workers - 1))) in
-  let own =
-    run_worker ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed buckets.(0)
-  in
+  let helpers = List.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  (* worker 0 runs in the calling domain *)
+  let own = worker 0 () in
   let parts = own :: List.map Domain.join helpers in
-  let results_per_worker =
-    Array.of_list (List.map (fun (r, _, _) -> List.length r) parts)
-  in
-  let time_per_worker = Array.of_list (List.map (fun (_, t, _) -> t) parts) in
+  let arr f = Array.of_list (List.map f parts) in
+  let results_per_worker = arr (fun p -> List.length p.w_results) in
+  let time_per_worker = arr (fun p -> p.w_time) in
+  let tasks_per_worker = arr (fun p -> p.w_tasks) in
+  let steals = List.fold_left (fun acc p -> acc + p.w_steals) 0 parts in
+  let splits = List.fold_left (fun acc p -> acc + p.w_splits) 0 parts in
   (* canonical output: sorted by Node_set.compare, so the result list is
-     identical for every worker count (root branches partition the output,
-     only their arrival order differs) *)
-  let all =
-    List.sort Node_set.compare (List.concat_map (fun (r, _, _) -> r) parts)
-  in
+     identical for every worker count and every steal schedule (tasks
+     partition the output, only their placement varies; sorting removes
+     the arrival order) *)
+  let all = List.sort Node_set.compare (List.concat_map (fun p -> p.w_results) parts) in
   (match obs with
   | None -> ()
   | Some into ->
       List.iteri
-        (fun i (r, _, worker_obs) ->
-          match worker_obs with
+        (fun i p ->
+          match p.w_obs with
           | None -> ()
           | Some o ->
-              Scliques_obs.Counters.set
-                (Scliques_obs.Obs.counter into (Printf.sprintf "par.worker%d.results" i))
-                (List.length r);
+              let set name v =
+                Scliques_obs.Counters.set
+                  (Scliques_obs.Obs.counter into (Printf.sprintf "par.worker%d.%s" i name))
+                  v
+              in
+              set "results" (List.length p.w_results);
+              set "tasks" p.w_tasks;
               Scliques_obs.Obs.merge_into ~into o)
         parts;
-      let set name v =
-        Scliques_obs.Counters.set (Scliques_obs.Obs.counter into name) v
-      in
+      let set name v = Scliques_obs.Counters.set (Scliques_obs.Obs.counter into name) v in
       set "par.workers" workers;
       set "par.results" (List.length all);
+      set "par.tasks" (Array.fold_left ( + ) 0 tasks_per_worker);
+      set "par.steals" steals;
+      set "par.splits" splits;
       set "par.max_worker_results" (Array.fold_left max 0 results_per_worker);
-      set "par.min_worker_results"
-        (Array.fold_left min max_int results_per_worker));
-  (all, { results_per_worker; time_per_worker })
+      set "par.min_worker_results" (Array.fold_left min max_int results_per_worker));
+  (all, { results_per_worker; time_per_worker; tasks_per_worker; steals; splits })
 
-let enumerate ?workers ?pivot ?feasibility ?min_size ?cache_capacity ?obs g ~s =
+let enumerate ?workers ?split_depth ?split_width ?pivot ?feasibility ?min_size
+    ?cache_capacity ?obs g ~s =
   fst
-    (enumerate_with_stats ?workers ?pivot ?feasibility ?min_size ?cache_capacity ?obs g
-       ~s)
+    (enumerate_with_stats ?workers ?split_depth ?split_width ?pivot ?feasibility
+       ?min_size ?cache_capacity ?obs g ~s)

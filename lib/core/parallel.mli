@@ -1,28 +1,50 @@
-(** Parallel enumeration across OCaml 5 domains — the paper's future-work
-    direction ("adapting the algorithms to a distributed environment", §8).
+(** Work-stealing parallel enumeration across OCaml 5 domains — the
+    paper's future-work direction ("adapting the algorithms to a
+    distributed environment", §8).
 
     The root level of CsCliques2 is embarrassingly parallel: branch [v]
     explores exactly the maximal connected s-cliques whose smallest node
-    is [v] (its candidate set is [N^s(v) ∩ {u > v}] and its exclusion set
-    [N^s(v) ∩ {u < v}]), so distinct root branches never produce the same
-    result. This module deals the root branches round-robin across
-    [workers] domains, each with a private graph-shared-but-immutable view
-    and its own [N^s] cache (the cache is the only mutable state, so no
-    synchronization is needed), and merges the outputs.
+    is [v], so distinct root branches never produce the same result. A
+    static deal of roots balances badly, though — on a scale-free graph
+    the hub-rooted branches dwarf the rest, and whichever worker drew
+    them runs long after the others go idle. This module therefore
+    schedules dynamically:
 
-    The same decomposition would ship each branch to a remote machine in a
-    genuinely distributed setting; per-worker load statistics are exposed
-    because balance — not correctness — is the open problem the paper
-    alludes to (hub-rooted branches of a scale-free graph dwarf the
-    rest). *)
+    - every worker owns a mutex-sharded deque of subproblems, seeded with
+      the root branches round-robin;
+    - owners pop the {e back} (newest first, cache-hot); an idle worker
+      steals from the {e front} of the longest backlog, which holds the
+      smallest remaining root id — the heaviest branch;
+    - a popped subproblem that is still shallow ([depth < split_depth])
+      and wide ([|P| >= split_width]) is not recursed in place: one
+      {!Cs_cliques2.expand_task} visit step runs and the child subtrees
+      are requeued, so an oversized branch becomes stealable pieces
+      instead of one worker's fate;
+    - a global atomic pending count (children registered before their
+      parent retires) detects termination; starved workers sleep with
+      exponential backoff rather than spin.
+
+    Each worker keeps a private [N^s] cache, observer and result sink;
+    the only shared mutable state is the scheduler's. Task placement
+    never affects the result {e set} — every subproblem's state is fully
+    computed before it is queued — so the canonicalized output is
+    schedule-independent. *)
 
 type stats = {
   results_per_worker : int array;
   time_per_worker : float array;  (** wall-clock seconds in each domain *)
+  tasks_per_worker : int array;
+      (** scheduler work items (roots + split-off subtrees) each worker
+          executed — the load-balance measure that, unlike results, also
+          counts fruitless subtrees *)
+  steals : int;  (** work items taken from another worker's deque *)
+  splits : int;  (** oversized subproblems expanded into requeued children *)
 }
 
 val enumerate :
   ?workers:int ->
+  ?split_depth:int ->
+  ?split_width:int ->
   ?pivot:bool ->
   ?feasibility:bool ->
   ?min_size:int ->
@@ -33,14 +55,19 @@ val enumerate :
   Sgraph.Node_set.t list
 (** All maximal connected s-cliques, each exactly once, {b canonicalized}:
     sorted in increasing {!Sgraph.Node_set.compare} order, so the returned
-    list is identical for every [workers] value (the root decomposition
-    partitions the output; only arrival order varies, and sorting removes
-    it). [workers] defaults to [Domain.recommended_domain_count ()];
-    [pivot] defaults to [true].
+    list is identical for every [workers], [split_depth] and [split_width]
+    value (subproblems partition the output; only arrival order varies,
+    and sorting removes it). [workers] defaults to
+    [Domain.recommended_domain_count ()]; [pivot] defaults to [true].
+    Subtrees at recursion depth below [split_depth] (default [3]) with at
+    least [split_width] (default [8]) candidates are split for stealing
+    rather than run in place; [split_depth <= 0] disables splitting.
     @raise Invalid_argument when [workers < 1] or [s < 1]. *)
 
 val enumerate_with_stats :
   ?workers:int ->
+  ?split_depth:int ->
+  ?split_width:int ->
   ?pivot:bool ->
   ?feasibility:bool ->
   ?min_size:int ->
@@ -49,9 +76,10 @@ val enumerate_with_stats :
   Sgraph.Graph.t ->
   s:int ->
   Sgraph.Node_set.t list * stats
-(** Same, plus per-worker load statistics. With [obs], every worker runs
-    its own observer (domains never share one): per-worker delay
-    recorders and recursion counters are merged into [obs] after the
-    join, and the imbalance counters [par.workers], [par.results],
-    [par.worker<i>.results], [par.max_worker_results] and
+(** Same, plus scheduler statistics. With [obs], every worker runs its
+    own observer (domains never share one): per-worker delay recorders
+    and recursion counters are merged into [obs] after the join, and the
+    scheduler counters [par.workers], [par.results], [par.tasks],
+    [par.steals], [par.splits], [par.worker<i>.results],
+    [par.worker<i>.tasks], [par.max_worker_results] and
     [par.min_worker_results] are published. *)

@@ -1,5 +1,11 @@
 type t = int array (* sorted, distinct *)
 
+(* Every function below pins its parameters to [t]: the mli constrains
+   only the external signature, so an unannotated body would generalize
+   to ['a array] and compile each element comparison as a call to the
+   polymorphic runtime compare -- an order of magnitude slower than the
+   int compare these merges are meant to be. *)
+
 let empty = [||]
 
 let singleton v = [| v |]
@@ -20,7 +26,7 @@ let dedup_sorted arr =
 
 let of_array arr =
   let copy = Array.copy arr in
-  Array.sort compare copy;
+  Array.sort Int.compare copy;
   dedup_sorted copy
 
 let of_list l = of_array (Array.of_list l)
@@ -36,7 +42,7 @@ let cardinal = Array.length
 let is_empty s = Array.length s = 0
 
 (* index of v in s, or -1 *)
-let index_of v s =
+let index_of (v : int) (s : t) =
   let rec go lo hi =
     if lo >= hi then -1
     else
@@ -48,7 +54,7 @@ let index_of v s =
 let mem v s = index_of v s >= 0
 
 (* number of elements of s strictly below v *)
-let rank v s =
+let rank (v : int) (s : t) =
   let rec go lo hi =
     if lo >= hi then lo
     else
@@ -79,7 +85,7 @@ let remove v s =
     out
   end
 
-let union a b =
+let union (a : t) (b : t) =
   let na = Array.length a and nb = Array.length b in
   if na = 0 then b
   else if nb = 0 then a
@@ -120,7 +126,7 @@ let union a b =
    and binary searching the big one beats the linear merge. *)
 let gallop_ratio = 16
 
-let inter_merge a b =
+let inter_merge (a : t) (b : t) =
   let na = Array.length a and nb = Array.length b in
   let out = Array.make (min na nb) 0 in
   let i = ref 0 and j = ref 0 and k = ref 0 in
@@ -137,7 +143,7 @@ let inter_merge a b =
   done;
   if !k = Array.length out then out else Array.sub out 0 !k
 
-let inter_gallop small big =
+let inter_gallop (small : t) (big : t) =
   let n = Array.length small in
   let out = Array.make n 0 in
   let k = ref 0 in
@@ -156,7 +162,7 @@ let inter a b =
   else if nb * gallop_ratio <= na then inter_gallop b a
   else inter_merge a b
 
-let diff a b =
+let diff (a : t) (b : t) =
   let na = Array.length a and nb = Array.length b in
   if na = 0 || nb = 0 then a
   else if nb * gallop_ratio <= na || na * gallop_ratio <= nb then begin
@@ -195,7 +201,7 @@ let diff a b =
     if !k = na then out else Array.sub out 0 !k
   end
 
-let subset a b =
+let subset (a : t) (b : t) =
   let na = Array.length a and nb = Array.length b in
   if na > nb then false
   else if na * gallop_ratio <= nb then Array.for_all (fun v -> mem v b) a
@@ -210,7 +216,7 @@ let subset a b =
     go 0 0
   end
 
-let disjoint a b =
+let disjoint (a : t) (b : t) =
   let na = Array.length a and nb = Array.length b in
   if na = 0 || nb = 0 then true
   else if na * gallop_ratio <= nb then not (Array.exists (fun v -> mem v b) a)
@@ -271,7 +277,7 @@ let filter f s =
   done;
   if !k = n then s else Array.sub out 0 !k
 
-let inter_cardinal a b =
+let inter_cardinal (a : t) (b : t) =
   let na = Array.length a and nb = Array.length b in
   if na = 0 || nb = 0 then 0
   else if na * gallop_ratio <= nb then
@@ -291,6 +297,84 @@ let inter_cardinal a b =
 let diff_cardinal a b = Array.length a - inter_cardinal a b
 
 let range lo hi = if lo >= hi then empty else Array.init (hi - lo) (fun i -> lo + i)
+
+(* ---------- bitset bridge ----------
+
+   The enumeration hot paths intersect/difference the same mask (a ball,
+   a frontier) against several sorted sets in a row; loading the mask once
+   and filtering each set with O(1) word-indexed membership beats a merge
+   per pair. The sorted-array representation stays the module boundary:
+   these kernels take and return [t]. *)
+
+let to_bitset s ~capacity =
+  let b = Scoll.Bitset.create capacity in
+  Array.iter (Scoll.Bitset.add b) s;
+  b
+
+let of_bitset b =
+  let out = Array.make (Scoll.Bitset.cardinal b) 0 in
+  let k = ref 0 in
+  Scoll.Bitset.iter
+    (fun i ->
+      out.(!k) <- i;
+      incr k)
+    b;
+  out
+
+let load_bitset mask ~prev s =
+  (* reload a scratch mask: wipe [prev]'s footprint with one word store
+     per member, then set [s] word-grouped (sorted invariant) — two
+     direct loops, no per-element closure. Only valid when the mask's
+     current contents are exactly [prev]. *)
+  Scoll.Bitset.unsafe_zero_words mask prev;
+  Scoll.Bitset.unsafe_load_sorted mask s
+
+(* The scans below read the mask's word array directly: without flambda
+   a cross-module [Bitset.unsafe_mem] call per element costs about as
+   much as the bit test itself (measured ~2x on the pivot scan). *)
+
+let inter_bitset (s : t) mask =
+  let words = Scoll.Bitset.unsafe_words mask in
+  let n = Array.length s in
+  let out = Array.make n 0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    let v = Array.unsafe_get s i in
+    if Array.unsafe_get words (v lsr 5) land (1 lsl (v land 31)) <> 0 then begin
+      Array.unsafe_set out !k v;
+      incr k
+    end
+  done;
+  if !k = n then s else Array.sub out 0 !k
+
+let diff_bitset (s : t) mask =
+  let words = Scoll.Bitset.unsafe_words mask in
+  let n = Array.length s in
+  let out = Array.make n 0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    let v = Array.unsafe_get s i in
+    if Array.unsafe_get words (v lsr 5) land (1 lsl (v land 31)) = 0 then begin
+      Array.unsafe_set out !k v;
+      incr k
+    end
+  done;
+  if !k = n then s else Array.sub out 0 !k
+
+let inter_bitset_cardinal (s : t) mask =
+  (* branch-free: the 0/1 membership bit is added straight into the
+     accumulator, which the tail recursion keeps in a register *)
+  let words = Scoll.Bitset.unsafe_words mask in
+  let n = Array.length s in
+  let rec go i acc =
+    if i >= n then acc
+    else
+      let v = Array.unsafe_get s i in
+      go (i + 1) (acc + (Array.unsafe_get words (v lsr 5) lsr (v land 31) land 1))
+  in
+  go 0 0
+
+let diff_bitset_cardinal s mask = Array.length s - inter_bitset_cardinal s mask
 
 let pp fmt s =
   Format.fprintf fmt "{";

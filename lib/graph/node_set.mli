@@ -92,6 +92,43 @@ val diff_cardinal : t -> t -> int
 val range : int -> int -> t
 (** [range lo hi] is [{lo, .., hi-1}] (empty when [lo >= hi]). *)
 
+(** {2 Bitset bridge}
+
+    Word-indexed kernels for the enumeration hot paths: load a mask (a
+    ball, a frontier) into a {!Scoll.Bitset.t} once, then filter several
+    sorted sets against it with O(1) membership per element — cheaper
+    than one merge per pair when the mask is reused. The sorted-array
+    representation remains the module boundary; every kernel takes and
+    returns [t]. The mask's capacity must exceed every element of the
+    filtered set (membership tests are unchecked). *)
+
+val to_bitset : t -> capacity:int -> Scoll.Bitset.t
+(** Fresh bitset of the given capacity holding exactly the members.
+    @raise Invalid_argument when an element is outside the capacity. *)
+
+val of_bitset : Scoll.Bitset.t -> t
+(** The members of the bitset, as a sorted set. *)
+
+val load_bitset : Scoll.Bitset.t -> prev:t -> t -> unit
+(** [load_bitset mask ~prev s] reloads a scratch mask whose current
+    contents are exactly [prev] so that it holds exactly [s], in
+    O(|prev| + |s|) closure-free stores (word-zeroing [prev]'s footprint,
+    then setting [s]). Undefined if the mask holds anything besides
+    [prev]. *)
+
+val inter_bitset : t -> Scoll.Bitset.t -> t
+(** [inter_bitset s mask] keeps the elements of [s] whose bit is set:
+    [s ∩ mask] in O(|s|). *)
+
+val diff_bitset : t -> Scoll.Bitset.t -> t
+(** [diff_bitset s mask] is [s − mask] in O(|s|). *)
+
+val inter_bitset_cardinal : t -> Scoll.Bitset.t -> int
+(** [cardinal (inter_bitset s mask)] without allocating. *)
+
+val diff_bitset_cardinal : t -> Scoll.Bitset.t -> int
+(** [cardinal (diff_bitset s mask)] without allocating. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints as [{1, 5, 9}]. *)
 

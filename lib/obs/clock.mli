@@ -1,0 +1,15 @@
+(** Monotonic wall clock.
+
+    Delay measurement is the paper's headline guarantee (polynomial delay,
+    Thm. 4.2), so the recorder must never observe a negative or jumping
+    gap — which [Unix.gettimeofday] can produce under NTP slew or a
+    wall-clock step. This wraps the [CLOCK_MONOTONIC] stub that bechamel
+    (already a benchmark dependency) ships, avoiding a new external
+    library. *)
+
+val now : unit -> float
+(** Seconds on the monotonic clock. The origin is unspecified (boot time
+    on Linux): only differences are meaningful. *)
+
+val now_ns : unit -> int64
+(** The raw nanosecond reading. *)

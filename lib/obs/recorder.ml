@@ -7,7 +7,7 @@ type t = {
   mutable total : float;
 }
 
-let create ?(clock = Unix.gettimeofday) () =
+let create ?(clock = Clock.now) () =
   let now = clock () in
   { clock; histogram = Histogram.create (); origin = now; last = now; first = None; total = 0. }
 

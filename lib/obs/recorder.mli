@@ -7,9 +7,9 @@
     profile the paper's delay guarantee is about: count, mean, max and
     p50/p95/p99 per-result delay.
 
-    The clock defaults to [Unix.gettimeofday] and is injectable, both for
-    deterministic tests and so a caller with access to a better monotonic
-    source can supply it. All quantities are in seconds. *)
+    The clock defaults to the monotonic {!Clock.now} (gaps must never go
+    negative under NTP adjustment) and is injectable for deterministic
+    tests. All quantities are in seconds. *)
 
 type t
 

@@ -28,6 +28,20 @@ Every algorithm agrees on the count:
   20
   20
 
+The work-stealing parallel engine agrees for every worker count, and its
+canonicalized output is the same result set as the sequential run:
+
+  $ for w in 1 2 3; do scliques enum gadget.edges -s 2 -a par --workers $w --count; done
+  20
+  20
+  20
+  $ scliques enum gadget.edges -s 2 -a cs2p | sort > seq.txt
+  $ scliques enum gadget.edges -s 2 -a par --workers 3 | sort > par.txt
+  $ diff seq.txt par.txt
+  $ scliques enum gadget.edges -s 2 -a par > parres.txt
+  $ scliques verify gadget.edges parres.txt -s 2 --complete
+  OK: 20 sets, all maximal connected 2-cliques, complete
+
 The first three results (deterministic ascending output of CSCliques2PF):
 
   $ scliques enum gadget.edges -s 2 --limit 3

@@ -1,0 +1,94 @@
+(* Golden-corpus generator: prints the canonical (sorted) maximal
+   connected s-clique sets of one fixture graph for s = 1, 2, 3 — after
+   re-enumerating them with every algorithm variant in the library and
+   checking that all twelve agree. The dune rules diff this output
+   against the committed .expected files, so any semantic drift in any
+   variant fails `dune runtest` with the exact set-level difference;
+   `dune promote` re-blesses the output after an intentional change.
+
+   Fixtures stay within Brute_force.max_nodes so the exhaustive oracle is
+   always one of the twelve voters. *)
+
+module NS = Sgraph.Node_set
+module C2 = Scliques_core.Cs_cliques2
+module PD = Scliques_core.Poly_delay
+
+let nh ~s g = Scliques_core.Neighborhood.create ~s g
+
+let collect iter_fn =
+  let acc = ref [] in
+  iter_fn (fun c -> acc := c :: !acc);
+  List.sort NS.compare !acc
+
+let variants =
+  let cs2 ~pivot ~feasibility g s = collect (C2.iter ~pivot ~feasibility (nh ~s g)) in
+  let pd ~queue_mode ~index_mode g s =
+    collect (PD.iter ~queue_mode ~index_mode (nh ~s g))
+  in
+  [
+    ("cs1", fun g s -> collect (Scliques_core.Cs_cliques1.iter (nh ~s g)));
+    ("cs2", cs2 ~pivot:false ~feasibility:false);
+    ("cs2-p", cs2 ~pivot:true ~feasibility:false);
+    ("cs2-f", cs2 ~pivot:false ~feasibility:true);
+    ("cs2-pf", cs2 ~pivot:true ~feasibility:true);
+    ( "cs2-p-deg",
+      fun g s -> collect (C2.iter ~pivot:true ~root_order:C2.Power_degeneracy (nh ~s g))
+    );
+    ("pd-fifo-btree", pd ~queue_mode:PD.Fifo ~index_mode:PD.Btree);
+    ("pd-fifo-hash", pd ~queue_mode:PD.Fifo ~index_mode:PD.Hashtable);
+    ("pd-lf-btree", pd ~queue_mode:PD.Largest_first ~index_mode:PD.Btree);
+    ("pd-lf-hash", pd ~queue_mode:PD.Largest_first ~index_mode:PD.Hashtable);
+    (* low thresholds so the work-stealing split path runs even on
+       fixture-sized graphs *)
+    ( "parallel",
+      fun g s ->
+        Scliques_core.Parallel.enumerate ~workers:3 ~split_depth:4 ~split_width:2 g ~s
+    );
+    ( "brute",
+      fun g s ->
+        List.sort NS.compare
+          (Scliques_core.Brute_force.maximal_connected_s_cliques g ~s) );
+  ]
+
+let fixtures =
+  [
+    ("figure1", fun () -> fst (Sgraph.Gen.figure1 ()));
+    ("figure3-h", fun () -> Sgraph.Gen.figure3_h ());
+    ("petersen", fun () -> Sgraph.Gen.petersen ());
+    ("grid-4x5", fun () -> Sgraph.Gen.grid 4 5);
+    ("moon-moser-3x3", fun () -> Sgraph.Gen.complete_multipartite ~parts:3 ~part_size:3);
+    ("exp-gadget-3", fun () -> Sgraph.Gen.exponential_gadget 3);
+    ("er-18", fun () -> Sgraph.Gen.erdos_renyi_gnm (Scoll.Rng.create 101) ~n:18 ~m:40);
+    ( "sf-20",
+      fun () -> Sgraph.Gen.barabasi_albert (Scoll.Rng.create 202) ~n:20 ~m_attach:2 );
+  ]
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "" in
+  let g =
+    match List.assoc_opt name fixtures with
+    | Some build -> build ()
+    | None ->
+        Printf.eprintf "gen_golden: unknown fixture %S; known: %s\n" name
+          (String.concat ", " (List.map fst fixtures));
+        exit 2
+  in
+  Printf.printf "fixture %s: n=%d m=%d\n" name (Sgraph.Graph.n g) (Sgraph.Graph.m g);
+  List.iter
+    (fun s ->
+      let reference =
+        match variants with (_, run) :: _ -> run g s | [] -> assert false
+      in
+      List.iter
+        (fun (vname, run) ->
+          let got = run g s in
+          if not (List.equal NS.equal reference got) then begin
+            Printf.eprintf
+              "gen_golden: variant %s disagrees on %s at s=%d (%d sets vs %d)\n" vname
+              name s (List.length got) (List.length reference);
+            exit 1
+          end)
+        variants;
+      Printf.printf "s=%d count=%d\n" s (List.length reference);
+      List.iter (fun c -> Printf.printf "  %s\n" (NS.to_string c)) reference)
+    [ 1; 2; 3 ]

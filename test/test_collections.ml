@@ -1,5 +1,6 @@
-(* Suites for Scoll: Rng, Bitset, Fifo_queue, Binary_heap, Btree,
-   Lri_cache, Union_find. *)
+(* Suites for Scoll: Rng, Bitset (unit + word-parallel kernel
+   properties), Deque, Fifo_queue, Binary_heap, Btree, Lri_cache,
+   Union_find. *)
 
 open Scoll
 
@@ -162,6 +163,187 @@ let bitset_tests =
     Alcotest.test_case "zero capacity" `Quick (fun () ->
         let b = Bitset.create 0 in
         check bool "empty" true (Bitset.is_empty b));
+  ]
+
+(* ---------- Bitset word-parallel kernels (QCheck vs sorted-list model) ----------
+
+   The enumeration hot paths trust inter_into / union_into / diff_into /
+   iter / fold and the Node_set bridge; each is pinned here against the
+   obviously-correct sorted-list implementation on random sets. *)
+
+let bitset_of_list cap l =
+  let b = Bitset.create cap in
+  List.iter (Bitset.add b) l;
+  b
+
+let sorted_dedup l = List.sort_uniq compare l
+
+(* (capacity, members_a, members_b) with members in [0, capacity) *)
+let gen_two_sets =
+  let open QCheck2.Gen in
+  int_range 1 200 >>= fun cap ->
+  let members = list_size (int_range 0 60) (int_range 0 (cap - 1)) in
+  members >>= fun a ->
+  members >>= fun b -> return (cap, a, b)
+
+let print_two_sets (cap, a, b) =
+  Printf.sprintf "cap=%d a=[%s] b=[%s]" cap
+    (String.concat ";" (List.map string_of_int a))
+    (String.concat ";" (List.map string_of_int b))
+
+let qtest ?(count = 300) name gen print prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen prop)
+
+let kernel_tests =
+  [
+    qtest "inter_into = sorted-list inter" gen_two_sets print_two_sets
+      (fun (cap, a, b) ->
+        let ba = bitset_of_list cap a and bb = bitset_of_list cap b in
+        Bitset.inter_into ~into:ba bb;
+        Bitset.to_list ba
+        = List.filter (fun v -> List.mem v b) (sorted_dedup a));
+    qtest "union_into = sorted-list union" gen_two_sets print_two_sets
+      (fun (cap, a, b) ->
+        let ba = bitset_of_list cap a and bb = bitset_of_list cap b in
+        Bitset.union_into ~into:ba bb;
+        Bitset.to_list ba = sorted_dedup (a @ b));
+    qtest "diff_into = sorted-list diff" gen_two_sets print_two_sets
+      (fun (cap, a, b) ->
+        let ba = bitset_of_list cap a and bb = bitset_of_list cap b in
+        Bitset.diff_into ~into:ba bb;
+        Bitset.to_list ba
+        = List.filter (fun v -> not (List.mem v b)) (sorted_dedup a));
+    qtest "inter commutes, union commutes" gen_two_sets print_two_sets
+      (fun (cap, a, b) ->
+        let ab = bitset_of_list cap a and ba = bitset_of_list cap b in
+        Bitset.inter_into ~into:ab (bitset_of_list cap b);
+        Bitset.inter_into ~into:ba (bitset_of_list cap a);
+        let uab = bitset_of_list cap a and uba = bitset_of_list cap b in
+        Bitset.union_into ~into:uab (bitset_of_list cap b);
+        Bitset.union_into ~into:uba (bitset_of_list cap a);
+        Bitset.equal ab ba && Bitset.equal uab uba);
+    qtest "inter and union are idempotent" gen_two_sets print_two_sets
+      (fun (cap, a, _) ->
+        let orig = bitset_of_list cap a in
+        let i = Bitset.copy orig and u = Bitset.copy orig in
+        Bitset.inter_into ~into:i orig;
+        Bitset.union_into ~into:u orig;
+        Bitset.equal i orig && Bitset.equal u orig);
+    qtest "diff self empties, diff empty is identity" gen_two_sets print_two_sets
+      (fun (cap, a, _) ->
+        let orig = bitset_of_list cap a in
+        let d = Bitset.copy orig in
+        Bitset.diff_into ~into:d orig;
+        let e = Bitset.copy orig in
+        Bitset.diff_into ~into:e (Bitset.create cap);
+        Bitset.is_empty d && Bitset.equal e orig);
+    qtest "iter is sorted; fold and cardinal agree" gen_two_sets print_two_sets
+      (fun (cap, a, _) ->
+        let b = bitset_of_list cap a in
+        let seen = ref [] in
+        Bitset.iter (fun i -> seen := i :: !seen) b;
+        let members = List.rev !seen in
+        members = sorted_dedup a
+        && Bitset.fold (fun _ acc -> acc + 1) b 0 = Bitset.cardinal b
+        && Bitset.cardinal b = List.length members);
+    qtest "kernels on distinct capacities are rejected"
+      QCheck2.Gen.(int_range 1 100 >>= fun c -> return (c, [], []))
+      print_two_sets
+      (fun (cap, _, _) ->
+        let a = Bitset.create cap and b = Bitset.create (cap + 1) in
+        match Bitset.inter_into ~into:a b with
+        | () -> false
+        | exception Invalid_argument _ -> true);
+    (* --- Node_set bridge --- *)
+    qtest "of_bitset ∘ to_bitset = id" gen_two_sets print_two_sets
+      (fun (cap, a, _) ->
+        let s = Sgraph.Node_set.of_list a in
+        Sgraph.Node_set.equal s
+          (Sgraph.Node_set.of_bitset (Sgraph.Node_set.to_bitset s ~capacity:cap)));
+    qtest "inter_bitset/diff_bitset = inter/diff" gen_two_sets print_two_sets
+      (fun (cap, a, b) ->
+        let module NS = Sgraph.Node_set in
+        let sa = NS.of_list a and sb = NS.of_list b in
+        let mask = NS.to_bitset sb ~capacity:cap in
+        NS.equal (NS.inter_bitset sa mask) (NS.inter sa sb)
+        && NS.equal (NS.diff_bitset sa mask) (NS.diff sa sb)
+        && NS.inter_bitset_cardinal sa mask = NS.cardinal (NS.inter sa sb)
+        && NS.diff_bitset_cardinal sa mask = NS.cardinal (NS.diff sa sb));
+    qtest "load_bitset swaps mask contents exactly" gen_two_sets print_two_sets
+      (fun (cap, a, b) ->
+        let module NS = Sgraph.Node_set in
+        let sa = NS.of_list a and sb = NS.of_list b in
+        (* mask holds exactly [sa]; after the reload it must hold exactly
+           [sb] — including members of [sa] that shared words with [sb] *)
+        let mask = NS.to_bitset sa ~capacity:cap in
+        NS.load_bitset mask ~prev:sa sb;
+        Bitset.equal mask (NS.to_bitset sb ~capacity:cap)
+        && NS.equal (NS.of_bitset mask) sb);
+  ]
+
+(* ---------- Deque ---------- *)
+
+let deque_tests =
+  [
+    Alcotest.test_case "back is LIFO, front is FIFO" `Quick (fun () ->
+        let d = Deque.create () in
+        List.iter (Deque.push_back d) [ 1; 2; 3 ];
+        check (Alcotest.option int) "newest from back" (Some 3) (Deque.pop_back_opt d);
+        check (Alcotest.option int) "oldest from front" (Some 1) (Deque.pop_front_opt d);
+        check (Alcotest.option int) "remaining" (Some 2) (Deque.pop_back_opt d);
+        check (Alcotest.option int) "empty" None (Deque.pop_back_opt d));
+    Alcotest.test_case "push_front" `Quick (fun () ->
+        let d = Deque.create () in
+        Deque.push_back d 2;
+        Deque.push_front d 1;
+        Deque.push_back d 3;
+        check (Alcotest.list int) "order" [ 1; 2; 3 ] (Deque.to_list d));
+    Alcotest.test_case "growth across wraparound" `Quick (fun () ->
+        let d = Deque.create ~initial_capacity:4 () in
+        List.iter (Deque.push_back d) [ 0; 1; 2 ];
+        ignore (Deque.pop_front_opt d);
+        ignore (Deque.pop_front_opt d);
+        for i = 3 to 20 do
+          Deque.push_back d i
+        done;
+        check (Alcotest.list int) "order preserved"
+          (List.init 19 (fun i -> i + 2))
+          (Deque.to_list d));
+    Alcotest.test_case "clear empties and stays usable" `Quick (fun () ->
+        let d = Deque.create () in
+        List.iter (Deque.push_back d) [ 1; 2 ];
+        Deque.clear d;
+        check bool "empty" true (Deque.is_empty d);
+        Deque.push_front d 9;
+        check (Alcotest.option int) "usable" (Some 9) (Deque.pop_back_opt d));
+    Alcotest.test_case "model check vs double-ended list" `Quick (fun () ->
+        let rng = Rng.create 77 in
+        let d = Deque.create ~initial_capacity:2 () in
+        let model = ref [] in
+        for _ = 1 to 3000 do
+          match Rng.int rng 4 with
+          | 0 ->
+              let v = Rng.int rng 1000 in
+              Deque.push_back d v;
+              model := !model @ [ v ]
+          | 1 ->
+              let v = Rng.int rng 1000 in
+              Deque.push_front d v;
+              model := v :: !model
+          | 2 -> (
+              match !model with
+              | [] -> check (Alcotest.option int) "front empty" None (Deque.pop_front_opt d)
+              | x :: rest ->
+                  check (Alcotest.option int) "front" (Some x) (Deque.pop_front_opt d);
+                  model := rest)
+          | _ -> (
+              match List.rev !model with
+              | [] -> check (Alcotest.option int) "back empty" None (Deque.pop_back_opt d)
+              | x :: rest ->
+                  check (Alcotest.option int) "back" (Some x) (Deque.pop_back_opt d);
+                  model := List.rev rest)
+        done;
+        check (Alcotest.list int) "final contents" !model (Deque.to_list d));
   ]
 
 (* ---------- Fifo_queue ---------- *)
@@ -492,6 +674,8 @@ let suites =
   [
     ("rng", rng_tests);
     ("bitset", bitset_tests);
+    ("bitset_kernels", kernel_tests);
+    ("deque", deque_tests);
     ("fifo_queue", fifo_tests);
     ("binary_heap", heap_tests);
     ("btree", btree_tests);

@@ -41,7 +41,12 @@ let variants =
     ("pd-fifo-hash", pd ~queue_mode:PD.Fifo ~index_mode:PD.Hashtable);
     ("pd-lf-btree", pd ~queue_mode:PD.Largest_first ~index_mode:PD.Btree);
     ("pd-lf-hash", pd ~queue_mode:PD.Largest_first ~index_mode:PD.Hashtable);
-    ("parallel-3", fun g s -> Scliques_core.Parallel.enumerate ~workers:3 g ~s);
+    (* split thresholds low enough that the work-stealing scheduler's
+       expand/requeue path actually runs on graphs this small *)
+    ( "parallel-3",
+      fun g s ->
+        Scliques_core.Parallel.enumerate ~workers:3 ~split_depth:4 ~split_width:2 g ~s
+    );
   ]
 
 (* (family, n, edge parameter, s, seed) — graphs up to 30 nodes; both the
@@ -160,9 +165,11 @@ let prop_extension_candidates_exact =
                   ext)
            all))
 
-(* Regression for the worker-count canonicalization guarantee of
-   Parallel.enumerate: the returned list must be bit-identical for
-   workers ∈ {1, 2, 4}, and equal to the sequential sweep. *)
+(* Regression for the schedule-independence guarantee of the
+   work-stealing Parallel.enumerate: the returned list must be
+   bit-identical for every worker count, and equal to the sequential
+   sweep. A failure names the full (family, n, m, s, seed, workers)
+   tuple so the case replays deterministically. *)
 let prop_parallel_worker_independent =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~count:40
@@ -175,8 +182,79 @@ let prop_parallel_worker_independent =
            (fun workers ->
              let got = Scliques_core.Parallel.enumerate ~workers g ~s in
              same_sets sequential got
-             || show_mismatch (Printf.sprintf "workers=%d" workers) sequential got)
+             || show_mismatch
+                  (Printf.sprintf "%s workers=%d" (print_case (family, n, m, s, seed))
+                     workers)
+                  sequential got)
            [ 1; 2; 4 ]))
+
+(* The split thresholds decide WHERE subtrees run, never WHAT they emit:
+   disabled splitting, shallow-aggressive and deep-aggressive settings
+   must all reproduce the sequential result sets. *)
+let prop_parallel_split_independent =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:30
+       ~name:"Parallel.enumerate independent of steal/split thresholds"
+       ~print:print_case arb_graph_case
+       (fun (family, n, m, s, seed) ->
+         let g = graph_of_case (family, n, m, seed) in
+         let sequential = E.sorted_results E.Cs2_p g ~s in
+         List.for_all
+           (fun (split_depth, split_width) ->
+             let got =
+               Scliques_core.Parallel.enumerate ~workers:3 ~split_depth ~split_width g
+                 ~s
+             in
+             same_sets sequential got
+             || show_mismatch
+                  (Printf.sprintf "%s workers=3 split_depth=%d split_width=%d"
+                     (print_case (family, n, m, s, seed))
+                     split_depth split_width)
+                  sequential got)
+           [ (0, 8); (2, 4); (6, 2); (100, 1) ]))
+
+(* Same configuration twice in a row: scheduling noise (who stole what,
+   in which order) must not leak into the canonicalized output. *)
+let prop_parallel_deterministic =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:25
+       ~name:"Parallel.enumerate deterministic across repeated runs"
+       ~print:print_case arb_graph_case
+       (fun (family, n, m, s, seed) ->
+         let g = graph_of_case (family, n, m, seed) in
+         let run () =
+           Scliques_core.Parallel.enumerate ~workers:4 ~split_depth:3 ~split_width:2 g
+             ~s
+         in
+         let first = run () and second = run () in
+         same_sets first second
+         || show_mismatch
+              (Printf.sprintf "%s rerun" (print_case (family, n, m, s, seed)))
+              first second))
+
+let test_parallel_scheduler_stats () =
+  (* accounting invariants of the stats block on a graph big enough that
+     splitting actually happens *)
+  let g = Sgraph.Gen.barabasi_albert (Scoll.Rng.create 11) ~n:60 ~m_attach:3 in
+  let results, stats =
+    Scliques_core.Parallel.enumerate_with_stats ~workers:4 ~split_depth:3
+      ~split_width:2 g ~s:2
+  in
+  let sum = Array.fold_left ( + ) 0 in
+  Alcotest.(check int)
+    "per-worker results sum to the total" (List.length results)
+    (sum stats.Scliques_core.Parallel.results_per_worker);
+  Alcotest.(check bool)
+    "tasks cover at least the root branches" true
+    (sum stats.Scliques_core.Parallel.tasks_per_worker >= Sgraph.Graph.n g);
+  Alcotest.(check bool)
+    "splits were exercised at these thresholds" true
+    (stats.Scliques_core.Parallel.splits > 0);
+  Alcotest.(check bool)
+    "steal count is sane" true
+    (stats.Scliques_core.Parallel.steals >= 0
+    && stats.Scliques_core.Parallel.steals
+       <= sum stats.Scliques_core.Parallel.tasks_per_worker)
 
 let test_parallel_fixed_graph () =
   (* deterministic pin of the same guarantee on one scale-free instance *)
@@ -202,7 +280,11 @@ let suites =
     ( "parallel_canonical",
       [
         prop_parallel_worker_independent;
+        prop_parallel_split_independent;
+        prop_parallel_deterministic;
         Alcotest.test_case "fixed graph, workers 1/2/4" `Quick
           test_parallel_fixed_graph;
+        Alcotest.test_case "scheduler stats invariants" `Quick
+          test_parallel_scheduler_stats;
       ] );
   ]
