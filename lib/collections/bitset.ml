@@ -20,30 +20,37 @@ let check t i =
   if i < 0 || i >= t.capacity then
     invalid_arg (Printf.sprintf "Bitset: index %d out of bounds [0, %d)" i t.capacity)
 
-(* i < capacity implies i lsr 5 < Array.length words, so the word access
-   needs no bounds check — that check is measurable in the mask scans *)
+(* SAFETY: caller guarantees 0 <= i < capacity, and create sizes words
+   so that i lsr 5 < Array.length words — the elided bounds check is
+   measurable in the mask scans *)
 let unsafe_mem t i = Array.unsafe_get t.words (i lsr 5) land (1 lsl (i land 31)) <> 0
 
 (* membership as 0/1 with no boolean materialization: counting loops add
-   it straight into an accumulator, branch-free *)
+   it straight into an accumulator, branch-free.
+   SAFETY: same bounds argument as unsafe_mem — caller owns i < capacity *)
 let unsafe_mem01 t i = (Array.unsafe_get t.words (i lsr 5) lsr (i land 31)) land 1
 
+(* SAFETY: check validates 0 <= i < capacity before the unsafe read *)
 let mem t i =
   check t i;
   unsafe_mem t i
 
+(* SAFETY: caller guarantees i < capacity, so w < Array.length words *)
 let unsafe_add t i =
   let w = i lsr 5 in
   Array.unsafe_set t.words w (Array.unsafe_get t.words w lor (1 lsl (i land 31)))
 
+(* SAFETY: check validates 0 <= i < capacity before the unsafe write *)
 let add t i =
   check t i;
   unsafe_add t i
 
+(* SAFETY: caller guarantees i < capacity, so w < Array.length words *)
 let unsafe_remove t i =
   let w = i lsr 5 in
   Array.unsafe_set t.words w (Array.unsafe_get t.words w land lnot (1 lsl (i land 31)))
 
+(* SAFETY: check validates 0 <= i < capacity before the unsafe write *)
 let remove t i =
   check t i;
   unsafe_remove t i
@@ -67,6 +74,8 @@ let remove_all t arr = Array.iter (remove t) arr
    Neighborhood masks, where a closure call per member costs more than
    the bit operation itself. *)
 
+(* SAFETY: k ranges over arr's length, and the caller guarantees every
+   member of arr is < capacity, so each word index is in bounds *)
 let unsafe_add_all t arr =
   let words = t.words in
   for k = 0 to Array.length arr - 1 do
@@ -79,7 +88,9 @@ let unsafe_add_all t arr =
    entire content is [arr] with one store per member. Any OTHER bit
    sharing a word with a member is wiped too — only valid when [arr] is
    exactly the mask's current contents. When the member array is at least
-   as long as the word array a full clear is fewer stores, so do that. *)
+   as long as the word array a full clear is fewer stores, so do that.
+   SAFETY: k ranges over arr's length; members are < capacity, so each
+   word index is < Array.length words *)
 let unsafe_zero_words t arr =
   let words = t.words in
   if Array.length arr >= Array.length words then Array.fill words 0 (Array.length words) 0
@@ -91,7 +102,9 @@ let unsafe_zero_words t arr =
 (* Load a SORTED member array into a cleared mask, one store per touched
    word: members sharing a word (common for ball arrays, whose ids
    cluster) are OR-ed together in a register first. Overwrites touched
-   words, so any prior contents must already be zeroed. *)
+   words, so any prior contents must already be zeroed.
+   SAFETY: both loops read arr at !k with !k < n = Array.length arr, and
+   the caller guarantees members < capacity, bounding the word stores *)
 let unsafe_load_sorted t arr =
   let words = t.words in
   let n = Array.length arr in
@@ -159,7 +172,14 @@ let to_list t =
 
 let copy t = { words = Array.copy t.words; capacity = t.capacity }
 
-let equal a b = a.capacity = b.capacity && a.words = b.words
+(* explicit word loop, not structural (=) on the arrays: polymorphic
+   compare walks tags element by element through caml_compare *)
+let equal a b =
+  a.capacity = b.capacity
+  &&
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) = b.words.(i) && go (i + 1)) in
+  n = Array.length b.words && go 0
 
 (* ---------- word-parallel kernels ---------- *)
 

@@ -1,7 +1,11 @@
-type ('k, 'v) t = {
+(* Keys are pinned to [int]: every consumer caches per-node data, and an
+   int-keyed table lets the stdlib Hashtbl hash/compare specialize instead
+   of going through the polymorphic runtime primitives. *)
+
+type 'v t = {
   capacity : int;
-  table : ('k, 'v) Hashtbl.t;
-  order : 'k Fifo_queue.t; (* insertion order; front = oldest *)
+  table : (int, 'v) Hashtbl.t;
+  order : int Fifo_queue.t; (* insertion order; front = oldest *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -69,4 +73,4 @@ let clear t =
   Hashtbl.reset t.table;
   Fifo_queue.clear t.order
 
-let stats (t : (_, _) t) = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+let stats (t : _ t) = { hits = t.hits; misses = t.misses; evictions = t.evictions }

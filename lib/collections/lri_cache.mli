@@ -5,36 +5,39 @@
     from the hash table (using an LRI ordering) to make room for new
     neighbor results". LRI evicts in insertion order — a FIFO policy, as
     opposed to LRU's access order — which this module reproduces, together
-    with hit/miss/eviction counters for the cache ablation benchmark. *)
+    with hit/miss/eviction counters for the cache ablation benchmark.
 
-type ('k, 'v) t
+    Keys are [int] node ids: pinning the key type keeps the underlying
+    hash table off the polymorphic hash/compare runtime primitives. *)
 
-val create : capacity:int -> unit -> ('k, 'v) t
+type 'v t
+
+val create : capacity:int -> unit -> 'v t
 (** [create ~capacity ()] caches at most [capacity] bindings; inserting
     into a full cache evicts the oldest-inserted binding. [capacity = 0]
     disables caching entirely (every lookup misses and nothing is stored).
     Requires [capacity >= 0]. *)
 
-val capacity : ('k, 'v) t -> int
+val capacity : 'v t -> int
 
-val length : ('k, 'v) t -> int
+val length : 'v t -> int
 
-val find_opt : ('k, 'v) t -> 'k -> 'v option
+val find_opt : 'v t -> int -> 'v option
 (** Updates the hit/miss counters but never the eviction order. *)
 
-val mem : ('k, 'v) t -> 'k -> bool
+val mem : 'v t -> int -> bool
 (** Membership without touching the statistics. *)
 
-val add : ('k, 'v) t -> 'k -> 'v -> unit
+val add : 'v t -> int -> 'v -> unit
 (** Insert a binding, evicting the oldest one when full. Re-inserting an
     existing key replaces its value without changing its eviction rank. *)
 
-val find_or_add : ('k, 'v) t -> 'k -> compute:('k -> 'v) -> 'v
+val find_or_add : 'v t -> int -> compute:(int -> 'v) -> 'v
 (** Return the cached value, or compute, store and return it. *)
 
-val clear : ('k, 'v) t -> unit
+val clear : 'v t -> unit
 (** Drop all bindings; statistics are kept. *)
 
 type stats = { hits : int; misses : int; evictions : int }
 
-val stats : ('k, 'v) t -> stats
+val stats : 'v t -> stats

@@ -26,7 +26,7 @@ let float t bound =
   let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
   r /. 9007199254740992. *. bound
 
-let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bool t = Int64.equal (Int64.logand (next_int64 t) 1L) 1L
 
 let pair_distinct t n =
   assert (n >= 2);
@@ -59,5 +59,5 @@ let sample_without_replacement t ~k ~n =
       out.(!i) <- key;
       incr i)
     chosen;
-  Array.sort compare out;
+  Array.sort Int.compare out;
   out

@@ -1,0 +1,9 @@
+(* The one place in the codebase allowed to touch Mutex.lock/unlock
+   directly: every other module must route its critical sections through
+   [with_lock], which pairs the unlock on all exit paths (normal return
+   and exception) via [Fun.protect]. scliques-lint's lock-discipline
+   rule enforces the routing. *)
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f

@@ -1,0 +1,9 @@
+(** Exception-safe locking. [with_lock m f] runs [f ()] with [m] held
+    and releases [m] on every exit path, including when [f] raises.
+
+    This helper is the designated owner of direct [Mutex.lock]/[unlock]
+    calls: the lock-discipline rule of [scliques-lint] rejects them
+    anywhere else, which makes "the unlock is paired on all exit paths"
+    a checkable property instead of a review convention. *)
+
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a

@@ -26,7 +26,7 @@ let create ?(clock = Scliques_obs.Clock.now) () =
 
 let observe_gap t now =
   let gap = now -. t.last in
-  if t.first_gap = None then t.first_gap <- Some gap;
+  if Option.is_none t.first_gap then t.first_gap <- Some gap;
   t.max_gap <- Float.max t.max_gap gap;
   t.sum_gaps <- t.sum_gaps +. gap;
   t.gaps <- t.gaps + 1;

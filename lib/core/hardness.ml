@@ -10,7 +10,7 @@ type cnf = clause list
 let literals (a, b, c) = [ a; b; c ]
 
 let variables cnf =
-  List.sort_uniq compare
+  List.sort_uniq Int.compare
     (List.concat_map (fun cl -> List.map (fun l -> l.variable) (literals cl)) cnf)
 
 let clause_satisfied truth cl =
@@ -31,7 +31,7 @@ let satisfiable cnf =
       List.for_all (clause_satisfied truth) cnf || try_mask (mask + 1)
     end
   in
-  cnf = [] || try_mask 0
+  List.is_empty cnf || try_mask 0
 
 type reduction = {
   graph : Graph.t;
@@ -48,7 +48,7 @@ let conflicting cnf i j i' j' =
 
 let reduce cnf ~s =
   if s <= 1 then invalid_arg "Hardness.reduce: requires s > 1";
-  if cnf = [] then invalid_arg "Hardness.reduce: empty formula";
+  if List.is_empty cnf then invalid_arg "Hardness.reduce: empty formula";
   List.iter
     (fun cl ->
       let ls = literals cl in

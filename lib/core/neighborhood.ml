@@ -4,7 +4,7 @@ module Graph = Sgraph.Graph
 type t = {
   graph : Graph.t;
   s : int;
-  cache : (int, Node_set.t) Scoll.Lri_cache.t;
+  cache : Node_set.t Scoll.Lri_cache.t;
   obs : Scliques_obs.Obs.t option;
   c_bfs : Scliques_obs.Counters.counter option;
       (* resolved once at creation so each cached-miss BFS costs one add *)
@@ -78,10 +78,13 @@ let adjacent_any t c =
      accumulator bitset, then collect — O(sum degrees + n/64) instead of
      one sorted merge per member *)
   Scoll.Bitset.clear t.acc;
-  Node_set.iter
-    (fun v -> Scoll.Bitset.unsafe_add_all t.acc (Graph.neighbors t.graph v))
-    c;
-  Node_set.iter (Scoll.Bitset.unsafe_remove t.acc) c;
+  (* SAFETY: [acc] is sized to Graph.n and every neighbor id and member
+     of [c] is a valid node id, so all bit indices are below capacity *)
+  (Node_set.iter
+     (fun v -> Scoll.Bitset.unsafe_add_all t.acc (Graph.neighbors t.graph v))
+     c [@lint.allow "unsafe-allowlist"]);
+  (Node_set.iter (Scoll.Bitset.unsafe_remove t.acc) c
+  [@lint.allow "unsafe-allowlist"]);
   Node_set.of_bitset t.acc
 
 let within_distance t u v = u = v || Node_set.mem v (ball t u)

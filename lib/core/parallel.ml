@@ -22,6 +22,10 @@ type shared = {
   pending : int Atomic.t;
       (* work items created and not yet retired; children are registered
          before their parent retires, so 0 means no work exists anywhere *)
+  failed : (exn * Printexc.raw_backtrace) option Atomic.t;
+      (* first task crash, re-raised after the join. Without this a
+         crashed task never retires its pending count, so every other
+         worker sleeps on [pending > 0] forever *)
 }
 
 (* What one worker hands back after the join. *)
@@ -49,10 +53,8 @@ let run_worker ~id ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed
   let tasks = ref 0 and steals = ref 0 and splits = ref 0 in
   let workers = Array.length shared.deques in
   let pop_own () =
-    Mutex.lock shared.locks.(id);
-    let w = Scoll.Deque.pop_back_opt shared.deques.(id) in
-    Mutex.unlock shared.locks.(id);
-    w
+    Scoll.Sync.with_lock shared.locks.(id) (fun () ->
+        Scoll.Deque.pop_back_opt shared.deques.(id))
   in
   let steal () =
     (* victims longest-backlog first; the unlocked length reads are only a
@@ -60,24 +62,21 @@ let run_worker ~id ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed
     let victims =
       List.init workers (fun j -> (Scoll.Deque.length shared.deques.(j), j))
       |> List.filter (fun (len, j) -> j <> id && len > 0)
-      |> List.sort (fun (a, _) (b, _) -> compare b a)
+      |> List.sort (fun (a, _) (b, _) -> Int.compare b a)
     in
     List.fold_left
       (fun acc (_, j) ->
         match acc with
         | Some _ -> acc
         | None ->
-            Mutex.lock shared.locks.(j);
-            let w = Scoll.Deque.pop_front_opt shared.deques.(j) in
-            Mutex.unlock shared.locks.(j);
-            w)
+            Scoll.Sync.with_lock shared.locks.(j) (fun () ->
+                Scoll.Deque.pop_front_opt shared.deques.(j)))
       None victims
   in
   let push_children children =
     ignore (Atomic.fetch_and_add shared.pending (List.length children));
-    Mutex.lock shared.locks.(id);
-    List.iter (fun c -> Scoll.Deque.push_back shared.deques.(id) (Sub c)) children;
-    Mutex.unlock shared.locks.(id)
+    Scoll.Sync.with_lock shared.locks.(id) (fun () ->
+        List.iter (fun c -> Scoll.Deque.push_back shared.deques.(id) (Sub c)) children)
   in
   let execute w =
     incr tasks;
@@ -97,28 +96,43 @@ let run_worker ~id ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed
     else Cs_cliques2.run_task rn t;
     Atomic.decr shared.pending
   in
+  let execute w =
+    (* a crash in a task body would leave [pending] above zero forever
+       and put every other worker to sleep on it; record the first
+       failure instead and let all loops drain. The handler does not
+       re-raise here by design: [enumerate_with_stats] re-raises with
+       the original backtrace after the domains are joined. *)
+    (try execute w
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       ignore (Atomic.compare_and_set shared.failed None (Some (e, bt))))
+    [@lint.allow "exception-swallow"]
+  in
   let backoff = ref 1e-5 in
   let rec loop () =
-    match pop_own () with
-    | Some w ->
-        backoff := 1e-5;
-        execute w;
-        loop ()
-    | None ->
-        if Atomic.get shared.pending > 0 then begin
-          (match steal () with
-          | Some w ->
-              backoff := 1e-5;
-              incr steals;
-              execute w
-          | None ->
-              (* work is in flight but nothing is stealable: sleep rather
-                 than spin — the machine may have fewer cores than
-                 workers, and a spinning thief would starve the owner *)
-              Unix.sleepf !backoff;
-              backoff := Float.min (2. *. !backoff) 1e-3);
-          loop ()
-        end
+    match Atomic.get shared.failed with
+    | Some _ -> () (* another worker crashed: stop draining, go join *)
+    | None -> (
+        match pop_own () with
+        | Some w ->
+            backoff := 1e-5;
+            execute w;
+            loop ()
+        | None ->
+            if Atomic.get shared.pending > 0 then begin
+              (match steal () with
+              | Some w ->
+                  backoff := 1e-5;
+                  incr steals;
+                  execute w
+              | None ->
+                  (* work is in flight but nothing is stealable: sleep rather
+                     than spin — the machine may have fewer cores than
+                     workers, and a spinning thief would starve the owner *)
+                  Unix.sleepf !backoff;
+                  backoff := Float.min (2. *. !backoff) 1e-3);
+              loop ()
+            end)
   in
   loop ();
   (match obs with None -> () | Some _ -> Neighborhood.sync_obs nh);
@@ -138,13 +152,14 @@ let enumerate_with_stats ?workers ?(split_depth = 3) ?(split_width = 8)
     match workers with Some w -> w | None -> Domain.recommended_domain_count ()
   in
   if workers < 1 then invalid_arg "Parallel.enumerate: workers must be >= 1";
-  let observed = obs <> None in
+  let observed = Option.is_some obs in
   let n = Graph.n g in
   let shared =
     {
       deques = Array.init workers (fun _ -> Scoll.Deque.create ());
       locks = Array.init workers (fun _ -> Mutex.create ());
       pending = Atomic.make n;
+      failed = Atomic.make None;
     }
   in
   (* deal roots round-robin, ascending toward the back: owners drain their
@@ -162,6 +177,11 @@ let enumerate_with_stats ?workers ?(split_depth = 3) ?(split_width = 8)
   (* worker 0 runs in the calling domain *)
   let own = worker 0 () in
   let parts = own :: List.map Domain.join helpers in
+  (* only now, with every domain joined, surface a task crash: raising
+     earlier would leak helper domains still sleeping on [pending] *)
+  (match Atomic.get shared.failed with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
   let arr f = Array.of_list (List.map f parts) in
   let results_per_worker = arr (fun p -> List.length p.w_results) in
   let time_per_worker = arr (fun p -> p.w_time) in
@@ -196,8 +216,8 @@ let enumerate_with_stats ?workers ?(split_depth = 3) ?(split_width = 8)
       set "par.tasks" (Array.fold_left ( + ) 0 tasks_per_worker);
       set "par.steals" steals;
       set "par.splits" splits;
-      set "par.max_worker_results" (Array.fold_left max 0 results_per_worker);
-      set "par.min_worker_results" (Array.fold_left min max_int results_per_worker));
+      set "par.max_worker_results" (Array.fold_left Int.max 0 results_per_worker);
+      set "par.min_worker_results" (Array.fold_left Int.min max_int results_per_worker));
   (all, { results_per_worker; time_per_worker; tasks_per_worker; steals; splits })
 
 let enumerate ?workers ?split_depth ?split_width ?pivot ?feasibility ?min_size

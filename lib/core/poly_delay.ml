@@ -16,7 +16,11 @@ type index =
 
 let index_create = function
   | Btree -> I_btree (Scoll.Btree.create ~cmp:Node_set.compare ())
-  | Hashtable -> I_hash (Hashtbl.create 4096, ref 0)
+  | Hashtable ->
+      (* structural hashing/equality over whole Node_set.t keys (sorted
+         int arrays) is the point of this ablation variant — the generic
+         primitives are intentional here, not an accident *)
+      I_hash ((Hashtbl.create 4096 [@lint.allow "poly-compare"]), ref 0)
 
 let index_add index c =
   match index with

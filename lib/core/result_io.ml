@@ -13,17 +13,17 @@ let to_string results =
 
 let save results path =
   let oc = open_out path in
-  (try output_string oc (to_string results) with
-  | e ->
-      close_out oc;
-      raise e);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string results);
+      close_out oc)
 
 let parse_line lineno line =
   let fail msg = failwith (Printf.sprintf "results line %d: %s" lineno msg) in
   let tokens =
     List.filter
-      (fun t -> t <> "")
+      (fun t -> String.length t > 0)
       (String.split_on_char ' '
          (String.map (function '\t' | '\r' -> ' ' | c -> c) line))
   in
@@ -46,7 +46,7 @@ let parse_string s =
     (List.mapi
        (fun i line ->
          let trimmed = String.trim line in
-         if trimmed = "" || trimmed.[0] = '#' then []
+         if String.length trimmed = 0 || trimmed.[0] = '#' then []
          else [ parse_line (i + 1) line ])
        lines)
 

@@ -11,8 +11,8 @@ let of_sizes sizes =
   | [] -> { count = 0; min_size = 0; max_size = 0; avg_size = 0.; total_nodes = 0 }
   | first :: rest ->
       let count = List.length sizes in
-      let min_size = List.fold_left min first rest in
-      let max_size = List.fold_left max first rest in
+      let min_size = List.fold_left Int.min first rest in
+      let max_size = List.fold_left Int.max first rest in
       let total_nodes = List.fold_left ( + ) 0 sizes in
       {
         count;

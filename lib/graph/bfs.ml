@@ -51,7 +51,7 @@ let ball g v ~radius =
   let frontier = ref [ v ] in
   let members = ref [] in
   let depth = ref 0 in
-  while !depth < radius && !frontier <> [] do
+  while !depth < radius && not (List.is_empty !frontier) do
     incr depth;
     let next = ref [] in
     List.iter
@@ -78,7 +78,7 @@ let ball_within g ~universe v ~radius =
   let frontier = ref [ v ] in
   let members = ref [] in
   let depth = ref 0 in
-  while !depth < radius && !frontier <> [] do
+  while !depth < radius && not (List.is_empty !frontier) do
     incr depth;
     let next = ref [] in
     List.iter

@@ -5,7 +5,7 @@
 let peel g =
   let n = Graph.n g in
   let deg = Array.init n (Graph.degree g) in
-  let max_deg = Array.fold_left max 0 deg in
+  let max_deg = Array.fold_left Int.max 0 deg in
   (* bucket.(d) = nodes of current degree d, as a stack *)
   let bucket = Array.make (max_deg + 1) [] in
   Array.iteri (fun v d -> bucket.(d) <- v :: bucket.(d)) deg;
@@ -17,7 +17,7 @@ let peel g =
   for pos = 0 to n - 1 do
     (* find the lowest non-empty bucket; degrees only decrease, but the
        cursor may need to back up by one after neighbor updates *)
-    while !cursor > 0 && bucket.(!cursor - 1) <> [] do
+    while !cursor > 0 && not (List.is_empty bucket.(!cursor - 1)) do
       decr cursor
     done;
     let rec pick () =
@@ -46,7 +46,7 @@ let peel g =
 
 let core_numbers g = snd (peel g)
 
-let degeneracy g = Array.fold_left max 0 (core_numbers g)
+let degeneracy g = Array.fold_left Int.max 0 (core_numbers g)
 
 let ordering g = fst (peel g)
 

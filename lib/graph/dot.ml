@@ -20,7 +20,7 @@ let to_dot ?(name = string_of_int) ?(highlight = []) g =
         | i :: _ -> palette.(i mod Array.length palette)
       in
       let label =
-        if members = [] then name v
+        if List.is_empty members then name v
         else
           Printf.sprintf "%s\\n[%s]" (name v)
             (String.concat "," (List.map string_of_int members))
@@ -36,8 +36,8 @@ let to_dot ?(name = string_of_int) ?(highlight = []) g =
 
 let write ?name ?highlight g path =
   let oc = open_out path in
-  (try output_string oc (to_dot ?name ?highlight g) with
-  | e ->
-      close_out oc;
-      raise e);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_dot ?name ?highlight g);
+      close_out oc)

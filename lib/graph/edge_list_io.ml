@@ -37,22 +37,21 @@ let parse_string s =
 
 let load path =
   let ic = open_in path in
-  let builder = Builder.create () in
-  let lineno = ref 0 in
-  (try
-     let rec loop () =
-       let line = input_line ic in
-       incr lineno;
-       parse_line builder !lineno line;
-       loop ()
-     in
-     loop ()
-   with
-  | End_of_file -> close_in ic
-  | e ->
-      close_in ic;
-      raise e);
-  Builder.build builder
+  (* only End_of_file is caught — a parse failure propagates with the
+     channel closed by the protect, never silently truncating the graph *)
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let builder = Builder.create () in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           parse_line builder !lineno line
+         done
+       with End_of_file -> ());
+      Builder.build builder)
 
 let to_string g =
   let buf = Buffer.create (16 * (Graph.m g + 2)) in
@@ -67,8 +66,10 @@ let to_string g =
 
 let save g path =
   let oc = open_out path in
-  (try output_string oc (to_string g) with
-  | e ->
-      close_out oc;
-      raise e);
-  close_out oc
+  (* close_out inside the body so flush errors on the success path are
+     reported; the noerr close in [finally] is then a no-op *)
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string g);
+      close_out oc)

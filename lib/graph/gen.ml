@@ -291,17 +291,19 @@ let exponential_gadget n =
   let w' = (2 * n) + 1 in
   (* u_{i,j} for i <> j, packed after w' *)
   let u =
+    (* keys packed as i*n + j (both in [0,n)), keeping the table on the
+       specialized int hash instead of structural pair hashing *)
     let table = Hashtbl.create (n * n) in
     let next = ref ((2 * n) + 2) in
     for i = 0 to n - 1 do
       for j = 0 to n - 1 do
         if i <> j then begin
-          Hashtbl.replace table (i, j) !next;
+          Hashtbl.replace table ((i * n) + j) !next;
           incr next
         end
       done
     done;
-    fun i j -> Hashtbl.find table (i, j)
+    fun i j -> Hashtbl.find table ((i * n) + j)
   in
   let edges = ref [ (w, w') ] in
   for i = 0 to n - 1 do

@@ -20,7 +20,7 @@ let validate adj =
         nbrs)
     adj;
   (* symmetry *)
-  let mem arr x =
+  let mem (arr : int array) (x : int) =
     let rec go lo hi =
       if lo >= hi then false
       else
@@ -42,8 +42,8 @@ let of_adjacency adj =
   validate adj;
   { adj; m = count_edges adj }
 
-let sort_dedup_row nbrs =
-  Array.sort compare nbrs;
+let sort_dedup_row (nbrs : int array) =
+  Array.sort Int.compare nbrs;
   let len = Array.length nbrs in
   if len <= 1 then nbrs
   else begin
@@ -161,7 +161,19 @@ let induced t u =
   in
   ({ adj; m = count_edges adj }, back)
 
-let equal a b = Array.length a.adj = Array.length b.adj && a.adj = b.adj
+(* explicit int loops, not structural (=) on the nested arrays: the
+   polymorphic runtime compare walks every row through caml_compare *)
+let equal a b =
+  let n = Array.length a.adj in
+  n = Array.length b.adj
+  && Array.for_all2
+       (fun (ra : int array) (rb : int array) ->
+         let len = Array.length ra in
+         len = Array.length rb
+         &&
+         let rec go i = i >= len || (ra.(i) = rb.(i) && go (i + 1)) in
+         go 0)
+       a.adj b.adj
 
 let pp fmt t =
   Format.fprintf fmt "graph(n=%d, m=%d, max_deg=%d)" (Array.length t.adj) t.m (max_degree t)

@@ -2,7 +2,7 @@ let fail lineno fmt =
   Printf.ksprintf (fun msg -> failwith (Printf.sprintf "METIS line %d: %s" lineno msg)) fmt
 
 let tokens line =
-  List.filter (fun t -> t <> "") (String.split_on_char ' ' (String.map (function '\t' | '\r' -> ' ' | c -> c) line))
+  List.filter (fun t -> String.length t > 0) (String.split_on_char ' ' (String.map (function '\t' | '\r' -> ' ' | c -> c) line))
 
 let parse_lines lines =
   (* drop comments but keep original line numbers for messages *)
@@ -63,17 +63,21 @@ let parse_string s =
 
 let load path =
   let ic = open_in path in
-  let lines = ref [] in
-  (try
-     while true do
-       lines := input_line ic :: !lines
-     done
-   with
-  | End_of_file -> close_in ic
-  | e ->
-      close_in ic;
-      raise e);
-  parse_lines (List.rev !lines)
+  (* only End_of_file is caught — a read failure propagates with the
+     channel closed by the protect, never parsing a truncated file *)
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        List.rev !lines)
+  in
+  parse_lines lines
 
 let to_string g =
   let buf = Buffer.create (16 * (Graph.m g + 2)) in
@@ -90,8 +94,10 @@ let to_string g =
 
 let save g path =
   let oc = open_out path in
-  (try output_string oc (to_string g) with
-  | e ->
-      close_out oc;
-      raise e);
-  close_out oc
+  (* close_out inside the body so flush errors on the success path are
+     reported; the noerr close in [finally] is then a no-op *)
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string g);
+      close_out oc)

@@ -10,7 +10,7 @@ let empty = [||]
 
 let singleton v = [| v |]
 
-let dedup_sorted arr =
+let dedup_sorted (arr : t) =
   let n = Array.length arr in
   if n = 0 then arr
   else begin
@@ -231,7 +231,14 @@ let disjoint (a : t) (b : t) =
     go 0 0
   end
 
-let equal (a : t) b = a = b
+(* explicit int loop, not structural (=) on the arrays: the polymorphic
+   runtime compare walks both arrays through caml_compare *)
+let equal (a : t) (b : t) =
+  let na = Array.length a in
+  na = Array.length b
+  &&
+  let rec go i = i >= na || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
 
 let compare (a : t) b =
   let na = Array.length a and nb = Array.length b in
@@ -325,7 +332,9 @@ let load_bitset mask ~prev s =
   (* reload a scratch mask: wipe [prev]'s footprint with one word store
      per member, then set [s] word-grouped (sorted invariant) — two
      direct loops, no per-element closure. Only valid when the mask's
-     current contents are exactly [prev]. *)
+     current contents are exactly [prev].
+     SAFETY: caller guarantees members of [prev] and [s] are below the
+     mask's capacity, the precondition of both Bitset kernels *)
   Scoll.Bitset.unsafe_zero_words mask prev;
   Scoll.Bitset.unsafe_load_sorted mask s
 
@@ -333,6 +342,9 @@ let load_bitset mask ~prev s =
    a cross-module [Bitset.unsafe_mem] call per element costs about as
    much as the bit test itself (measured ~2x on the pivot scan). *)
 
+(* SAFETY: i < n bounds the reads of s; members are below the mask's
+   capacity (caller invariant) so the word reads are in bounds; !k <= i
+   bounds the writes into out, which has length n *)
 let inter_bitset (s : t) mask =
   let words = Scoll.Bitset.unsafe_words mask in
   let n = Array.length s in
@@ -347,6 +359,7 @@ let inter_bitset (s : t) mask =
   done;
   if !k = n then s else Array.sub out 0 !k
 
+(* SAFETY: same bounds argument as inter_bitset *)
 let diff_bitset (s : t) mask =
   let words = Scoll.Bitset.unsafe_words mask in
   let n = Array.length s in
@@ -363,7 +376,9 @@ let diff_bitset (s : t) mask =
 
 let inter_bitset_cardinal (s : t) mask =
   (* branch-free: the 0/1 membership bit is added straight into the
-     accumulator, which the tail recursion keeps in a register *)
+     accumulator, which the tail recursion keeps in a register.
+     SAFETY: i < n bounds the reads of s; members are below the mask's
+     capacity (caller invariant), bounding the word reads *)
   let words = Scoll.Bitset.unsafe_words mask in
   let n = Array.length s in
   let rec go i acc =

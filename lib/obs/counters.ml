@@ -1,15 +1,19 @@
+(* string-specialized table: the functor pins hashing and equality to
+   String's own, keeping lookups off the polymorphic runtime primitives *)
+module Tbl = Hashtbl.Make (String)
+
 type counter = { name : string; mutable value : int }
 
-type t = (string, counter) Hashtbl.t
+type t = counter Tbl.t
 
-let create () : t = Hashtbl.create 32
+let create () : t = Tbl.create 32
 
 let counter t name =
-  match Hashtbl.find_opt t name with
+  match Tbl.find_opt t name with
   | Some c -> c
   | None ->
       let c = { name; value = 0 } in
-      Hashtbl.add t name c;
+      Tbl.add t name c;
       c
 
 let incr c = c.value <- c.value + 1
@@ -24,10 +28,10 @@ let value c = c.value
 
 let name c = c.name
 
-let find t name = Option.map (fun c -> c.value) (Hashtbl.find_opt t name)
+let find t name = Option.map (fun c -> c.value) (Tbl.find_opt t name)
 
 let to_list t =
-  Hashtbl.fold (fun name c acc -> (name, c.value) :: acc) t []
+  Tbl.fold (fun name c acc -> (name, c.value) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let merge_into ~into src =

@@ -18,7 +18,7 @@ let reset t =
 
 let observe t gap =
   Histogram.observe t.histogram gap;
-  if t.first = None then t.first <- Some gap
+  if Option.is_none t.first then t.first <- Some gap
 
 let tick t =
   let now = t.clock () in

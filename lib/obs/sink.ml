@@ -23,7 +23,7 @@ let escape_string s =
   Buffer.contents buf
 
 let float_to_string f =
-  if Float.is_nan f || Float.abs f = infinity then "null"
+  if not (Float.is_finite f) then "null"
   else Printf.sprintf "%.9g" f
 
 let rec to_buf buf = function

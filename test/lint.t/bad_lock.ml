@@ -1,0 +1,8 @@
+let m = Mutex.create ()
+
+(* an early return or exception in [f] leaves [m] held forever *)
+let unbalanced f =
+  Mutex.lock m;
+  let r = f () in
+  Mutex.unlock m;
+  r

@@ -1,0 +1,24 @@
+(* The exact shape of the dedup bug once shipped in Node_set: the body
+   is unannotated, so it generalizes to ['a array] and every (<>) below
+   compiles to a call into the polymorphic runtime compare. *)
+let dedup_sorted arr =
+  let n = Array.length arr in
+  if n = 0 then arr
+  else begin
+    let w = ref 1 in
+    for r = 1 to n - 1 do
+      if arr.(r) <> arr.(!w - 1) then begin
+        arr.(!w) <- arr.(r);
+        incr w
+      end
+    done;
+    if !w = n then arr else Array.sub arr 0 !w
+  end
+
+(* passing [max] unapplied keeps it generic even over int elements *)
+let max_of = List.fold_left max 0
+
+(* a table keyed by a non-immediate type pays polymorphic hashing *)
+let index = Hashtbl.create 16
+
+let register name v = Hashtbl.replace index (name : string) (v : int)

@@ -1,0 +1,9 @@
+(* a catch-all handler that drops the exception on the floor *)
+let run f = try f () with _ -> ()
+
+(* catch-all that re-raises: reported state, nothing hidden *)
+let guarded f =
+  try f ()
+  with e ->
+    print_endline "failed";
+    raise e

@@ -1,0 +1,7 @@
+(* allowlisted module: unsafe sites are permitted, but only when a
+   nearby safety comment documents the bounds argument — the first
+   function below has none *)
+let unsafe_first (arr : int array) = Array.unsafe_get arr 0
+
+(* SAFETY: the caller checks Array.length arr > 1 *)
+let unsafe_second (arr : int array) = Array.unsafe_get arr 1

@@ -1,0 +1,8 @@
+(* pinned comparisons, no unsafe accesses, no handlers: zero findings *)
+let sum (arr : int array) = Array.fold_left ( + ) 0 arr
+
+let max3 a b c : int = Int.max a (Int.max b c)
+
+let mem (arr : int array) (x : int) = Array.exists (fun y -> y = x) arr
+
+let index : (int, string) Hashtbl.t = Hashtbl.create 16

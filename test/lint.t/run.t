@@ -1,0 +1,95 @@
+scliques-lint self-tests: each rule has a known-bad fixture that must
+produce a documented finding, plus a clean fixture and a suppression
+fixture that must produce none. Fixtures are compiled here with
+bin_annot so the linter sees the same typed trees dune produces.
+
+  $ ocamlc -bin-annot -c bad_poly.ml bad_unsafe.ml bitset.ml bad_swallow.ml bad_lock.ml clean.ml suppressed.ml
+
+poly-compare. bad_poly.ml seeds the exact bug once shipped in
+Node_set.dedup_sorted: an unannotated body generalizing to 'a array, so
+(<>) runs the polymorphic compare per element. It also passes [max]
+unapplied and creates a string-keyed Hashtbl with the default hash:
+
+  $ scliques-lint bad_poly.cmt
+  bad_poly.ml:10:17: poly-compare: (<>) instantiated at a type variable: the body generalized, so every call is the polymorphic runtime compare
+    hint: annotate the operand type (e.g. (x : int)) so the comparison is monomorphic
+  bad_poly.ml:19:28: poly-compare: generic Stdlib.max passed as a value: an unapplied primitive is compiled as the polymorphic runtime compare, even at int
+    hint: use Int.max
+  bad_poly.ml:22:12: poly-compare: Hashtbl.create with non-immediate key type string: every probe pays polymorphic hash + structural equality
+    hint: encode the key as an int or use Hashtbl.Make with explicit equal/hash
+  3 finding(s)
+  [1]
+
+unsafe-allowlist, outside the allowlist: both the stdlib unsafe access
+and the call to a repo-style unsafe_* function are rejected in a module
+that is not Bitset or Node_set:
+
+  $ scliques-lint bad_unsafe.cmt
+  bad_unsafe.ml:2:36: unsafe-allowlist: Stdlib.Array.unsafe_get used in module Bad_unsafe, which is not on the unsafe allowlist
+    hint: move the kernel into an allowlisted module (Bitset, Node_set) or justify the site with [@lint.allow "unsafe-allowlist"] plus a (* SAFETY: ... *) comment
+  bad_unsafe.ml:5:31: unsafe-allowlist: unsafe_head used in module Bad_unsafe, which is not on the unsafe allowlist
+    hint: move the kernel into an allowlisted module (Bitset, Node_set) or justify the site with [@lint.allow "unsafe-allowlist"] plus a (* SAFETY: ... *) comment
+  2 finding(s)
+  [1]
+
+unsafe-allowlist, inside the allowlist: this fixture is module Bitset,
+so unsafe sites are permitted — but only under a SAFETY comment. The
+first site has none and is flagged; the second is covered:
+
+  $ scliques-lint bitset.cmt
+  bitset.ml:4:37: unsafe-allowlist: Stdlib.Array.unsafe_get call site has no (* SAFETY: ... *) comment in scope
+    hint: state the bounds argument in a (* SAFETY: ... *) comment on the enclosing binding
+  1 finding(s)
+  [1]
+
+exception-swallow: the catch-all that drops the exception is flagged;
+the catch-all that re-raises is not:
+
+  $ scliques-lint bad_swallow.cmt
+  bad_swallow.ml:2:26: exception-swallow: catch-all exception handler that never re-raises: a crash in the guarded code (worker body, parser loop) is silently swallowed
+    hint: match the exceptions you expect explicitly and re-raise the rest (| e -> ...; raise e), or use Fun.protect for cleanup
+  1 finding(s)
+  [1]
+
+lock-discipline: hand-paired Mutex.lock/unlock outside the Sync helper:
+
+  $ scliques-lint bad_lock.cmt
+  bad_lock.ml:5:2: lock-discipline: direct Stdlib.Mutex.lock in module Bad_lock: hand-paired lock/unlock loses the lock on any exception between them
+    hint: route the critical section through Scoll.Sync.with_lock (Fun.protect pairs the unlock on every exit path)
+  bad_lock.ml:7:2: lock-discipline: direct Stdlib.Mutex.unlock in module Bad_lock: hand-paired lock/unlock loses the lock on any exception between them
+    hint: route the critical section through Scoll.Sync.with_lock (Fun.protect pairs the unlock on every exit path)
+  2 finding(s)
+  [1]
+
+Clean code produces no findings and exits 0:
+
+  $ scliques-lint clean.cmt
+
+Per-site [@lint.allow "rule-id"] suppresses a finding without moving the
+code (suppressed.ml repeats bad_poly's generic compare and an unsafe
+access under the attribute):
+
+  $ scliques-lint suppressed.cmt
+
+The JSON output is machine-stable: same findings, one object per site:
+
+  $ scliques-lint --json bad_swallow.cmt
+  {
+    "findings": [
+      {"file": "bad_swallow.ml", "line": 2, "col": 26, "rule": "exception-swallow", "message": "catch-all exception handler that never re-raises: a crash in the guarded code (worker body, parser loop) is silently swallowed", "hint": "match the exceptions you expect explicitly and re-raise the rest (| e -> ...; raise e), or use Fun.protect for cleanup"}
+    ],
+    "count": 1
+  }
+  [1]
+
+--rules restricts the run to a subset, so the poly findings vanish when
+only the unsafe rule is requested:
+
+  $ scliques-lint --rules unsafe-allowlist bad_poly.cmt
+
+Pointing the tool at a tree with no compiled cmt files is an error, not
+a vacuous pass:
+
+  $ mkdir empty && scliques-lint empty
+  scliques-lint: no .cmt files under: empty
+  [2]

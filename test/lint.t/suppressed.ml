@@ -1,0 +1,6 @@
+(* the same generic comparison as bad_poly, acknowledged per-site *)
+let generic_equal a b = (a = b) [@lint.allow "poly-compare"]
+
+(* SAFETY: index 0 exists, length is checked by the caller *)
+let unsafe_head (arr : int array) =
+  (Array.unsafe_get arr 0) [@lint.allow "unsafe-allowlist"]
