@@ -107,6 +107,134 @@ let gen_cmd =
   in
   Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic graph.") term
 
+(* ---------- budgeted / checkpointed enumeration ---------- *)
+
+module Budget = Scliques_core.Budget
+module Ckpt = Scliques_core.Checkpoint
+module Stream = Scliques_core.Result_io.Stream
+
+let print_set c =
+  print_endline (String.concat " " (List.map string_of_int (NS.to_list c)))
+
+(* The [--deadline]/[--max-results]/[--checkpoint]/[--resume] path: stream
+   results as they are emitted, and on truncation (exit 3) leave behind a
+   checkpoint a later run can [--resume]. Results are mirrored into the
+   crash-safe record stream [CKPT.results] so a crash between emissions
+   loses at most the unflushed tail, which the next run's clean-prefix
+   truncation cuts off. *)
+let budgeted_run g ~s ~algorithm ~workers ~min_size ~deadline ~max_results
+    ~ckpt_path ~resume_path ~sigint_after =
+  let alg_label =
+    match algorithm with `Alg a -> E.name a | `Par -> "Parallel"
+  in
+  let family =
+    match algorithm with `Alg a -> E.checkpoint_family a | `Par -> "roots"
+  in
+  let n = Sgraph.Graph.n g and m = Sgraph.Graph.m g in
+  (* checkpoints land in --checkpoint, defaulting to the file resumed from *)
+  let ckpt_out = if ckpt_path <> None then ckpt_path else resume_path in
+  let prior =
+    match resume_path with
+    | None -> None
+    | Some p ->
+        let c = Ckpt.load p in
+        Ckpt.check_compat c ~s ~n ~m ~min_size;
+        if Ckpt.family c.Ckpt.state <> family then
+          failwith
+            (Printf.sprintf
+               "checkpoint %s holds a %S state; algorithm %s needs %S" p
+               (Ckpt.family c.Ckpt.state) alg_label family);
+        Some c
+  in
+  let budget =
+    (* with the SIGINT self-test hook armed, poll every iteration so the
+       pending signal is observed promptly *)
+    Budget.create ?deadline_s:deadline ?max_results
+      ?poll_every:(if sigint_after = None then None else Some 1)
+      ()
+  in
+  (match prior with
+  | Some c -> Budget.preload_results budget c.Ckpt.emitted
+  | None -> ());
+  Sys.set_signal Sys.sigint
+    (Sys.Signal_handle (fun _ -> Budget.request_cancel budget));
+  let stream =
+    match ckpt_out with
+    | None -> None
+    | Some p ->
+        let path = p ^ ".results" in
+        if resume_path <> None && Sys.file_exists path then begin
+          let _, clean_len, _ = Stream.read_records path in
+          Some (Stream.open_append path ~clean_len)
+        end
+        else Some (Stream.open_writer path)
+  in
+  let to_kill = ref (match sigint_after with Some k -> k | None -> -1) in
+  let emit c =
+    print_set c;
+    (match stream with Some w -> Stream.write_set w c | None -> ());
+    if !to_kill > 0 then begin
+      decr to_kill;
+      if !to_kill = 0 then Unix.kill (Unix.getpid ()) Sys.sigint
+    end
+  in
+  let finish outcome state_thunk =
+    (match stream with Some w -> Stream.close w | None -> ());
+    match outcome with
+    | Budget.Complete ->
+        (* the run is whole: a leftover checkpoint would make a later
+           --resume skip work that belongs in a fresh run *)
+        (match ckpt_out with
+        | Some p when Sys.file_exists p -> Sys.remove p
+        | _ -> ());
+        0
+    | Budget.Truncated reason -> (
+        match ckpt_out with
+        | Some p ->
+            Ckpt.save
+              {
+                Ckpt.algorithm = alg_label;
+                s;
+                n;
+                m;
+                min_size;
+                emitted = Budget.results budget;
+                state = state_thunk ();
+              }
+              p;
+            Printf.eprintf
+              "scliques: truncated (%s); checkpoint written to %s\n%!"
+              (Budget.reason_to_string reason)
+              p;
+            3
+        | None ->
+            Printf.eprintf
+              "scliques: truncated (%s); no --checkpoint, progress lost\n%!"
+              (Budget.reason_to_string reason);
+            3)
+  in
+  match algorithm with
+  | `Alg alg ->
+      let resume = Option.map (fun c -> c.Ckpt.state) prior in
+      let report = E.run ~min_size ~budget ?resume alg g ~s emit in
+      finish report.E.outcome (fun () -> Option.get report.E.resumable)
+  | `Par ->
+      let skip_roots =
+        match prior with
+        | Some { Ckpt.state = Ckpt.Roots { retired }; _ } -> retired
+        | _ -> []
+      in
+      let on_root_retired _root results =
+        List.iter emit results;
+        match stream with Some w -> Stream.flush w | None -> ()
+      in
+      let (_ : NS.t list), outcome, retired =
+        Scliques_core.Parallel.enumerate_budgeted ?workers ~min_size ~budget
+          ~skip_roots ~on_root_retired g ~s
+      in
+      finish outcome (fun () ->
+          Ckpt.Roots { retired = List.sort Int.compare (skip_roots @ retired) })
+
 (* ---------- enum ---------- *)
 
 let enum_cmd =
@@ -169,8 +297,92 @@ let enum_cmd =
       & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
       & info [ "stats" ] ~docv:"FMT" ~doc)
   in
-  let run file format s algorithm workers limit min_size count_only stats_fmt =
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SEC"
+          ~doc:
+            "Stop after $(docv) wall-clock seconds (monotonic clock). A \
+             truncated run exits with code 3 and, with $(b,--checkpoint), \
+             leaves a resumable checkpoint.")
+  in
+  let max_results_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-results" ] ~docv:"N"
+          ~doc:
+            "Stop once $(docv) results were emitted, counted across \
+             $(b,--resume) continuations. Exits with code 3 when the cap \
+             fires.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "On truncation, write a resumable checkpoint to $(docv) \
+             (atomically). Results are also streamed crash-safely to \
+             $(docv).results as they are found. A run that completes \
+             removes $(docv).")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a checkpoint written by an earlier truncated run \
+             on the $(i,same) graph with the same $(b,-s)/$(b,--min-size); \
+             only results not already streamed are produced. Further \
+             checkpoints go to $(docv) unless $(b,--checkpoint) says \
+             otherwise.")
+  in
+  let sigint_after_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sigint-after" ] ~docv:"N"
+          ~doc:
+            "Testing hook: raise SIGINT in-process after $(docv) results, \
+             exercising the interrupt-handling path deterministically.")
+  in
+  let run file format s algorithm workers limit min_size count_only stats_fmt
+      deadline max_results ckpt resume sigint_after =
+    let budgeted =
+      deadline <> None || max_results <> None || ckpt <> None || resume <> None
+      || sigint_after <> None
+    in
     if s < 1 then `Error (false, "s must be >= 1")
+    else if budgeted && (limit <> None || count_only || stats_fmt <> None) then
+      `Error
+        ( false,
+          "--deadline/--max-results/--checkpoint/--resume/--sigint-after \
+           cannot be combined with --limit, --count or --stats" )
+    else if budgeted then begin
+      (* exit codes per the budget protocol: 0 complete, 3 truncated,
+         1 error (bad checkpoint, unreadable graph, ...) *)
+      match
+        let g = load_graph format file in
+        budgeted_run g ~s ~algorithm ~workers ~min_size ~deadline ~max_results
+          ~ckpt_path:ckpt ~resume_path:resume ~sigint_after
+      with
+      | code -> Stdlib.exit code
+      | exception Failure msg ->
+          Printf.eprintf "scliques: error: %s\n%!" msg;
+          Stdlib.exit 1
+      | exception Invalid_argument msg ->
+          Printf.eprintf "scliques: error: %s\n%!" msg;
+          Stdlib.exit 1
+      | exception Sys_error msg ->
+          Printf.eprintf "scliques: error: %s\n%!" msg;
+          Stdlib.exit 1
+      | exception Sgraph.Io_error.Parse_error { file; line; msg } ->
+          Printf.eprintf "scliques: error: %s:%d: %s\n%!" file line msg;
+          Stdlib.exit 1
+    end
     else begin
       let g = load_graph format file in
       (* observe only when the observability output was asked for, so the
@@ -227,12 +439,7 @@ let enum_cmd =
                 @ obs_fields)
             in
             print_endline (Sink.to_string json)
-        | None ->
-            List.iter
-              (fun c ->
-                print_endline
-                  (String.concat " " (List.map string_of_int (NS.to_list c))))
-              results
+        | None -> List.iter print_set results
       end;
       `Ok ()
     end
@@ -241,13 +448,18 @@ let enum_cmd =
     Term.(
       ret
         (const run $ graph_file_arg $ format_arg $ s_arg $ algorithm_arg
-       $ workers_arg $ limit_arg $ min_size_arg $ count_arg $ stats_arg))
+       $ workers_arg $ limit_arg $ min_size_arg $ count_arg $ stats_arg
+       $ deadline_arg $ max_results_arg $ checkpoint_arg $ resume_arg
+       $ sigint_after_arg))
   in
   Cmd.v
     (Cmd.info "enum"
        ~doc:
          "Enumerate all maximal connected s-cliques of a graph (one per line, \
-          space-separated node ids).")
+          space-separated node ids). With $(b,--deadline), \
+          $(b,--max-results), $(b,--checkpoint) or $(b,--resume) the run is \
+          budgeted: exit code 0 means the output is complete, 3 means it was \
+          truncated (resumable via the checkpoint), 1 means an error.")
     term
 
 (* ---------- stats ---------- *)

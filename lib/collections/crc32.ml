@@ -1,0 +1,32 @@
+(* Reflected CRC-32, polynomial 0xEDB88320 (IEEE). The 256-entry table is
+   built once at module initialization; digesting is one table lookup and
+   one xor per byte. All arithmetic stays within 32 bits, so the digest is
+   an immediate int on 64-bit OCaml. *)
+
+let table =
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let digest_bytes b off len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Crc32: substring out of bounds";
+  let crc = ref 0xFFFFFFFF in
+  for i = off to off + len - 1 do
+    crc := table.((!crc lxor Char.code (Bytes.get b i)) land 0xFF) lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let bytes ?(off = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - off in
+  digest_bytes b off len
+
+let string ?(off = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - off in
+  digest_bytes (Bytes.of_string s) off len

@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant).
+
+    Integrity check for the crash-safe record stream: each record of a
+    checkpoint or result file carries the CRC of its payload, so a torn
+    or bit-rotted tail is detected on reload instead of being parsed as
+    garbage. Table-driven, one table shared per process; the digest fits
+    OCaml's immediate [int] range (always in [0, 2^32)). *)
+
+val string : ?off:int -> ?len:int -> string -> int
+(** [string s] is the CRC-32 of [s] (of the substring [off, off+len)
+    when given) as a non-negative int below [2^32]. *)
+
+val bytes : ?off:int -> ?len:int -> bytes -> int
+(** Same over a [bytes] buffer. *)

@@ -1,0 +1,75 @@
+exception Injected of string
+
+module Tbl = Hashtbl.Make (String)
+
+type plan =
+  | Nth of int
+  | Every of int
+  | Seeded of Rng.t * float
+
+type t = {
+  armed : bool Atomic.t;
+      (* unarmed fast path: [check] is one atomic load and returns. Set
+         once by the first arm_* call and never cleared, so the counters
+         below are only touched when a test is actually driving faults *)
+  lock : Mutex.t;
+  plans : plan Tbl.t;
+  counts : int ref Tbl.t;
+}
+
+let create () =
+  {
+    armed = Atomic.make false;
+    lock = Mutex.create ();
+    plans = Tbl.create 8;
+    counts = Tbl.create 8;
+  }
+
+let none = create ()
+
+let arm t ~site plan =
+  Sync.with_lock t.lock (fun () -> Tbl.replace t.plans site plan);
+  Atomic.set t.armed true
+
+let arm_nth t ~site ~n =
+  if n < 1 then invalid_arg "Fault.arm_nth: n must be >= 1";
+  arm t ~site (Nth n)
+
+let arm_every t ~site ~n =
+  if n < 1 then invalid_arg "Fault.arm_every: n must be >= 1";
+  arm t ~site (Every n)
+
+let arm_seeded t ~site ~seed ~p =
+  if not (p >= 0. && p <= 1.) then invalid_arg "Fault.arm_seeded: p must be in [0, 1]";
+  arm t ~site (Seeded (Rng.create seed, p))
+
+let disarm t ~site = Sync.with_lock t.lock (fun () -> Tbl.remove t.plans site)
+
+let check t site =
+  if Atomic.get t.armed then begin
+    let fire =
+      Sync.with_lock t.lock (fun () ->
+          let count =
+            match Tbl.find_opt t.counts site with
+            | Some c -> c
+            | None ->
+                let c = ref 0 in
+                Tbl.add t.counts site c;
+                c
+          in
+          incr count;
+          match Tbl.find_opt t.plans site with
+          | None -> None
+          | Some (Nth n) -> if !count = n then Some !count else None
+          | Some (Every n) -> if !count mod n = 0 then Some !count else None
+          | Some (Seeded (rng, p)) ->
+              if Rng.float rng 1.0 < p then Some !count else None)
+    in
+    match fire with
+    | None -> ()
+    | Some hit -> raise (Injected (Printf.sprintf "%s#%d" site hit))
+  end
+
+let hits t site =
+  Sync.with_lock t.lock (fun () ->
+      match Tbl.find_opt t.counts site with Some c -> !c | None -> 0)

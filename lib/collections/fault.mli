@@ -1,0 +1,60 @@
+(** Deterministic fault injection for robustness tests.
+
+    The recovery layer (budgets, checkpoints, the crash-safe record
+    stream, the parallel scheduler) is only trustworthy if its failure
+    paths are exercised on purpose. A [Fault.t] is a registry of armed
+    fault points; production code calls {!check} at each named site
+    ("stream.write", "ckpt.save", "par.w2.task", "sink.yield", ...) and
+    an armed plan raises {!Injected} at a chosen hit. Plans are
+    deterministic: either "fail the [n]-th hit of this site" or an
+    {!Scoll.Rng}-seeded coin per hit, so every CI failure replays from
+    its seed.
+
+    [check] on an unarmed registry is one atomic load — callers may keep
+    the call in moderately hot paths (per task, per write), though the
+    enumeration inner loops never see a fault point at all. All
+    operations are thread-safe; hit counting is serialized under one
+    mutex, which is acceptable at the per-task/per-write cadence of the
+    instrumented sites. *)
+
+exception Injected of string
+(** [Injected site] — the fault armed at [site] fired. The payload is the
+    site name plus the 1-based hit index, e.g. ["stream.write#3"]. *)
+
+type t
+
+val none : t
+(** Shared registry that is never armed: {!check} on it never raises.
+    Do not {!arm} it. *)
+
+val create : unit -> t
+(** Fresh registry with no armed faults. *)
+
+val arm_nth : t -> site:string -> n:int -> unit
+(** Arm [site] to raise {!Injected} on its [n]-th {!check} (1-based);
+    later hits of the same site pass again. Requires [n >= 1]. Arming the
+    same site again replaces the previous plan. *)
+
+val arm_every : t -> site:string -> n:int -> unit
+(** Arm [site] to raise on every [n]-th hit ([n], [2n], ...): a lossy
+    medium rather than a single torn write. Requires [n >= 1]. *)
+
+val arm_seeded : t -> site:string -> seed:int -> p:float -> unit
+(** Arm [site] with a splitmix64 stream: each hit fails independently
+    with probability [p]. Deterministic for a fixed seed and hit order.
+    Requires [0. <= p <= 1.]. *)
+
+val disarm : t -> site:string -> unit
+(** Remove the plan for [site] (no-op when not armed). *)
+
+val check : t -> string -> unit
+(** [check t site] counts one hit of [site] and raises {!Injected} when
+    the armed plan says this hit fails. Unarmed sites (and the whole
+    registry before any {!arm_nth}/{!arm_every}/{!arm_seeded}) never
+    raise. *)
+
+val hits : t -> string -> int
+(** Number of times [site] was checked since the registry was first
+    armed (including the raising hit). 0 for a never-checked site.
+    Checks before the first [arm_*] call take the unarmed fast path and
+    are not counted. *)

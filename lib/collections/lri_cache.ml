@@ -4,8 +4,10 @@
 
 type 'v t = {
   capacity : int;
+  weight : 'v -> int;
   table : (int, 'v) Hashtbl.t;
   order : int Fifo_queue.t; (* insertion order; front = oldest *)
+  mutable total_weight : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -13,12 +15,14 @@ type 'v t = {
 
 type stats = { hits : int; misses : int; evictions : int }
 
-let create ~capacity () =
+let create ?(weight = fun _ -> 0) ~capacity () =
   if capacity < 0 then invalid_arg "Lri_cache.create: negative capacity";
   {
     capacity;
+    weight;
     table = Hashtbl.create (max 16 (min capacity 65536));
     order = Fifo_queue.create ();
+    total_weight = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -27,6 +31,8 @@ let create ~capacity () =
 let capacity t = t.capacity
 
 let length t = Hashtbl.length t.table
+
+let total_weight t = t.total_weight
 
 let find_opt t k =
   match Hashtbl.find_opt t.table k with
@@ -45,20 +51,24 @@ let rec evict_one t =
   match Fifo_queue.pop_opt t.order with
   | None -> ()
   | Some oldest ->
-      if Hashtbl.mem t.table oldest then begin
-        Hashtbl.remove t.table oldest;
-        t.evictions <- t.evictions + 1
-      end
-      else evict_one t
+      (match Hashtbl.find_opt t.table oldest with
+      | Some old ->
+          t.total_weight <- t.total_weight - t.weight old;
+          Hashtbl.remove t.table oldest;
+          t.evictions <- t.evictions + 1
+      | None -> evict_one t)
 
 let add t k v =
   if t.capacity > 0 then begin
-    if Hashtbl.mem t.table k then Hashtbl.replace t.table k v
-    else begin
-      if Hashtbl.length t.table >= t.capacity then evict_one t;
-      Hashtbl.replace t.table k v;
-      Fifo_queue.push t.order k
-    end
+    match Hashtbl.find_opt t.table k with
+    | Some old ->
+        t.total_weight <- t.total_weight - t.weight old + t.weight v;
+        Hashtbl.replace t.table k v
+    | None ->
+        if Hashtbl.length t.table >= t.capacity then evict_one t;
+        t.total_weight <- t.total_weight + t.weight v;
+        Hashtbl.replace t.table k v;
+        Fifo_queue.push t.order k
   end
 
 let find_or_add t k ~compute =
@@ -71,6 +81,7 @@ let find_or_add t k ~compute =
 
 let clear t =
   Hashtbl.reset t.table;
-  Fifo_queue.clear t.order
+  Fifo_queue.clear t.order;
+  t.total_weight <- 0
 
 let stats (t : _ t) = { hits = t.hits; misses = t.misses; evictions = t.evictions }

@@ -12,15 +12,23 @@
 
 type 'v t
 
-val create : capacity:int -> unit -> 'v t
+val create : ?weight:('v -> int) -> capacity:int -> unit -> 'v t
 (** [create ~capacity ()] caches at most [capacity] bindings; inserting
     into a full cache evicts the oldest-inserted binding. [capacity = 0]
     disables caching entirely (every lookup misses and nothing is stored).
+    [weight] (default [fun _ -> 0]) assigns each value a cost — e.g. an
+    approximate byte size — whose running sum over the cached bindings is
+    reported by {!total_weight}; it must be a pure function of the value.
     Requires [capacity >= 0]. *)
 
 val capacity : 'v t -> int
 
 val length : 'v t -> int
+
+val total_weight : 'v t -> int
+(** Sum of [weight v] over the currently cached values — the memory
+    footprint probe used by enumeration budgets ([Budget.max_cache_bytes]).
+    Constant time: maintained incrementally on add/replace/evict. *)
 
 val find_opt : 'v t -> int -> 'v option
 (** Updates the hit/miss counters but never the eviction order. *)

@@ -43,8 +43,25 @@ let rec recurse g ~pivoting ~min_size ~should_continue yield r p x =
     end
   end
 
-let iter ?(strategy = Pivot) ?(min_size = 0) ?(should_continue = fun () -> true) g
-    yield =
+let iter ?budget ?(strategy = Pivot) ?(min_size = 0)
+    ?(should_continue = fun () -> true) g yield =
+  (* a budget composes with any explicit predicate: its checker fails
+     fast once tripped, and every emission feeds the result cap *)
+  let should_continue =
+    match budget with
+    | None -> should_continue
+    | Some b ->
+        let check = Budget.checker b in
+        fun () -> check () && should_continue ()
+  in
+  let yield =
+    match budget with
+    | None -> yield
+    | Some b ->
+        fun c ->
+          yield c;
+          Budget.note_result b
+  in
   match strategy with
   | Plain ->
       recurse g ~pivoting:false ~min_size ~should_continue yield Node_set.empty
@@ -65,9 +82,9 @@ let iter ?(strategy = Pivot) ?(min_size = 0) ?(should_continue = fun () -> true)
             (Node_set.singleton v) later earlier)
         order
 
-let maximal_cliques ?strategy g =
+let maximal_cliques ?budget ?should_continue ?strategy g =
   let acc = ref [] in
-  iter ?strategy g (fun c -> acc := c :: !acc);
+  iter ?budget ?should_continue ?strategy g (fun c -> acc := c :: !acc);
   List.rev !acc
 
 let maximal_s_cliques_via_power g ~s = maximal_cliques (Sgraph.Power.power g ~s)

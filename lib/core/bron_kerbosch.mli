@@ -17,6 +17,7 @@ type strategy =
           by the graph's degeneracy rather than its max degree *)
 
 val iter :
+  ?budget:Budget.t ->
   ?strategy:strategy ->
   ?min_size:int ->
   ?should_continue:(unit -> bool) ->
@@ -24,9 +25,20 @@ val iter :
   (Sgraph.Node_set.t -> unit) ->
   unit
 (** Call the function on every maximal clique exactly once (default
-    strategy [Pivot]). [min_size] prunes branches with [|R| + |P| < k]. *)
+    strategy [Pivot]). [min_size] prunes branches with [|R| + |P| < k].
+    [should_continue] is polled at every recursion entry. [budget] is an
+    alternative spelling of the same protocol: its {!Budget.checker} is
+    conjoined with [should_continue] and each emission is counted via
+    {!Budget.note_result}, so deadlines, result caps and cancellation
+    work here exactly as in the s-clique enumerators (truncation only —
+    maximal-clique runs are not checkpointable). *)
 
-val maximal_cliques : ?strategy:strategy -> Sgraph.Graph.t -> Sgraph.Node_set.t list
+val maximal_cliques :
+  ?budget:Budget.t ->
+  ?should_continue:(unit -> bool) ->
+  ?strategy:strategy ->
+  Sgraph.Graph.t ->
+  Sgraph.Node_set.t list
 
 val maximal_s_cliques_via_power : Sgraph.Graph.t -> s:int -> Sgraph.Node_set.t list
 (** Remark 1: the maximal (not necessarily connected) s-cliques of [g] are

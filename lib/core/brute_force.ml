@@ -99,6 +99,42 @@ let enumerate g ~s ~require_connected ~only_maximal =
   done;
   List.sort Node_set.compare !results
 
+let iter_masks ?(should_continue = fun () -> true) ?from_mask g ~s yield =
+  check_size g;
+  let n = Graph.n g in
+  let close = closeness g ~s in
+  let adj = adjacency g in
+  let qualifies mask =
+    is_s_clique_mask close mask && is_connected_mask adj mask
+  in
+  let start =
+    match from_mask with
+    | None -> (1 lsl n) - 1
+    | Some m ->
+        if m < 0 || m > (1 lsl n) - 1 then
+          invalid_arg "Brute_force.iter_masks: from_mask out of range";
+        m
+  in
+  let mask = ref start in
+  let running = ref true in
+  while !running && !mask >= 1 do
+    if not (should_continue ()) then running := false
+    else begin
+      let m = !mask in
+      if qualifies m then begin
+        let extensible = ref false in
+        for v = 0 to n - 1 do
+          if m land (1 lsl v) = 0 && qualifies (m lor (1 lsl v)) then
+            extensible := true
+        done;
+        if not !extensible then yield (mask_to_set m)
+      end;
+      decr mask
+    end
+  done;
+  (* the first untested mask: 0 when the scan finished *)
+  !mask
+
 let maximal_connected_s_cliques g ~s =
   enumerate g ~s ~require_connected:true ~only_maximal:true
 

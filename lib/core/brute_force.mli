@@ -21,3 +21,20 @@ val connected_s_cliques : Sgraph.Graph.t -> s:int -> Sgraph.Node_set.t list
 val maximal_s_cliques : Sgraph.Graph.t -> s:int -> Sgraph.Node_set.t list
 (** All maximal {e not-necessarily-connected} s-cliques (oracle for the
     Remark 1 reduction). @raise Invalid_argument on oversized graphs. *)
+
+val iter_masks :
+  ?should_continue:(unit -> bool) ->
+  ?from_mask:int ->
+  Sgraph.Graph.t ->
+  s:int ->
+  (Sgraph.Node_set.t -> unit) ->
+  int
+(** Streaming, interruptible form of {!maximal_connected_s_cliques}: scan
+    subset masks from [from_mask] (default [2^n - 1]) {e descending},
+    yielding each maximal connected s-clique as its mask is reached —
+    in scan order, {b not} sorted. [should_continue] is polled once per
+    mask. Returns the first untested mask: [0] after a complete scan,
+    otherwise the value to pass back as [from_mask] to resume exactly
+    where the scan stopped (each result belongs to one mask, so the split
+    is emission-exact). @raise Invalid_argument on oversized graphs or an
+    out-of-range [from_mask]. *)

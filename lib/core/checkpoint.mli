@@ -1,0 +1,58 @@
+(** Resumable enumeration checkpoints.
+
+    When a budget trips ({!Budget.outcome} [Truncated]), the enumerators
+    can describe exactly where they stopped, in one of three shapes:
+
+    - {b Roots}: for the root-partitioned algorithms (CSCliques1/2 and
+      the parallel runner) — the set of root nodes whose entire subtree
+      has been explored {e and} whose results were all streamed. A resume
+      re-runs only the remaining roots; root-level partitioning
+      guarantees no overlap with what was already emitted.
+    - {b Pd_frontier}: for PolyDelayEnum — the registered-set index plus
+      the unprocessed queue. Everything in [index] minus [queue] has been
+      emitted; a resume re-registers the index and continues dequeuing.
+    - {b Brute_mask}: for the brute-force oracle — the next subset mask
+      to test in its descending scan.
+
+    Checkpoints are written with the {!Result_io.Stream} record format to
+    a temporary file and committed by an atomic rename, so a crash during
+    {!save} leaves the previous checkpoint intact; {!load} refuses torn
+    or truncated files outright (they cannot result from a completed
+    [save]). *)
+
+type state =
+  | Roots of { retired : int list }
+  | Pd_frontier of { index : Sgraph.Node_set.t list; queue : Sgraph.Node_set.t list }
+  | Brute_mask of { next_mask : int }
+
+type t = {
+  algorithm : string;  (** provenance label, e.g. ["CSCliques2"] *)
+  s : int;
+  n : int;  (** graph fingerprint: node count… *)
+  m : int;  (** …and edge count *)
+  min_size : int;
+  emitted : int;  (** results streamed before the interruption *)
+  state : state;
+}
+
+val family : state -> string
+(** ["roots"], ["pd"] or ["brute"] — the tag that decides which
+    algorithms may resume this checkpoint. *)
+
+val save : ?fault:Scoll.Fault.t -> t -> string -> unit
+(** Write atomically (tmp + rename). [fault] arms the [stream.write],
+    [stream.flush] and [ckpt.rename] injection sites; an injected fault
+    leaves the previous checkpoint at the path untouched (the [.tmp]
+    file may remain and is overwritten next time).
+    @raise Scoll.Fault.Injected when an armed fault fires.
+    @raise Sys_error on real I/O failure. *)
+
+val load : string -> t
+(** @raise Sys_error when the file cannot be read.
+    @raise Failure on a corrupt, torn, or non-checkpoint file. *)
+
+val check_compat : t -> s:int -> n:int -> m:int -> min_size:int -> unit
+(** Refuse to resume against a different graph or different enumeration
+    parameters — silently mixing them would produce output that belongs
+    to no single run.
+    @raise Failure naming the first mismatched field. *)

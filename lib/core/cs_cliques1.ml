@@ -5,7 +5,7 @@ let c_incr = function None -> () | Some c -> Scliques_obs.Counters.incr c
 
 let c_set_max c n = match c with None -> () | Some c -> Scliques_obs.Counters.set_max c n
 
-let iter ?(min_size = 0) ?(should_continue = fun () -> true) ?obs nh yield =
+let make_recurse ~min_size ~should_continue ?obs nh yield =
   let g = Neighborhood.graph nh in
   let ctr name = Option.map (fun o -> Scliques_obs.Obs.counter o name) obs in
   let c_calls = ctr "cs1.calls" in
@@ -55,5 +55,25 @@ let iter ?(min_size = 0) ?(should_continue = fun () -> true) ?obs nh yield =
         branchable
     end
   in
+  recurse
+
+let iter ?(min_size = 0) ?(should_continue = fun () -> true) ?obs nh yield =
+  let g = Neighborhood.graph nh in
+  let recurse = make_recurse ~min_size ~should_continue ?obs nh yield in
   recurse 0 Node_set.empty (Graph.nodes g) Node_set.empty Node_set.empty;
+  match obs with None -> () | Some _ -> Neighborhood.sync_obs nh
+
+let iter_rooted ?(min_size = 0) ?(should_continue = fun () -> true) ?obs nh ~root
+    yield =
+  (* exactly the state the full run's top-level loop hands the branch on
+     [root]: by then every u < root has moved from P to X, and the child
+     P/X are filtered through ball(root) — so this subtree emits precisely
+     the maximal connected s-cliques whose minimum node is [root] *)
+  let g = Neighborhood.graph nh in
+  let recurse = make_recurse ~min_size ~should_continue ?obs nh yield in
+  let ball = Neighborhood.ball nh root in
+  recurse 1 (Node_set.singleton root)
+    (Node_set.filter (fun u -> u > root) ball)
+    (Node_set.filter (fun u -> u < root) ball)
+    (Graph.neighbor_set g root);
   match obs with None -> () | Some _ -> Neighborhood.sync_obs nh

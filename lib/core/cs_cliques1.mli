@@ -25,3 +25,17 @@ val iter :
     With [obs], the delay recorder ticks per emission and the
     recursion-tree counters [cs1.calls], [cs1.max_depth] and [cs1.emits]
     are maintained; without it the search is uninstrumented. *)
+
+val iter_rooted :
+  ?min_size:int ->
+  ?should_continue:(unit -> bool) ->
+  ?obs:Scliques_obs.Obs.t ->
+  Neighborhood.t ->
+  root:int ->
+  (Sgraph.Node_set.t -> unit) ->
+  unit
+(** Run only the branch of the full recursion rooted at [root]: exactly
+    the maximal connected s-cliques whose {e minimum} node is [root] are
+    emitted. Running every root in turn reproduces {!iter}'s output —
+    this is the unit of work behind budgeted, checkpointable runs, where
+    fully-explored roots are recorded and a resume runs only the rest. *)

@@ -37,6 +37,12 @@ let iter ?(min_size = 0) ?(optimized = true) ?cache_capacity
       if s < 1 then invalid_arg "Enumerate.iter: s must be >= 1";
       let c_emits = Option.map (fun o -> Scliques_obs.Obs.counter o "brute.emits") obs in
       (match obs with None -> () | Some o -> Scliques_obs.Obs.reset_clock o);
+      (* scan cooperatively so a tripped [should_continue] stops the
+         exponential subset walk itself, not just the emission loop *)
+      let acc = ref [] in
+      let (_ : int) =
+        Brute_force.iter_masks ~should_continue g ~s (fun c -> acc := c :: !acc)
+      in
       List.iter
         (fun c ->
           if Node_set.cardinal c >= min_size then begin
@@ -47,7 +53,7 @@ let iter ?(min_size = 0) ?(optimized = true) ?cache_capacity
             | _ -> ());
             yield c
           end)
-        (Brute_force.maximal_connected_s_cliques g ~s)
+        (List.sort Node_set.compare !acc)
   | _ ->
       let nh = Neighborhood.create ?cache_capacity ?obs ~s g in
       let run () =
@@ -80,6 +86,142 @@ let iter ?(min_size = 0) ?(optimized = true) ?cache_capacity
           (* early termination escapes via the caller's exception (e.g.
              [first_n]'s quota): still publish the cache counters *)
           Fun.protect ~finally:(fun () -> Neighborhood.sync_obs nh) run)
+
+type run_report = {
+  outcome : Budget.outcome;
+  resumable : Checkpoint.state option;
+  emitted : int;
+}
+
+let checkpoint_family = function
+  | Poly_delay -> "pd"
+  | Brute -> "brute"
+  | Cs1 | Cs2 | Cs2_f | Cs2_p | Cs2_pf -> "roots"
+
+let run ?(min_size = 0) ?cache_capacity ?obs ?budget ?resume algorithm g ~s yield =
+  if s < 1 then invalid_arg "Enumerate.run: s must be >= 1";
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  (match resume with
+  | Some st
+    when not (String.equal (Checkpoint.family st) (checkpoint_family algorithm)) ->
+      failwith
+        (Printf.sprintf
+           "cannot resume a %S checkpoint with algorithm %s (it needs a %S one)"
+           (Checkpoint.family st) (name algorithm) (checkpoint_family algorithm))
+  | _ -> ());
+  let emitted = ref 0 in
+  let commit c =
+    yield c;
+    incr emitted;
+    Budget.note_result budget
+  in
+  let resumable =
+    match algorithm with
+    | Brute ->
+        let from_mask =
+          match resume with
+          | Some (Checkpoint.Brute_mask { next_mask }) -> Some next_mask
+          | _ -> None
+        in
+        let check = Budget.checker budget in
+        let next_mask =
+          Brute_force.iter_masks ~should_continue:check ?from_mask g ~s (fun c ->
+              if Node_set.cardinal c >= min_size then commit c)
+        in
+        fun () -> Checkpoint.Brute_mask { next_mask }
+    | Poly_delay ->
+        let nh = Neighborhood.create ?cache_capacity ?obs ~s g in
+        let init =
+          match resume with
+          | Some (Checkpoint.Pd_frontier { index; queue }) ->
+              Some { Poly_delay.f_index = index; f_queue = queue }
+          | _ -> None
+        in
+        let queue_mode =
+          if min_size > 0 then Poly_delay.Largest_first else Poly_delay.Fifo
+        in
+        let check = Budget.checker budget in
+        let finish () =
+          let (_ : Poly_delay.run_stats), frontier =
+            Poly_delay.run ~queue_mode ~min_size ~should_continue:check ?init ?obs
+              nh commit
+          in
+          fun () ->
+            Checkpoint.Pd_frontier
+              { index = frontier.f_index; queue = frontier.f_queue }
+        in
+        (match obs with
+        | None -> finish ()
+        | Some _ -> Fun.protect ~finally:(fun () -> Neighborhood.sync_obs nh) finish)
+    | (Cs1 | Cs2 | Cs2_f | Cs2_p | Cs2_pf) as alg ->
+        let nh = Neighborhood.create ?cache_capacity ?obs ~s g in
+        let check = Budget.checker budget in
+        let iter_root ~root sink =
+          match alg with
+          | Cs1 ->
+              Cs_cliques1.iter_rooted ~min_size ~should_continue:check ?obs nh
+                ~root sink
+          | _ ->
+              let pivot = match alg with Cs2_p | Cs2_pf -> true | _ -> false in
+              let feasibility =
+                match alg with Cs2_f | Cs2_pf -> true | _ -> false
+              in
+              let ball = Neighborhood.ball nh root in
+              Cs_cliques2.iter_rooted ~pivot ~feasibility ~min_size
+                ~should_continue:check ?obs nh ~root
+                ~p:(Node_set.filter (fun u -> u > root) ball)
+                ~x:(Node_set.filter (fun u -> u < root) ball)
+                sink
+        in
+        let n = Sgraph.Graph.n g in
+        let skip = Array.make (max n 1) false in
+        let retired =
+          ref
+            (match resume with
+            | Some (Checkpoint.Roots { retired }) ->
+                List.iter (fun v -> if v >= 0 && v < n then skip.(v) <- true) retired;
+                List.rev retired
+            | _ -> [])
+        in
+        let finish () =
+          (* roots are explored one at a time with their results held
+             back; a root COMMITS — streams its buffer and joins the
+             retired set — only if the budget is still live when its
+             whole subtree has run. The trip flag is sticky, so a trip
+             that pruned any part of the subtree is still visible here:
+             pruned roots never commit, and uncommitted roots rerun in
+             full on resume. Commits are root-atomic — a [Max_results]
+             trip mid-commit still flushes the rest of that root's
+             buffer (bounded overshoot) rather than splitting a root. *)
+          let buffer = ref [] in
+          let v = ref 0 in
+          while !v < n && Budget.live budget do
+            let root = !v in
+            if not skip.(root) then begin
+              buffer := [];
+              iter_root ~root (fun c -> buffer := c :: !buffer);
+              if Budget.live budget then begin
+                List.iter commit (List.rev !buffer);
+                retired := root :: !retired
+              end
+            end;
+            incr v
+          done;
+          fun () -> Checkpoint.Roots { retired = List.sort Int.compare !retired }
+        in
+        (match obs with
+        | None -> finish ()
+        | Some _ -> Fun.protect ~finally:(fun () -> Neighborhood.sync_obs nh) finish)
+  in
+  let outcome = Budget.status budget in
+  {
+    outcome;
+    resumable =
+      (match outcome with
+      | Budget.Complete -> None
+      | Budget.Truncated _ -> Some (resumable ()));
+    emitted = !emitted;
+  }
 
 let all_results ?min_size ?optimized ?cache_capacity ?obs algorithm g ~s =
   let acc = ref [] in

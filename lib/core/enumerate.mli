@@ -55,6 +55,56 @@ val iter :
     @raise Invalid_argument when [s < 1], or when [Brute] is applied to a
     graph beyond {!Brute_force.max_nodes} nodes. *)
 
+type run_report = {
+  outcome : Budget.outcome;
+  resumable : Checkpoint.state option;
+      (** [None] exactly when the run completed; otherwise the state a
+          later {!run} can pass as [resume] (the caller wraps it in a
+          {!Checkpoint.t} with the graph fingerprint before saving) *)
+  emitted : int;  (** results passed to the callback by {e this} call *)
+}
+
+val checkpoint_family : algorithm -> string
+(** The {!Checkpoint.family} the algorithm writes and accepts: ["roots"]
+    for the Bron–Kerbosch adaptations, ["pd"] for PolyDelayEnum,
+    ["brute"] for the oracle. Checkpoints move freely between algorithms
+    of the same family (e.g. CS2 → CS2PF, or CS2 → the parallel runner):
+    they partition work identically. *)
+
+val run :
+  ?min_size:int ->
+  ?cache_capacity:int ->
+  ?obs:Scliques_obs.Obs.t ->
+  ?budget:Budget.t ->
+  ?resume:Checkpoint.state ->
+  algorithm ->
+  Sgraph.Graph.t ->
+  s:int ->
+  (Sgraph.Node_set.t -> unit) ->
+  run_report
+(** Budgeted, resumable {!iter}. Every result reaching the callback is
+    {e committed} — it will never be produced again by a resumed run:
+
+    - the rooted algorithms buffer each root's results and release them
+      only when the root's subtree finished under a live budget, so a
+      trip mid-subtree discards the partial root and a resume reruns it;
+    - PolyDelayEnum and the brute oracle emit at their natural unit (one
+      dequeue, one mask) and are emission-exact.
+
+    [budget] defaults to {!Budget.unlimited}; each emission is counted
+    with {!Budget.note_result} — do not count again in the callback. On
+    resume, seed the budget with {!Budget.preload_results} if the result
+    cap should span the whole logical run. [Max_results] is exact for
+    [Poly_delay]/[Brute] and root-atomic for the others (the capping
+    root's buffer is flushed whole, a bounded overshoot).
+
+    The brute path streams in {e scan order} (descending subset masks),
+    unlike {!iter}'s sorted [Brute] output.
+
+    @raise Invalid_argument when [s < 1] or on an oversized [Brute] graph.
+    @raise Failure when [resume] belongs to a different
+    {!checkpoint_family} than [algorithm]. *)
+
 val all_results :
   ?min_size:int ->
   ?optimized:bool ->

@@ -115,7 +115,22 @@ let carve g property ~holds ~emitted v =
     !solutions
   end
 
-let iter ?(should_continue = fun () -> true) g property yield =
+let iter ?budget ?(should_continue = fun () -> true) g property yield =
+  let should_continue =
+    match budget with
+    | None -> should_continue
+    | Some b ->
+        let check = Budget.checker b in
+        fun () -> check () && should_continue ()
+  in
+  let yield =
+    match budget with
+    | None -> yield
+    | Some b ->
+        fun c ->
+          yield c;
+          Budget.note_result b
+  in
   let holds = property.build g in
   let queue = Scoll.Fifo_queue.create () in
   let index = Scoll.Btree.create ~cmp:Node_set.compare () in

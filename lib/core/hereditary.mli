@@ -63,13 +63,18 @@ val k_plex : k:int -> property
     inside [U]. [k = 1] is exactly the cliques. Requires [k >= 1]. *)
 
 val iter :
+  ?budget:Budget.t ->
   ?should_continue:(unit -> bool) ->
   Sgraph.Graph.t ->
   property ->
   (Sgraph.Node_set.t -> unit) ->
   unit
 (** Enumerate every maximal connected node set of the graph satisfying
-    the property, exactly once. *)
+    the property, exactly once. [should_continue] is polled once per
+    dequeue; [budget] conjoins its {!Budget.checker} with it and counts
+    every emission ({!Budget.note_result}), giving deadline/result-cap/
+    cancel semantics identical to the s-clique enumerators (truncation
+    only — no checkpointing for the generalized engine). *)
 
 val all : Sgraph.Graph.t -> property -> Sgraph.Node_set.t list
 (** Materialized {!iter}, sorted by {!Sgraph.Node_set.compare}. *)

@@ -21,7 +21,12 @@ let create ?(cache_capacity = 65536) ?obs ~s graph =
   {
     graph;
     s;
-    cache = Scoll.Lri_cache.create ~capacity:cache_capacity ();
+    cache =
+      (* weight ≈ heap bytes of a cached ball: the sorted id array
+         (one word per member) plus record/array headers *)
+      Scoll.Lri_cache.create
+        ~weight:(fun b -> (8 * Node_set.cardinal b) + 32)
+        ~capacity:cache_capacity ();
     obs;
     c_bfs = Option.map (fun o -> Scliques_obs.Obs.counter o "nh.bfs_expansions") obs;
     mask = Scoll.Bitset.create (Graph.n graph);
@@ -90,6 +95,8 @@ let adjacent_any t c =
 let within_distance t u v = u = v || Node_set.mem v (ball t u)
 
 let cache_stats t = Scoll.Lri_cache.stats t.cache
+
+let cache_bytes t = Scoll.Lri_cache.total_weight t.cache
 
 let sync_obs t =
   match t.obs with

@@ -59,6 +59,10 @@ val cache_stats : t -> Scoll.Lri_cache.stats
 (** Hit/miss/eviction counters of the ball cache (for the ablation
     benchmark). *)
 
+val cache_bytes : t -> int
+(** Approximate heap bytes held by the memoized balls — the probe behind
+    [Budget.max_cache_bytes]. Constant time. *)
+
 val sync_obs : t -> unit
 (** Publish the ball cache's cumulative hit/miss/eviction counts into the
     observer's [nh.cache_hits] / [nh.cache_misses] / [nh.cache_evictions]

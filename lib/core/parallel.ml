@@ -11,10 +11,53 @@ type stats = {
 
 (* A unit of schedulable work. Roots travel as bare ids so the ball
    computation that materializes the root state happens on whichever
-   worker executes (or steals) it, not serially up front. *)
+   worker executes (or steals) it, not serially up front. Subtrees carry
+   the id of the root branch they came from: budgeted runs account
+   results and completion per root. *)
 type work =
   | Root of int
-  | Sub of Cs_cliques2.task
+  | Sub of int * Cs_cliques2.task
+
+(* Per-root completion tracking for budgeted runs. [root_pending.(v)]
+   counts v's outstanding work items (the root item itself, plus every
+   split-off subtree; children register before their parent retires, so
+   0 means the whole branch ran). The worker whose decrement hits 0
+   COMMITS the root — flushes its buffered results and records it
+   retired — but only while the budget is live: the trip flag is sticky,
+   so any trip that pruned part of the branch (or crashed a task, which
+   skips the decrement entirely) is visible here and the root stays
+   uncommitted, to be rerun in full by a resume. *)
+type rooted = {
+  root_pending : int Atomic.t array;
+  stripes : Mutex.t array; (* buffer shards: root land 63 *)
+  buffers : Node_set.t list array; (* per-root results, under the stripe *)
+  commit_lock : Mutex.t; (* serializes commits and the retired list *)
+  mutable retired : int list;
+  mutable committed : Node_set.t list;
+  budget : Budget.t;
+  on_root_retired : (int -> Node_set.t list -> unit) option;
+  fault : Scoll.Fault.t;
+}
+
+let commit_root rooted root =
+  if Budget.live rooted.budget then
+    Scoll.Sync.with_lock rooted.commit_lock (fun () ->
+        let rs =
+          List.rev
+            (Scoll.Sync.with_lock rooted.stripes.(root land 63) (fun () ->
+                 rooted.buffers.(root)))
+        in
+        (* the caller's sink runs FIRST: only once it has durably accepted
+           the whole root (it may raise — injected fault, full disk) is
+           the root recorded as retired. A sink failure therefore leaves
+           the root uncommitted and a resume reruns it; the caller is
+           responsible for discarding whatever partial output its sink
+           produced before failing (the stream format's clean-prefix
+           truncation exists for exactly that). *)
+        (match rooted.on_root_retired with None -> () | Some f -> f root rs);
+        List.iter (fun _ -> Budget.note_result rooted.budget) rs;
+        rooted.retired <- root :: rooted.retired;
+        rooted.committed <- List.rev_append rs rooted.committed)
 
 type shared = {
   deques : work Scoll.Deque.t array; (* one per worker, mutex-sharded *)
@@ -39,16 +82,30 @@ type worker_result = {
 }
 
 let run_worker ~id ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed
-    ~split_depth ~split_width ~shared () =
+    ~split_depth ~split_width ~shared ~rooted () =
   let t0 = Scliques_obs.Clock.now () in
   (* per-worker observer, oracle and sink: domains share only the
      immutable graph and the scheduler state *)
   let obs = if observed then Some (Scliques_obs.Obs.create ()) else None in
   let nh = Neighborhood.create ~cache_capacity ?obs ~s g in
   let results = ref [] in
+  (* which root branch the task being executed belongs to; set by
+     [execute] before the task body runs, read by the budgeted sink *)
+  let cur_root = ref (-1) in
+  let yield, should_continue =
+    match rooted with
+    | None -> ((fun c -> results := c :: !results), fun () -> true)
+    | Some r ->
+        ( (fun c ->
+            let root = !cur_root in
+            Scoll.Sync.with_lock r.stripes.(root land 63) (fun () ->
+                r.buffers.(root) <- c :: r.buffers.(root))),
+          (* each worker gets its own checker: the countdown is local *)
+          Budget.checker r.budget )
+  in
   let rn =
-    Cs_cliques2.make_runner ~pivot ~feasibility ~min_size ?obs nh (fun c ->
-        results := c :: !results)
+    Cs_cliques2.make_runner ~pivot ~feasibility ~min_size ~should_continue ?obs nh
+      yield
   in
   let tasks = ref 0 and steals = ref 0 and splits = ref 0 in
   let workers = Array.length shared.deques in
@@ -73,14 +130,29 @@ let run_worker ~id ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed
                 Scoll.Deque.pop_front_opt shared.deques.(j)))
       None victims
   in
-  let push_children children =
+  let push_children root children =
     ignore (Atomic.fetch_and_add shared.pending (List.length children));
+    (match rooted with
+    | None -> ()
+    | Some r ->
+        ignore
+          (Atomic.fetch_and_add r.root_pending.(root) (List.length children)));
     Scoll.Sync.with_lock shared.locks.(id) (fun () ->
-        List.iter (fun c -> Scoll.Deque.push_back shared.deques.(id) (Sub c)) children)
+        List.iter
+          (fun c -> Scoll.Deque.push_back shared.deques.(id) (Sub (root, c)))
+          children)
   in
   let execute w =
     incr tasks;
-    let t = match w with Root v -> Cs_cliques2.root_task nh v | Sub t -> t in
+    let root, t =
+      match w with
+      | Root v -> (v, Cs_cliques2.root_task nh v)
+      | Sub (root, t) -> (root, t)
+    in
+    cur_root := root;
+    (match rooted with
+    | None -> ()
+    | Some r -> Scoll.Fault.check r.fault "par.task");
     if
       Cs_cliques2.task_depth t < split_depth
       && Cs_cliques2.task_width t >= split_width
@@ -91,9 +163,16 @@ let run_worker ~id ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed
       | [] -> ()
       | children ->
           incr splits;
-          push_children children
+          push_children root children
     end
     else Cs_cliques2.run_task rn t;
+    (match rooted with
+    | None -> ()
+    | Some r ->
+        (* children were registered above, so 1 -> 0 means the whole
+           branch has run; the unique winner of that decrement commits *)
+        if Atomic.fetch_and_add r.root_pending.(root) (-1) = 1 then
+          commit_root r root);
     Atomic.decr shared.pending
   in
   let execute w =
@@ -171,7 +250,7 @@ let enumerate_with_stats ?workers ?(split_depth = 3) ?(split_width = 8)
   done;
   let worker id () =
     run_worker ~id ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed
-      ~split_depth ~split_width ~shared ()
+      ~split_depth ~split_width ~shared ~rooted:None ()
   in
   let helpers = List.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1))) in
   (* worker 0 runs in the calling domain *)
@@ -225,3 +304,68 @@ let enumerate ?workers ?split_depth ?split_width ?pivot ?feasibility ?min_size
   fst
     (enumerate_with_stats ?workers ?split_depth ?split_width ?pivot ?feasibility
        ?min_size ?cache_capacity ?obs g ~s)
+
+let enumerate_budgeted ?workers ?(split_depth = 3) ?(split_width = 8)
+    ?(pivot = true) ?(feasibility = false) ?(min_size = 0) ?(cache_capacity = 65536)
+    ?obs ?(fault = Scoll.Fault.none) ?(skip_roots = []) ?on_root_retired ~budget g
+    ~s =
+  let workers =
+    match workers with Some w -> w | None -> Domain.recommended_domain_count ()
+  in
+  if workers < 1 then invalid_arg "Parallel.enumerate_budgeted: workers must be >= 1";
+  let observed = Option.is_some obs in
+  let n = Graph.n g in
+  let skip = Array.make (max n 1) false in
+  List.iter (fun v -> if v >= 0 && v < n then skip.(v) <- true) skip_roots;
+  let roots = List.filter (fun v -> not skip.(v)) (List.init n Fun.id) in
+  let shared =
+    {
+      deques = Array.init workers (fun _ -> Scoll.Deque.create ());
+      locks = Array.init workers (fun _ -> Mutex.create ());
+      pending = Atomic.make (List.length roots);
+      failed = Atomic.make None;
+    }
+  in
+  List.iteri
+    (fun i v -> Scoll.Deque.push_back shared.deques.(i mod workers) (Root v))
+    roots;
+  let rooted =
+    {
+      root_pending =
+        Array.init (max n 1) (fun v -> Atomic.make (if skip.(v) then 0 else 1));
+      stripes = Array.init 64 (fun _ -> Mutex.create ());
+      buffers = Array.make (max n 1) [];
+      commit_lock = Mutex.create ();
+      retired = [];
+      committed = [];
+      budget;
+      on_root_retired;
+      fault;
+    }
+  in
+  let worker id () =
+    run_worker ~id ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed
+      ~split_depth ~split_width ~shared ~rooted:(Some rooted) ()
+  in
+  let helpers = List.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  let own = worker 0 () in
+  let parts = own :: List.map Domain.join helpers in
+  (* surface a task (or sink) crash only after every domain is joined —
+     the caller can still checkpoint what [on_root_retired] delivered
+     before the crash, since uncommitted roots simply rerun on resume *)
+  (match Atomic.get shared.failed with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  (match obs with
+  | None -> ()
+  | Some into ->
+      List.iter
+        (fun p ->
+          match p.w_obs with None -> () | Some o -> Scliques_obs.Obs.merge_into ~into o)
+        parts;
+      Scliques_obs.Counters.set
+        (Scliques_obs.Obs.counter into "par.workers")
+        workers);
+  ( List.sort Node_set.compare rooted.committed,
+    Budget.status budget,
+    List.sort Int.compare rooted.retired )

@@ -83,3 +83,49 @@ val enumerate_with_stats :
     [par.steals], [par.splits], [par.worker<i>.results],
     [par.worker<i>.tasks], [par.max_worker_results] and
     [par.min_worker_results] are published. *)
+
+val enumerate_budgeted :
+  ?workers:int ->
+  ?split_depth:int ->
+  ?split_width:int ->
+  ?pivot:bool ->
+  ?feasibility:bool ->
+  ?min_size:int ->
+  ?cache_capacity:int ->
+  ?obs:Scliques_obs.Obs.t ->
+  ?fault:Scoll.Fault.t ->
+  ?skip_roots:int list ->
+  ?on_root_retired:(int -> Sgraph.Node_set.t list -> unit) ->
+  budget:Budget.t ->
+  Sgraph.Graph.t ->
+  s:int ->
+  Sgraph.Node_set.t list * Budget.outcome * int list
+(** Budget-aware {!enumerate} with per-root completion tracking. Returns
+    [(results, outcome, retired)]: the canonically sorted results of every
+    {e committed} root, the budget's verdict, and the sorted committed
+    root ids (excluding [skip_roots]) — ready for a
+    [Checkpoint.Roots { retired = skip_roots @ retired }].
+
+    A root commits when its whole branch has executed and the budget is
+    still live at that moment; the trip flag is sticky, so a deadline or
+    cancel that pruned any subtree leaves its root uncommitted, and a
+    resume ([skip_roots] = previously retired) reruns exactly the
+    uncommitted roots. The deadline is honored within one poll cadence
+    per worker ({!Budget.create}'s [poll_every]). [Max_results] is
+    root-atomic: the capping root's results are all kept.
+
+    [on_root_retired root results] runs {b in a worker domain}, serialized
+    under the commit lock, {e before} the root is recorded retired — the
+    streaming sink. If it raises, the root stays uncommitted and the
+    exception aborts the run (re-raised after every domain joins, like a
+    task crash); roots already committed remain valid for checkpointing,
+    which the caller observed through earlier callbacks.
+
+    [fault] arms the [par.task] injection site (the crash drill: the Nth
+    executed work item raises). A crashed task's root can never commit —
+    the failure cannot corrupt the retired set — and termination is
+    unaffected because every worker drains as soon as the failure is
+    recorded.
+
+    Each callback result was already counted via {!Budget.note_result};
+    on a resume, seed the budget with {!Budget.preload_results}. *)

@@ -37,6 +37,12 @@ let index_length = function
   | I_btree t -> Scoll.Btree.length t
   | I_hash (_, size) -> !size
 
+let index_to_list = function
+  | I_btree t -> Scoll.Btree.to_list t
+  | I_hash (h, _) ->
+      (* hash order is unspecified; sort so checkpoints are deterministic *)
+      List.sort Node_set.compare (Hashtbl.fold (fun k () acc -> k :: acc) h [])
+
 let index_height = function I_btree t -> Scoll.Btree.height t | I_hash _ -> 0
 
 (* Queue front-end over the two §6 disciplines. Largest-first breaks ties
@@ -69,8 +75,10 @@ let c_incr = function None -> () | Some c -> Scliques_obs.Counters.incr c
 
 let c_set_max c n = match c with None -> () | Some c -> Scliques_obs.Counters.set_max c n
 
-let iter_with_stats ?(queue_mode = Fifo) ?(index_mode = Btree) ?(min_size = 0)
-    ?(should_continue = fun () -> true) ?obs nh yield =
+type frontier = { f_index : Node_set.t list; f_queue : Node_set.t list }
+
+let run ?(queue_mode = Fifo) ?(index_mode = Btree) ?(min_size = 0)
+    ?(should_continue = fun () -> true) ?init ?obs nh yield =
   let g = Neighborhood.graph nh in
   let queue = queue_create queue_mode in
   let index = index_create index_mode in
@@ -108,13 +116,27 @@ let iter_with_stats ?(queue_mode = Fifo) ?(index_mode = Btree) ?(min_size = 0)
     else c_incr c_duplicates
   in
   (match obs with None -> () | Some o -> Scliques_obs.Obs.reset_clock o);
-  (* one seed per connected component: distances never cross components,
-     so the connected graph assumed by the paper generalizes *)
-  List.iter
-    (fun comp ->
-      let seed = Node_set.singleton (Node_set.min_elt comp) in
-      register (extend_in_graph seed))
-    (Sgraph.Components.components g);
+  (match init with
+  | None ->
+      (* one seed per connected component: distances never cross
+         components, so the connected graph assumed by the paper
+         generalizes *)
+      List.iter
+        (fun comp ->
+          let seed = Node_set.singleton (Node_set.min_elt comp) in
+          register (extend_in_graph seed))
+        (Sgraph.Components.components g)
+  | Some { f_index; f_queue } ->
+      (* resume from a checkpoint: everything in the index was already
+         registered (and, if absent from the queue, already emitted) by
+         the interrupted run, so it re-enters the index silently — only
+         the saved queue is put back up for processing *)
+      List.iter (fun c -> ignore (index_add index c : bool)) f_index;
+      List.iter
+        (fun c ->
+          queue_push queue c;
+          incr qlen)
+        f_queue);
   let running = ref true in
   while !running do
     if not (should_continue ()) then running := false
@@ -142,11 +164,28 @@ let iter_with_stats ?(queue_mode = Fifo) ?(index_mode = Btree) ?(min_size = 0)
             (Neighborhood.adjacent_any nh c)
   done;
   (match obs with None -> () | Some _ -> Neighborhood.sync_obs nh);
-  {
-    results = !results;
-    generated = index_length index;
-    index_height = index_height index;
-  }
+  let stats =
+    {
+      results = !results;
+      generated = index_length index;
+      index_height = index_height index;
+    }
+  in
+  let frontier =
+    {
+      f_index = index_to_list index;
+      f_queue =
+        (match queue with
+        | Q_fifo f -> Scoll.Fifo_queue.to_list f
+        | Q_heap h -> Scoll.Binary_heap.pop_all h);
+    }
+  in
+  (stats, frontier)
+
+let iter_with_stats ?queue_mode ?index_mode ?min_size ?should_continue ?obs nh yield =
+  fst (run ?queue_mode ?index_mode ?min_size ?should_continue ?obs nh yield)
 
 let iter ?queue_mode ?index_mode ?min_size ?should_continue ?obs nh yield =
-  ignore (iter_with_stats ?queue_mode ?index_mode ?min_size ?should_continue ?obs nh yield)
+  ignore
+    (iter_with_stats ?queue_mode ?index_mode ?min_size ?should_continue ?obs nh yield
+      : run_stats)

@@ -68,3 +68,30 @@ val iter_with_stats :
   run_stats
 (** Same, returning counters about the run (exposed for the index
     ablation benchmark and the memory discussion of §7). *)
+
+type frontier = {
+  f_index : Sgraph.Node_set.t list;  (** every set registered, in order *)
+  f_queue : Sgraph.Node_set.t list;  (** the unprocessed subset of it *)
+}
+(** A stopped run's complete restart state. The sets already emitted are
+    exactly the index minus the queue (filtered by [min_size]), so a
+    resumed run re-emits nothing: re-registering [f_index] makes every
+    old set a known duplicate, and processing restarts from [f_queue]. *)
+
+val run :
+  ?queue_mode:queue_mode ->
+  ?index_mode:index_mode ->
+  ?min_size:int ->
+  ?should_continue:(unit -> bool) ->
+  ?init:frontier ->
+  ?obs:Scliques_obs.Obs.t ->
+  Neighborhood.t ->
+  (Sgraph.Node_set.t -> unit) ->
+  run_stats * frontier
+(** {!iter_with_stats} that can start from — and always reports — a
+    {!frontier}. Without [init] it seeds per component as usual; the
+    returned frontier has an empty [f_queue] iff the run exhausted the
+    solution graph (it is only worth persisting otherwise). [run_stats]
+    counts this call's work only, but an [init] index's sets do count
+    into [generated]. Resuming under a different [queue_mode]/[index_mode]
+    is sound — the disciplines change order, never the result set. *)

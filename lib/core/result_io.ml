@@ -56,3 +56,124 @@ let load path =
   let contents = really_input_string ic len in
   close_in ic;
   parse_string contents
+
+module Stream = struct
+  (* Crash-safe append-only record stream.
+
+     Layout: a 7-byte magic ["SCLQS1\n"], then records of
+     [u32le payload length | u32le CRC-32 of payload | payload bytes].
+     A process killed mid-write leaves a torn tail — a partial header,
+     an oversized length, or a CRC mismatch — which readers detect and
+     drop, reporting [`Torn] together with the byte length of the clean
+     prefix so a resuming writer can truncate back to it and append. *)
+
+  let magic = "SCLQS1\n"
+
+  (* Corrupt length words must not drive a giant allocation: no record
+     written by this module approaches this. *)
+  let max_record_len = 1 lsl 28
+
+  type writer = { oc : out_channel; fault : Scoll.Fault.t; mutable closed : bool }
+
+  let open_writer ?(fault = Scoll.Fault.none) path =
+    let oc = open_out_bin path in
+    output_string oc magic;
+    { oc; fault; closed = false }
+
+  let open_append ?(fault = Scoll.Fault.none) path ~clean_len =
+    if clean_len < String.length magic || not (Sys.file_exists path) then
+      open_writer ~fault path
+    else begin
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      match
+        Unix.ftruncate fd clean_len;
+        ignore (Unix.lseek fd clean_len Unix.SEEK_SET : int)
+      with
+      | () -> { oc = Unix.out_channel_of_descr fd; fault; closed = false }
+      | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e
+    end
+
+  let write_record w payload =
+    Scoll.Fault.check w.fault "stream.write";
+    let len = String.length payload in
+    if len > max_record_len then invalid_arg "Stream.write_record: oversized";
+    let header = Bytes.create 8 in
+    Bytes.set_int32_le header 0 (Int32.of_int len);
+    Bytes.set_int32_le header 4 (Int32.of_int (Scoll.Crc32.string payload));
+    output_bytes w.oc header;
+    output_string w.oc payload
+
+  let flush w =
+    Scoll.Fault.check w.fault "stream.flush";
+    Stdlib.flush w.oc
+
+  let close w =
+    if not w.closed then begin
+      w.closed <- true;
+      close_out w.oc
+    end
+
+  let encode_set set = String.concat " " (List.map string_of_int (Node_set.to_list set))
+
+  let decode_set payload =
+    (* the CRC already vouched for the bytes; a malformed payload means a
+       foreign or buggy writer, which is a hard error, not a torn tail *)
+    let members =
+      List.filter_map
+        (fun tok -> if String.length tok = 0 then None else Some (int_of_string tok))
+        (String.split_on_char ' ' payload)
+    in
+    Node_set.of_list members
+
+  let write_set w set = write_record w (encode_set set)
+
+  let u32_at s off = Int32.to_int (String.get_int32_le s off) land 0xFFFFFFFF
+
+  let read_records path =
+    let ic = open_in_bin path in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let total = String.length contents in
+    let mlen = String.length magic in
+    if total < mlen then begin
+      (* a crash can even tear the magic itself; any prefix of it is a
+         torn empty stream, anything else is not ours *)
+      if String.equal contents (String.sub magic 0 total) then ([], 0, `Torn)
+      else failwith (path ^ ": not a scliques stream (bad magic)")
+    end
+    else if not (String.equal (String.sub contents 0 mlen) magic) then
+      failwith (path ^ ": not a scliques stream (bad magic)")
+    else begin
+      let records = ref [] in
+      let off = ref mlen in
+      let clean = ref mlen in
+      let torn = ref false in
+      while (not !torn) && !off < total do
+        if total - !off < 8 then torn := true
+        else begin
+          let len = u32_at contents !off in
+          let crc = u32_at contents (!off + 4) in
+          if len > max_record_len || total - (!off + 8) < len then torn := true
+          else begin
+            let payload = String.sub contents (!off + 8) len in
+            if Scoll.Crc32.string payload <> crc then torn := true
+            else begin
+              records := payload :: !records;
+              off := !off + 8 + len;
+              clean := !off
+            end
+          end
+        end
+      done;
+      (List.rev !records, !clean, if !torn then `Torn else `Clean)
+    end
+
+  let read_results path =
+    let records, _, tail = read_records path in
+    (List.map decode_set records, tail)
+end

@@ -15,3 +15,59 @@ val parse_string : string -> Sgraph.Node_set.t list
 val load : string -> Sgraph.Node_set.t list
 (** @raise Sys_error when the file cannot be read.
     @raise Failure on malformed input. *)
+
+(** Crash-safe append-only record stream — the on-disk format behind
+    [--checkpoint] result streaming and checkpoint files.
+
+    Byte layout: the 7-byte magic ["SCLQS1\n"], then zero or more records
+    of [u32le payload length | u32le CRC-32 of payload | payload].
+    A record becomes durable the instant its last byte hits the disk; a
+    process killed mid-write leaves a {e torn tail} (short header, bogus
+    length, CRC mismatch) which {!Stream.read_records} detects, drops,
+    and reports as [`Torn] — everything before it is trusted. *)
+module Stream : sig
+  val magic : string
+
+  type writer
+
+  val open_writer : ?fault:Scoll.Fault.t -> string -> writer
+  (** Create or truncate [path] and write the magic. [fault] arms the
+      [stream.write] / [stream.flush] injection sites. *)
+
+  val open_append : ?fault:Scoll.Fault.t -> string -> clean_len:int -> writer
+  (** Reopen an existing stream for appending after truncating it to
+      [clean_len] bytes — the clean-prefix length returned by
+      {!read_records} — so a torn tail from a crashed run is cut off
+      before new records land. Falls back to {!open_writer} when the file
+      is missing or [clean_len] does not even cover the magic. *)
+
+  val write_record : writer -> string -> unit
+  (** Append one record. Not flushed — see {!flush}.
+      @raise Scoll.Fault.Injected when the armed fault fires. *)
+
+  val write_set : writer -> Sgraph.Node_set.t -> unit
+  (** [write_record] of {!encode_set}. *)
+
+  val flush : writer -> unit
+
+  val close : writer -> unit
+  (** Flush and close. Idempotent. *)
+
+  val read_records : string -> string list * int * [ `Clean | `Torn ]
+  (** [read_records path] is [(payloads, clean_len, tail)]: every intact
+      record in order, the byte length of the intact prefix, and whether
+      a torn tail was dropped.
+      @raise Sys_error when the file cannot be read.
+      @raise Failure when the file does not start with the magic (it is
+      not a stream at all, as opposed to a torn one). *)
+
+  val encode_set : Sgraph.Node_set.t -> string
+
+  val decode_set : string -> Sgraph.Node_set.t
+  (** @raise Failure on a payload {!encode_set} could not have produced
+      (possible only for hand-built files — CRC-validated records from
+      this writer always decode). *)
+
+  val read_results : string -> Sgraph.Node_set.t list * [ `Clean | `Torn ]
+  (** {!read_records} + {!decode_set}. *)
+end

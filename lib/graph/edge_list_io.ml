@@ -1,8 +1,14 @@
 let is_space c = c = ' ' || c = '\t' || c = '\r'
 
-let parse_line builder lineno line =
+(* Reject ids that would make Builder.build allocate per-id arrays of
+   absurd size: a stray "99999999999" token in a corrupt file must be a
+   parse error, not a multi-gigabyte allocation. 2^30 nodes is already
+   far beyond what this in-memory representation can hold. *)
+let max_node_id = (1 lsl 30) - 1
+
+let parse_line builder ~file lineno line =
   let len = String.length line in
-  let fail msg = failwith (Printf.sprintf "edge list line %d: %s" lineno msg) in
+  let fail msg = Io_error.fail ~file ~line:lineno msg in
   let rec skip_spaces i = if i < len && is_space line.[i] then skip_spaces (i + 1) else i in
   let read_int i =
     let j = ref i in
@@ -11,8 +17,9 @@ let parse_line builder lineno line =
     done;
     let tok = String.sub line i (!j - i) in
     match int_of_string_opt tok with
-    | Some v when v >= 0 -> (v, !j)
-    | Some _ -> fail (Printf.sprintf "negative node id %S" tok)
+    | Some v when v >= 0 && v <= max_node_id -> (v, !j)
+    | Some v when v < 0 -> fail (Printf.sprintf "negative node id %S" tok)
+    | Some _ -> fail (Printf.sprintf "node id %S exceeds the %d limit" tok max_node_id)
     | None -> fail (Printf.sprintf "expected a node id, got %S" tok)
   in
   let i = skip_spaces 0 in
@@ -29,29 +36,43 @@ let parse_line builder lineno line =
     end
   end
 
-let parse_string s =
-  let builder = Builder.create () in
-  let lines = String.split_on_char '\n' s in
-  List.iteri (fun i line -> parse_line builder (i + 1) line) lines;
-  Builder.build builder
+(* Backstop for the totality contract: anything the line parser or the
+   builder throws that is not already structured (or an environment
+   error that must propagate untouched) becomes a [Parse_error], so
+   callers and the fuzz suite see exactly one exception type. *)
+let structured ~file f =
+  try f () with
+  | Io_error.Parse_error _ as e -> raise e
+  | Sys_error _ as e -> raise e
+  | (Out_of_memory | Stack_overflow) as e -> raise e
+  | e -> Io_error.fail ~file ~line:0 ("unexpected parser failure: " ^ Printexc.to_string e)
+
+let parse_string ?(file = "<string>") s =
+  structured ~file (fun () ->
+      let builder = Builder.create () in
+      let lines = String.split_on_char '\n' s in
+      List.iteri (fun i line -> parse_line builder ~file (i + 1) line) lines;
+      Builder.build builder)
 
 let load path =
   let ic = open_in path in
-  (* only End_of_file is caught — a parse failure propagates with the
-     channel closed by the protect, never silently truncating the graph *)
+  (* only End_of_file is caught by the read loop — a parse failure
+     propagates with the channel closed by the protect, never silently
+     truncating the graph *)
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let builder = Builder.create () in
-      let lineno = ref 0 in
-      (try
-         while true do
-           let line = input_line ic in
-           incr lineno;
-           parse_line builder !lineno line
-         done
-       with End_of_file -> ());
-      Builder.build builder)
+      structured ~file:path (fun () ->
+          let builder = Builder.create () in
+          let lineno = ref 0 in
+          (try
+             while true do
+               let line = input_line ic in
+               incr lineno;
+               parse_line builder ~file:path !lineno line
+             done
+           with End_of_file -> ());
+          Builder.build builder))
 
 let to_string g =
   let buf = Buffer.create (16 * (Graph.m g + 2)) in

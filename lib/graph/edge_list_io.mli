@@ -6,13 +6,17 @@
     of the snap.stanford.edu datasets the paper evaluates on, so real
     datasets drop in directly when available. *)
 
-val parse_string : string -> Graph.t
-(** @raise Failure with a line-numbered message on malformed input. *)
+val parse_string : ?file:string -> string -> Graph.t
+(** [file] (default ["<string>"]) names the source in error messages.
+    @raise Io_error.Parse_error with file and line on malformed input:
+    non-integer tokens, negative ids, implausibly large ids (above
+    [2^30 - 1]), trailing characters. No other exception escapes the
+    parser (environment errors like [Out_of_memory] excepted). *)
 
 val load : string -> Graph.t
 (** Read a graph from a file.
     @raise Sys_error when the file cannot be read.
-    @raise Failure with a line-numbered message on malformed input. *)
+    @raise Io_error.Parse_error with file and line on malformed input. *)
 
 val save : Graph.t -> string -> unit
 (** Write the graph: a [#]-comment header, one edge per line ([u < v]). *)

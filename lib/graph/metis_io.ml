@@ -1,10 +1,10 @@
-let fail lineno fmt =
-  Printf.ksprintf (fun msg -> failwith (Printf.sprintf "METIS line %d: %s" lineno msg)) fmt
+let max_node_count = (1 lsl 30) - 1
 
 let tokens line =
   List.filter (fun t -> String.length t > 0) (String.split_on_char ' ' (String.map (function '\t' | '\r' -> ' ' | c -> c) line))
 
-let parse_lines lines =
+let parse_lines ~file lines =
+  let fail lineno fmt = Io_error.failf ~file ~line:lineno fmt in
   (* drop comments but keep original line numbers for messages *)
   let numbered =
     List.filter
@@ -12,13 +12,15 @@ let parse_lines lines =
       (List.mapi (fun i line -> (i + 1, line)) lines)
   in
   match numbered with
-  | [] -> failwith "METIS: empty input"
+  | [] -> Io_error.fail ~file ~line:0 "METIS: empty input"
   | (hline, header) :: rest ->
       let n, m =
         match tokens header with
         | [ n; m ] | [ n; m; "0" ] -> (
             match (int_of_string_opt n, int_of_string_opt m) with
-            | Some n, Some m when n >= 0 && m >= 0 -> (n, m)
+            | Some n, Some m when n >= 0 && m >= 0 && n <= max_node_count -> (n, m)
+            | Some n, Some _ when n > max_node_count ->
+                fail hline "header node count %d exceeds the %d limit" n max_node_count
             | _ -> fail hline "malformed header %S" header)
         | [ _; _; fmt ] -> fail hline "unsupported format field %S (only 0)" fmt
         | _ -> fail hline "expected header \"n m\""
@@ -26,7 +28,8 @@ let parse_lines lines =
       (* exactly n data lines; blank lines are isolated nodes *)
       let data = List.filteri (fun i _ -> i < n) rest in
       if List.length data < n then
-        failwith (Printf.sprintf "METIS: expected %d node lines, found %d" n (List.length data));
+        Io_error.failf ~file ~line:0 "METIS: expected %d node lines, found %d" n
+          (List.length data);
       let builder = Builder.create ~expected_nodes:n () in
       if n > 0 then Builder.add_node builder (n - 1);
       List.iteri
@@ -42,16 +45,24 @@ let parse_lines lines =
       let g = Builder.build builder in
       (* every edge must have been listed from both endpoints *)
       if Builder.edge_count builder <> 2 * Graph.m g then
-        failwith
-          (Printf.sprintf
-             "METIS: adjacency not symmetric or has duplicate entries (%d directed \
-              entries for %d edges)"
-             (Builder.edge_count builder) (Graph.m g));
+        Io_error.failf ~file ~line:0
+          "METIS: adjacency not symmetric or has duplicate entries (%d directed \
+           entries for %d edges)"
+          (Builder.edge_count builder) (Graph.m g);
       if Graph.m g <> m then
-        failwith (Printf.sprintf "METIS: header claims %d edges, found %d" m (Graph.m g));
+        Io_error.failf ~file ~line:0 "METIS: header claims %d edges, found %d" m
+          (Graph.m g);
       g
 
-let parse_string s =
+(* Backstop for the totality contract: see Edge_list_io.structured. *)
+let structured ~file f =
+  try f () with
+  | Io_error.Parse_error _ as e -> raise e
+  | Sys_error _ as e -> raise e
+  | (Out_of_memory | Stack_overflow) as e -> raise e
+  | e -> Io_error.fail ~file ~line:0 ("unexpected parser failure: " ^ Printexc.to_string e)
+
+let parse_string ?(file = "<string>") s =
   (* drop the empty element a final newline leaves behind, so it is not
      mistaken for an isolated node's blank line *)
   let lines =
@@ -59,7 +70,7 @@ let parse_string s =
     | "" :: rest -> List.rev rest
     | lines -> List.rev lines
   in
-  parse_lines lines
+  structured ~file (fun () -> parse_lines ~file lines)
 
 let load path =
   let ic = open_in path in
@@ -77,7 +88,7 @@ let load path =
          with End_of_file -> ());
         List.rev !lines)
   in
-  parse_lines lines
+  structured ~file:path (fun () -> parse_lines ~file:path lines)
 
 let to_string g =
   let buf = Buffer.create (16 * (Graph.m g + 2)) in

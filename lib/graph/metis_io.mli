@@ -7,13 +7,16 @@
     variant is supported; headers with a format field other than ["0"]
     are rejected. *)
 
-val parse_string : string -> Graph.t
-(** @raise Failure with a line-numbered message on malformed input,
-    including inconsistent edge counts or asymmetric adjacency. *)
+val parse_string : ?file:string -> string -> Graph.t
+(** [file] (default ["<string>"]) names the source in error messages.
+    @raise Io_error.Parse_error on malformed input, including
+    non-integer tokens, out-of-range neighbor ids, inconsistent edge
+    counts and asymmetric adjacency. No other exception escapes the
+    parser (environment errors like [Out_of_memory] excepted). *)
 
 val load : string -> Graph.t
 (** @raise Sys_error when the file cannot be read.
-    @raise Failure on malformed input. *)
+    @raise Io_error.Parse_error on malformed input. *)
 
 val to_string : Graph.t -> string
 

@@ -50,6 +50,48 @@ let variants =
           (Scliques_core.Brute_force.maximal_connected_s_cliques g ~s) );
   ]
 
+(* Resume equivalence over the corpus: interrupt the budgeted runner at
+   roughly 25/50/75% of the output, resume from the in-memory checkpoint
+   state, and require the union of the two streams to be exactly the
+   uninterrupted reference. Prints nothing on success (the .expected
+   files are untouched); disagreement fails the build like a variant
+   mismatch. *)
+module E = Scliques_core.Enumerate
+module Budget = Scliques_core.Budget
+
+let check_resume fixture g s reference =
+  let total = List.length reference in
+  if total > 0 then
+    List.iter
+      (fun alg ->
+        List.iter
+          (fun percent ->
+            let cap = max 1 (total * percent / 100) in
+            let acc = ref [] in
+            let budget = Budget.create ~max_results:cap () in
+            let r1 = E.run ~budget alg g ~s (fun c -> acc := c :: !acc) in
+            (match r1.E.resumable with
+            | None -> ()
+            | Some resume ->
+                let r2 = E.run ~resume alg g ~s (fun c -> acc := c :: !acc) in
+                (match r2.E.outcome with
+                | Budget.Complete -> ()
+                | Budget.Truncated _ ->
+                    Printf.eprintf
+                      "gen_golden: unbudgeted resume of %s truncated on %s s=%d\n"
+                      (E.name alg) fixture s;
+                    exit 1));
+            let union = List.sort NS.compare !acc in
+            if not (List.equal NS.equal reference union) then begin
+              Printf.eprintf
+                "gen_golden: %s interrupted at %d%% (cap %d) + resume gives %d \
+                 sets, expected %d on %s s=%d\n"
+                (E.name alg) percent cap (List.length union) total fixture s;
+              exit 1
+            end)
+          [ 25; 50; 75 ])
+      [ E.Poly_delay; E.Cs1; E.Cs2_pf; E.Brute ]
+
 let fixtures =
   [
     ("figure1", fun () -> fst (Sgraph.Gen.figure1 ()));
@@ -89,6 +131,7 @@ let () =
             exit 1
           end)
         variants;
+      check_resume name g s reference;
       Printf.printf "s=%d count=%d\n" s (List.length reference);
       List.iter (fun c -> Printf.printf "  %s\n" (NS.to_string c)) reference)
     [ 1; 2; 3 ]

@@ -7,3 +7,17 @@ let guarded f =
   with e ->
     print_endline "failed";
     raise e
+
+(* a catch-all backstop that converts the stray exception into a
+   structured error via a never-returning raiser: the failure still
+   propagates (typed), so this is not a swallow *)
+module Io_error = struct
+  exception Parse_error of string
+
+  let fail msg = raise (Parse_error msg)
+end
+
+let structured f =
+  try f () with
+  | Io_error.Parse_error _ as e -> raise e
+  | e -> Io_error.fail (Printexc.to_string e)

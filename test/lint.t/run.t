@@ -43,7 +43,9 @@ first site has none and is flagged; the second is covered:
   [1]
 
 exception-swallow: the catch-all that drops the exception is flagged;
-the catch-all that re-raises is not:
+the catch-all that re-raises is not, and neither is a backstop whose
+handler ends in a never-returning raiser like Io_error.fail (the loader
+pattern: stray exceptions converted to structured Parse_error):
 
   $ scliques-lint bad_swallow.cmt
   bad_swallow.ml:2:26: exception-swallow: catch-all exception handler that never re-raises: a crash in the guarded code (worker body, parser loop) is silently swallowed

@@ -5,6 +5,7 @@ module NS = Sgraph.Node_set
 
 let check = Alcotest.check
 let int = Alcotest.int
+let string = Alcotest.string
 let bool = Alcotest.bool
 let ns = Test_support.ns
 
@@ -166,16 +167,30 @@ let io_tests =
         check int "m" 1 (G.m g));
     Alcotest.test_case "malformed token reports line" `Quick (fun () ->
         Alcotest.check_raises "bad token"
-          (Failure "edge list line 2: expected a node id, got \"x\"") (fun () ->
-            ignore (Io.parse_string "0 1\n0 x\n")));
+          (Sgraph.Io_error.Parse_error
+             { file = "<string>"; line = 2; msg = "expected a node id, got \"x\"" })
+          (fun () -> ignore (Io.parse_string "0 1\n0 x\n")));
     Alcotest.test_case "negative id reports line" `Quick (fun () ->
         Alcotest.check_raises "negative"
-          (Failure "edge list line 1: negative node id \"-2\"") (fun () ->
-            ignore (Io.parse_string "-2 1\n")));
+          (Sgraph.Io_error.Parse_error
+             { file = "<string>"; line = 1; msg = "negative node id \"-2\"" })
+          (fun () -> ignore (Io.parse_string "-2 1\n")));
     Alcotest.test_case "trailing garbage rejected" `Quick (fun () ->
         Alcotest.check_raises "trailing"
-          (Failure "edge list line 1: trailing characters after edge") (fun () ->
-            ignore (Io.parse_string "0 1 2\n")));
+          (Sgraph.Io_error.Parse_error
+             { file = "<string>"; line = 1; msg = "trailing characters after edge" })
+          (fun () -> ignore (Io.parse_string "0 1 2\n")));
+    Alcotest.test_case "load reports file name in error" `Quick (fun () ->
+        let path = Filename.temp_file "scliques" ".edges" in
+        let oc = open_out path in
+        output_string oc "0 1\nbogus line\n";
+        close_out oc;
+        (match Io.load path with
+        | exception Sgraph.Io_error.Parse_error { file; line; _ } ->
+            check string "file" path file;
+            check int "line" 2 line
+        | _ -> Alcotest.fail "expected Parse_error");
+        Sys.remove path);
     Alcotest.test_case "file round trip" `Quick (fun () ->
         let g = Sgraph.Gen.erdos_renyi (Scoll.Rng.create 5) ~n:50 ~avg_degree:4. in
         let path = Filename.temp_file "scliques" ".edges" in

@@ -25,29 +25,29 @@ let tests =
         check int "m" 1 (G.m (M.parse_string "2 1 0\n2\n1\n")));
     Alcotest.test_case "weighted fmt rejected" `Quick (fun () ->
         match M.parse_string "2 1 011\n2\n1\n" with
-        | exception Failure msg ->
+        | exception Sgraph.Io_error.Parse_error { msg; _ } ->
             check bool "mentions format" true (Astring_contains.contains msg "format")
-        | _ -> Alcotest.fail "expected Failure");
+        | _ -> Alcotest.fail "expected Parse_error");
     Alcotest.test_case "asymmetric adjacency rejected" `Quick (fun () ->
         match M.parse_string "2 1\n2\n\n" with
-        | exception Failure msg ->
+        | exception Sgraph.Io_error.Parse_error { msg; _ } ->
             check bool "mentions symmetry" true (Astring_contains.contains msg "symmetric")
-        | _ -> Alcotest.fail "expected Failure");
+        | _ -> Alcotest.fail "expected Parse_error");
     Alcotest.test_case "wrong edge count rejected" `Quick (fun () ->
         match M.parse_string "2 5\n2\n1\n" with
-        | exception Failure msg ->
+        | exception Sgraph.Io_error.Parse_error { msg; _ } ->
             check bool "mentions count" true (Astring_contains.contains msg "edges")
-        | _ -> Alcotest.fail "expected Failure");
+        | _ -> Alcotest.fail "expected Parse_error");
     Alcotest.test_case "out-of-range neighbor rejected with line number" `Quick
       (fun () ->
         match M.parse_string "2 1\n3\n1\n" with
-        | exception Failure msg ->
-            check bool "line 2" true (Astring_contains.contains msg "line 2")
-        | _ -> Alcotest.fail "expected Failure");
+        | exception Sgraph.Io_error.Parse_error { line; _ } ->
+            check int "line 2" 2 line
+        | _ -> Alcotest.fail "expected Parse_error");
     Alcotest.test_case "missing node lines rejected" `Quick (fun () ->
         match M.parse_string "3 1\n2\n1\n" with
-        | exception Failure _ -> ()
-        | _ -> Alcotest.fail "expected Failure");
+        | exception Sgraph.Io_error.Parse_error _ -> ()
+        | _ -> Alcotest.fail "expected Parse_error");
     Alcotest.test_case "round trip through to_string" `Quick (fun () ->
         let g = Sgraph.Gen.erdos_renyi (Scoll.Rng.create 7) ~n:40 ~avg_degree:5. in
         check bool "equal" true (G.equal g (M.parse_string (M.to_string g))));

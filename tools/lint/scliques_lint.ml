@@ -310,6 +310,15 @@ let reraise_names =
     "Stdlib.raise_notrace";
     "Stdlib.Printexc.raise_with_backtrace";
     "Stdlib__Printexc.raise_with_backtrace";
+    (* never-returning raisers count too: a backstop that converts the
+       stray exception into a structured [Io_error.Parse_error] is not a
+       swallow — the failure still propagates, just typed *)
+    "Io_error.fail";
+    "Io_error.failf";
+    "Sgraph.Io_error.fail";
+    "Sgraph.Io_error.failf";
+    "Sgraph__Io_error.fail";
+    "Sgraph__Io_error.failf";
   ]
 
 let mentions_reraise (body : T.expression) =
