@@ -587,6 +587,120 @@ let scaling () =
     ~columns:[ "wall"; "speedup"; "task skew"; "steals"; "splits" ]
     ~rows
 
+let graph_load () =
+  (* The CSR/snapshot tentpole, measured: loading the largest ER instance
+     from a binary snapshot vs parsing its edge-list text (target: >= 5x),
+     and a BFS sweep over the CSR-backed graph vs the same BFS on a plain
+     array-of-arrays adjacency (the pre-CSR storage; target: no slower).
+     Numbers land in BENCH_load.json for the cross-commit trail. *)
+  let n = Workloads.n_load in
+  let g = Workloads.er ~n ~avg_degree:10. in
+  let reps = if Harness.fast then 3 else 5 in
+  let best_of f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Harness.now () in
+      ignore (Sys.opaque_identity (f ()));
+      best := Float.min !best (Harness.now () -. t0)
+    done;
+    !best
+  in
+  let text_path = Filename.temp_file "scliques-bench" ".edges" in
+  let snap_path = Filename.temp_file "scliques-bench" ".sgr" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove text_path;
+      Sys.remove snap_path)
+    (fun () ->
+      Sgraph.Edge_list_io.save g text_path;
+      Sgraph.Snapshot.save g snap_path;
+      (* both paths must reproduce the graph before their times count *)
+      assert (G.equal g (Sgraph.Edge_list_io.load text_path));
+      assert (G.equal g (Sgraph.Snapshot.load snap_path));
+      let t_text = best_of (fun () -> Sgraph.Edge_list_io.load text_path) in
+      let t_snap = best_of (fun () -> Sgraph.Snapshot.load snap_path) in
+      let speedup = t_text /. Float.max 1e-9 t_snap in
+      (* BFS sweep: full distances from spread-out sources; the boxed
+         baseline runs the identical algorithm over int array array *)
+      let sources =
+        let k = Int.min 48 (G.n g) in
+        List.init k (fun i -> i * G.n g / k)
+      in
+      let sweep_csr () =
+        List.fold_left
+          (fun acc src -> acc + Array.fold_left ( + ) 0 (Sgraph.Bfs.distances g src))
+          0 sources
+      in
+      let rows = Sgraph.Csr.to_rows (G.csr g) in
+      let distances_boxed (adj : int array array) src =
+        let n = Array.length adj in
+        let dist = Array.make n (-1) in
+        let queue = Scoll.Fifo_queue.create () in
+        dist.(src) <- 0;
+        Scoll.Fifo_queue.push queue src;
+        while not (Scoll.Fifo_queue.is_empty queue) do
+          let v = Scoll.Fifo_queue.pop queue in
+          Array.iter
+            (fun u ->
+              if dist.(u) < 0 then begin
+                dist.(u) <- dist.(v) + 1;
+                Scoll.Fifo_queue.push queue u
+              end)
+            adj.(v)
+        done;
+        dist
+      in
+      let sweep_boxed () =
+        List.fold_left
+          (fun acc src -> acc + Array.fold_left ( + ) 0 (distances_boxed rows src))
+          0 sources
+      in
+      assert (sweep_csr () = sweep_boxed ());
+      let t_csr = best_of sweep_csr in
+      let t_boxed = best_of sweep_boxed in
+      let bfs_ratio = t_csr /. Float.max 1e-9 t_boxed in
+      Harness.print_table
+        ~title:
+          (Printf.sprintf
+             "Graph load: ER n=%s deg 10 (m=%d), best of %d; BFS sweep from %d \
+              sources"
+             (abbrev n) (G.m g) reps (List.length sources))
+        ~columns:[ "seconds"; "vs text"; "vs boxed" ]
+        ~rows:
+          [
+            ("text parse", [ Harness.Seconds t_text; Harness.Note "1.00x"; Harness.Note "-" ]);
+            ( "snapshot load",
+              [ Harness.Seconds t_snap;
+                Harness.Note (Printf.sprintf "%.2fx" speedup);
+                Harness.Note "-" ] );
+            ("bfs boxed rows", [ Harness.Seconds t_boxed; Harness.Note "-"; Harness.Note "1.00x" ]);
+            ( "bfs csr",
+              [ Harness.Seconds t_csr;
+                Harness.Note "-";
+                Harness.Note (Printf.sprintf "%.2fx" bfs_ratio) ] );
+          ];
+      if speedup < 5. then
+        Printf.printf "[warn] snapshot load only %.2fx faster than text parse\n%!" speedup;
+      if bfs_ratio > 1.10 then
+        Printf.printf "[warn] CSR BFS sweep %.2fx the boxed-rows baseline\n%!" bfs_ratio;
+      Harness.write_json ~path:"BENCH_load.json"
+        (Scliques_obs.Sink.Obj
+           [
+             ("experiment", Scliques_obs.Sink.String "load");
+             ( "graph",
+               Scliques_obs.Sink.String
+                 (Printf.sprintf "er n=%d avg_degree=10 seed=%d" n Harness.seed) );
+             ("edges", Scliques_obs.Sink.Int (G.m g));
+             ("reps", Scliques_obs.Sink.Int reps);
+             ("text_parse_seconds", Scliques_obs.Sink.Float t_text);
+             ("snapshot_load_seconds", Scliques_obs.Sink.Float t_snap);
+             ("snapshot_speedup", Scliques_obs.Sink.Float speedup);
+             ("bfs_sources", Scliques_obs.Sink.Int (List.length sources));
+             ("bfs_boxed_seconds", Scliques_obs.Sink.Float t_boxed);
+             ("bfs_csr_seconds", Scliques_obs.Sink.Float t_csr);
+             ("bfs_csr_over_boxed", Scliques_obs.Sink.Float bfs_ratio);
+           ]))
+
 (* ---------- registry ---------- *)
 
 let all : (string * string * (unit -> unit)) list =
@@ -614,4 +728,5 @@ let all : (string * string * (unit -> unit)) list =
     ("abl_generic", "ablation: generic CKS engine vs specialized PD", abl_generic);
     ("parallel", "future work: parallel decomposition balance", parallel_balance);
     ("scaling", "work-stealing speedup: workers x graph family", scaling);
+    ("load", "graph load: text parse vs binary snapshot + BFS sweep", graph_load);
   ]

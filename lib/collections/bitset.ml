@@ -84,6 +84,17 @@ let unsafe_add_all t arr =
     Array.unsafe_set words w (Array.unsafe_get words w lor (1 lsl (i land 31)))
   done
 
+(* SAFETY: k ranges over [off, off+len), which the caller guarantees is
+   inside arr, and every listed element is < capacity, so each word
+   index is in bounds *)
+let unsafe_add_sub t arr ~off ~len =
+  let words = t.words in
+  for k = off to off + len - 1 do
+    let i = Array.unsafe_get arr k in
+    let w = i lsr 5 in
+    Array.unsafe_set words w (Array.unsafe_get words w lor (1 lsl (i land 31)))
+  done
+
 (* Store 0 to every word holding a member of [arr]: clears a mask whose
    entire content is [arr] with one store per member. Any OTHER bit
    sharing a word with a member is wiped too — only valid when [arr] is

@@ -75,6 +75,12 @@ val unsafe_add_all : t -> int array -> unit
 (** Add every element of the array — a direct loop with no per-element
     closure, for scratch-mask loads. Same caveats as {!unsafe_add}. *)
 
+val unsafe_add_sub : t -> int array -> off:int -> len:int -> unit
+(** [unsafe_add_sub t arr ~off ~len] adds [arr.(off) .. arr.(off+len-1)]
+    — {!unsafe_add_all} over a slice, so a CSR neighbor row can be
+    scattered into a mask without copying it out first. The range must
+    lie inside [arr] and every listed element below the capacity. *)
+
 val unsafe_zero_words : t -> int array -> unit
 (** Store zero to every word holding an element of the array: clears a
     mask whose current contents are EXACTLY the given array, with one

@@ -17,7 +17,7 @@ let closeness g ~s =
 (* adj.(v) = bitmask of direct neighbors *)
 let adjacency g =
   Array.init (Graph.n g) (fun v ->
-      Array.fold_left (fun acc u -> acc lor (1 lsl u)) 0 (Graph.neighbors g v))
+      Graph.fold_neighbors (fun acc u -> acc lor (1 lsl u)) 0 g v)
 
 let is_s_clique_mask close mask =
   let ok = ref true in

@@ -83,10 +83,14 @@ let adjacent_any t c =
      accumulator bitset, then collect — O(sum degrees + n/64) instead of
      one sorted merge per member *)
   Scoll.Bitset.clear t.acc;
+  let csr = Graph.csr t.graph in
+  let off = Sgraph.Csr.offsets csr and nbr = Sgraph.Csr.adjacency csr in
   (* SAFETY: [acc] is sized to Graph.n and every neighbor id and member
-     of [c] is a valid node id, so all bit indices are below capacity *)
+     of [c] is a valid node id, so all bit indices are below capacity;
+     the [off..off+len) slice is a CSR row, in bounds by construction *)
   (Node_set.iter
-     (fun v -> Scoll.Bitset.unsafe_add_all t.acc (Graph.neighbors t.graph v))
+     (fun v ->
+       Scoll.Bitset.unsafe_add_sub t.acc nbr ~off:off.(v) ~len:(off.(v + 1) - off.(v)))
      c [@lint.allow "unsafe-allowlist"]);
   (Node_set.iter (Scoll.Bitset.unsafe_remove t.acc) c
   [@lint.allow "unsafe-allowlist"]);

@@ -57,7 +57,7 @@ let club_mask adj s mask =
 
 let adjacency g =
   Array.init (Graph.n g) (fun v ->
-      Array.fold_left (fun acc u -> acc lor (1 lsl u)) 0 (Graph.neighbors g v))
+      Graph.fold_neighbors (fun acc u -> acc lor (1 lsl u)) 0 g v)
 
 let mask_to_set mask =
   let members = ref [] in

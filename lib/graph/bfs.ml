@@ -1,4 +1,14 @@
+(* Contextful bounds checks for the pairwise entry points: without them,
+   [distance g v v] would report 0 for ids the graph does not even
+   contain (the equality shortcut fires before any array access), and
+   non-equal out-of-range ids would escape as a bare Invalid_argument
+   "index out of bounds" from the distance array. *)
+let check_node g fn v =
+  if v < 0 || v >= Graph.n g then
+    invalid_arg (Printf.sprintf "Bfs.%s: node %d out of range (n=%d)" fn v (Graph.n g))
+
 let distances g src =
+  check_node g "distances" src;
   let n = Graph.n g in
   let dist = Array.make n (-1) in
   let queue = Scoll.Fifo_queue.create () in
@@ -6,19 +16,21 @@ let distances g src =
   Scoll.Fifo_queue.push queue src;
   while not (Scoll.Fifo_queue.is_empty queue) do
     let v = Scoll.Fifo_queue.pop queue in
-    Array.iter
+    Graph.iter_neighbors
       (fun u ->
         if dist.(u) < 0 then begin
           dist.(u) <- dist.(v) + 1;
           Scoll.Fifo_queue.push queue u
         end)
-      (Graph.neighbors g v)
+      g v
   done;
   dist
 
 exception Reached of int
 
 let distance g src dst =
+  check_node g "distance" src;
+  check_node g "distance" dst;
   if src = dst then 0
   else
     let n = Graph.n g in
@@ -29,14 +41,14 @@ let distance g src dst =
     try
       while not (Scoll.Fifo_queue.is_empty queue) do
         let v = Scoll.Fifo_queue.pop queue in
-        Array.iter
+        Graph.iter_neighbors
           (fun u ->
             if dist.(u) < 0 then begin
               dist.(u) <- dist.(v) + 1;
               if u = dst then raise (Reached dist.(u));
               Scoll.Fifo_queue.push queue u
             end)
-          (Graph.neighbors g v)
+          g v
       done;
       -1
     with Reached d -> d
@@ -56,14 +68,14 @@ let ball g v ~radius =
     let next = ref [] in
     List.iter
       (fun x ->
-        Array.iter
+        Graph.iter_neighbors
           (fun u ->
             if not (Hashtbl.mem visited u) then begin
               Hashtbl.replace visited u ();
               members := u :: !members;
               next := u :: !next
             end)
-          (Graph.neighbors g x))
+          g x)
       !frontier;
     frontier := !next
   done;
@@ -83,14 +95,14 @@ let ball_within g ~universe v ~radius =
     let next = ref [] in
     List.iter
       (fun x ->
-        Array.iter
+        Graph.iter_neighbors
           (fun u ->
             if Node_set.mem u universe && not (Hashtbl.mem visited u) then begin
               Hashtbl.replace visited u ();
               members := u :: !members;
               next := u :: !next
             end)
-          (Graph.neighbors g x))
+          g x)
       !frontier;
     frontier := !next
   done;

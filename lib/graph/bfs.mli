@@ -8,11 +8,14 @@
 
 val distances : Graph.t -> int -> int array
 (** [distances g src] maps each node to its hop distance from [src]
-    ([-1] when unreachable). O(n + m). *)
+    ([-1] when unreachable). O(n + m).
+    @raise Invalid_argument when [src] is outside [0 .. n-1]. *)
 
 val distance : Graph.t -> int -> int -> int
 (** Pairwise distance, [-1] when disconnected. Early-exits on reaching the
-    target. *)
+    target.
+    @raise Invalid_argument when either id is outside [0 .. n-1] — even
+    when the two ids are equal. *)
 
 val ball : Graph.t -> int -> radius:int -> Node_set.t
 (** [ball g v ~radius] is [N^radius(v)]: all nodes at distance in

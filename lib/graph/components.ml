@@ -11,13 +11,13 @@ let labels g =
       Scoll.Fifo_queue.push queue src;
       while not (Scoll.Fifo_queue.is_empty queue) do
         let v = Scoll.Fifo_queue.pop queue in
-        Array.iter
+        Graph.iter_neighbors
           (fun u ->
             if label.(u) < 0 then begin
               label.(u) <- c;
               Scoll.Fifo_queue.push queue u
             end)
-          (Graph.neighbors g v)
+          g v
       done
     end
   done;

@@ -34,13 +34,13 @@ let peel g =
     current := max !current !cursor;
     core.(v) <- !current;
     order.(pos) <- v;
-    Array.iter
+    Graph.iter_neighbors
       (fun u ->
         if not removed.(u) then begin
           deg.(u) <- deg.(u) - 1;
           bucket.(deg.(u)) <- u :: bucket.(deg.(u))
         end)
-      (Graph.neighbors g v)
+      g v
   done;
   (order, core)
 

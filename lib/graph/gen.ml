@@ -292,8 +292,9 @@ let exponential_gadget n =
   (* u_{i,j} for i <> j, packed after w' *)
   let u =
     (* keys packed as i*n + j (both in [0,n)), keeping the table on the
-       specialized int hash instead of structural pair hashing *)
-    let table = Hashtbl.create (n * n) in
+       specialized int hash instead of structural pair hashing; the table
+       holds one entry per ordered pair with i <> j *)
+    let table = Hashtbl.create (n * (n - 1)) in
     let next = ref ((2 * n) + 2) in
     for i = 0 to n - 1 do
       for j = 0 to n - 1 do

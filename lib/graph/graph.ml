@@ -1,46 +1,73 @@
-type t = { adj : int array array; m : int }
+(* Adjacency lives in one CSR pair (Csr.t): a row-offset array plus a
+   flat neighbor array. All the validated constructors below funnel into
+   [of_csr_validated]; the graph-level invariants (each row strictly
+   sorted, in range, loop free, symmetric) are checked once there, so
+   every [t] in the program satisfies them. *)
 
-let count_edges adj =
-  let total = Array.fold_left (fun acc nbrs -> acc + Array.length nbrs) 0 adj in
-  total / 2
+type t = { csr : Csr.t; m : int }
 
-let validate adj =
-  let n = Array.length adj in
-  Array.iteri
-    (fun v nbrs ->
-      Array.iteri
-        (fun i u ->
-          if u < 0 || u >= n then
-            invalid_arg (Printf.sprintf "Graph.of_adjacency: node %d lists %d (n=%d)" v u n);
-          if u = v then
-            invalid_arg (Printf.sprintf "Graph.of_adjacency: self-loop at %d" v);
-          if i > 0 && nbrs.(i - 1) >= u then
-            invalid_arg
-              (Printf.sprintf "Graph.of_adjacency: neighbors of %d not strictly sorted" v))
-        nbrs)
-    adj;
-  (* symmetry *)
-  let mem (arr : int array) (x : int) =
-    let rec go lo hi =
-      if lo >= hi then false
-      else
-        let mid = (lo + hi) / 2 in
-        if arr.(mid) = x then true else if arr.(mid) < x then go (mid + 1) hi else go lo mid
-    in
-    go 0 (Array.length arr)
+let validate_csr csr =
+  let n = Csr.n csr in
+  let off = Csr.offsets csr and nbr = Csr.adjacency csr in
+  let entries = Array.length nbr in
+  let indeg = Array.make (max n 1) 0 in
+  for v = 0 to n - 1 do
+    for i = off.(v) to off.(v + 1) - 1 do
+      let u = nbr.(i) in
+      if u < 0 || u >= n then
+        invalid_arg (Printf.sprintf "Graph.of_adjacency: node %d lists %d (n=%d)" v u n);
+      if u = v then
+        invalid_arg (Printf.sprintf "Graph.of_adjacency: self-loop at %d" v);
+      if i > off.(v) && nbr.(i - 1) >= u then
+        invalid_arg
+          (Printf.sprintf "Graph.of_adjacency: neighbors of %d not strictly sorted" v);
+      indeg.(u) <- indeg.(u) + 1
+    done
+  done;
+  (* Symmetry in O(n + m): with every row strictly sorted (checked
+     above), the CSR is symmetric iff it equals its own transpose, and
+     counting-sorting the entries by target builds the transpose with
+     sorted rows for free. Equality of the in-degree histogram with the
+     row lengths plus entrywise equality of the neighbor arrays is the
+     whole check. *)
+  let asymmetric_at v u =
+    invalid_arg (Printf.sprintf "Graph.of_adjacency: edge %d->%d not symmetric" v u)
   in
-  Array.iteri
-    (fun v nbrs ->
-      Array.iter
-        (fun u ->
-          if not (mem adj.(u) v) then
-            invalid_arg (Printf.sprintf "Graph.of_adjacency: edge %d->%d not symmetric" v u))
-        nbrs)
-    adj
+  let cursor = Array.make (max n 1) 0 in
+  for v = 0 to n - 1 do
+    if indeg.(v) <> off.(v + 1) - off.(v) then begin
+      (* degree mismatch: some neighbor of v does not list v back (or
+         lists it while v does not); name one by direct lookup *)
+      for i = off.(v) to off.(v + 1) - 1 do
+        if not (Csr.mem_row csr nbr.(i) v) then asymmetric_at v nbr.(i)
+      done;
+      for u = 0 to n - 1 do
+        if Csr.mem_row csr u v && not (Csr.mem_row csr v u) then asymmetric_at u v
+      done
+    end;
+    cursor.(v) <- off.(v)
+  done;
+  let tnbr = Array.make entries 0 in
+  for v = 0 to n - 1 do
+    for i = off.(v) to off.(v + 1) - 1 do
+      let u = nbr.(i) in
+      tnbr.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1
+    done
+  done;
+  for v = 0 to n - 1 do
+    for i = off.(v) to off.(v + 1) - 1 do
+      if tnbr.(i) <> nbr.(i) then
+        if Csr.mem_row csr nbr.(i) v then asymmetric_at tnbr.(i) v
+        else asymmetric_at v nbr.(i)
+    done
+  done
 
-let of_adjacency adj =
-  validate adj;
-  { adj; m = count_edges adj }
+let of_csr csr =
+  validate_csr csr;
+  { csr; m = Csr.entries csr / 2 }
+
+let of_adjacency adj = of_csr (Csr.of_rows adj)
 
 let sort_dedup_row (nbrs : int array) =
   Array.sort Int.compare nbrs;
@@ -84,49 +111,58 @@ let of_edges ~n edges =
     edges;
   of_unsorted_adjacency adj
 
-let empty n = { adj = Array.make (max n 0) [||]; m = 0 }
+let empty n =
+  if n < 0 then invalid_arg (Printf.sprintf "Graph.empty: negative n (%d)" n);
+  { csr = Csr.of_arrays ~offsets:(Array.make (n + 1) 0) ~adjacency:[||]; m = 0 }
 
-let n t = Array.length t.adj
+let n t = Csr.n t.csr
 
 let m t = t.m
 
+let csr t = t.csr
+
 let check_node t v =
-  if v < 0 || v >= Array.length t.adj then
-    invalid_arg (Printf.sprintf "Graph: node %d out of range (n=%d)" v (Array.length t.adj))
+  if v < 0 || v >= n t then
+    invalid_arg (Printf.sprintf "Graph: node %d out of range (n=%d)" v (n t))
 
 let degree t v =
   check_node t v;
-  Array.length t.adj.(v)
+  Csr.degree t.csr v
 
 let neighbors t v =
   check_node t v;
-  t.adj.(v)
+  Csr.row t.csr v
 
 let neighbor_set t v = Node_set.of_sorted_array_unchecked (neighbors t v)
+
+let iter_neighbors f t v =
+  check_node t v;
+  Csr.iter_row f t.csr v
+
+let fold_neighbors f init t v =
+  check_node t v;
+  Csr.fold_row f init t.csr v
 
 let mem_edge t u v =
   check_node t u;
   check_node t v;
-  if u = v then false
-  else
-    let arr = t.adj.(u) in
-    let rec go lo hi =
-      if lo >= hi then false
-      else
-        let mid = (lo + hi) / 2 in
-        if arr.(mid) = v then true else if arr.(mid) < v then go (mid + 1) hi else go lo mid
-    in
-    go 0 (Array.length arr)
+  u <> v && Csr.mem_row t.csr u v
 
-let nodes t = Node_set.range 0 (Array.length t.adj)
+let nodes t = Node_set.range 0 (n t)
 
 let iter_nodes f t =
-  for v = 0 to Array.length t.adj - 1 do
+  for v = 0 to n t - 1 do
     f v
   done
 
 let iter_edges f t =
-  Array.iteri (fun u nbrs -> Array.iter (fun v -> if u < v then f u v) nbrs) t.adj
+  let off = Csr.offsets t.csr and nbr = Csr.adjacency t.csr in
+  for u = 0 to n t - 1 do
+    for i = off.(u) to off.(u + 1) - 1 do
+      let v = nbr.(i) in
+      if u < v then f u v
+    done
+  done
 
 let fold_edges f t init =
   let acc = ref init in
@@ -135,7 +171,12 @@ let fold_edges f t init =
 
 let edges t = List.rev (fold_edges (fun u v acc -> (u, v) :: acc) t [])
 
-let max_degree t = Array.fold_left (fun acc nbrs -> max acc (Array.length nbrs)) 0 t.adj
+let max_degree t =
+  let best = ref 0 in
+  for v = 0 to n t - 1 do
+    best := Int.max !best (Csr.degree t.csr v)
+  done;
+  !best
 
 let induced t u =
   let k = Node_set.cardinal u in
@@ -146,34 +187,54 @@ let induced t u =
   let adj =
     Array.init k (fun i ->
         let orig = back.(i) in
-        let nbrs = t.adj.(orig) in
-        let out = Array.make (Array.length nbrs) 0 in
+        let out = Array.make (Csr.degree t.csr orig) 0 in
         let w = ref 0 in
-        Array.iter
+        Csr.iter_row
           (fun nb ->
             match Hashtbl.find_opt fwd nb with
             | Some j ->
                 out.(!w) <- j;
                 incr w
             | None -> ())
-          nbrs;
+          t.csr orig;
         Array.sub out 0 !w)
   in
-  ({ adj; m = count_edges adj }, back)
+  let csr = Csr.of_rows adj in
+  (* members keep their relative order, so rows stay sorted and the
+     graph-level invariants are inherited from [t] — no re-validation *)
+  ({ csr; m = Csr.entries csr / 2 }, back)
 
-(* explicit int loops, not structural (=) on the nested arrays: the
-   polymorphic runtime compare walks every row through caml_compare *)
-let equal a b =
-  let n = Array.length a.adj in
-  n = Array.length b.adj
-  && Array.for_all2
-       (fun (ra : int array) (rb : int array) ->
-         let len = Array.length ra in
-         len = Array.length rb
-         &&
-         let rec go i = i >= len || (ra.(i) = rb.(i) && go (i + 1)) in
-         go 0)
-       a.adj b.adj
+let relabel t ~order =
+  let size = n t in
+  if Array.length order <> size then
+    invalid_arg
+      (Printf.sprintf "Graph.relabel: order has %d entries for %d nodes"
+         (Array.length order) size);
+  (* rank.(old) = new; built while checking [order] is a permutation *)
+  let rank = Array.make size (-1) in
+  Array.iteri
+    (fun new_id old_id ->
+      if old_id < 0 || old_id >= size then
+        invalid_arg
+          (Printf.sprintf "Graph.relabel: order lists node %d (n=%d)" old_id size);
+      if rank.(old_id) >= 0 then
+        invalid_arg (Printf.sprintf "Graph.relabel: node %d listed twice" old_id);
+      rank.(old_id) <- new_id)
+    order;
+  let rows =
+    Array.init size (fun new_id ->
+        let r = Csr.row t.csr order.(new_id) in
+        Array.iteri (fun i u -> r.(i) <- rank.(u)) r;
+        Array.sort Int.compare r;
+        r)
+  in
+  let csr = Csr.of_rows rows in
+  (* a bijective rename preserves sortedness (after the per-row sort),
+     symmetry and loop-freeness, so no re-validation is needed *)
+  { csr; m = t.m }
 
-let pp fmt t =
-  Format.fprintf fmt "graph(n=%d, m=%d, max_deg=%d)" (Array.length t.adj) t.m (max_degree t)
+(* explicit int loops, not structural (=): the polymorphic runtime
+   compare would walk the arrays through caml_compare *)
+let equal a b = Csr.equal a.csr b.csr
+
+let pp fmt t = Format.fprintf fmt "graph(n=%d, m=%d, max_deg=%d)" (n t) t.m (max_degree t)

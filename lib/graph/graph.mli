@@ -1,16 +1,18 @@
 (** Immutable simple undirected graphs over dense int node ids.
 
-    A graph over [n] nodes has ids [0 .. n-1]; adjacency is one sorted
-    array of neighbors per node (no self-loops, no parallel edges), so
-    neighbor iteration is a cache-friendly scan and [mem_edge] is a binary
-    search. Construction goes through {!Builder} or the checked
-    [of_adjacency] / [of_edges] below. *)
+    A graph over [n] nodes has ids [0 .. n-1]; adjacency is stored in
+    compressed sparse row form ({!Csr}): one flat offset array plus one
+    flat neighbor array, each node's neighbors a sorted slice of the
+    latter (no self-loops, no parallel edges). Neighbor iteration is a
+    contiguous cache-friendly scan and [mem_edge] is a binary search.
+    Construction goes through {!Builder} or the checked [of_adjacency] /
+    [of_edges] below. *)
 
 type t
 
 val of_adjacency : int array array -> t
-(** Adopts the arrays after validating that every list is sorted, distinct,
-    in-range, loop free, and symmetric (u lists v iff v lists u).
+(** Builds from per-node rows after validating that every list is sorted,
+    distinct, in-range, loop free, and symmetric (u lists v iff v lists u).
     @raise Invalid_argument when the adjacency is malformed. *)
 
 val of_unsorted_adjacency : int array array -> t
@@ -24,8 +26,15 @@ val of_edges : n:int -> (int * int) list -> t
     self-loops are dropped, endpoints may come in any order.
     @raise Invalid_argument when an endpoint is outside [0 .. n-1]. *)
 
+val of_csr : Csr.t -> t
+(** Adopts a CSR adjacency after the same validation as [of_adjacency]
+    (rows strictly sorted, in-range, loop free, symmetric). This is the
+    zero-copy loading path of {!Snapshot}.
+    @raise Invalid_argument when the adjacency is malformed. *)
+
 val empty : int -> t
-(** [empty n] has [n] nodes and no edges. *)
+(** [empty n] has [n] nodes and no edges.
+    @raise Invalid_argument when [n] is negative. *)
 
 val n : t -> int
 (** Number of nodes. *)
@@ -33,13 +42,27 @@ val n : t -> int
 val m : t -> int
 (** Number of (undirected) edges. *)
 
+val csr : t -> Csr.t
+(** The underlying CSR storage — O(1), {b do not mutate}. For flat-array
+    kernels (snapshots, merge scans) that want the offsets/adjacency pair
+    directly. *)
+
 val degree : t -> int -> int
 
 val neighbors : t -> int -> int array
-(** The sorted neighbor array itself — O(1), {b do not mutate}. *)
+(** The sorted neighbors of [v] as a fresh array — O(degree) copy out of
+    the CSR slab; safe to mutate. Hot loops should prefer
+    {!iter_neighbors} / {!fold_neighbors} (no copy) or the {!csr} slices. *)
 
 val neighbor_set : t -> int -> Node_set.t
-(** Neighbors as a {!Node_set.t} — O(1), shares storage with the graph. *)
+(** Neighbors as a {!Node_set.t} — O(degree) copy. *)
+
+val iter_neighbors : (int -> unit) -> t -> int -> unit
+(** [iter_neighbors f t v] applies [f] to each neighbor of [v] in
+    increasing order, scanning the CSR slice with no copy. *)
+
+val fold_neighbors : ('a -> int -> 'a) -> 'a -> t -> int -> 'a
+(** Fold over the neighbors of [v] in increasing order, no copy. *)
 
 val mem_edge : t -> int -> int -> bool
 (** O(log deg). Checks bounds; [mem_edge g v v] is always false. *)
@@ -63,6 +86,16 @@ val induced : t -> Node_set.t -> t * int array
 (** [induced g u] is the induced subgraph [g\[u\]] with nodes relabeled to
     [0 .. |u|-1] in increasing original-id order, together with the array
     mapping new ids back to original ids. *)
+
+val relabel : t -> order:int array -> t
+(** [relabel g ~order] renames the nodes so that new id [i] is old node
+    [order.(i)] — the same graph up to isomorphism, laid out in the given
+    order. With a degeneracy ordering ({!Degeneracy.ordering}) this packs
+    each node near its core, so BFS/peeling sweeps touch the CSR slab
+    roughly in memory order. [order] itself maps new ids back to old ones
+    (the shape {!induced} returns).
+    @raise Invalid_argument when [order] is not a permutation of
+    [0 .. n-1]. *)
 
 val equal : t -> t -> bool
 (** Same node count and same edge set. *)

@@ -96,9 +96,12 @@ let to_string g =
   Buffer.add_string buf (Printf.sprintf "%d %d\n" (Graph.n g) (Graph.m g));
   Graph.iter_nodes
     (fun v ->
-      let nbrs = Graph.neighbors g v in
-      Buffer.add_string buf
-        (String.concat " " (List.map (fun u -> string_of_int (u + 1)) (Array.to_list nbrs)));
+      let first = ref true in
+      Graph.iter_neighbors
+        (fun u ->
+          if !first then first := false else Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int (u + 1)))
+        g v;
       Buffer.add_char buf '\n')
     g;
   Buffer.contents buf

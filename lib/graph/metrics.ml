@@ -13,16 +13,18 @@ let degree_histogram g =
   hist
 
 let triangle_count g =
+  let csr = Graph.csr g in
+  let off = Csr.offsets csr and nbr = Csr.adjacency csr in
   let count = ref 0 in
   Graph.iter_edges
     (fun u v ->
       (* triangles through edge (u,v) with third node > v keep each
-         triangle counted exactly once (u < v < w) *)
-      let a = Graph.neighbors g u and b = Graph.neighbors g v in
-      let i = ref 0 and j = ref 0 in
-      let na = Array.length a and nb = Array.length b in
-      while !i < na && !j < nb do
-        let x = a.(!i) and y = b.(!j) in
+         triangle counted exactly once (u < v < w); the merge runs over
+         the two CSR slices in place, no row copies *)
+      let i = ref off.(u) and j = ref off.(v) in
+      let iu = off.(u + 1) and jv = off.(v + 1) in
+      while !i < iu && !j < jv do
+        let x = nbr.(!i) and y = nbr.(!j) in
         if x < y then incr i
         else if x > y then incr j
         else begin

@@ -1,0 +1,36 @@
+(** CRC-checked binary graph snapshots.
+
+    A snapshot is the CSR representation of a {!Graph.t} written verbatim
+    — magic, header, offsets record, adjacency record — so loading is a
+    bulk read straight into the two backing arrays instead of a text
+    parse. Each record carries a CRC-32 of its payload ({!Scoll.Crc32}),
+    and {!save} commits through a temp file and atomic rename, the same
+    discipline as the checkpoint writer: a reader sees either the whole
+    previous snapshot or the whole new one, and a torn or bit-rotted file
+    is refused on load rather than parsed as garbage.
+
+    Byte layout (all integers little-endian):
+    {v
+    offset  size      field
+    0       8         magic "SGRSNAP1"
+    8       8         n, node count (u64)
+    16      8         m, undirected edge count (u64)
+    24      4         CRC-32 of bytes [8, 24)
+    28      8*(n+1)   CSR offsets (u64 each)
+    ...     4         CRC-32 of the offsets payload
+    ...     8*2m      CSR adjacency (u64 each)
+    ...     4         CRC-32 of the adjacency payload
+    v}
+    Trailing bytes after the adjacency CRC are an error. *)
+
+val save : Graph.t -> string -> unit
+(** [save g path] writes the snapshot of [g] to [path] atomically
+    (write to [path ^ ".tmp"], fsync-free rename over [path]). *)
+
+val load : string -> Graph.t
+(** [load path] reads a snapshot back. The structural invariants are
+    re-validated ({!Graph.of_csr}), so a snapshot edited by hand fails
+    the same way a malformed text file would.
+    @raise Io_error.Parse_error on any malformed, truncated or
+    CRC-mismatching input ([line = 0]: byte offsets, not lines).
+    @raise Sys_error when the file cannot be read. *)

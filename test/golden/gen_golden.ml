@@ -92,6 +92,22 @@ let check_resume fixture g s reference =
           [ 25; 50; 75 ])
       [ E.Poly_delay; E.Cs1; E.Cs2_pf; E.Brute ]
 
+(* Snapshot round trip over the corpus: the binary save/load path must
+   reproduce the graph exactly; the caller then re-enumerates on the
+   reloaded graph and requires bit-identical output. *)
+let snapshot_round_trip fixture g =
+  let path = Filename.temp_file "scliques-golden" ".sgr" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Sgraph.Snapshot.save g path;
+      let g' = Sgraph.Snapshot.load path in
+      if not (Sgraph.Graph.equal g g') then begin
+        Printf.eprintf "gen_golden: snapshot round trip changed %s\n" fixture;
+        exit 1
+      end;
+      g')
+
 let fixtures =
   [
     ("figure1", fun () -> fst (Sgraph.Gen.figure1 ()));
@@ -103,6 +119,14 @@ let fixtures =
     ("er-18", fun () -> Sgraph.Gen.erdos_renyi_gnm (Scoll.Rng.create 101) ~n:18 ~m:40);
     ( "sf-20",
       fun () -> Sgraph.Gen.barabasi_albert (Scoll.Rng.create 202) ~n:20 ~m_attach:2 );
+    (* disconnection edge cases in one graph: a triangle, a path (its own
+       component), a 4-cycle, and three isolated nodes (7, 8, 15) that
+       must surface as singleton 1-cliques and survive I/O round trips *)
+    ( "disconnected",
+      fun () ->
+        Sgraph.Graph.of_edges ~n:16
+          [ (0, 1); (0, 2); (1, 2); (3, 4); (4, 5); (5, 6);
+            (9, 10); (10, 11); (11, 12); (9, 12); (13, 14) ] );
   ]
 
 let () =
@@ -116,6 +140,7 @@ let () =
         exit 2
   in
   Printf.printf "fixture %s: n=%d m=%d\n" name (Sgraph.Graph.n g) (Sgraph.Graph.m g);
+  let reloaded = snapshot_round_trip name g in
   List.iter
     (fun s ->
       let reference =
@@ -131,6 +156,18 @@ let () =
             exit 1
           end)
         variants;
+      (* enumeration must be bit-identical on the snapshot-reloaded graph *)
+      let via_snapshot =
+        collect (C2.iter ~pivot:true ~feasibility:true (nh ~s reloaded))
+      in
+      if not (List.equal NS.equal reference via_snapshot) then begin
+        Printf.eprintf
+          "gen_golden: snapshot-reloaded %s disagrees at s=%d (%d sets vs %d)\n" name
+          s
+          (List.length via_snapshot)
+          (List.length reference);
+        exit 1
+      end;
       check_resume name g s reference;
       Printf.printf "s=%d count=%d\n" s (List.length reference);
       List.iter (fun c -> Printf.printf "  %s\n" (NS.to_string c)) reference)

@@ -670,9 +670,55 @@ let uf_tests =
         check bool "ends connected" true (Union_find.same u 0 999));
   ]
 
+let crc32_tests =
+  let open Alcotest in
+  [
+    test_case "known answer: IEEE check vector" `Quick (fun () ->
+        (* the standard CRC-32 test vector; pins the polynomial, the
+           reflection, and the init/final xor all at once *)
+        check int "123456789" 0xCBF43926 (Crc32.string "123456789"));
+    test_case "empty input" `Quick (fun () ->
+        check int "empty" 0 (Crc32.string ""));
+    test_case "slicing boundary lengths agree with byte-at-a-time" `Quick (fun () ->
+        (* reference implementation: the classic one-byte loop *)
+        let table =
+          let t = Array.make 256 0 in
+          for n = 0 to 255 do
+            let c = ref n in
+            for _ = 0 to 7 do
+              c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+            done;
+            t.(n) <- !c
+          done;
+          t
+        in
+        let reference s =
+          let crc = ref 0xFFFFFFFF in
+          String.iter
+            (fun ch -> crc := table.((!crc lxor Char.code ch) land 0xFF) lxor (!crc lsr 8))
+            s;
+          !crc lxor 0xFFFFFFFF
+        in
+        (* lengths straddling the 8-byte slicing step, including ones
+           that leave every possible tail length *)
+        for len = 0 to 40 do
+          let s = String.init len (fun i -> Char.chr ((i * 37 + len) land 0xFF)) in
+          check int (Printf.sprintf "len %d" len) (reference s) (Crc32.string s)
+        done);
+    test_case "off/len digest a substring" `Quick (fun () ->
+        let s = "xxhello worldyy" in
+        check int "substring"
+          (Crc32.string "hello world")
+          (Crc32.string ~off:2 ~len:11 s));
+    test_case "out-of-bounds substring raises" `Quick (fun () ->
+        check_raises "bad range" (Invalid_argument "Crc32: substring out of bounds")
+          (fun () -> ignore (Crc32.string ~off:1 ~len:100 "short")));
+  ]
+
 let suites =
   [
     ("rng", rng_tests);
+    ("crc32", crc32_tests);
     ("bitset", bitset_tests);
     ("bitset_kernels", kernel_tests);
     ("deque", deque_tests);

@@ -182,6 +182,23 @@ let fixture_tests =
               true
               (count >= 1 lsl n))
           [ 1; 2; 3; 4 ]);
+    Alcotest.test_case "gadget: exact count matches Example 3.4 closed form" `Quick
+      (fun () ->
+        (* all results include {w, w'}; besides the 2^n choice-sets there
+           are n(n-1) sets {v_i, v'_j, u_ij} and 2n sets {v_i} ∪ {u_i*} /
+           {v'_j} ∪ {u_*j}. Exact for n >= 3 — below that the latter
+           families collapse into the choice-sets *)
+        List.iter
+          (fun n ->
+            let g = Gen.exponential_gadget n in
+            let count =
+              Scliques_core.Enumerate.count Scliques_core.Enumerate.Cs2_pf g ~s:2
+            in
+            check int
+              (Printf.sprintf "n=%d: 2^n + n(n-1) + 2n" n)
+              ((1 lsl n) + (n * (n - 1)) + (2 * n))
+              count)
+          [ 3; 4; 5 ]);
     Alcotest.test_case "gadget: each choice-set is a maximal connected 2-clique"
       `Quick (fun () ->
         (* Example 3.4: any set with exactly one of v_i/v'_i plus {w,w'} *)

@@ -33,6 +33,9 @@ let graph_tests =
         check int "n" 5 (G.n g);
         check int "m" 0 (G.m g);
         check int "max_degree" 0 (G.max_degree g));
+    Alcotest.test_case "empty rejects negative n" `Quick (fun () ->
+        Alcotest.check_raises "negative" (Invalid_argument "Graph.empty: negative n (-3)")
+          (fun () -> ignore (G.empty (-3))));
     Alcotest.test_case "neighbors sorted" `Quick (fun () ->
         let g = G.of_edges ~n:5 [ (2, 4); (2, 0); (2, 3) ] in
         check (Alcotest.array int) "sorted" [| 0; 3; 4 |] (G.neighbors g 2));
@@ -92,6 +95,79 @@ let graph_tests =
     Alcotest.test_case "neighbor_set shares the graph's view" `Quick (fun () ->
         let g = triangle () in
         check Test_support.ns ".. of 0" (NS.of_list [ 1; 2 ]) (G.neighbor_set g 0));
+  ]
+
+let csr_tests =
+  let module C = Sgraph.Csr in
+  [
+    Alcotest.test_case "of_rows round trips" `Quick (fun () ->
+        let rows = [| [| 1; 2 |]; [| 0 |]; [| 0 |] |] in
+        let c = C.of_rows rows in
+        check int "n" 3 (C.n c);
+        check int "entries" 4 (C.entries c);
+        check (Alcotest.array (Alcotest.array int)) "rows" rows (C.to_rows c));
+    Alcotest.test_case "of_arrays validates offsets" `Quick (fun () ->
+        Alcotest.check_raises "decreasing"
+          (Invalid_argument "Csr.of_arrays: offsets decrease at 2 (1 < 2)") (fun () ->
+            ignore (C.of_arrays ~offsets:[| 0; 2; 1 |] ~adjacency:[| 1; 0 |]));
+        Alcotest.check_raises "bad end"
+          (Invalid_argument "Csr.of_arrays: offsets end at 1 but adjacency has 2 entries")
+          (fun () -> ignore (C.of_arrays ~offsets:[| 0; 1 |] ~adjacency:[| 1; 0 |])));
+    Alcotest.test_case "iter/fold/mem over a row" `Quick (fun () ->
+        let c = C.of_rows [| [| 1; 2 |]; [| 0; 2 |]; [| 0; 1 |] |] in
+        let acc = ref [] in
+        C.iter_row (fun u -> acc := u :: !acc) c 1;
+        check (Alcotest.list int) "iter" [ 2; 0 ] !acc;
+        check int "fold sum" 2 (C.fold_row (fun a u -> a + u) 0 c 1);
+        check bool "mem hit" true (C.mem_row c 0 2);
+        check bool "mem miss" false (C.mem_row c 1 1));
+    Alcotest.test_case "row copies are independent" `Quick (fun () ->
+        let c = C.of_rows [| [| 1 |]; [| 0 |] |] in
+        let r = C.row c 0 in
+        r.(0) <- 99;
+        check (Alcotest.array int) "unchanged" [| 1 |] (C.row c 0));
+    Alcotest.test_case "graph csr accessor is the storage" `Quick (fun () ->
+        let g = triangle () in
+        let c = G.csr g in
+        check int "offsets length" 4 (Array.length (C.offsets c));
+        check int "adjacency length" 6 (Array.length (C.adjacency c));
+        check int "degree via csr" 2 (C.degree c 1));
+    Alcotest.test_case "iter_neighbors matches neighbors" `Quick (fun () ->
+        let g = G.of_edges ~n:5 [ (2, 4); (2, 0); (2, 3) ] in
+        let acc = ref [] in
+        G.iter_neighbors (fun u -> acc := u :: !acc) g 2;
+        check (Alcotest.list int) "order" [ 4; 3; 0 ] !acc;
+        check int "fold count" 3 (G.fold_neighbors (fun a _ -> a + 1) 0 g 2));
+    Alcotest.test_case "relabel by reversal" `Quick (fun () ->
+        (* path 0-1-2 relabeled by order [|2;1;0|]: new 0 is old 2 *)
+        let g = G.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+        let r = G.relabel g ~order:[| 2; 1; 0 |] in
+        check int "n" 3 (G.n r);
+        check int "m" 2 (G.m r);
+        check bool "new edge 0-1 (old 2-1)" true (G.mem_edge r 0 1);
+        check bool "no edge 0-2 (old 2-0)" false (G.mem_edge r 0 2));
+    Alcotest.test_case "relabel identity preserves the graph" `Quick (fun () ->
+        let g = Sgraph.Gen.erdos_renyi (Scoll.Rng.create 7) ~n:40 ~avg_degree:5. in
+        let r = G.relabel g ~order:(Array.init (G.n g) Fun.id) in
+        check bool "equal" true (G.equal g r));
+    Alcotest.test_case "relabel validates the permutation" `Quick (fun () ->
+        let g = triangle () in
+        Alcotest.check_raises "length"
+          (Invalid_argument "Graph.relabel: order has 2 entries for 3 nodes") (fun () ->
+            ignore (G.relabel g ~order:[| 0; 1 |]));
+        Alcotest.check_raises "range"
+          (Invalid_argument "Graph.relabel: order lists node 7 (n=3)") (fun () ->
+            ignore (G.relabel g ~order:[| 0; 1; 7 |]));
+        Alcotest.check_raises "duplicate"
+          (Invalid_argument "Graph.relabel: node 1 listed twice") (fun () ->
+            ignore (G.relabel g ~order:[| 1; 1; 0 |])));
+    Alcotest.test_case "degeneracy relabel keeps enumeration results" `Quick (fun () ->
+        let g = Sgraph.Gen.social_proxy (Scoll.Rng.create 3) ~n:60 ~avg_degree:6. ~communities:4 in
+        let order = Sgraph.Degeneracy.ordering g in
+        let r = G.relabel g ~order in
+        check int "same m" (G.m g) (G.m r);
+        check int "same degeneracy" (Sgraph.Degeneracy.degeneracy g)
+          (Sgraph.Degeneracy.degeneracy r));
   ]
 
 let builder_tests =
@@ -214,4 +290,9 @@ let io_tests =
   ]
 
 let suites =
-  [ ("graph", graph_tests); ("builder", builder_tests); ("edge_list_io", io_tests) ]
+  [
+    ("graph", graph_tests);
+    ("csr", csr_tests);
+    ("builder", builder_tests);
+    ("edge_list_io", io_tests);
+  ]

@@ -7,4 +7,5 @@ let () =
    @ Test_algorithms.suites @ Test_hardness.suites @ Test_relaxations.suites
    @ Test_parallel_dot.suites @ Test_hereditary.suites @ Test_orderings.suites
    @ Test_families.suites @ Test_fuzz.suites @ Test_properties.suites
-   @ Test_obs.suites @ Test_differential.suites @ Test_resume.suites)
+   @ Test_obs.suites @ Test_differential.suites @ Test_resume.suites
+   @ Test_snapshot.suites)

@@ -26,6 +26,22 @@ let bfs_tests =
         check int "0 to 4" 4 (Bfs.distance g 0 4);
         check int "same node" 0 (Bfs.distance g 2 2);
         check int "disconnected" (-1) (Bfs.distance (G.empty 3) 0 2));
+    Alcotest.test_case "distance validates both endpoints" `Quick (fun () ->
+        let g = path5 () in
+        Alcotest.check_raises "src oob"
+          (Invalid_argument "Bfs.distance: node 9 out of range (n=5)") (fun () ->
+            ignore (Bfs.distance g 9 0));
+        Alcotest.check_raises "dst oob"
+          (Invalid_argument "Bfs.distance: node -1 out of range (n=5)") (fun () ->
+            ignore (Bfs.distance g 0 (-1)));
+        (* the src = dst shortcut must not bypass validation *)
+        Alcotest.check_raises "src = dst oob"
+          (Invalid_argument "Bfs.distance: node 7 out of range (n=5)") (fun () ->
+            ignore (Bfs.distance g 7 7)));
+    Alcotest.test_case "distances validates the source" `Quick (fun () ->
+        Alcotest.check_raises "oob"
+          (Invalid_argument "Bfs.distances: node 5 out of range (n=5)") (fun () ->
+            ignore (Bfs.distances (path5 ()) 5)));
     Alcotest.test_case "ball excludes the center" `Quick (fun () ->
         let g = path5 () in
         check ns "radius 1" (of_l [ 1; 3 ]) (Bfs.ball g 2 ~radius:1);
