@@ -701,6 +701,111 @@ let graph_load () =
              ("bfs_csr_over_boxed", Scliques_obs.Sink.Float bfs_ratio);
            ]))
 
+let churn () =
+  (* The overlay/refresh tentpole, measured: after a single-edge edit of
+     the suite's largest ER instance, patching the prior answer with
+     Enumerate.refresh vs recomputing it from scratch. The refreshed
+     answer is asserted equal to the recomputation before its time
+     counts. Numbers land in BENCH_churn.json. *)
+  let n = Workloads.n_load in
+  let s = 2 in
+  let g0 = Workloads.er ~n ~avg_degree:10. in
+  let time f =
+    let t0 = Harness.now () in
+    let r = f () in
+    (r, Harness.now () -. t0)
+  in
+  let prior, t_prior = time (fun () -> E.sorted_results E.Cs2_pf g0 ~s) in
+  (* one deleted edge and one inserted non-edge, both incident to the
+     first node that has a neighbor at all *)
+  let u = ref 0 in
+  while G.degree g0 !u = 0 do incr u done;
+  let u = !u in
+  let del_v = (G.neighbors g0 u).(0) in
+  let ins_v =
+    let v = ref 0 in
+    while !v = u || G.mem_edge g0 u !v do incr v done;
+    !v
+  in
+  let scenarios =
+    [
+      ("delete", Sgraph.Overlay.Delete (u, del_v));
+      ("insert", Sgraph.Overlay.Insert (u, ins_v));
+    ]
+  in
+  let measured =
+    List.map
+      (fun (op, edit) ->
+        let edits = [ edit ] in
+        let g1 = Sgraph.Diff.apply g0 edits in
+        let full, t_full = time (fun () -> E.sorted_results E.Cs2_pf g1 ~s) in
+        let delta, t_inc =
+          time (fun () ->
+              E.refresh ~engine:(`Seq E.Cs2_pf) ~before:g0 ~after:g1
+                ~touched:(Sgraph.Overlay.touched edits) ~s ~prior ())
+        in
+        assert (List.equal NS.equal delta.E.results full);
+        let speedup = t_full /. Float.max 1e-9 t_inc in
+        if speedup < 1. then
+          Printf.printf
+            "[warn] %s: incremental refresh %.3fs not faster than full \
+             recompute %.3fs\n%!"
+            op t_inc t_full;
+        (op, edit, t_full, t_inc, speedup, delta))
+      scenarios
+  in
+  Harness.print_table
+    ~title:
+      (Printf.sprintf
+         "Churn: ER n=%s deg 10 (m=%d), s=%d, single-edge edit; prior answer \
+          %d results in %.3fs"
+         (abbrev n) (G.m g0) s (List.length prior) t_prior)
+    ~columns:[ "full"; "refresh"; "speedup"; "roots rerun" ]
+    ~rows:
+      (List.map
+         (fun (op, _, t_full, t_inc, speedup, delta) ->
+           ( op,
+             [
+               Harness.Seconds t_full;
+               Harness.Seconds t_inc;
+               Harness.Note (Printf.sprintf "%.1fx" speedup);
+               Harness.Note
+                 (Printf.sprintf "%d/%d" delta.E.roots_rerun (G.n g0));
+             ] ))
+         measured);
+  Harness.write_json ~path:"BENCH_churn.json"
+    (Scliques_obs.Sink.Obj
+       [
+         ("experiment", Scliques_obs.Sink.String "churn");
+         ( "graph",
+           Scliques_obs.Sink.String
+             (Printf.sprintf "er n=%d avg_degree=10 seed=%d" n Harness.seed) );
+         ("edges", Scliques_obs.Sink.Int (G.m g0));
+         ("s", Scliques_obs.Sink.Int s);
+         ("prior_results", Scliques_obs.Sink.Int (List.length prior));
+         ("prior_seconds", Scliques_obs.Sink.Float t_prior);
+         ( "scenarios",
+           Scliques_obs.Sink.Obj
+             (List.map
+                (fun (op, edit, t_full, t_inc, speedup, delta) ->
+                  let a, b = Sgraph.Overlay.edit_endpoints edit in
+                  ( op,
+                    Scliques_obs.Sink.Obj
+                      [
+                        ("edge", Scliques_obs.Sink.String (Printf.sprintf "%d-%d" a b));
+                        ("full_seconds", Scliques_obs.Sink.Float t_full);
+                        ("incremental_seconds", Scliques_obs.Sink.Float t_inc);
+                        ("speedup", Scliques_obs.Sink.Float speedup);
+                        ("roots_rerun", Scliques_obs.Sink.Int delta.E.roots_rerun);
+                        ( "results",
+                          Scliques_obs.Sink.Int (List.length delta.E.results) );
+                        ("added", Scliques_obs.Sink.Int (List.length delta.E.added));
+                        ( "removed",
+                          Scliques_obs.Sink.Int (List.length delta.E.removed) );
+                      ] ))
+                measured) );
+       ])
+
 (* ---------- registry ---------- *)
 
 let all : (string * string * (unit -> unit)) list =
@@ -729,4 +834,5 @@ let all : (string * string * (unit -> unit)) list =
     ("parallel", "future work: parallel decomposition balance", parallel_balance);
     ("scaling", "work-stealing speedup: workers x graph family", scaling);
     ("load", "graph load: text parse vs binary snapshot + BFS sweep", graph_load);
+    ("churn", "incremental refresh vs full recompute after an edge edit", churn);
   ]

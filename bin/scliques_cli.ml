@@ -627,9 +627,245 @@ let convert_cmd =
           formats, optionally relabeling into degeneracy order.")
     Term.(ret (const run $ graph_file_arg $ format_arg $ to_arg $ relabel_arg $ output_arg))
 
+(* ---------- diff / mutate / refresh (edge churn) ---------- *)
+
+let diff_file_arg =
+  let doc = "SGRDIFF1 edit-script file (written by $(b,diff))." in
+  Arg.(
+    required
+    & opt (some non_dir_file) None
+    & info [ "diff" ] ~docv:"FILE" ~doc)
+
+let load_diff_for g path =
+  or_parse_error (fun () ->
+      let header, edits = Sgraph.Diff.load path in
+      Sgraph.Diff.check_base ~file:path header g;
+      edits)
+
+let apply_diff g path =
+  let edits = load_diff_for g path in
+  match Sgraph.Diff.apply g edits with
+  | g' -> (edits, g')
+  | exception Invalid_argument msg ->
+      (* strict replay refused an edit: same one-line contract as a parse
+         error — the script does not belong to this graph *)
+      Printf.eprintf "scliques: error: %s: %s\n%!" path msg;
+      Stdlib.exit 1
+
+let diff_cmd =
+  let new_file_arg =
+    let doc = "The edited graph (same node count, same format)." in
+    Arg.(required & pos 1 (some non_dir_file) None & info [] ~docv:"NEW" ~doc)
+  in
+  let run old_file format new_file output =
+    match output with
+    | None -> `Error (false, "diff writes binary output; -o is required")
+    | Some out ->
+        let g0 = load_graph format old_file in
+        let g1 = load_graph format new_file in
+        if Sgraph.Graph.n g0 <> Sgraph.Graph.n g1 then
+          `Error
+            ( false,
+              Printf.sprintf "node counts differ (%d vs %d); diffs cover edge \
+                              churn only"
+                (Sgraph.Graph.n g0) (Sgraph.Graph.n g1) )
+        else begin
+          let edits = Sgraph.Diff.between g0 g1 in
+          let inserts =
+            List.length
+              (List.filter
+                 (fun e ->
+                   match e with Sgraph.Overlay.Insert _ -> true | _ -> false)
+                 edits)
+          in
+          Sgraph.Diff.save ~base_n:(Sgraph.Graph.n g0) ~base_m:(Sgraph.Graph.m g0)
+            edits out;
+          Printf.printf "wrote %s: %d edits (%d inserts, %d deletes) against %s\n"
+            out (List.length edits) inserts
+            (List.length edits - inserts)
+            (Sgraph.Metrics.summary g0);
+          `Ok ()
+        end
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Write the CRC-checked SGRDIFF1 edit script transforming one graph \
+          into another (same node set, edge churn only). Replayed strictly by \
+          $(b,mutate) and $(b,refresh).")
+    Term.(ret (const run $ graph_file_arg $ format_arg $ new_file_arg $ output_arg))
+
+let mutate_cmd =
+  let to_arg =
+    let doc = "Output format: $(b,edgelist) or $(b,bin) (requires $(b,-o))." in
+    Arg.(
+      value
+      & opt (enum [ ("edgelist", `Edgelist); ("bin", `Bin) ]) `Edgelist
+      & info [ "to" ] ~docv:"FMT" ~doc)
+  in
+  let run file format diff_file target output =
+    let g = load_graph format file in
+    let edits, g' = apply_diff g diff_file in
+    match target with
+    | `Bin -> (
+        match output with
+        | None -> `Error (false, "--to bin writes binary output; -o is required")
+        | Some path ->
+            Sgraph.Snapshot.save g' path;
+            Printf.printf "applied %d edits; wrote %s: %s\n" (List.length edits)
+              path
+              (Sgraph.Metrics.summary g');
+            `Ok ())
+    | `Edgelist ->
+        (match output with
+        | Some path ->
+            Sgraph.Edge_list_io.save g' path;
+            Printf.printf "applied %d edits; wrote %s: %s\n" (List.length edits)
+              path
+              (Sgraph.Metrics.summary g')
+        | None -> print_string (Sgraph.Edge_list_io.to_string g'));
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "mutate"
+       ~doc:
+         "Apply an SGRDIFF1 edit script to a graph (strict replay: the \
+          script's recorded base and every edit must match) and write the \
+          mutated graph.")
+    Term.(
+      ret (const run $ graph_file_arg $ format_arg $ diff_file_arg $ to_arg
+         $ output_arg))
+
+let refresh_cmd =
+  let results_file_arg =
+    let doc =
+      "Prior result stream for the unmutated graph: the crash-safe \
+       $(b,.results) file written by $(b,enum --checkpoint). Must be \
+       complete (exit code 0 of the run that wrote it)."
+    in
+    Arg.(
+      required
+      & opt (some non_dir_file) None
+      & info [ "results" ] ~docv:"FILE" ~doc)
+  in
+  let engine_arg =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "par" | "parallel" -> Ok `Par
+      | _ -> (
+          match E.of_name s with
+          | Some alg when String.equal (E.checkpoint_family alg) "roots" ->
+              Ok (`Alg alg)
+          | Some alg ->
+              Error
+                (`Msg
+                  (Printf.sprintf "%s has no rooted decomposition; refresh \
+                                   needs cs1/cs2/cs2f/cs2p/cs2pf or par"
+                     (E.name alg)))
+          | None -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s)))
+    in
+    let print fmt = function
+      | `Par -> Format.pp_print_string fmt "par"
+      | `Alg alg -> Format.pp_print_string fmt (E.name alg)
+    in
+    let doc =
+      "Re-enumeration engine for the affected roots: $(b,cs1), $(b,cs2), \
+       $(b,cs2f), $(b,cs2p), $(b,cs2pf), or $(b,par) (work-stealing \
+       domains)."
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) (`Alg E.Cs2_pf)
+      & info [ "a"; "algorithm" ] ~docv:"ALG" ~doc)
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"W"
+          ~doc:"Worker domains for $(b,-a par) (default: all cores).")
+  in
+  let min_size_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "min-size" ] ~docv:"K"
+          ~doc:
+            "Size bound the prior run used; the refreshed answer keeps the \
+             same bound.")
+  in
+  let run file format diff_file results_file s engine workers min_size output =
+    if s < 1 then `Error (false, "s must be >= 1")
+    else begin
+      let before = load_graph format file in
+      let edits = load_diff_for before diff_file in
+      let after =
+        match Sgraph.Diff.apply before edits with
+        | g -> g
+        | exception Invalid_argument msg ->
+            Printf.eprintf "scliques: error: %s: %s\n%!" diff_file msg;
+            Stdlib.exit 1
+      in
+      let prior =
+        match or_parse_error (fun () -> Stream.read_results results_file) with
+        | results, `Clean -> results
+        | _, `Torn ->
+            (* a torn prior is an incomplete answer: refreshing it would
+               bake the missing tail into the "unaffected" half *)
+            Printf.eprintf
+              "scliques: error: %s: result stream has a torn tail (the prior \
+               run did not complete); re-enumerate instead of refreshing\n%!"
+              results_file;
+            Stdlib.exit 1
+      in
+      let touched = Sgraph.Overlay.touched edits in
+      let engine =
+        match engine with
+        | `Par -> `Par workers
+        | `Alg alg -> `Seq alg
+      in
+      let delta =
+        E.refresh ~min_size ~engine ~before ~after ~touched ~s ~prior ()
+      in
+      (match output with
+      | None -> ()
+      | Some path ->
+          (* patch the answer through the same crash-safe stream format the
+             budgeted runs write, so downstream tooling cannot tell a
+             refreshed stream from a recomputed one *)
+          let w = Stream.open_writer path in
+          List.iter (Stream.write_set w) delta.E.results;
+          Stream.close w);
+      List.iter print_set delta.E.results;
+      Printf.eprintf
+        "scliques: refresh: %d edits touching %d nodes; %d roots re-run, +%d \
+         -%d results (%d total)\n%!"
+        (List.length edits) (List.length touched) delta.E.roots_rerun
+        (List.length delta.E.added)
+        (List.length delta.E.removed)
+        (List.length delta.E.results);
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "refresh"
+       ~doc:
+         "Incrementally update a complete enumeration after edge churn: apply \
+          an SGRDIFF1 script, re-enumerate only the root branches within \
+          distance 2s of the touched endpoints, and splice the rest of the \
+          prior result stream through unchanged. Prints the refreshed answer \
+          (canonically sorted) and, with $(b,-o), writes it as a result \
+          stream.")
+    Term.(
+      ret
+        (const run $ graph_file_arg $ format_arg $ diff_file_arg
+       $ results_file_arg $ s_arg $ engine_arg $ workers_arg $ min_size_arg
+       $ output_arg))
+
 let () =
   let doc = "maximal connected s-clique enumeration (Behar & Cohen, EDBT 2018)" in
   let info = Cmd.info "scliques" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ gen_cmd; enum_cmd; stats_cmd; power_cmd; convert_cmd; verify_cmd ]))
+       (Cmd.group info
+          [ gen_cmd; enum_cmd; stats_cmd; power_cmd; convert_cmd; verify_cmd;
+            diff_cmd; mutate_cmd; refresh_cmd ]))

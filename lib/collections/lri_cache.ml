@@ -7,6 +7,13 @@ type 'v t = {
   weight : 'v -> int;
   table : (int, 'v) Hashtbl.t;
   order : int Fifo_queue.t; (* insertion order; front = oldest *)
+  stale : (int, int) Hashtbl.t;
+  (* [Fifo_queue] has no random removal, so [remove] leaves the key's queue
+     entry behind and records it here instead: [stale] maps a key to the
+     number of queue entries that no longer correspond to a live binding.
+     [evict_one] consumes these counters silently — otherwise a key that is
+     removed and later re-added would be evicted on its orphaned (older)
+     queue slot instead of its real insertion rank. *)
   mutable total_weight : int;
   mutable hits : int;
   mutable misses : int;
@@ -22,6 +29,7 @@ let create ?(weight = fun _ -> 0) ~capacity () =
     weight;
     table = Hashtbl.create (max 16 (min capacity 65536));
     order = Fifo_queue.create ();
+    stale = Hashtbl.create 16;
     total_weight = 0;
     hits = 0;
     misses = 0;
@@ -46,17 +54,22 @@ let find_opt t k =
 let mem t k = Hashtbl.mem t.table k
 
 let rec evict_one t =
-  (* queue entries for keys replaced by [add] may be stale duplicates;
-     skip entries that are no longer the table's binding count *)
   match Fifo_queue.pop_opt t.order with
   | None -> ()
-  | Some oldest ->
-      (match Hashtbl.find_opt t.table oldest with
-      | Some old ->
-          t.total_weight <- t.total_weight - t.weight old;
-          Hashtbl.remove t.table oldest;
-          t.evictions <- t.evictions + 1
-      | None -> evict_one t)
+  | Some oldest -> (
+      match Hashtbl.find_opt t.stale oldest with
+      | Some c ->
+          (* orphaned slot left behind by [remove]; consume it silently *)
+          if c = 1 then Hashtbl.remove t.stale oldest
+          else Hashtbl.replace t.stale oldest (c - 1);
+          evict_one t
+      | None -> (
+          match Hashtbl.find_opt t.table oldest with
+          | Some old ->
+              t.total_weight <- t.total_weight - t.weight old;
+              Hashtbl.remove t.table oldest;
+              t.evictions <- t.evictions + 1
+          | None -> evict_one t))
 
 let add t k v =
   if t.capacity > 0 then begin
@@ -71,6 +84,20 @@ let add t k v =
         Fifo_queue.push t.order k
   end
 
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some old ->
+      t.total_weight <- t.total_weight - t.weight old;
+      Hashtbl.remove t.table k;
+      (* the key's queue entry stays behind; flag it as orphaned. Any stale
+         entries for [k] sit ahead of the live one in FIFO order, so
+         [evict_one] consuming counters front-first matches them exactly. *)
+      let c = match Hashtbl.find_opt t.stale k with None -> 0 | Some c -> c in
+      Hashtbl.replace t.stale k (c + 1)
+
+let fold f t init = Hashtbl.fold f t.table init
+
 let find_or_add t k ~compute =
   match find_opt t k with
   | Some v -> v
@@ -82,6 +109,7 @@ let find_or_add t k ~compute =
 let clear t =
   Hashtbl.reset t.table;
   Fifo_queue.clear t.order;
+  Hashtbl.reset t.stale;
   t.total_weight <- 0
 
 let stats (t : _ t) = { hits = t.hits; misses = t.misses; evictions = t.evictions }

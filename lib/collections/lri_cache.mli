@@ -43,6 +43,16 @@ val add : 'v t -> int -> 'v -> unit
 val find_or_add : 'v t -> int -> compute:(int -> 'v) -> 'v
 (** Return the cached value, or compute, store and return it. *)
 
+val remove : 'v t -> int -> unit
+(** Drop the binding for a key, subtracting its weight from
+    {!total_weight}; a no-op when the key is absent. This is caller-driven
+    invalidation (the graph under a cached [N^s] ball changed), not an
+    eviction, so it does not count in {!stats}. A key removed and later
+    re-added gets a fresh eviction rank at the back of the LRI order. *)
+
+val fold : (int -> 'v -> 'a -> 'a) -> 'v t -> 'a -> 'a
+(** Fold over the live bindings, in unspecified order. *)
+
 val clear : 'v t -> unit
 (** Drop all bindings; statistics are kept. *)
 

@@ -223,6 +223,134 @@ let run ?(min_size = 0) ?cache_capacity ?obs ?budget ?resume algorithm g ~s yiel
     emitted = !emitted;
   }
 
+type refresh_delta = {
+  results : Node_set.t list;
+  added : Node_set.t list;
+  removed : Node_set.t list;
+  roots_rerun : int;
+}
+
+(* a \ b over lists sorted by Node_set.compare, single merge pass *)
+let sorted_diff a b =
+  let rec go acc a b =
+    match (a, b) with
+    | [], _ -> List.rev acc
+    | _, [] -> List.rev_append acc a
+    | x :: ta, y :: tb ->
+        let c = Node_set.compare x y in
+        if c = 0 then go acc ta tb
+        else if c < 0 then go (x :: acc) ta b
+        else go acc a tb
+  in
+  go [] a b
+
+let refresh ?(min_size = 0) ?cache_capacity ?(engine = `Seq Cs2_pf) ?nh ~before
+    ~after ~touched ~s ~prior () =
+  if s < 1 then invalid_arg "Enumerate.refresh: s must be >= 1";
+  let n = Sgraph.Graph.n after in
+  if Sgraph.Graph.n before <> n then
+    invalid_arg "Enumerate.refresh: node counts differ";
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then
+        invalid_arg "Enumerate.refresh: touched node out of range")
+    touched;
+  (match engine with
+  | `Seq alg when not (String.equal (checkpoint_family alg) "roots") ->
+      invalid_arg
+        (Printf.sprintf
+           "Enumerate.refresh: %s cannot re-enumerate single roots (use the \
+            CS1/CS2 family or the parallel engine)"
+           (name alg))
+  | _ -> ());
+  let touched = List.sort_uniq Int.compare touched in
+  (* keep a caller-supplied warm oracle in lockstep with the graph even
+     when it is not the engine doing the re-enumeration *)
+  Option.iter (fun oracle ->
+      if Neighborhood.s oracle <> s then
+        invalid_arg "Enumerate.refresh: oracle has a different s";
+      Neighborhood.invalidate oracle ~after ~touched)
+    nh;
+  let prior = List.sort Node_set.compare prior in
+  match touched with
+  | [] -> { results = prior; added = []; removed = []; roots_rerun = 0 }
+  | _ :: _ ->
+      (* Locality (paper §3: members of a result are pairwise within
+         distance s). Let D be the set of nodes whose edge-relevant
+         neighborhood changed: a node k with N^s(k) or its incident
+         edges differing between the graphs. Any result that appears,
+         vanishes or changes across the edit has a member in D, and its
+         root (minimum member) is within distance s of that member in
+         whichever graph the result lives in — so the affected roots lie
+         in R = the union of the closed radius-s balls of D in both
+         graphs. Retract every prior result rooted in R, re-enumerate
+         exactly the roots of R on the after-graph, and keep the rest
+         byte-identical.
+
+         For a single edit, k's ball changes only when a witnessing
+         ≤s-path runs through the edited edge, which puts k within
+         distance s-1 of an endpoint in the graph holding that path; the
+         radius-(s-1) balls of the endpoints are exactly D. A batch is a
+         sequence of edits whose intermediate graphs can mix edges from
+         both ends of the sequence into one path, so the per-step bound
+         gets one hop of slack: radius s. Two touched nodes means one
+         edit (effective edit lists carry each pair at most once). *)
+      let d_radius = if List.length touched <= 2 then s - 1 else s in
+      let d =
+        Node_set.union
+          (Sgraph.Bfs.ball_multi before ~srcs:touched ~radius:d_radius)
+          (Sgraph.Bfs.ball_multi after ~srcs:touched ~radius:d_radius)
+      in
+      let dl = Node_set.to_list d in
+      let r =
+        Node_set.union
+          (Sgraph.Bfs.ball_multi before ~srcs:dl ~radius:s)
+          (Sgraph.Bfs.ball_multi after ~srcs:dl ~radius:s)
+      in
+      let kept, dropped =
+        List.partition (fun c -> not (Node_set.mem (Node_set.min_elt c) r)) prior
+      in
+      let roots = Node_set.to_list r in
+      let fresh =
+        match engine with
+        | `Par workers ->
+            Parallel.enumerate_roots ?workers ~min_size ?cache_capacity ~roots
+              after ~s
+        | `Seq alg ->
+            let oracle =
+              match nh with
+              | Some oracle -> oracle
+              | None -> Neighborhood.create ?cache_capacity ~s after
+            in
+            let acc = ref [] in
+            let sink c = acc := c :: !acc in
+            List.iter
+              (fun root ->
+                match alg with
+                | Cs1 -> Cs_cliques1.iter_rooted ~min_size oracle ~root sink
+                | _ ->
+                    let pivot =
+                      match alg with Cs2_p | Cs2_pf -> true | _ -> false
+                    in
+                    let feasibility =
+                      match alg with Cs2_f | Cs2_pf -> true | _ -> false
+                    in
+                    let ball = Neighborhood.ball oracle root in
+                    Cs_cliques2.iter_rooted ~pivot ~feasibility ~min_size oracle
+                      ~root
+                      ~p:(Node_set.filter (fun u -> u > root) ball)
+                      ~x:(Node_set.filter (fun u -> u < root) ball)
+                      sink)
+              roots;
+            List.sort Node_set.compare !acc
+      in
+      {
+        results = List.merge Node_set.compare kept fresh;
+        added = sorted_diff fresh dropped;
+        removed = sorted_diff dropped fresh;
+        roots_rerun = List.length roots;
+      }
+
 let all_results ?min_size ?optimized ?cache_capacity ?obs algorithm g ~s =
   let acc = ref [] in
   iter ?min_size ?optimized ?cache_capacity ?obs algorithm g ~s

@@ -105,6 +105,56 @@ val run :
     @raise Failure when [resume] belongs to a different
     {!checkpoint_family} than [algorithm]. *)
 
+type refresh_delta = {
+  results : Sgraph.Node_set.t list;
+      (** the complete answer on the after-graph, canonically sorted *)
+  added : Sgraph.Node_set.t list;
+      (** results in [results] but not in the prior answer, sorted *)
+  removed : Sgraph.Node_set.t list;
+      (** prior results no longer in the answer, sorted *)
+  roots_rerun : int;  (** how many root branches were re-enumerated *)
+}
+
+val refresh :
+  ?min_size:int ->
+  ?cache_capacity:int ->
+  ?engine:[ `Seq of algorithm | `Par of int option ] ->
+  ?nh:Neighborhood.t ->
+  before:Sgraph.Graph.t ->
+  after:Sgraph.Graph.t ->
+  touched:int list ->
+  s:int ->
+  prior:Sgraph.Node_set.t list ->
+  unit ->
+  refresh_delta
+(** Incremental re-enumeration after edge churn. [before] and [after]
+    are the same node set differing only by edge edits whose endpoints
+    all appear in [touched] (order/duplicates irrelevant); [prior] is
+    the complete answer on [before] (any order; same [min_size]).
+
+    By the paper's distance-s locality, a result can appear, vanish or
+    change only if one of its members has a changed N{^s} ball or
+    changed incident edges — putting that member within distance s-1 of
+    a touched endpoint for a single edit (distance s for a batch, whose
+    intermediate graphs cost one hop of slack); since members are
+    pairwise within distance s, the {e root} (minimum member) of any
+    such result lies one radius-s ball further out. [refresh] retracts
+    the prior results rooted in that affected-root set, re-enumerates
+    exactly those root branches on [after] — sequentially with a rooted
+    algorithm ([`Seq], default [`Seq Cs2_pf]) or via
+    {!Parallel.enumerate_roots} ([`Par workers]) — and splices the rest
+    through untouched, so [results] is bit-identical to a full
+    re-enumeration.
+
+    A caller-supplied [nh] oracle (currently bound to [before], with
+    matching [s]) is advanced to [after] via {!Neighborhood.invalidate}
+    — dropping only the stale balls — and reused by the [`Seq] engine,
+    so back-to-back refreshes keep the ball cache warm.
+
+    @raise Invalid_argument when [s < 1], the node counts differ, a
+    touched id is out of range, the oracle's [s] mismatches, or a [`Seq]
+    algorithm has no rooted decomposition ([Poly_delay], [Brute]). *)
+
 val all_results :
   ?min_size:int ->
   ?optimized:bool ->

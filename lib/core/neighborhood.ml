@@ -2,7 +2,8 @@ module Node_set = Sgraph.Node_set
 module Graph = Sgraph.Graph
 
 type t = {
-  graph : Graph.t;
+  mutable graph : Graph.t; (* swapped by [invalidate] after edge churn *)
+  mutable epoch : int;
   s : int;
   cache : Node_set.t Scoll.Lri_cache.t;
   obs : Scliques_obs.Obs.t option;
@@ -20,6 +21,7 @@ let create ?(cache_capacity = 65536) ?obs ~s graph =
   if s < 1 then invalid_arg "Neighborhood.create: s must be >= 1";
   {
     graph;
+    epoch = 0;
     s;
     cache =
       (* weight ≈ heap bytes of a cached ball: the sorted id array
@@ -37,6 +39,34 @@ let create ?(cache_capacity = 65536) ?obs ~s graph =
 let graph t = t.graph
 
 let s t = t.s
+
+let epoch t = t.epoch
+
+let invalidate t ~after ~touched =
+  if Graph.n after <> Graph.n t.graph then
+    invalid_arg "Neighborhood.invalidate: node counts differ";
+  (match touched with
+  | [] -> ()
+  | _ :: _ when t.s = 1 -> () (* s = 1 reads rows straight off the graph *)
+  | _ :: _ ->
+      (* A cached ball N^s(k) changes iff k lies within distance s of a
+         touched endpoint in the old graph (a path it used was cut) or in
+         the new one (a path it gains) — so the stale key set is exactly
+         the union of the closed radius-s balls of [touched] in both
+         graphs. Everything else stays warm. *)
+      let stale =
+        Node_set.union
+          (Sgraph.Bfs.ball_multi t.graph ~srcs:touched ~radius:t.s)
+          (Sgraph.Bfs.ball_multi after ~srcs:touched ~radius:t.s)
+      in
+      let doomed =
+        Scoll.Lri_cache.fold
+          (fun k _ acc -> if Node_set.mem k stale then k :: acc else acc)
+          t.cache []
+      in
+      List.iter (Scoll.Lri_cache.remove t.cache) doomed);
+  t.graph <- after;
+  t.epoch <- t.epoch + 1
 
 let ball t v =
   if t.s = 1 then Graph.neighbor_set t.graph v (* already materialized *)

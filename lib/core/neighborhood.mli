@@ -24,8 +24,27 @@ val create : ?cache_capacity:int -> ?obs:Scliques_obs.Obs.t -> s:int -> Sgraph.G
     @raise Invalid_argument when [s < 1]. *)
 
 val graph : t -> Sgraph.Graph.t
+(** The graph the oracle currently answers for (the {!create} argument,
+    or the latest {!invalidate} replacement). *)
 
 val s : t -> int
+
+val epoch : t -> int
+(** Graph-version counter: 0 at creation, +1 per {!invalidate}. Consumers
+    holding data derived from this oracle (checkpoints, result caches)
+    can compare epochs to detect that the graph changed underneath. *)
+
+val invalidate : t -> after:Sgraph.Graph.t -> touched:int list -> unit
+(** [invalidate t ~after ~touched] switches the oracle to [after], a
+    graph differing from the current one only by edge edits whose
+    endpoints are all listed in [touched] (order and duplicates
+    irrelevant). Instead of clearing the ball cache wholesale, it drops
+    exactly the balls a radius-s change can reach — the cached keys
+    within distance s of a touched endpoint in either graph — and keeps
+    the rest warm; the epoch is bumped. With an empty [touched] (an
+    empty edit batch) nothing is dropped.
+    @raise Invalid_argument when the node counts differ or a touched id
+    is out of range. *)
 
 val ball : t -> int -> Sgraph.Node_set.t
 (** [ball t v] is [N^s(v)], {b excluding} [v] itself. Cached. *)

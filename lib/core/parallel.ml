@@ -369,3 +369,23 @@ let enumerate_budgeted ?workers ?(split_depth = 3) ?(split_width = 8)
   ( List.sort Node_set.compare rooted.committed,
     Budget.status budget,
     List.sort Int.compare rooted.retired )
+
+let enumerate_roots ?workers ?split_depth ?split_width ?pivot ?feasibility
+    ?min_size ?cache_capacity ?obs ~roots g ~s =
+  let n = Graph.n g in
+  let keep = Array.make (max n 1) false in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then
+        invalid_arg "Parallel.enumerate_roots: root out of range";
+      keep.(v) <- true)
+    roots;
+  let skip_roots = List.filter (fun v -> not keep.(v)) (List.init n Fun.id) in
+  let results, _outcome, _retired =
+    (* an unlimited budget never trips, so every kept root commits and the
+       committed list is exactly the union of the requested branches *)
+    enumerate_budgeted ?workers ?split_depth ?split_width ?pivot ?feasibility
+      ?min_size ?cache_capacity ?obs ~skip_roots ~budget:(Budget.unlimited ()) g
+      ~s
+  in
+  results

@@ -84,6 +84,26 @@ val enumerate_with_stats :
     [par.worker<i>.tasks], [par.max_worker_results] and
     [par.min_worker_results] are published. *)
 
+val enumerate_roots :
+  ?workers:int ->
+  ?split_depth:int ->
+  ?split_width:int ->
+  ?pivot:bool ->
+  ?feasibility:bool ->
+  ?min_size:int ->
+  ?cache_capacity:int ->
+  ?obs:Scliques_obs.Obs.t ->
+  roots:int list ->
+  Sgraph.Graph.t ->
+  s:int ->
+  Sgraph.Node_set.t list
+(** Like {!enumerate} but restricted to the given root branches: exactly
+    the maximal connected s-cliques whose {e smallest member} is listed in
+    [roots], canonically sorted. Duplicates in [roots] are fine. This is
+    the parallel engine behind [Enumerate.refresh]'s re-enumeration of
+    the affected roots after an edit batch.
+    @raise Invalid_argument when a root is outside [0 .. n-1]. *)
+
 val enumerate_budgeted :
   ?workers:int ->
   ?split_depth:int ->

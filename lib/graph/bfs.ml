@@ -81,6 +81,39 @@ let ball g v ~radius =
   done;
   Node_set.of_list !members
 
+let ball_multi g ~srcs ~radius =
+  if radius < 0 then invalid_arg "Bfs.ball_multi: negative radius";
+  List.iter (check_node g "ball_multi") srcs;
+  let visited = Hashtbl.create 64 in
+  let frontier = ref [] in
+  let members = ref [] in
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem visited v) then begin
+        Hashtbl.replace visited v ();
+        members := v :: !members;
+        frontier := v :: !frontier
+      end)
+    srcs;
+  let depth = ref 0 in
+  while !depth < radius && not (List.is_empty !frontier) do
+    incr depth;
+    let next = ref [] in
+    List.iter
+      (fun x ->
+        Graph.iter_neighbors
+          (fun u ->
+            if not (Hashtbl.mem visited u) then begin
+              Hashtbl.replace visited u ();
+              members := u :: !members;
+              next := u :: !next
+            end)
+          g x)
+      !frontier;
+    frontier := !next
+  done;
+  Node_set.of_list !members
+
 let ball_within g ~universe v ~radius =
   if radius < 0 then invalid_arg "Bfs.ball_within: negative radius";
   if not (Node_set.mem v universe) then

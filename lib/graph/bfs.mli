@@ -22,6 +22,15 @@ val ball : Graph.t -> int -> radius:int -> Node_set.t
     [\[1, radius\]] from [v] — {b excluding} [v] itself, following the
     paper's definition. O(nodes visited + edges touched). *)
 
+val ball_multi : Graph.t -> srcs:int list -> radius:int -> Node_set.t
+(** [ball_multi g ~srcs ~radius] is the union of the {e closed} balls of
+    the sources: all nodes within distance [\[0, radius\]] of at least one
+    source — unlike {!ball}, the sources themselves are {b included}
+    (churn invalidation wants the touched endpoints in the stale set).
+    Duplicate sources are fine. O(nodes visited + edges touched).
+    @raise Invalid_argument on a negative radius or an out-of-range
+    source. *)
+
 val ball_within : Graph.t -> universe:Node_set.t -> int -> radius:int -> Node_set.t
 (** Like {!ball} but traversing only nodes of [universe] (distances in the
     induced subgraph [g\[universe\]]). [v] must belong to [universe]. *)

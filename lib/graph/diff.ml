@@ -1,0 +1,200 @@
+(* Byte layout is documented in the .mli. The record helpers mirror
+   Snapshot's: every multi-byte integer is little-endian, ids travel as
+   u64, and a record is a payload followed by its CRC-32 as u32le. *)
+
+type header = { base_n : int; base_m : int }
+
+let magic = "SGRDIFF1"
+
+let max_node_count = (1 lsl 30) - 1
+
+let failf path fmt = Io_error.failf ~file:path ~line:0 fmt
+
+let write_record oc payload =
+  output_bytes oc payload;
+  let crc = Bytes.create 4 in
+  Bytes.set_int32_le crc 0 (Int32.of_int (Scoll.Crc32.bytes payload));
+  output_bytes oc crc
+
+let header_payload ~base_n ~base_m =
+  let b = Bytes.create 16 in
+  Bytes.set_int64_le b 0 (Int64.of_int base_n);
+  Bytes.set_int64_le b 8 (Int64.of_int base_m);
+  b
+
+let edit_payload e =
+  let op, u, v =
+    match e with
+    | Overlay.Insert (u, v) -> (0, u, v)
+    | Overlay.Delete (u, v) -> (1, u, v)
+  in
+  let b = Bytes.create 17 in
+  Bytes.set b 0 (Char.chr op);
+  Bytes.set_int64_le b 1 (Int64.of_int u);
+  Bytes.set_int64_le b 9 (Int64.of_int v);
+  b
+
+(* {2 Writing} *)
+
+type writer = { oc : out_channel }
+
+let open_writer ~base_n ~base_m path =
+  let oc = open_out_bin path in
+  (match
+     output_string oc magic;
+     write_record oc (header_payload ~base_n ~base_m)
+   with
+  | () -> ()
+  | exception e ->
+      close_out_noerr oc;
+      raise e);
+  { oc }
+
+let write_edit w e = write_record w.oc (edit_payload e)
+
+let flush w = Stdlib.flush w.oc
+
+let close w = close_out w.oc
+
+let save ~base_n ~base_m edits path =
+  let tmp = path ^ ".tmp" in
+  let w = open_writer ~base_n ~base_m tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr w.oc)
+    (fun () ->
+      List.iter (write_edit w) edits;
+      close w);
+  Sys.rename tmp path
+
+(* {2 Reading} *)
+
+let read_exact path ic len what =
+  let b = Bytes.create len in
+  (try really_input ic b 0 len
+   with End_of_file -> failf path "diff truncated reading %s" what);
+  b
+
+let check_crc path ic payload what =
+  let crc = read_exact path ic 4 (what ^ " CRC") in
+  let stored = Int32.to_int (Bytes.get_int32_le crc 0) land 0xFFFFFFFF in
+  let computed = Scoll.Crc32.bytes payload in
+  if stored <> computed then
+    failf path "diff %s CRC mismatch (stored %08x, computed %08x)" what stored
+      computed
+
+(* Same plain-int u64 decode as Snapshot: a top byte >= 0x40 would not
+   fit an OCaml int. *)
+let decode_int path b off what =
+  let b0 = Char.code (Bytes.get b off)
+  and b1 = Char.code (Bytes.get b (off + 1))
+  and b2 = Char.code (Bytes.get b (off + 2))
+  and b3 = Char.code (Bytes.get b (off + 3))
+  and b4 = Char.code (Bytes.get b (off + 4))
+  and b5 = Char.code (Bytes.get b (off + 5))
+  and b6 = Char.code (Bytes.get b (off + 6))
+  and b7 = Char.code (Bytes.get b (off + 7)) in
+  if b7 >= 0x40 then
+    failf path "diff %s %Ld out of range" what (Bytes.get_int64_le b off);
+  b0
+  lor (b1 lsl 8)
+  lor (b2 lsl 16)
+  lor (b3 lsl 24)
+  lor (b4 lsl 32)
+  lor (b5 lsl 40)
+  lor (b6 lsl 48)
+  lor (b7 lsl 56)
+
+(* Backstop for the totality contract: see Edge_list_io.structured. *)
+let structured ~file f =
+  try f () with
+  | Io_error.Parse_error _ as e -> raise e
+  | Sys_error _ as e -> raise e
+  | (Out_of_memory | Stack_overflow) as e -> raise e
+  | e -> Io_error.fail ~file ~line:0 ("unexpected parser failure: " ^ Printexc.to_string e)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      structured ~file:path (fun () ->
+          let m8 = read_exact path ic 8 "magic" in
+          if not (String.equal (Bytes.to_string m8) magic) then
+            failf path "not a diff: bad magic %S (expected %S)"
+              (Bytes.to_string m8) magic;
+          let hb = read_exact path ic 16 "header" in
+          check_crc path ic hb "header";
+          let base_n = decode_int path hb 0 "base node count" in
+          let base_m = decode_int path hb 8 "base edge count" in
+          if base_n > max_node_count then
+            failf path "diff base node count %d exceeds the %d limit" base_n
+              max_node_count;
+          if base_m > base_n * (base_n - 1) / 2 then
+            failf path "diff claims %d base edges for %d nodes" base_m base_n;
+          let decode_edit first =
+            (* the leading opcode byte was already consumed by the EOF
+               probe; a mid-record EOF below is a torn tail and refused *)
+            let rest = read_exact path ic 16 "edit record" in
+            let payload = Bytes.create 17 in
+            Bytes.set payload 0 first;
+            Bytes.blit rest 0 payload 1 16;
+            check_crc path ic payload "edit record";
+            let u = decode_int path payload 1 "edit endpoint" in
+            let v = decode_int path payload 9 "edit endpoint" in
+            if u >= base_n || v >= base_n then
+              failf path "diff edit endpoint out of range (%d--%d, base n %d)"
+                u v base_n;
+            if u = v then failf path "diff edit is a self-loop on %d" u;
+            match Char.code first with
+            | 0 -> Overlay.Insert (u, v)
+            | 1 -> Overlay.Delete (u, v)
+            | op -> failf path "diff edit has unknown opcode %d" op
+          in
+          let rec records acc =
+            match input_char ic with
+            | exception End_of_file -> List.rev acc
+            | c -> records (decode_edit c :: acc)
+          in
+          ({ base_n; base_m }, records [])))
+
+let check_base ~file h g =
+  if h.base_n <> Graph.n g || h.base_m <> Graph.m g then
+    failf file
+      "diff base mismatch: recorded against n=%d m=%d, graph has n=%d m=%d"
+      h.base_n h.base_m (Graph.n g) (Graph.m g)
+
+(* {2 Scripts as graph deltas} *)
+
+let between g0 g1 =
+  if Graph.n g0 <> Graph.n g1 then invalid_arg "Diff.between: node counts differ";
+  let csr0 = Graph.csr g0 and csr1 = Graph.csr g1 in
+  let off0 = Csr.offsets csr0 and adj0 = Csr.adjacency csr0 in
+  let off1 = Csr.offsets csr1 and adj1 = Csr.adjacency csr1 in
+  let acc = ref [] in
+  for v = 0 to Graph.n g0 - 1 do
+    let i = ref off0.(v) and j = ref off1.(v) in
+    let stop0 = off0.(v + 1) and stop1 = off1.(v + 1) in
+    while !i < stop0 || !j < stop1 do
+      let a = if !i < stop0 then adj0.(!i) else max_int in
+      let b = if !j < stop1 then adj1.(!j) else max_int in
+      if a = b then begin
+        incr i;
+        incr j
+      end
+      else if a < b then begin
+        (* each undirected edge once, from its smaller endpoint *)
+        if a > v then acc := Overlay.Delete (v, a) :: !acc;
+        incr i
+      end
+      else begin
+        if b > v then acc := Overlay.Insert (v, b) :: !acc;
+        incr j
+      end
+    done
+  done;
+  List.rev !acc
+
+let apply g edits =
+  let o = Overlay.of_graph g in
+  Overlay.apply o edits;
+  Overlay.compact o

@@ -1,0 +1,185 @@
+type edit = Insert of int * int | Delete of int * int
+
+type t = {
+  base : Graph.t;
+  adds : (int, int list) Hashtbl.t; (* sorted; disjoint from the base row *)
+  dels : (int, int list) Hashtbl.t; (* sorted; subset of the base row *)
+  mutable m : int;
+  mutable epoch : int;
+  mutable delta : int; (* edited edges = |adds|/2 + |dels|/2 *)
+}
+
+let edit_endpoints = function Insert (u, v) -> (u, v) | Delete (u, v) -> (u, v)
+
+let pp_edit ppf = function
+  | Insert (u, v) -> Format.fprintf ppf "+%d-%d" u v
+  | Delete (u, v) -> Format.fprintf ppf "-%d-%d" u v
+
+let touched edits =
+  List.sort_uniq Int.compare
+    (List.concat_map
+       (fun e ->
+         let u, v = edit_endpoints e in
+         [ u; v ])
+       edits)
+
+let of_graph g =
+  {
+    base = g;
+    adds = Hashtbl.create 16;
+    dels = Hashtbl.create 16;
+    m = Graph.m g;
+    epoch = 0;
+    delta = 0;
+  }
+
+let base t = t.base
+let n t = Graph.n t.base
+let m t = t.m
+let epoch t = t.epoch
+let delta_size t = t.delta
+
+(* Sorted-int-list kernels. Delta lists are tiny (they are reset by
+   compaction), so linked lists beat any balanced structure here. *)
+
+let rec mem_sorted (x : int) = function
+  | [] -> false
+  | y :: tl -> if y < x then mem_sorted x tl else y = x
+
+(* precondition: [x] not already present *)
+let rec add_sorted (x : int) = function
+  | [] -> [ x ]
+  | y :: tl -> if y < x then y :: add_sorted x tl else x :: y :: tl
+
+(* precondition: [x] present exactly once *)
+let rec remove_sorted (x : int) = function
+  | [] -> []
+  | y :: tl -> if y < x then y :: remove_sorted x tl else tl
+
+let find_list tbl v = match Hashtbl.find_opt tbl v with Some l -> l | None -> []
+
+let set_list tbl v = function
+  | [] -> Hashtbl.remove tbl v
+  | l -> Hashtbl.replace tbl v l
+
+let check_endpoints t name u v =
+  let nn = n t in
+  if u < 0 || u >= nn || v < 0 || v >= nn then
+    invalid_arg (Printf.sprintf "Overlay.%s: endpoint out of range" name);
+  if u = v then invalid_arg (Printf.sprintf "Overlay.%s: self-loop %d" name u)
+
+let base_mem t u v = Csr.mem_row (Graph.csr t.base) u v
+
+let live t u v =
+  mem_sorted v (find_list t.adds u)
+  || (base_mem t u v && not (mem_sorted v (find_list t.dels u)))
+
+let mem_edge t u v =
+  let nn = n t in
+  if u < 0 || u >= nn || v < 0 || v >= nn || u = v then false else live t u v
+
+let insert_edge t u v =
+  check_endpoints t "insert_edge" u v;
+  if live t u v then false
+  else begin
+    if base_mem t u v then begin
+      (* re-inserting a deleted base edge cancels the delete *)
+      set_list t.dels u (remove_sorted v (find_list t.dels u));
+      set_list t.dels v (remove_sorted u (find_list t.dels v));
+      t.delta <- t.delta - 1
+    end
+    else begin
+      set_list t.adds u (add_sorted v (find_list t.adds u));
+      set_list t.adds v (add_sorted u (find_list t.adds v));
+      t.delta <- t.delta + 1
+    end;
+    t.m <- t.m + 1;
+    t.epoch <- t.epoch + 1;
+    true
+  end
+
+let delete_edge t u v =
+  check_endpoints t "delete_edge" u v;
+  if not (live t u v) then false
+  else begin
+    if base_mem t u v then begin
+      set_list t.dels u (add_sorted v (find_list t.dels u));
+      set_list t.dels v (add_sorted u (find_list t.dels v));
+      t.delta <- t.delta + 1
+    end
+    else begin
+      (* deleting an overlay-added edge cancels the insert *)
+      set_list t.adds u (remove_sorted v (find_list t.adds u));
+      set_list t.adds v (remove_sorted u (find_list t.adds v));
+      t.delta <- t.delta - 1
+    end;
+    t.m <- t.m - 1;
+    t.epoch <- t.epoch + 1;
+    true
+  end
+
+let apply t edits =
+  List.iter
+    (fun e ->
+      let effective, verb =
+        match e with
+        | Insert (u, v) -> (insert_edge t u v, "insert")
+        | Delete (u, v) -> (delete_edge t u v, "delete")
+      in
+      if not effective then
+        invalid_arg
+          (Format.asprintf "Overlay.apply: ineffective %s %a" verb pp_edit e))
+    edits
+
+let degree t v =
+  if v < 0 || v >= n t then invalid_arg "Overlay.degree: node out of range";
+  Graph.degree t.base v
+  + List.length (find_list t.adds v)
+  - List.length (find_list t.dels v)
+
+let iter_row f t v =
+  if v < 0 || v >= n t then invalid_arg "Overlay.iter_row: node out of range";
+  let csr = Graph.csr t.base in
+  let off = Csr.offsets csr and adj = Csr.adjacency csr in
+  let adds = ref (find_list t.adds v) and dels = ref (find_list t.dels v) in
+  for i = off.(v) to off.(v + 1) - 1 do
+    let u = adj.(i) in
+    (* flush overlay additions below the current base entry *)
+    let rec flush () =
+      match !adds with
+      | a :: tl when a < u ->
+          f a;
+          adds := tl;
+          flush ()
+      | _ -> ()
+    in
+    flush ();
+    (* dels(v) is a sorted subset of the base row, consumed in lockstep *)
+    match !dels with
+    | d :: tl when d = u -> dels := tl
+    | _ -> f u
+  done;
+  List.iter f !adds
+
+let fold_row f init t v =
+  let acc = ref init in
+  iter_row (fun u -> acc := f !acc u) t v;
+  !acc
+
+let row t v =
+  let buf = Array.make (degree t v) 0 in
+  let i = ref 0 in
+  iter_row
+    (fun u ->
+      buf.(!i) <- u;
+      incr i)
+    t v;
+  buf
+
+let compact t =
+  let g = Graph.of_csr (Csr.of_rows (Array.init (n t) (row t))) in
+  (* Graph.of_csr recounts m from the adjacency entries; agreement with the
+     incrementally tracked count is the overlay's core bookkeeping
+     invariant (no phantom rows, no cancelled-edit residue). *)
+  assert (Graph.m g = t.m);
+  g

@@ -1,0 +1,102 @@
+(** Mutable delta overlay over the immutable CSR graph core.
+
+    Social graphs churn, but {!Graph.t} is a frozen CSR slab: any edit
+    would mean rebuilding the two flat arrays. An overlay keeps the slab
+    as an immutable [base] and records edits as sorted per-node {e add}
+    and {e delete} deltas in int-keyed hash tables, so a burst of edge
+    churn costs O(degree) per edit while reads stay O(row): the row
+    kernels ({!iter_row}, {!fold_row}, {!mem_edge}) merge the base CSR
+    slice with the node's deltas on the fly. When the deltas grow past
+    taste, {!compact} folds them back into a fresh validated {!Graph.t}
+    and the cycle restarts.
+
+    Two invariants keep the merge kernels single-pass: a node's add list
+    is disjoint from its base row, and its delete list is a subset of the
+    base row. [insert_edge]/[delete_edge] maintain them — deleting an
+    overlay-added edge shrinks the add list rather than growing the
+    delete list, and re-inserting a deleted base edge shrinks the delete
+    list — so an insert/delete round trip leaves no residue and the edge
+    count {!m} is always exact (never inflated by phantom rows or
+    cancelled edits).
+
+    Every effective edit bumps {!epoch}. Consumers that cache per-node
+    derived data keyed on the graph (the [N^s] balls of
+    [Scliques_core.Neighborhood]) use the epoch to detect staleness and
+    the touched-endpoint set of an edit batch to invalidate only the
+    affected distance-s balls. *)
+
+type t
+
+type edit =
+  | Insert of int * int
+  | Delete of int * int
+      (** One undirected edge edit. Endpoint order is irrelevant;
+          [Insert (u, v)] and [Insert (v, u)] denote the same edit. *)
+
+val edit_endpoints : edit -> int * int
+
+val pp_edit : Format.formatter -> edit -> unit
+(** Prints as [+u-v] (insert) or [-u-v] (delete). *)
+
+val touched : edit list -> int list
+(** The distinct endpoints of the edits, sorted increasing — the seed set
+    for distance-s cache invalidation and incremental re-enumeration. *)
+
+val of_graph : Graph.t -> t
+(** A fresh overlay with empty deltas. O(1): the graph is shared, not
+    copied. *)
+
+val base : t -> Graph.t
+(** The frozen CSR graph under the deltas (the argument of {!of_graph} or
+    the result of the constructing {!compact}). *)
+
+val n : t -> int
+
+val m : t -> int
+(** Exact live undirected edge count, maintained incrementally. *)
+
+val epoch : t -> int
+(** Starts at 0; incremented by every {e effective} edit (no-ops do not
+    bump it). *)
+
+val delta_size : t -> int
+(** Number of edit entries currently held in the overlay (each edited
+    edge counts once), i.e. the distance from [base]. Useful as a
+    compaction trigger. *)
+
+val degree : t -> int -> int
+
+val mem_edge : t -> int -> int -> bool
+(** O(log degree + |delta|). [mem_edge t v v] is always false. *)
+
+val iter_row : (int -> unit) -> t -> int -> unit
+(** Live neighbors of [v] in increasing order: single-pass merge of the
+    base CSR row with the node's deltas. *)
+
+val fold_row : ('a -> int -> 'a) -> 'a -> t -> int -> 'a
+
+val row : t -> int -> int array
+(** Fresh sorted array of live neighbors; safe to mutate. *)
+
+val insert_edge : t -> int -> int -> bool
+(** [insert_edge t u v] makes [u -- v] live. Returns [false] (and changes
+    nothing, not even the epoch) when the edge is already live.
+    @raise Invalid_argument when an endpoint is out of range or [u = v]. *)
+
+val delete_edge : t -> int -> int -> bool
+(** [delete_edge t u v] removes edge [u -- v]. Returns [false] when the
+    edge is not live.
+    @raise Invalid_argument when an endpoint is out of range or [u = v]. *)
+
+val apply : t -> edit list -> unit
+(** Apply an edit batch in order, strictly: every edit must be effective
+    (inserting an absent edge, deleting a live one).
+    @raise Invalid_argument on the first ineffective edit, leaving the
+    prior edits applied. Strictness is what makes {!Diff} scripts exact:
+    replaying a recorded script can never silently drift. *)
+
+val compact : t -> Graph.t
+(** Fold the deltas into a fresh flat CSR graph equal to the overlay's
+    live edge set, going through {!Graph.of_csr} validation. The overlay
+    itself is not changed; start a new overlay with [of_graph (compact t)]
+    to reset the deltas. O(n + m). *)

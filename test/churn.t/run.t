@@ -1,0 +1,121 @@
+Edge churn end to end: diff two graphs into an SGRDIFF1 edit script,
+replay it with mutate, and patch a finished enumeration with refresh.
+
+The paper's exponential gadget (deterministic) is the base graph; the
+edited version drops the 6-7 bridge and adds the 0-1 chord:
+
+  $ scliques gen --family gadget -n 3 -o base.edges
+  wrote base.edges: n=14 m=19 avg_deg=2.71 density=0.208791 max_deg=4 triangles=0
+  $ grep -v '^6 7$' base.edges > edited.edges
+  $ echo '0 1' >> edited.edges
+
+diff writes the edit script; its output is binary, so -o is mandatory:
+
+  $ scliques diff base.edges edited.edges
+  scliques: diff writes binary output; -o is required
+  [124]
+  $ scliques diff base.edges edited.edges -o churn.diff
+  wrote churn.diff: 2 edits (1 inserts, 1 deletes) against n=14 m=19 avg_deg=2.71 density=0.208791 max_deg=4 triangles=0
+
+Node-count changes are edge churn no longer:
+
+  $ scliques gen --family path -n 5 -o p5.edges
+  wrote p5.edges: n=5 m=4 avg_deg=1.60 density=0.400000 max_deg=2 triangles=0
+  $ scliques diff base.edges p5.edges -o bad.diff
+  scliques: node counts differ (14 vs 5); diffs cover edge churn only
+  [124]
+
+mutate replays the script. Diffing its output against the edited graph
+comes back empty, so replay is exact:
+
+  $ scliques mutate base.edges --diff churn.diff -o mutated.edges
+  applied 2 edits; wrote mutated.edges: n=14 m=19 avg_deg=2.71 density=0.208791 max_deg=4 triangles=1
+  $ scliques diff mutated.edges edited.edges -o zero.diff
+  wrote zero.diff: 0 edits (0 inserts, 0 deletes) against n=14 m=19 avg_deg=2.71 density=0.208791 max_deg=4 triangles=1
+
+The binary snapshot path works the same way — load a .sgr, apply the
+script, write a .sgr back:
+
+  $ scliques convert base.edges --to bin -o base.sgr
+  wrote base.sgr: n=14 m=19 avg_deg=2.71 density=0.208791 max_deg=4 triangles=0
+  $ scliques mutate --format bin base.sgr --diff churn.diff --to bin
+  scliques: --to bin writes binary output; -o is required
+  [124]
+  $ scliques mutate --format bin base.sgr --diff churn.diff --to bin -o mutated.sgr
+  applied 2 edits; wrote mutated.sgr: n=14 m=19 avg_deg=2.71 density=0.208791 max_deg=4 triangles=1
+  $ scliques enum --format bin mutated.sgr -s 2 | sort > after_bin.sorted
+  $ scliques enum mutated.edges -s 2 | sort | diff - after_bin.sorted
+
+Replay is strict: the script does not apply to a graph that is not its
+base. The edited graph has the same n and m, so only replay itself can
+catch the mismatch — and does:
+
+  $ scliques mutate edited.edges --diff churn.diff 2>&1 | head -1
+  scliques: error: churn.diff: Overlay.apply: ineffective insert +0-1
+
+A finished enumeration of the base graph, streamed to a crash-safe
+.results file:
+
+  $ scliques enum base.edges -s 2 --checkpoint ck > before.txt
+  $ wc -l < before.txt
+  20
+
+refresh applies the script, re-enumerates only the root branches near
+the touched endpoints, and splices the untouched prior results through.
+Its stdout is the complete refreshed answer, equal to a from-scratch
+enumeration of the edited graph:
+
+  $ scliques refresh base.edges --diff churn.diff --results ck.results -s 2 -o refreshed.results > refreshed.txt
+  scliques: refresh: 2 edits touching 4 nodes; 14 roots re-run, +14 -20 results (14 total)
+  $ scliques enum edited.edges -s 2 | sort > scratch.sorted
+  $ sort refreshed.txt | diff - scratch.sorted
+
+The patched stream written by -o is a real result stream: feeding it
+back as the prior of a zero-edit refresh reproduces the same answer,
+with nothing re-run:
+
+  $ scliques refresh mutated.edges --diff zero.diff --results refreshed.results -s 2 > roundtrip.txt
+  scliques: refresh: 0 edits touching 0 nodes; 0 roots re-run, +0 -0 results (14 total)
+  $ sort roundtrip.txt | diff - scratch.sorted
+
+Every refresh engine agrees — warm CSCliques1, parallel work stealing:
+
+  $ scliques refresh base.edges --diff churn.diff --results ck.results -s 2 -a cs1 2>/dev/null | sort | diff - scratch.sorted
+  $ scliques refresh base.edges --diff churn.diff --results ck.results -s 2 -a par --workers 2 2>/dev/null | sort | diff - scratch.sorted
+
+Algorithms without a rooted decomposition cannot patch by root:
+
+  $ scliques refresh base.edges --diff churn.diff --results ck.results -s 2 -a pd 2>&1 | head -1
+  scliques: option '-a': PD has no rooted decomposition; refresh needs
+
+A torn SGRDIFF1 tail is refused outright — a diff is a transaction, not
+a stream, so half an edit script must never half-apply:
+
+  $ head -c 40 churn.diff > torn.diff
+  $ scliques mutate base.edges --diff torn.diff
+  scliques: error: torn.diff: diff truncated reading edit record
+  [1]
+  $ scliques refresh base.edges --diff torn.diff --results ck.results -s 2
+  scliques: error: torn.diff: diff truncated reading edit record
+  [1]
+  $ head -c 10 churn.diff > torn2.diff
+  $ scliques mutate base.edges --diff torn2.diff
+  scliques: error: torn2.diff: diff truncated reading header
+  [1]
+
+A diff against the wrong base graph is refused by the recorded header:
+
+  $ scliques gen --family gadget -n 2 -o small.edges
+  wrote small.edges: n=8 m=9 avg_deg=2.25 density=0.321429 max_deg=3 triangles=0
+  $ scliques mutate small.edges --diff churn.diff
+  scliques: error: churn.diff: diff base mismatch: recorded against n=14 m=19, graph has n=8 m=9
+  [1]
+
+And a torn prior stream is refused by refresh — patching an incomplete
+answer would bake the missing tail in as "unaffected":
+
+  $ size=$(wc -c < ck.results)
+  $ head -c $((size - 3)) ck.results > torn.results
+  $ scliques refresh base.edges --diff churn.diff --results torn.results -s 2
+  scliques: error: torn.results: result stream has a torn tail (the prior run did not complete); re-enumerate instead of refreshing
+  [1]

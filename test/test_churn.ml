@@ -1,0 +1,574 @@
+(* Edit-script differential harness for incremental churn: random
+   insert/delete scripts over ER and scale-free graphs, replayed through
+   Sgraph.Overlay, with Enumerate.refresh checked bit-identical to a full
+   re-enumeration at EVERY script prefix, across engines (CS2PF warm and
+   cold, PolyDelayEnum, the parallel runner). The satellites ride along:
+   Overlay m/compact bookkeeping, Components/Union_find vs BFS
+   reachability under deletions, Lri_cache invalidation accounting, and
+   SGRDIFF1 torn-tail refusal. *)
+
+module NS = Sgraph.Node_set
+module G = Sgraph.Graph
+module O = Sgraph.Overlay
+module D = Sgraph.Diff
+module E = Scliques_core.Enumerate
+module NH = Scliques_core.Neighborhood
+
+let same_sets = List.equal NS.equal
+
+let show_mismatch what expected actual =
+  QCheck2.Test.fail_reportf
+    "%s disagrees:@.expected %d sets: %a@.got %d sets: %a" what
+    (List.length expected)
+    (Fmt.Dump.list NS.pp) expected (List.length actual)
+    (Fmt.Dump.list NS.pp) actual
+
+(* (family, n, edge parameter, s, seed): same case shape as
+   Test_differential, scaled down — every prefix of a 50+-edit script
+   runs several full enumerations, and at s = 3 the power graph is
+   near-complete. *)
+let arb_churn_case =
+  let open QCheck2.Gen in
+  oneofl [ `Er; `Sf ] >>= fun family ->
+  int_range 1 3 >>= fun s ->
+  int_range 2 (if s >= 3 then 10 else 14) >>= fun n ->
+  int_range 0 (2 * n) >>= fun m ->
+  int_range 0 1_000_000 >>= fun seed ->
+  return (family, n, m, s, seed)
+
+let print_case (family, n, m, s, seed) =
+  Printf.sprintf "(%s, n=%d, m=%d, s=%d, seed=%d)"
+    (match family with `Er -> "er" | `Sf -> "sf")
+    n m s seed
+
+let graph_of_case (family, n, m, seed) =
+  let rng = Scoll.Rng.create seed in
+  match family with
+  | `Er -> Sgraph.Gen.erdos_renyi_gnm rng ~n ~m:(min m (n * (n - 1) / 2))
+  | `Sf -> Sgraph.Gen.barabasi_albert rng ~n ~m_attach:(min (n - 1) (1 + (m mod 3)))
+
+(* Pick an effective edit against the dense mirror [adj]:
+   [delete_bias]% of coin flips delete a live edge (when one exists). *)
+let gen_step rng adj n ~delete_bias =
+  let live = ref [] and free = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if adj.(u).(v) then live := (u, v) :: !live else free := (u, v) :: !free
+    done
+  done;
+  let pick l = List.nth l (Scoll.Rng.int rng (List.length l)) in
+  let deleting =
+    match (!live, !free) with
+    | [], _ -> false
+    | _, [] -> true
+    | _ -> Scoll.Rng.int rng 100 < delete_bias
+  in
+  if deleting then
+    let u, v = pick !live in
+    O.Delete (u, v)
+  else
+    let u, v = pick !free in
+    O.Insert (u, v)
+
+let apply_mirror adj e =
+  let u, v = O.edit_endpoints e in
+  let present = match e with O.Insert _ -> true | O.Delete _ -> false in
+  adj.(u).(v) <- present;
+  adj.(v).(u) <- present
+
+let live_count adj n =
+  let c = ref 0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if adj.(u).(v) then incr c
+    done
+  done;
+  !c
+
+let script_len rng = 50 + Scoll.Rng.int rng 11
+
+(* sorted-list difference over Node_set.compare order *)
+let rec sorted_diff a b =
+  match (a, b) with
+  | [], _ -> []
+  | _, [] -> a
+  | x :: ta, y :: tb ->
+      let c = NS.compare x y in
+      if c = 0 then sorted_diff ta tb
+      else if c < 0 then x :: sorted_diff ta b
+      else sorted_diff a tb
+
+(* The headline: one long-lived overlay replays the script; at every
+   prefix, incremental refresh (warm CS2PF oracle carried across steps,
+   cold CS1, parallel) must equal full recomputation by CS2PF, PD and
+   Parallel.enumerate — and the Overlay/compact edge counts must equal
+   the live count. *)
+let prop_refresh_matches_full =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:8
+       ~name:"refresh == full re-enumeration at every script prefix"
+       ~print:print_case arb_churn_case
+       (fun (family, n, m, s, seed) ->
+         let g0 = graph_of_case (family, n, m, seed) in
+         let rng = Scoll.Rng.create (seed + 17) in
+         let len = script_len rng in
+         let adj = Array.init n (fun u -> Array.init n (G.mem_edge g0 u)) in
+         let nh = NH.create ~s g0 in
+         let results = ref (E.sorted_results E.Cs2_pf g0 ~s) in
+         let prev = ref g0 in
+         let o = O.of_graph g0 in
+         for step = 1 to len do
+           let e = gen_step rng adj n ~delete_bias:45 in
+           apply_mirror adj e;
+           O.apply o [ e ];
+           let g1 = O.compact o in
+           let ctx what =
+             Printf.sprintf "%s step %d (%s)" what step
+               (Format.asprintf "%a" O.pp_edit e)
+           in
+           let live = live_count adj n in
+           if O.m o <> live then
+             QCheck2.Test.fail_reportf "%s: Overlay.m %d, live edges %d"
+               (ctx "overlay m") (O.m o) live;
+           if G.m g1 <> live then
+             QCheck2.Test.fail_reportf "%s: compacted m %d, live edges %d"
+               (ctx "compact m") (G.m g1) live;
+           if O.epoch o <> step then
+             QCheck2.Test.fail_reportf "%s: epoch %d after %d effective edits"
+               (ctx "epoch") (O.epoch o) step;
+           let full = E.sorted_results E.Cs2_pf g1 ~s in
+           let full_pd = E.sorted_results E.Poly_delay g1 ~s in
+           let full_par = Scliques_core.Parallel.enumerate ~workers:2 g1 ~s in
+           if not (same_sets full full_pd) then
+             ignore (show_mismatch (ctx "PD vs CS2PF") full full_pd);
+           if not (same_sets full full_par) then
+             ignore (show_mismatch (ctx "parallel vs CS2PF") full full_par);
+           let touched = [ fst (O.edit_endpoints e); snd (O.edit_endpoints e) ] in
+           let warm =
+             E.refresh ~nh ~before:!prev ~after:g1 ~touched ~s ~prior:!results ()
+           in
+           let cold =
+             E.refresh ~engine:(`Seq E.Cs1) ~before:!prev ~after:g1 ~touched ~s
+               ~prior:!results ()
+           in
+           let par =
+             E.refresh ~engine:(`Par (Some 2)) ~before:!prev ~after:g1 ~touched
+               ~s ~prior:!results ()
+           in
+           if not (same_sets full warm.E.results) then
+             ignore (show_mismatch (ctx "warm refresh") full warm.E.results);
+           if not (same_sets full cold.E.results) then
+             ignore (show_mismatch (ctx "cold CS1 refresh") full cold.E.results);
+           if not (same_sets full par.E.results) then
+             ignore (show_mismatch (ctx "parallel refresh") full par.E.results);
+           (* the reported delta must reconcile prior with the new answer *)
+           if not (same_sets warm.E.added (sorted_diff warm.E.results !results))
+           then
+             ignore
+               (show_mismatch (ctx "delta added")
+                  (sorted_diff warm.E.results !results)
+                  warm.E.added);
+           if not (same_sets warm.E.removed (sorted_diff !results warm.E.results))
+           then
+             ignore
+               (show_mismatch (ctx "delta removed")
+                  (sorted_diff !results warm.E.results)
+                  warm.E.removed);
+           if NH.epoch nh <> step then
+             QCheck2.Test.fail_reportf "%s: oracle epoch %d after %d refreshes"
+               (ctx "oracle epoch") (NH.epoch nh) step;
+           results := warm.E.results;
+           prev := g1
+         done;
+         true))
+
+(* Satellite: Components and Union_find agree with BFS reachability at
+   every prefix of a delete-heavy script (deletions split components —
+   union-find is grow-only, so it must be rebuilt per prefix and still
+   agree). *)
+let prop_components_track_churn =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:12
+       ~name:"Components/Union_find match BFS reachability under churn"
+       ~print:print_case arb_churn_case
+       (fun (family, n, m, _s, seed) ->
+         let g0 = graph_of_case (family, n, m, seed) in
+         let rng = Scoll.Rng.create (seed + 23) in
+         let len = script_len rng in
+         let adj = Array.init n (fun u -> Array.init n (G.mem_edge g0 u)) in
+         let o = O.of_graph g0 in
+         for step = 1 to len do
+           let e = gen_step rng adj n ~delete_bias:65 in
+           apply_mirror adj e;
+           O.apply o [ e ];
+           let g1 = O.compact o in
+           let labels, ncomp = Sgraph.Components.labels g1 in
+           let uf = Scoll.Union_find.create n in
+           G.iter_edges (fun u v -> ignore (Scoll.Union_find.union uf u v)) g1;
+           if Scoll.Union_find.count uf <> ncomp then
+             QCheck2.Test.fail_reportf
+               "step %d: union-find sees %d components, labels %d" step
+               (Scoll.Union_find.count uf) ncomp;
+           for u = 0 to n - 1 do
+             for v = u + 1 to n - 1 do
+               let by_labels = labels.(u) = labels.(v) in
+               let by_uf = Scoll.Union_find.same uf u v in
+               let by_bfs = Sgraph.Bfs.distance g1 u v >= 0 in
+               if by_labels <> by_bfs || by_uf <> by_bfs then
+                 QCheck2.Test.fail_reportf
+                   "step %d: %d~%d labels=%b uf=%b bfs=%b" step u v by_labels
+                   by_uf by_bfs
+             done
+           done
+         done;
+         true))
+
+(* Satellite: the overlay's merged row kernels agree with the compacted
+   flat graph at every prefix — degree, row, mem_edge, fold_row. *)
+let prop_overlay_kernels_match_compact =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:15
+       ~name:"overlay row kernels == compacted CSR at every prefix"
+       ~print:print_case arb_churn_case
+       (fun (family, n, m, _s, seed) ->
+         let g0 = graph_of_case (family, n, m, seed) in
+         let rng = Scoll.Rng.create (seed + 31) in
+         let len = script_len rng in
+         let adj = Array.init n (fun u -> Array.init n (G.mem_edge g0 u)) in
+         let o = O.of_graph g0 in
+         for step = 1 to len do
+           let e = gen_step rng adj n ~delete_bias:50 in
+           apply_mirror adj e;
+           O.apply o [ e ];
+           let g1 = O.compact o in
+           for v = 0 to n - 1 do
+             let expect = G.neighbors g1 v in
+             let got = O.row o v in
+             if not (Array.length got = Array.length expect
+                    && Array.for_all2 Int.equal got expect) then
+               QCheck2.Test.fail_reportf "step %d: row %d mismatch" step v;
+             if O.degree o v <> G.degree g1 v then
+               QCheck2.Test.fail_reportf "step %d: degree %d mismatch" step v;
+             let folded = O.fold_row (fun acc u -> acc + u) 0 o v in
+             if folded <> Array.fold_left ( + ) 0 expect then
+               QCheck2.Test.fail_reportf "step %d: fold_row %d mismatch" step v;
+             for u = 0 to n - 1 do
+               if O.mem_edge o v u <> G.mem_edge g1 v u then
+                 QCheck2.Test.fail_reportf "step %d: mem_edge %d %d mismatch"
+                   step v u
+             done
+           done;
+           ignore (O.base o)
+         done;
+         true))
+
+(* Satellite regression: a delete-only batch must leave m exactly at the
+   live count and compact to a graph with no residue — not phantom
+   zero-length rows miscounted into Graph.m. *)
+let test_overlay_delete_only () =
+  let g = Sgraph.Gen.barabasi_albert (Scoll.Rng.create 5) ~n:12 ~m_attach:2 in
+  let o = O.of_graph g in
+  let edges = G.edges g in
+  List.iteri
+    (fun i (u, v) ->
+      Alcotest.(check bool) "delete effective" true (O.delete_edge o u v);
+      let expect = G.m g - i - 1 in
+      Alcotest.(check int) "overlay m tracks deletions" expect (O.m o);
+      Alcotest.(check int) "compact m tracks deletions" expect (G.m (O.compact o)))
+    edges;
+  Alcotest.(check int) "all edges gone" 0 (O.m o);
+  let c = O.compact o in
+  Alcotest.(check int) "compacted n preserved" (G.n g) (G.n c);
+  Alcotest.(check bool) "compacted equals empty graph" true
+    (G.equal c (G.empty (G.n g)));
+  Alcotest.(check int) "delta covers every base edge" (G.m g) (O.delta_size o)
+
+let test_overlay_cancellation () =
+  let g = G.of_edges ~n:4 [ (0, 1); (1, 2) ] in
+  let o = O.of_graph g in
+  (* insert then delete a novel edge: no residue *)
+  Alcotest.(check bool) "insert 0-3" true (O.insert_edge o 0 3);
+  Alcotest.(check bool) "delete 0-3" true (O.delete_edge o 3 0);
+  Alcotest.(check int) "delta empty after cancel" 0 (O.delta_size o);
+  Alcotest.(check int) "m restored" 2 (O.m o);
+  (* delete then re-insert a base edge: no residue either *)
+  Alcotest.(check bool) "delete 0-1" true (O.delete_edge o 0 1);
+  Alcotest.(check bool) "re-insert 0-1" true (O.insert_edge o 1 0);
+  Alcotest.(check int) "delta empty again" 0 (O.delta_size o);
+  Alcotest.(check bool) "round-trips to the base graph" true
+    (G.equal g (O.compact o));
+  Alcotest.(check int) "epoch counts the four effective edits" 4 (O.epoch o);
+  (* no-ops: absent delete, present insert *)
+  Alcotest.(check bool) "inserting a live edge is a no-op" false
+    (O.insert_edge o 0 1);
+  Alcotest.(check bool) "deleting an absent edge is a no-op" false
+    (O.delete_edge o 0 2);
+  Alcotest.(check int) "no-ops leave the epoch alone" 4 (O.epoch o);
+  (* strict apply refuses ineffective edits *)
+  Alcotest.check_raises "strict apply"
+    (Invalid_argument "Overlay.apply: ineffective insert +0-1") (fun () ->
+      O.apply o [ O.Insert (0, 1) ]);
+  Alcotest.check_raises "self-loop refused"
+    (Invalid_argument "Overlay.insert_edge: self-loop 2") (fun () ->
+      ignore (O.insert_edge o 2 2))
+
+(* Satellite: Lri_cache remove keeps the weight ledger exact and does not
+   let a removed-then-re-added key be evicted on its orphaned queue slot. *)
+let test_lri_remove_accounting () =
+  let c = Scoll.Lri_cache.create ~weight:String.length ~capacity:4 () in
+  Scoll.Lri_cache.add c 1 "aa";
+  Scoll.Lri_cache.add c 2 "bbb";
+  Alcotest.(check int) "weight sums" 5 (Scoll.Lri_cache.total_weight c);
+  Scoll.Lri_cache.remove c 2;
+  Alcotest.(check int) "weight drops with remove" 2
+    (Scoll.Lri_cache.total_weight c);
+  Alcotest.(check int) "length drops" 1 (Scoll.Lri_cache.length c);
+  Scoll.Lri_cache.remove c 2;
+  Alcotest.(check int) "double remove is a no-op" 2
+    (Scoll.Lri_cache.total_weight c);
+  Alcotest.(check int) "removals are not evictions" 0
+    (Scoll.Lri_cache.stats c).Scoll.Lri_cache.evictions;
+  let keys =
+    List.sort Int.compare (Scoll.Lri_cache.fold (fun k _ acc -> k :: acc) c [])
+  in
+  Alcotest.(check (list int)) "fold sees live keys" [ 1 ] keys
+
+let test_lri_readd_not_prematurely_evicted () =
+  let c = Scoll.Lri_cache.create ~capacity:2 () in
+  Scoll.Lri_cache.add c 1 "one";
+  Scoll.Lri_cache.add c 2 "two";
+  Scoll.Lri_cache.remove c 1;
+  Scoll.Lri_cache.add c 1 "one again";
+  (* eviction order is now 2 (oldest live) then 1; key 1's orphaned front
+     slot must not count against its re-insertion *)
+  Scoll.Lri_cache.add c 3 "three";
+  Alcotest.(check bool) "re-added key survives" true (Scoll.Lri_cache.mem c 1);
+  Alcotest.(check bool) "oldest live key evicted" false (Scoll.Lri_cache.mem c 2);
+  Alcotest.(check bool) "new key present" true (Scoll.Lri_cache.mem c 3);
+  Alcotest.(check int) "exactly one eviction" 1
+    (Scoll.Lri_cache.stats c).Scoll.Lri_cache.evictions
+
+(* Satellite: epoch-based invalidation drops exactly the stale N^s balls
+   and their byte weight; distant balls stay warm. Path 0-1-...-9, s=2,
+   deleting edge 0-1: the closed radius-2 balls of {0,1} in either graph
+   cover {0,1,2,3}, so exactly four entries (and their weight) go. *)
+let test_nh_invalidate_accounting () =
+  let n = 10 in
+  let path k = List.init (k - 1) (fun i -> (i, i + 1)) in
+  let before = G.of_edges ~n (path n) in
+  let after = D.apply before [ O.Delete (0, 1) ] in
+  let s = 2 in
+  let nh = NH.create ~s before in
+  G.iter_nodes (fun v -> ignore (NH.ball nh v)) before;
+  let weight_of g v =
+    (8 * NS.cardinal (Sgraph.Bfs.ball g v ~radius:s)) + 32
+  in
+  let total g nodes =
+    List.fold_left (fun acc v -> acc + weight_of g v) 0 nodes
+  in
+  Alcotest.(check int) "initial weight ledger exact"
+    (total before (List.init n Fun.id))
+    (NH.cache_bytes nh);
+  let misses0 = (NH.cache_stats nh).Scoll.Lri_cache.misses in
+  NH.invalidate nh ~after ~touched:[ 0; 1 ];
+  Alcotest.(check int) "epoch bumped" 1 (NH.epoch nh);
+  Alcotest.(check int) "only the stale balls' weight dropped"
+    (total before [ 4; 5; 6; 7; 8; 9 ])
+    (NH.cache_bytes nh);
+  (* re-query everything on the after graph: exactly the four dropped
+     keys miss; the six survivors hit warm *)
+  G.iter_nodes
+    (fun v ->
+      let b = NH.ball nh v in
+      Alcotest.(check bool)
+        (Printf.sprintf "ball %d correct after invalidation" v)
+        true
+        (NS.equal b (Sgraph.Bfs.ball after v ~radius:s)))
+    after;
+  let misses1 = (NH.cache_stats nh).Scoll.Lri_cache.misses in
+  Alcotest.(check int) "exactly the stale balls recomputed" 4
+    (misses1 - misses0);
+  Alcotest.(check int) "refilled ledger exact"
+    (total after (List.init n Fun.id))
+    (NH.cache_bytes nh)
+
+let edit_equal a b =
+  match (a, b) with
+  | O.Insert (u, v), O.Insert (u', v') | O.Delete (u, v), O.Delete (u', v') ->
+      u = u' && v = v'
+  | _ -> false
+
+let edit = Alcotest.testable O.pp_edit edit_equal
+
+(* SGRDIFF1: save/load round trip, between/apply as inverse, and the
+   refusal contract — a prefix cut at a record boundary is a valid
+   shorter diff, every other truncation and any corrupted byte is
+   refused with a Parse_error, never silently tolerated. *)
+let prop_diff_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:30 ~name:"SGRDIFF1 round trip and between/apply"
+       ~print:print_case arb_churn_case
+       (fun (family, n, m, _s, seed) ->
+         let g0 = graph_of_case (family, n, m, seed) in
+         let rng = Scoll.Rng.create (seed + 41) in
+         let len = 1 + Scoll.Rng.int rng 20 in
+         let adj = Array.init n (fun u -> Array.init n (G.mem_edge g0 u)) in
+         let o = O.of_graph g0 in
+         let script =
+           List.init len (fun _ ->
+               let e = gen_step rng adj n ~delete_bias:45 in
+               apply_mirror adj e;
+               O.apply o [ e ];
+               e)
+         in
+         let g1 = O.compact o in
+         let path = Filename.temp_file "churn" ".diff" in
+         Fun.protect
+           ~finally:(fun () -> Sys.remove path)
+           (fun () ->
+             D.save ~base_n:(G.n g0) ~base_m:(G.m g0) script path;
+             let h, loaded = D.load path in
+             Alcotest.(check int) "header n" (G.n g0) h.D.base_n;
+             Alcotest.(check int) "header m" (G.m g0) h.D.base_m;
+             Alcotest.(check (list edit)) "script round-trips" script loaded;
+             D.check_base ~file:path h g0;
+             Alcotest.(check bool) "replay reaches the mutated graph" true
+               (G.equal g1 (D.apply g0 script));
+             (* between is a strict script from g0 to g1 *)
+             let s2 = D.between g0 g1 in
+             Alcotest.(check bool) "between/apply is the identity" true
+               (G.equal g1 (D.apply g0 s2));
+             Alcotest.(check bool) "between of equal graphs is empty" true
+               (match D.between g1 g1 with [] -> true | _ -> false));
+         true))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc s)
+
+let test_diff_torn_tail_refused () =
+  let g = G.of_edges ~n:6 [ (0, 1); (1, 2); (2, 3) ] in
+  let script = [ O.Insert (0, 3); O.Delete (1, 2); O.Insert (4, 5) ] in
+  let path = Filename.temp_file "churn" ".diff" in
+  let torn = path ^ ".torn" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      if Sys.file_exists torn then Sys.remove torn)
+    (fun () ->
+      D.save ~base_n:(G.n g) ~base_m:(G.m g) script path;
+      let bytes = read_file path in
+      let total = String.length bytes in
+      (* magic 8 + header 16+4, then 3 records of 17+4 *)
+      Alcotest.(check int) "file size" (28 + (3 * 21)) total;
+      for len = 0 to total - 1 do
+        write_file torn (String.sub bytes 0 len);
+        let boundary = len >= 28 && (len - 28) mod 21 = 0 in
+        match D.load torn with
+        | h, edits ->
+            if not boundary then
+              Alcotest.failf "truncation to %d bytes was not refused" len;
+            Alcotest.(check int) "prefix header intact" (G.n g) h.D.base_n;
+            Alcotest.(check int)
+              (Printf.sprintf "prefix at %d bytes holds %d edits" len
+                 ((len - 28) / 21))
+              ((len - 28) / 21)
+              (List.length edits)
+        | exception Sgraph.Io_error.Parse_error _ ->
+            if boundary then
+              Alcotest.failf "record-boundary prefix of %d bytes was refused" len
+      done;
+      (* flip one byte inside the last record's payload: CRC refusal *)
+      let corrupt = Bytes.of_string bytes in
+      let off = 28 + (2 * 21) + 3 in
+      Bytes.set corrupt off (Char.chr (Char.code (Bytes.get corrupt off) lxor 0x41));
+      write_file torn (Bytes.to_string corrupt);
+      (match D.load torn with
+      | _ -> Alcotest.fail "corrupted record was not refused"
+      | exception Sgraph.Io_error.Parse_error _ -> ());
+      (* base mismatch is refused up front *)
+      let h, _ = D.load path in
+      match D.check_base ~file:path h (G.empty 6) with
+      | () -> Alcotest.fail "base mismatch was not refused"
+      | exception Sgraph.Io_error.Parse_error _ -> ())
+
+let test_diff_writer_journal () =
+  let g = G.of_edges ~n:5 [ (0, 1) ] in
+  let path = Filename.temp_file "churn" ".diff" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w = D.open_writer ~base_n:(G.n g) ~base_m:(G.m g) path in
+      D.write_edit w (O.Insert (1, 2));
+      D.flush w;
+      (* a reader between flushes sees a valid shorter journal *)
+      let _, edits = D.load path in
+      Alcotest.(check (list edit)) "first flush visible" [ O.Insert (1, 2) ] edits;
+      D.write_edit w (O.Delete (0, 1));
+      D.close w;
+      let _, edits = D.load path in
+      Alcotest.(check (list edit)) "full journal after close"
+        [ O.Insert (1, 2); O.Delete (0, 1) ]
+        edits;
+      Alcotest.(check bool) "journal replays" true
+        (G.equal
+           (D.apply g [ O.Insert (1, 2); O.Delete (0, 1) ])
+           (G.of_edges ~n:5 [ (1, 2) ])))
+
+(* refresh argument validation *)
+let test_refresh_validation () =
+  let g = G.of_edges ~n:4 [ (0, 1) ] in
+  let prior = E.sorted_results E.Cs2_pf g ~s:2 in
+  let check_invalid name f =
+    match f () with
+    | (_ : E.refresh_delta) -> Alcotest.failf "%s accepted" name
+    | exception Invalid_argument _ -> ()
+  in
+  check_invalid "PD engine" (fun () ->
+      E.refresh ~engine:(`Seq E.Poly_delay) ~before:g ~after:g ~touched:[ 0 ] ~s:2
+        ~prior ());
+  check_invalid "brute engine" (fun () ->
+      E.refresh ~engine:(`Seq E.Brute) ~before:g ~after:g ~touched:[ 0 ] ~s:2
+        ~prior ());
+  check_invalid "node count change" (fun () ->
+      E.refresh ~before:g ~after:(G.empty 5) ~touched:[ 0 ] ~s:2 ~prior ());
+  check_invalid "touched out of range" (fun () ->
+      E.refresh ~before:g ~after:g ~touched:[ 4 ] ~s:2 ~prior ());
+  (* empty batch: the prior answer comes back verbatim *)
+  let d = E.refresh ~before:g ~after:g ~touched:[] ~s:2 ~prior () in
+  Alcotest.(check bool) "empty batch keeps the answer" true
+    (same_sets prior d.E.results);
+  Alcotest.(check int) "empty batch reruns nothing" 0 d.E.roots_rerun
+
+let suites =
+  [
+    ( "churn",
+      [
+        prop_refresh_matches_full;
+        prop_components_track_churn;
+        prop_overlay_kernels_match_compact;
+        prop_diff_roundtrip;
+        Alcotest.test_case "overlay delete-only batch" `Quick
+          test_overlay_delete_only;
+        Alcotest.test_case "overlay edit cancellation and strictness" `Quick
+          test_overlay_cancellation;
+        Alcotest.test_case "lri remove keeps the weight ledger" `Quick
+          test_lri_remove_accounting;
+        Alcotest.test_case "lri re-added key not prematurely evicted" `Quick
+          test_lri_readd_not_prematurely_evicted;
+        Alcotest.test_case "neighborhood invalidation accounting" `Quick
+          test_nh_invalidate_accounting;
+        Alcotest.test_case "SGRDIFF1 torn tail refused" `Quick
+          test_diff_torn_tail_refused;
+        Alcotest.test_case "SGRDIFF1 journal writer" `Quick
+          test_diff_writer_journal;
+        Alcotest.test_case "refresh argument validation" `Quick
+          test_refresh_validation;
+      ] );
+  ]
