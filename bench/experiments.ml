@@ -806,6 +806,111 @@ let churn () =
                 measured) );
        ])
 
+(* ---------- daemon serving throughput ---------- *)
+
+let serve () =
+  (* An in-process daemon on a Unix socket, hammered by 1/4/8 client
+     threads. Each client runs [queries] complete CS2-PF queries over
+     its own connection; a query only counts when its [Done] says
+     Complete and it streamed exactly the in-process result count, so
+     the throughput number is for verified-correct serving. Numbers
+     land in BENCH_daemon.json. *)
+  let module Server = Scliques_daemon.Server in
+  let module Client = Scliques_daemon.Client in
+  let module P = Scliques_daemon.Protocol in
+  let gadget_n = if Harness.fast then 5 else 9 in
+  let g = Sgraph.Gen.exponential_gadget gadget_n in
+  let s = 2 in
+  let expected = List.length (E.sorted_results E.Cs2_pf g ~s) in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "scliques-bench-%d.sock" (Unix.getpid ()))
+  in
+  (* more domains than cores is a slowdown, not concurrency *)
+  let workers = min 8 (max 2 (Domain.recommended_domain_count ())) in
+  let srv =
+    Server.create ~workers ~max_queue:64 ~graphs:[ ("bench", g) ]
+      (Server.Unix_socket sock)
+  in
+  let queries = if Harness.fast then 4 else 25 in
+  let run_level clients =
+    let bad = Atomic.make 0 in
+    let t0 = Harness.now () in
+    let threads =
+      List.init clients (fun _ ->
+          Thread.create
+            (fun () ->
+              let c = Client.connect (Server.Unix_socket sock) in
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () ->
+                  for i = 1 to queries do
+                    let q =
+                      {
+                        P.q_id = i;
+                        q_engine = P.Alg E.Cs2_pf;
+                        q_graph = "bench";
+                        q_s = s;
+                        q_min_size = 0;
+                        q_deadline_s = None;
+                        q_max_results = None;
+                        q_resume = None;
+                      }
+                    in
+                    let n = ref 0 in
+                    match Client.run_query ~on_result:(fun _ -> incr n) c q with
+                    | Client.Finished
+                        { P.d_outcome = Scliques_core.Budget.Complete; _ }
+                      when !n = expected ->
+                        ()
+                    | _ -> Atomic.incr bad
+                  done))
+            ())
+    in
+    List.iter Thread.join threads;
+    let dt = Harness.now () -. t0 in
+    if Atomic.get bad > 0 then
+      failwith (Printf.sprintf "serve: %d failed queries" (Atomic.get bad));
+    (float_of_int (clients * queries) /. dt, dt)
+  in
+  let measured = List.map (fun c -> (c, run_level c)) [ 1; 4; 8 ] in
+  Server.stop srv;
+  Harness.print_table
+    ~title:
+      (Printf.sprintf
+         "daemon throughput (gadget n=%d, %d results/query, s=%d, %d workers)"
+         gadget_n expected s workers)
+    ~columns:[ "queries/s"; "wall s" ]
+    ~rows:
+      (List.map
+         (fun (clients, (qps, dt)) ->
+           ( Printf.sprintf "%d client%s" clients (if clients = 1 then "" else "s"),
+             [ Harness.Note (Printf.sprintf "%.1f" qps); Harness.Seconds dt ] ))
+         measured);
+  Harness.write_json ~path:"BENCH_daemon.json"
+    (Scliques_obs.Sink.Obj
+       [
+         ("experiment", Scliques_obs.Sink.String "serve");
+         ( "graph",
+           Scliques_obs.Sink.String (Printf.sprintf "gadget n=%d" gadget_n) );
+         ("s", Scliques_obs.Sink.Int s);
+         ("results_per_query", Scliques_obs.Sink.Int expected);
+         ("workers", Scliques_obs.Sink.Int workers);
+         ("queries_per_client", Scliques_obs.Sink.Int queries);
+         ( "levels",
+           Scliques_obs.Sink.Obj
+             (List.map
+                (fun (clients, (qps, dt)) ->
+                  ( string_of_int clients,
+                    Scliques_obs.Sink.Obj
+                      [
+                        ("queries_per_sec", Scliques_obs.Sink.Float qps);
+                        ("wall_seconds", Scliques_obs.Sink.Float dt);
+                      ] ))
+                measured) );
+       ])
+
 (* ---------- registry ---------- *)
 
 let all : (string * string * (unit -> unit)) list =
@@ -835,4 +940,5 @@ let all : (string * string * (unit -> unit)) list =
     ("scaling", "work-stealing speedup: workers x graph family", scaling);
     ("load", "graph load: text parse vs binary snapshot + BFS sweep", graph_load);
     ("churn", "incremental refresh vs full recompute after an edge edit", churn);
+    ("serve", "daemon throughput: queries/sec at 1/4/8 concurrent clients", serve);
   ]

@@ -861,6 +861,338 @@ let refresh_cmd =
        $ results_file_arg $ s_arg $ engine_arg $ workers_arg $ min_size_arg
        $ output_arg))
 
+(* ---------- client ---------- *)
+
+module Dproto = Scliques_daemon.Protocol
+module Dclient = Scliques_daemon.Client
+module Dserver = Scliques_daemon.Server
+
+let client_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Daemon's Unix-domain socket path.")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Daemon's TCP endpoint.")
+  in
+  let graph_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"GRAPH"
+          ~doc:"Name of a graph preloaded by the daemon.")
+  in
+  let algorithm_arg =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "par" | "parallel" -> Ok Dproto.Par
+      | _ -> (
+          match E.of_name s with
+          | Some alg -> Ok (Dproto.Alg alg)
+          | None -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s)))
+    in
+    let print fmt = function
+      | Dproto.Par -> Format.pp_print_string fmt "par"
+      | Dproto.Alg alg -> Format.pp_print_string fmt (E.name alg)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) (Dproto.Alg E.Cs2_pf)
+      & info [ "a"; "algorithm" ] ~docv:"ALG"
+          ~doc:"Engine the daemon runs: the $(b,enum) names, or $(b,par).")
+  in
+  let min_size_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "min-size" ] ~docv:"K" ~doc:"Only results with at least $(docv) nodes.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-query budget; a truncated query exits 3 and is resumable.")
+  in
+  let max_results_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-results" ] ~docv:"N"
+          ~doc:"Stop the query after $(docv) results (counted across \
+                $(b,--resume) continuations).")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:"On truncation, write the daemon's resume token to $(docv); \
+                a complete query removes it.")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:"Resume from a token written by an earlier truncated query \
+                against the same graph/s/min-size.")
+  in
+  let id_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "id" ] ~docv:"ID" ~doc:"Client-chosen query id (echoed back).")
+  in
+  let ping_arg =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Just check the daemon is alive.")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the daemon's graphs (name, nodes, edges).")
+  in
+  let corrupt_arg =
+    Arg.(
+      value & flag
+      & info [ "corrupt" ]
+          ~doc:"Drill: send a garbage frame and show the typed refusal.")
+  in
+  let busy_drill_arg =
+    Arg.(
+      value & flag
+      & info [ "busy-drill" ]
+          ~doc:"Drill: occupy the daemon with one streaming query, then show \
+                a second connection being refused with Busy (run the daemon \
+                with $(b,--workers 1 --max-queue 0)).")
+  in
+  let die fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "scliques: client: %s\n%!" msg;
+        Stdlib.exit 1)
+      fmt
+  in
+  let connect addr =
+    match Dclient.connect addr with
+    | c -> c
+    | exception Unix.Unix_error (e, _, _) ->
+        die "cannot reach the daemon: %s" (Unix.error_message e)
+    | exception Dproto.Error e ->
+        die "handshake failed: %s" (Dproto.error_to_string e)
+  in
+  let graph_meta c name =
+    match
+      List.find_opt (fun gi -> String.equal gi.Dproto.g_name name)
+        (Dclient.list_graphs c)
+    with
+    | Some gi -> (gi.Dproto.g_n, gi.Dproto.g_m)
+    | None -> die "daemon serves no graph %S" name
+  in
+  let run socket tcp graph algorithm s min_size deadline max_results ckpt
+      resume id ping list corrupt busy_drill =
+    let addr =
+      match (socket, tcp) with
+      | Some _, Some _ -> die "--socket and --tcp are mutually exclusive"
+      | Some path, None -> Dserver.Unix_socket path
+      | None, Some spec -> (
+          match String.rindex_opt spec ':' with
+          | None -> die "--tcp %S: expected HOST:PORT" spec
+          | Some i -> (
+              let host = String.sub spec 0 i in
+              let port =
+                String.sub spec (i + 1) (String.length spec - i - 1)
+              in
+              match int_of_string_opt port with
+              | Some p when p > 0 && p <= 0xFFFF -> Dserver.Tcp (host, p)
+              | _ -> die "--tcp %S: bad port" spec))
+      | None, None -> die "one of --socket PATH or --tcp HOST:PORT is required"
+    in
+    if ping then begin
+      let c = connect addr in
+      let ok = Dclient.ping c in
+      Dclient.close c;
+      if ok then begin
+        print_endline "pong";
+        Stdlib.exit 0
+      end
+      else die "no pong"
+    end
+    else if list then begin
+      let c = connect addr in
+      List.iter
+        (fun gi ->
+          Printf.printf "%s n=%d m=%d\n" gi.Dproto.g_name gi.Dproto.g_n
+            gi.Dproto.g_m)
+        (Dclient.list_graphs c);
+      Dclient.close c;
+      Stdlib.exit 0
+    end
+    else if corrupt then begin
+      let c = connect addr in
+      (* a garbage length word: the daemon must answer a typed refusal,
+         then hang up — never hang or die *)
+      Dclient.send_raw c "\xde\xad\xbe\xef\xde\xad\xbe\xef";
+      (match Dclient.read_response c with
+      | Some (Dproto.Error_resp { e_code = Dproto.Bad_request; e_msg; _ }) ->
+          Printf.printf "refused: %s\n" e_msg
+      | Some _ -> die "expected a Bad_request refusal"
+      | None -> die "daemon hung up without the typed refusal"
+      | exception Dproto.Error e ->
+          die "corrupt answer: %s" (Dproto.error_to_string e));
+      (match Dclient.read_response c with
+      | None -> ()
+      | Some _ -> die "daemon kept talking after a framing error")
+      |> ignore;
+      Dclient.close c;
+      Stdlib.exit 0
+    end
+    else begin
+      let graph = match graph with Some g -> g | None -> die "GRAPH name required" in
+      if s < 1 then die "s must be >= 1";
+      if busy_drill then begin
+        (* conn A streams; only after its first result is the daemon
+           provably running=1, so conn B's refusal is deterministic *)
+        let a = connect addr in
+        let first = ref true in
+        let refusal = ref None in
+        let outcome =
+          Dclient.run_query a
+            ~on_result:(fun _ ->
+              if !first then begin
+                first := false;
+                let b = connect addr in
+                (match
+                   Dclient.run_query b
+                     {
+                       Dproto.q_id = id + 1;
+                       q_engine = algorithm;
+                       q_graph = graph;
+                       q_s = s;
+                       q_min_size = min_size;
+                       q_deadline_s = None;
+                       q_max_results = None;
+                       q_resume = None;
+                     }
+                 with
+                | Dclient.Refused { running; queued } ->
+                    refusal := Some (running, queued)
+                | _ -> ());
+                Dclient.close b;
+                Dclient.cancel a id
+              end)
+            {
+              Dproto.q_id = id;
+              q_engine = algorithm;
+              q_graph = graph;
+              q_s = s;
+              q_min_size = min_size;
+              q_deadline_s = None;
+              q_max_results = None;
+              q_resume = None;
+            }
+        in
+        Dclient.close a;
+        match (!refusal, outcome) with
+        | Some (running, queued), _ ->
+            Printf.printf "busy: running=%d queued=%d\n" running queued;
+            Stdlib.exit 0
+        | None, Dclient.Finished _ ->
+            die "drill query finished before the daemon looked busy \
+                 (use a bigger graph)"
+        | None, _ -> die "no Busy refusal observed"
+      end
+      else begin
+        let c = connect addr in
+        let n, m = graph_meta c graph in
+        let prior =
+          match resume with
+          | None -> None
+          | Some p ->
+              let ck = Ckpt.load p in
+              Ckpt.check_compat ck ~s ~n ~m ~min_size;
+              Some ck
+        in
+        let ckpt_out = if ckpt <> None then ckpt else resume in
+        let q =
+          {
+            Dproto.q_id = id;
+            q_engine = algorithm;
+            q_graph = graph;
+            q_s = s;
+            q_min_size = min_size;
+            q_deadline_s = deadline;
+            q_max_results = max_results;
+            q_resume = Option.map (fun ck -> ck.Ckpt.state) prior;
+          }
+        in
+        let outcome = Dclient.run_query c ~on_result:print_endline q in
+        Dclient.close c;
+        match outcome with
+        | Dclient.Finished d -> (
+            match d.Dproto.d_outcome with
+            | Budget.Complete ->
+                (match ckpt_out with
+                | Some p when Sys.file_exists p -> Sys.remove p
+                | _ -> ());
+                Stdlib.exit 0
+            | Budget.Truncated reason -> (
+                let prior_emitted =
+                  match prior with Some ck -> ck.Ckpt.emitted | None -> 0
+                in
+                match (ckpt_out, d.Dproto.d_resume) with
+                | Some p, Some state ->
+                    Ckpt.save
+                      {
+                        Ckpt.algorithm =
+                          (match algorithm with
+                          | Dproto.Alg a -> E.name a
+                          | Dproto.Par -> "Parallel");
+                        s;
+                        n;
+                        m;
+                        min_size;
+                        emitted = prior_emitted + d.Dproto.d_emitted;
+                        state;
+                      }
+                      p;
+                    Printf.eprintf
+                      "scliques: truncated (%s); checkpoint written to %s\n%!"
+                      (Budget.reason_to_string reason)
+                      p;
+                    Stdlib.exit 3
+                | _ ->
+                    Printf.eprintf
+                      "scliques: truncated (%s); no --checkpoint, progress \
+                       lost\n%!"
+                      (Budget.reason_to_string reason);
+                    Stdlib.exit 3))
+        | Dclient.Refused { running; queued } ->
+            Printf.eprintf "scliques: busy (running=%d queued=%d)\n%!" running
+              queued;
+            Stdlib.exit 5
+        | Dclient.Failed { msg; _ } -> die "%s" msg
+        | Dclient.Disconnected -> die "daemon hung up mid-query"
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Query a running $(b,scliques-daemon): stream all maximal connected \
+          s-cliques of a preloaded graph over the SCLQRPC1 socket protocol. \
+          Exit code 0 means the answer is complete, 3 truncated (resumable \
+          via $(b,--checkpoint)), 5 refused by admission control, 1 error.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ graph_arg $ algorithm_arg $ s_arg
+      $ min_size_arg $ deadline_arg $ max_results_arg $ checkpoint_arg
+      $ resume_arg $ id_arg $ ping_arg $ list_arg $ corrupt_arg
+      $ busy_drill_arg)
+
 let () =
   let doc = "maximal connected s-clique enumeration (Behar & Cohen, EDBT 2018)" in
   let info = Cmd.info "scliques" ~version:"1.0.0" ~doc in
@@ -868,4 +1200,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; enum_cmd; stats_cmd; power_cmd; convert_cmd; verify_cmd;
-            diff_cmd; mutate_cmd; refresh_cmd ]))
+            diff_cmd; mutate_cmd; refresh_cmd; client_cmd ]))

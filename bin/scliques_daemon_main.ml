@@ -1,0 +1,169 @@
+(* scliques-daemon — long-running s-clique query server.
+
+   scliques-daemon --socket /tmp/sclq.sock --graph web=web.sgr
+   scliques-daemon --tcp 127.0.0.1:7199 --graph a=a.edges --graph b=b.sgr
+
+   Preloads every --graph, serves SCLQRPC1 queries until SIGTERM/SIGINT,
+   then drains: in-flight queries finish streaming, the socket file is
+   removed, and one drain line goes to stdout. *)
+
+open Cmdliner
+module Server = Scliques_daemon.Server
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "scliques-daemon: error: %s\n%!" msg;
+      Stdlib.exit 1)
+    fmt
+
+(* NAME=FILE; .sgr loads as a CRC-checked binary snapshot, anything else
+   as an edge list *)
+let load_graph_spec spec =
+  match String.index_opt spec '=' with
+  | None -> die "--graph %S: expected NAME=FILE" spec
+  | Some i ->
+      let name = String.sub spec 0 i in
+      let file = String.sub spec (i + 1) (String.length spec - i - 1) in
+      if String.length name = 0 then die "--graph %S: empty name" spec;
+      let g =
+        match
+          if Filename.check_suffix file ".sgr" then Sgraph.Snapshot.load file
+          else Sgraph.Edge_list_io.load file
+        with
+        | g -> g
+        | exception Sgraph.Io_error.Parse_error { file; line; msg } ->
+            die "%s" (Sgraph.Io_error.to_string ~file ~line msg)
+        | exception Sys_error msg -> die "%s" msg
+      in
+      (name, g)
+
+(* SITE:N — arm the registry's SITE to fail on its N-th hit *)
+let arm_spec fault spec =
+  match String.rindex_opt spec ':' with
+  | None -> die "--inject %S: expected SITE:N" spec
+  | Some i -> (
+      let site = String.sub spec 0 i in
+      let n = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> Scoll.Fault.arm_nth fault ~site ~n
+      | _ -> die "--inject %S: N must be a positive integer" spec)
+
+let parse_tcp spec =
+  match String.rindex_opt spec ':' with
+  | None -> die "--tcp %S: expected HOST:PORT" spec
+  | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p <= 0xFFFF -> Server.Tcp (host, p)
+      | _ -> die "--tcp %S: bad port" spec)
+
+let stop_requested = Atomic.make false
+
+let serve socket tcp graphs workers max_queue par_workers cache_capacity
+    injects =
+  let addr =
+    match (socket, tcp) with
+    | Some _, Some _ -> die "--socket and --tcp are mutually exclusive"
+    | Some path, None -> Server.Unix_socket path
+    | None, Some spec -> parse_tcp spec
+    | None, None -> die "one of --socket PATH or --tcp HOST:PORT is required"
+  in
+  if graphs = [] then die "at least one --graph NAME=FILE is required";
+  let graphs = List.map load_graph_spec graphs in
+  let fault =
+    if injects = [] then Scoll.Fault.none
+    else begin
+      let f = Scoll.Fault.create () in
+      List.iter (arm_spec f) injects;
+      f
+    end
+  in
+  let srv =
+    match
+      Server.create ~workers ~max_queue ~par_workers ~cache_capacity ~fault
+        ~graphs addr
+    with
+    | srv -> srv
+    | exception Invalid_argument msg -> die "%s" msg
+    | exception Unix.Unix_error (e, fn, arg) ->
+        die "%s: %s (%s)" fn (Unix.error_message e) arg
+  in
+  let where =
+    match addr with
+    | Server.Unix_socket path -> path
+    | Server.Tcp (host, _) -> Printf.sprintf "%s:%d" host (Server.port srv)
+  in
+  Printf.printf "scliques-daemon: serving %d graph%s on %s\n%!"
+    (List.length graphs)
+    (if List.length graphs = 1 then "" else "s")
+    where;
+  let request_stop _ = Atomic.set stop_requested true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  while not (Atomic.get stop_requested) do
+    Thread.delay 0.1
+  done;
+  Server.stop ~drain:true srv;
+  Printf.printf "scliques-daemon: drained, bye\n%!";
+  0
+
+let socket_arg =
+  let doc = "Serve on a Unix-domain socket at $(docv)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc = "Serve on TCP $(docv) (port 0 picks a free one)." in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let graphs_arg =
+  let doc =
+    "Preload a graph as $(docv). A $(b,.sgr) file loads as a CRC-checked \
+     binary snapshot, anything else as an edge list. Repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "graph" ] ~docv:"NAME=FILE" ~doc)
+
+let workers_arg =
+  let doc = "Worker domains executing queries." in
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+
+let max_queue_arg =
+  let doc = "Admitted-but-waiting query bound; past it, queries get Busy." in
+  Arg.(value & opt int 16 & info [ "max-queue" ] ~docv:"N" ~doc)
+
+let par_workers_arg =
+  let doc = "Extra domains a parallel-engine query may use." in
+  Arg.(value & opt int 1 & info [ "par-workers" ] ~docv:"N" ~doc)
+
+let cache_capacity_arg =
+  let doc = "Entry capacity of each shared N^s ball cache." in
+  Arg.(value & opt int 65536 & info [ "cache-capacity" ] ~docv:"N" ~doc)
+
+let inject_arg =
+  let doc =
+    "Arm a deterministic fault: $(docv) makes the daemon's named \
+     injection site ($(b,daemon.accept), $(b,daemon.write), \
+     $(b,daemon.flush)) fail on its N-th hit. Repeatable; for drills."
+  in
+  Arg.(value & opt_all string [] & info [ "inject" ] ~docv:"SITE:N" ~doc)
+
+let cmd =
+  let doc = "serve s-clique queries over a socket" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Preloads the given graphs and answers SCLQRPC1 queries — \
+         streaming one result frame per maximal connected s-clique — \
+         until SIGTERM or SIGINT, then drains gracefully. Queries \
+         against the same graph and s share a warm N^s ball cache.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "scliques-daemon" ~version:"%%VERSION%%" ~doc ~man)
+    Term.(
+      const serve $ socket_arg $ tcp_arg $ graphs_arg $ workers_arg
+      $ max_queue_arg $ par_workers_arg $ cache_capacity_arg $ inject_arg)
+
+let () = Stdlib.exit (Cmd.eval' cmd)

@@ -98,9 +98,21 @@ let checkpoint_family = function
   | Brute -> "brute"
   | Cs1 | Cs2 | Cs2_f | Cs2_p | Cs2_pf -> "roots"
 
-let run ?(min_size = 0) ?cache_capacity ?obs ?budget ?resume algorithm g ~s yield =
+let run ?(min_size = 0) ?cache_capacity ?obs ?nh ?budget ?resume algorithm g ~s yield =
   if s < 1 then invalid_arg "Enumerate.run: s must be >= 1";
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  (* the daemon's warm path: queries against the same graph inject one
+     shared-backed oracle instead of each run cold-starting its own *)
+  let oracle () =
+    match nh with
+    | Some o ->
+        if Neighborhood.s o <> s then
+          invalid_arg "Enumerate.run: oracle has a different s";
+        if Sgraph.Graph.n (Neighborhood.graph o) <> Sgraph.Graph.n g then
+          invalid_arg "Enumerate.run: oracle graph has a different node count";
+        o
+    | None -> Neighborhood.create ?cache_capacity ?obs ~s g
+  in
   (match resume with
   | Some st
     when not (String.equal (Checkpoint.family st) (checkpoint_family algorithm)) ->
@@ -130,7 +142,7 @@ let run ?(min_size = 0) ?cache_capacity ?obs ?budget ?resume algorithm g ~s yiel
         in
         fun () -> Checkpoint.Brute_mask { next_mask }
     | Poly_delay ->
-        let nh = Neighborhood.create ?cache_capacity ?obs ~s g in
+        let nh = oracle () in
         let init =
           match resume with
           | Some (Checkpoint.Pd_frontier { index; queue }) ->
@@ -154,7 +166,7 @@ let run ?(min_size = 0) ?cache_capacity ?obs ?budget ?resume algorithm g ~s yiel
         | None -> finish ()
         | Some _ -> Fun.protect ~finally:(fun () -> Neighborhood.sync_obs nh) finish)
     | (Cs1 | Cs2 | Cs2_f | Cs2_p | Cs2_pf) as alg ->
-        let nh = Neighborhood.create ?cache_capacity ?obs ~s g in
+        let nh = oracle () in
         let check = Budget.checker budget in
         let iter_root ~root sink =
           match alg with

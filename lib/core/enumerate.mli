@@ -75,6 +75,7 @@ val run :
   ?min_size:int ->
   ?cache_capacity:int ->
   ?obs:Scliques_obs.Obs.t ->
+  ?nh:Neighborhood.t ->
   ?budget:Budget.t ->
   ?resume:Checkpoint.state ->
   algorithm ->
@@ -101,7 +102,15 @@ val run :
     The brute path streams in {e scan order} (descending subset masks),
     unlike {!iter}'s sorted [Brute] output.
 
-    @raise Invalid_argument when [s < 1] or on an oversized [Brute] graph.
+    [nh] supplies the N{^s} oracle instead of creating one per run — the
+    daemon passes a {!Neighborhood.of_shared} attachee so concurrent
+    queries against the same graph share one warm ball cache. When set,
+    [cache_capacity] is ignored and the oracle's own observer wiring (not
+    [obs]) instruments the BFS counter. [Brute] never consults an oracle.
+
+    @raise Invalid_argument when [s < 1], on an oversized [Brute] graph,
+    or when [nh] disagrees with [g]/[s] (different [s], different node
+    count).
     @raise Failure when [resume] belongs to a different
     {!checkpoint_family} than [algorithm]. *)
 

@@ -1,11 +1,87 @@
 module Node_set = Sgraph.Node_set
 module Graph = Sgraph.Graph
 
+(* weight ≈ heap bytes of a cached ball: the sorted id array (one word
+   per member) plus record/array headers *)
+let ball_weight b = (8 * Node_set.cardinal b) + 32
+
+(* A cached ball N^s(k) changes iff k lies within distance s of a
+   touched endpoint in the old graph (a path it used was cut) or in the
+   new one (a path it gains) — so the stale key set is exactly the union
+   of the closed radius-s balls of [touched] in both graphs. Everything
+   else stays warm. *)
+let drop_stale cache ~before ~after ~s ~touched =
+  match touched with
+  | [] -> ()
+  | _ :: _ when s = 1 -> () (* s = 1 reads rows straight off the graph *)
+  | _ :: _ ->
+      let stale =
+        Node_set.union
+          (Sgraph.Bfs.ball_multi before ~srcs:touched ~radius:s)
+          (Sgraph.Bfs.ball_multi after ~srcs:touched ~radius:s)
+      in
+      let doomed =
+        Scoll.Lri_cache.fold
+          (fun k _ acc -> if Node_set.mem k stale then k :: acc else acc)
+          cache []
+      in
+      List.iter (Scoll.Lri_cache.remove cache) doomed
+
+module Shared = struct
+  type store = {
+    lock : Mutex.t;
+    mutable st_graph : Graph.t;
+    mutable st_epoch : int;
+    st_s : int;
+    st_cache : Node_set.t Scoll.Lri_cache.t;
+  }
+
+  let create ?(cache_capacity = 65536) ~s graph =
+    if s < 1 then invalid_arg "Neighborhood.Shared.create: s must be >= 1";
+    {
+      lock = Mutex.create ();
+      st_graph = graph;
+      st_epoch = 0;
+      st_s = s;
+      st_cache = Scoll.Lri_cache.create ~weight:ball_weight ~capacity:cache_capacity ();
+    }
+
+  let graph st = Scoll.Sync.with_lock st.lock (fun () -> st.st_graph)
+
+  let s st = st.st_s
+
+  let epoch st = Scoll.Sync.with_lock st.lock (fun () -> st.st_epoch)
+
+  let bytes st =
+    Scoll.Sync.with_lock st.lock (fun () -> Scoll.Lri_cache.total_weight st.st_cache)
+
+  let length st =
+    Scoll.Sync.with_lock st.lock (fun () -> Scoll.Lri_cache.length st.st_cache)
+
+  let stats st = Scoll.Sync.with_lock st.lock (fun () -> Scoll.Lri_cache.stats st.st_cache)
+
+  let recount_bytes st =
+    Scoll.Sync.with_lock st.lock (fun () ->
+        Scoll.Lri_cache.fold (fun _ b acc -> acc + ball_weight b) st.st_cache 0)
+
+  let invalidate st ~after ~touched =
+    Scoll.Sync.with_lock st.lock (fun () ->
+        if Graph.n after <> Graph.n st.st_graph then
+          invalid_arg "Neighborhood.Shared.invalidate: node counts differ";
+        drop_stale st.st_cache ~before:st.st_graph ~after ~s:st.st_s ~touched;
+        st.st_graph <- after;
+        st.st_epoch <- st.st_epoch + 1)
+end
+
+type backend =
+  | Private of Node_set.t Scoll.Lri_cache.t
+  | Shared_store of Shared.store * int (* the store, and its epoch at attach *)
+
 type t = {
   mutable graph : Graph.t; (* swapped by [invalidate] after edge churn *)
   mutable epoch : int;
   s : int;
-  cache : Node_set.t Scoll.Lri_cache.t;
+  backend : backend;
   obs : Scliques_obs.Obs.t option;
   c_bfs : Scliques_obs.Counters.counter option;
       (* resolved once at creation so each cached-miss BFS costs one add *)
@@ -17,18 +93,12 @@ type t = {
   acc : Scoll.Bitset.t; (* scratch accumulator for unions (adjacent_any) *)
 }
 
-let create ?(cache_capacity = 65536) ?obs ~s graph =
-  if s < 1 then invalid_arg "Neighborhood.create: s must be >= 1";
+let make ~backend ~obs ~s graph epoch =
   {
     graph;
-    epoch = 0;
+    epoch;
     s;
-    cache =
-      (* weight ≈ heap bytes of a cached ball: the sorted id array
-         (one word per member) plus record/array headers *)
-      Scoll.Lri_cache.create
-        ~weight:(fun b -> (8 * Node_set.cardinal b) + 32)
-        ~capacity:cache_capacity ();
+    backend;
     obs;
     c_bfs = Option.map (fun o -> Scliques_obs.Obs.counter o "nh.bfs_expansions") obs;
     mask = Scoll.Bitset.create (Graph.n graph);
@@ -36,47 +106,72 @@ let create ?(cache_capacity = 65536) ?obs ~s graph =
     acc = Scoll.Bitset.create (Graph.n graph);
   }
 
+let create ?(cache_capacity = 65536) ?obs ~s graph =
+  if s < 1 then invalid_arg "Neighborhood.create: s must be >= 1";
+  let cache = Scoll.Lri_cache.create ~weight:ball_weight ~capacity:cache_capacity () in
+  make ~backend:(Private cache) ~obs ~s graph 0
+
+let of_shared ?obs store =
+  let graph, epoch =
+    Scoll.Sync.with_lock store.Shared.lock (fun () ->
+        (store.Shared.st_graph, store.Shared.st_epoch))
+  in
+  make ~backend:(Shared_store (store, epoch)) ~obs ~s:store.Shared.st_s graph epoch
+
 let graph t = t.graph
 
 let s t = t.s
 
 let epoch t = t.epoch
 
+let stale t =
+  match t.backend with
+  | Private _ -> false
+  | Shared_store (st, birth) -> Shared.epoch st <> birth
+
 let invalidate t ~after ~touched =
-  if Graph.n after <> Graph.n t.graph then
-    invalid_arg "Neighborhood.invalidate: node counts differ";
-  (match touched with
-  | [] -> ()
-  | _ :: _ when t.s = 1 -> () (* s = 1 reads rows straight off the graph *)
-  | _ :: _ ->
-      (* A cached ball N^s(k) changes iff k lies within distance s of a
-         touched endpoint in the old graph (a path it used was cut) or in
-         the new one (a path it gains) — so the stale key set is exactly
-         the union of the closed radius-s balls of [touched] in both
-         graphs. Everything else stays warm. *)
-      let stale =
-        Node_set.union
-          (Sgraph.Bfs.ball_multi t.graph ~srcs:touched ~radius:t.s)
-          (Sgraph.Bfs.ball_multi after ~srcs:touched ~radius:t.s)
-      in
-      let doomed =
-        Scoll.Lri_cache.fold
-          (fun k _ acc -> if Node_set.mem k stale then k :: acc else acc)
-          t.cache []
-      in
-      List.iter (Scoll.Lri_cache.remove t.cache) doomed);
-  t.graph <- after;
-  t.epoch <- t.epoch + 1
+  match t.backend with
+  | Shared_store _ ->
+      invalid_arg
+        "Neighborhood.invalidate: shared-backed oracle (invalidate the store and \
+         re-attach)"
+  | Private cache ->
+      if Graph.n after <> Graph.n t.graph then
+        invalid_arg "Neighborhood.invalidate: node counts differ";
+      drop_stale cache ~before:t.graph ~after ~s:t.s ~touched;
+      t.graph <- after;
+      t.epoch <- t.epoch + 1
+
+let bfs_ball t v =
+  let b = Sgraph.Bfs.ball t.graph v ~radius:t.s in
+  (match t.c_bfs with
+  | None -> ()
+  | Some c -> Scliques_obs.Counters.add c (Node_set.cardinal b + 1));
+  b
 
 let ball t v =
   if t.s = 1 then Graph.neighbor_set t.graph v (* already materialized *)
   else
-    Scoll.Lri_cache.find_or_add t.cache v ~compute:(fun v ->
-        let b = Sgraph.Bfs.ball t.graph v ~radius:t.s in
-        (match t.c_bfs with
-        | None -> ()
-        | Some c -> Scliques_obs.Counters.add c (Node_set.cardinal b + 1));
-        b)
+    match t.backend with
+    | Private cache -> Scoll.Lri_cache.find_or_add cache v ~compute:(fun v -> bfs_ball t v)
+    | Shared_store (st, birth) -> (
+        (* double-checked: probe under the lock, but run the BFS outside
+           it (Bfs.ball is pure), so one slow miss never serializes the
+           sibling queries sharing the store. The insert re-checks the
+           epoch — a concurrent [Shared.invalidate] must not be undone by
+           a ball computed against the pre-churn graph — and skips keys
+           another query already filled, keeping the weight ledger exact. *)
+        match
+          Scoll.Sync.with_lock st.Shared.lock (fun () ->
+              Scoll.Lri_cache.find_opt st.Shared.st_cache v)
+        with
+        | Some b -> b
+        | None ->
+            let b = bfs_ball t v in
+            Scoll.Sync.with_lock st.Shared.lock (fun () ->
+                if st.Shared.st_epoch = birth && not (Scoll.Lri_cache.mem st.Shared.st_cache v)
+                then Scoll.Lri_cache.add st.Shared.st_cache v b);
+            b)
 
 let load_mask t set =
   (* clears only the previously loaded members, not the whole capacity *)
@@ -128,15 +223,21 @@ let adjacent_any t c =
 
 let within_distance t u v = u = v || Node_set.mem v (ball t u)
 
-let cache_stats t = Scoll.Lri_cache.stats t.cache
+let cache_stats t =
+  match t.backend with
+  | Private cache -> Scoll.Lri_cache.stats cache
+  | Shared_store (st, _) -> Shared.stats st
 
-let cache_bytes t = Scoll.Lri_cache.total_weight t.cache
+let cache_bytes t =
+  match t.backend with
+  | Private cache -> Scoll.Lri_cache.total_weight cache
+  | Shared_store (st, _) -> Shared.bytes st
 
 let sync_obs t =
   match t.obs with
   | None -> ()
   | Some o ->
-      let stats = Scoll.Lri_cache.stats t.cache in
+      let stats = cache_stats t in
       let set name v = Scliques_obs.Counters.set (Scliques_obs.Obs.counter o name) v in
       set "nh.cache_hits" stats.Scoll.Lri_cache.hits;
       set "nh.cache_misses" stats.Scoll.Lri_cache.misses;

@@ -14,6 +14,59 @@
 
 type t
 
+(** A thread-safe ball store that many oracles — one per concurrent
+    query — can share, so every query against the same graph warms the
+    same [N^s] cache. The store holds the graph, [s], an epoch counter
+    and the weighted LRI cache behind one mutex; {!of_shared} attaches a
+    per-query [t] whose scratch bitsets stay thread-confined while its
+    {!ball} lookups go through the store.
+
+    Lookups use double-checked locking: the probe and the insert each
+    take the lock, but a missing ball's BFS runs {e outside} it
+    ([Sgraph.Bfs.ball] is pure), so a slow miss never serializes sibling
+    queries. An insert is dropped when the store's epoch moved since the
+    oracle attached (the ball was computed against a stale graph) or when
+    a sibling already filled the key — the weight ledger counts every
+    cached ball exactly once. *)
+module Shared : sig
+  type store
+
+  val create : ?cache_capacity:int -> s:int -> Sgraph.Graph.t -> store
+  (** [cache_capacity] bounds the number of memoized balls across {e all}
+      attached oracles (default [65536]).
+      @raise Invalid_argument when [s < 1]. *)
+
+  val graph : store -> Sgraph.Graph.t
+
+  val s : store -> int
+
+  val epoch : store -> int
+  (** 0 at creation, +1 per {!invalidate}. *)
+
+  val invalidate : store -> after:Sgraph.Graph.t -> touched:int list -> unit
+  (** Switch the store to [after], dropping exactly the balls a radius-s
+      change can reach (the same locality rule as the per-oracle
+      {!Neighborhood.invalidate}) and bumping the epoch. Oracles already
+      attached keep answering for their birth graph — their inserts are
+      discarded from then on (see {!Neighborhood.stale}); attach fresh
+      ones to serve the new graph.
+      @raise Invalid_argument when the node counts differ. *)
+
+  val bytes : store -> int
+  (** Approximate heap bytes of the cached balls (the incrementally
+      maintained weight ledger). *)
+
+  val length : store -> int
+  (** Number of cached balls. *)
+
+  val recount_bytes : store -> int
+  (** {!bytes} recomputed from scratch by walking every cached ball —
+      O(cached). Equal to {!bytes} unless the ledger leaked; tests
+      compare the two after fault drills. *)
+
+  val stats : store -> Scoll.Lri_cache.stats
+end
+
 val create : ?cache_capacity:int -> ?obs:Scliques_obs.Obs.t -> s:int -> Sgraph.Graph.t -> t
 (** [create ~s g] prepares a neighborhood oracle for [g] with parameter
     [s >= 1]. [cache_capacity] bounds the number of memoized balls
@@ -22,6 +75,20 @@ val create : ?cache_capacity:int -> ?obs:Scliques_obs.Obs.t -> s:int -> Sgraph.G
     [nh.bfs_expansions] counter as it happens; cache counters are
     published on {!sync_obs}.
     @raise Invalid_argument when [s < 1]. *)
+
+val of_shared : ?obs:Scliques_obs.Obs.t -> Shared.store -> t
+(** [of_shared store] is a per-query oracle backed by [store]'s ball
+    cache: same operator surface as a {!create}d one, but every cache hit
+    and fill is shared with the store's other attachees. The oracle's
+    scratch bitsets are its own — a [t] must still be confined to one
+    thread at a time; only the {e store} is safe to share. The graph and
+    [s] are the store's at attach time. *)
+
+val stale : t -> bool
+(** Whether the backing {!Shared.store} was {!Shared.invalidate}d since
+    this oracle attached (always [false] for a {!create}d oracle). A
+    stale oracle still answers consistently for its birth graph, but no
+    longer populates the shared cache. *)
 
 val graph : t -> Sgraph.Graph.t
 (** The graph the oracle currently answers for (the {!create} argument,
@@ -43,8 +110,9 @@ val invalidate : t -> after:Sgraph.Graph.t -> touched:int list -> unit
     within distance s of a touched endpoint in either graph — and keeps
     the rest warm; the epoch is bumped. With an empty [touched] (an
     empty edit batch) nothing is dropped.
-    @raise Invalid_argument when the node counts differ or a touched id
-    is out of range. *)
+    @raise Invalid_argument when the node counts differ, a touched id is
+    out of range, or the oracle is {!of_shared}-backed (churn goes
+    through {!Shared.invalidate} instead). *)
 
 val ball : t -> int -> Sgraph.Node_set.t
 (** [ball t v] is [N^s(v)], {b excluding} [v] itself. Cached. *)

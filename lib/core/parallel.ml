@@ -144,28 +144,42 @@ let run_worker ~id ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed
   in
   let execute w =
     incr tasks;
-    let root, t =
-      match w with
-      | Root v -> (v, Cs_cliques2.root_task nh v)
-      | Sub (root, t) -> (root, t)
+    (* full budget poll at every task pickup — [Budget.poll], not the
+       cadenced checker, so a cancel (client disconnect) or deadline is
+       observed at the next work item even between the checker's
+       [poll_every] strides. Once the budget is dead the task body is
+       skipped entirely: materializing a [Root] costs a ball BFS, and a
+       cancelled query must drain its queue in O(pending) bookkeeping,
+       not O(pending) BFS work. Only the scheduler accounting below runs
+       (a dead budget makes [commit_root] a no-op). *)
+    let live =
+      match rooted with None -> true | Some r -> Budget.poll r.budget
     in
-    cur_root := root;
-    (match rooted with
-    | None -> ()
-    | Some r -> Scoll.Fault.check r.fault "par.task");
-    if
-      Cs_cliques2.task_depth t < split_depth
-      && Cs_cliques2.task_width t >= split_width
-    then begin
-      (* oversized shallow subtree: do one visit step (emitting if
-         maximal) and requeue the children so idle workers can take them *)
-      match Cs_cliques2.expand_task rn t with
-      | [] -> ()
-      | children ->
-          incr splits;
-          push_children root children
-    end
-    else Cs_cliques2.run_task rn t;
+    let root = match w with Root v -> v | Sub (root, _) -> root in
+    if live then begin
+      let t =
+        match w with
+        | Root v -> Cs_cliques2.root_task nh v
+        | Sub (_, t) -> t
+      in
+      cur_root := root;
+      (match rooted with
+      | None -> ()
+      | Some r -> Scoll.Fault.check r.fault "par.task");
+      if
+        Cs_cliques2.task_depth t < split_depth
+        && Cs_cliques2.task_width t >= split_width
+      then begin
+        (* oversized shallow subtree: do one visit step (emitting if
+           maximal) and requeue the children so idle workers can take them *)
+        match Cs_cliques2.expand_task rn t with
+        | [] -> ()
+        | children ->
+            incr splits;
+            push_children root children
+      end
+      else Cs_cliques2.run_task rn t
+    end;
     (match rooted with
     | None -> ()
     | Some r ->

@@ -130,9 +130,14 @@ val enumerate_budgeted :
     still live at that moment; the trip flag is sticky, so a deadline or
     cancel that pruned any subtree leaves its root uncommitted, and a
     resume ([skip_roots] = previously retired) reruns exactly the
-    uncommitted roots. The deadline is honored within one poll cadence
-    per worker ({!Budget.create}'s [poll_every]). [Max_results] is
-    root-atomic: the capping root's results are all kept.
+    uncommitted roots. A deadline or cancel is honored within one poll
+    cadence per worker ({!Budget.create}'s [poll_every] recursion
+    entries) {e and} at every task pickup, where the budget is polled in
+    full; once tripped, remaining queued work drains as pure bookkeeping
+    — no root-ball BFS, no visits — so a disconnected client's query
+    stops paying for enumeration within [poll_every] extend-calls.
+    [Max_results] is root-atomic: the capping root's results are all
+    kept.
 
     [on_root_retired root results] runs {b in a worker domain}, serialized
     under the commit lock, {e before} the root is recorded retired — the

@@ -95,15 +95,18 @@ module Stream = struct
           raise e
     end
 
+  let encode_record payload =
+    let len = String.length payload in
+    if len > max_record_len then invalid_arg "Stream.encode_record: oversized";
+    let b = Bytes.create (8 + len) in
+    Bytes.set_int32_le b 0 (Int32.of_int len);
+    Bytes.set_int32_le b 4 (Int32.of_int (Scoll.Crc32.string payload));
+    Bytes.blit_string payload 0 b 8 len;
+    Bytes.to_string b
+
   let write_record w payload =
     Scoll.Fault.check w.fault "stream.write";
-    let len = String.length payload in
-    if len > max_record_len then invalid_arg "Stream.write_record: oversized";
-    let header = Bytes.create 8 in
-    Bytes.set_int32_le header 0 (Int32.of_int len);
-    Bytes.set_int32_le header 4 (Int32.of_int (Scoll.Crc32.string payload));
-    output_bytes w.oc header;
-    output_string w.oc payload
+    output_string w.oc (encode_record payload)
 
   let flush w =
     Scoll.Fault.check w.fault "stream.flush";

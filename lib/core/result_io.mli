@@ -28,6 +28,18 @@ val load : string -> Sgraph.Node_set.t list
 module Stream : sig
   val magic : string
 
+  val max_record_len : int
+  (** Hard ceiling on one record's payload length: a corrupt length word
+      in a torn file must never drive a giant allocation. *)
+
+  val encode_record : string -> string
+  (** The raw framing of one record —
+      [u32le payload length | u32le CRC-32 of payload | payload] — as the
+      exact bytes {!write_record} appends. The daemon's [SCLQRPC1] wire
+      protocol reuses this framing for its socket messages, so one
+      encoder (and one fuzz surface) covers both.
+      @raise Invalid_argument on a payload above {!max_record_len}. *)
+
   type writer
 
   val open_writer : ?fault:Scoll.Fault.t -> string -> writer

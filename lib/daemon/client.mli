@@ -1,0 +1,57 @@
+(** Blocking [SCLQRPC1] client — the CLI's [client] subcommand, the
+    differential/fault test harnesses and the serving benchmark all talk
+    to the daemon through this module.
+
+    A {!t} is one connection: {!connect} performs the mutual magic
+    exchange and every call below runs on the caller's thread. The
+    protocol itself is fully asynchronous (a [Cancel] may be sent while
+    a query streams), but this client keeps the common case simple:
+    {!run_query} drives one query to its terminal frame. *)
+
+type t
+
+val connect : Server.addr -> t
+(** Open the socket and exchange magics ([Tcp] resolves the host).
+    @raise Protocol.Error when the peer does not lead with the magic.
+    @raise Unix.Unix_error when the daemon is not there. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val send_request : t -> Protocol.request -> unit
+
+val read_response : t -> Protocol.response option
+(** Next frame from the daemon; [None] on a clean EOF (daemon closed the
+    connection at a frame boundary).
+    @raise Protocol.Error on a torn or corrupt frame. *)
+
+val send_raw : t -> string -> unit
+(** Write bytes with no framing — the corrupt-frame drill: the test and
+    the CLI's [--corrupt] flag use this to prove a hostile byte stream
+    is refused with a typed error, not a hang. *)
+
+val ping : t -> bool
+(** [true] iff the daemon answered [Pong]. *)
+
+val list_graphs : t -> Protocol.graph_info list
+(** @raise Failure on an unexpected terminal answer. *)
+
+val cancel : t -> int -> unit
+(** Fire-and-forget [Cancel id]; the streaming query answers with a
+    cancelled (or complete, if the race is lost) [Done]. *)
+
+type query_outcome =
+  | Finished of Protocol.done_info
+      (** terminal [Done] — inspect [d_outcome] for complete/truncated *)
+  | Refused of { running : int; queued : int }  (** admission said [Busy] *)
+  | Failed of { code : Protocol.error_code; msg : string }
+  | Disconnected  (** EOF before the terminal frame *)
+
+val run_query :
+  ?on_result:(string -> unit) -> t -> Protocol.query -> query_outcome
+(** Send the query and pump responses until its terminal frame, feeding
+    each streamed result set (the space-separated node ids of one
+    maximal connected s-clique) to [on_result] in emission order.
+    Responses tagged with other query ids are skipped — this call owns
+    the connection while it runs.
+    @raise Protocol.Error on a corrupt frame. *)

@@ -1,0 +1,143 @@
+type job = { run : unit -> unit; abort : unit -> unit }
+
+type t = {
+  lock : Mutex.t;
+  wake : Condition.t; (* signalled on submit and on shutdown *)
+  idle : Condition.t; (* broadcast when a running job finishes *)
+  lanes : (int, job Queue.t) Hashtbl.t; (* only lanes with queued jobs *)
+  rotation : int Queue.t; (* round-robin order; each queued lane exactly once *)
+  mutable queued : int;
+  mutable running : int;
+  mutable stopping : bool;
+  workers : int;
+  max_queue : int;
+  mutable domains : unit Domain.t array; (* filled once, right after create *)
+}
+
+(* Pop the next job under the lock, blocking on [wake]; [None] means the
+   scheduler is stopping and the backlog is gone — the worker exits. The
+   served lane rotates to the back, so lanes interleave one job at a
+   time regardless of how deep any one lane's queue is. *)
+let next t =
+  Scoll.Sync.with_lock t.lock (fun () ->
+      while (not t.stopping) && t.queued = 0 do
+        Condition.wait t.wake t.lock
+      done;
+      if t.queued = 0 then None
+      else begin
+        let lane = Queue.pop t.rotation in
+        let q = Hashtbl.find t.lanes lane in
+        let job = Queue.pop q in
+        t.queued <- t.queued - 1;
+        if Queue.is_empty q then Hashtbl.remove t.lanes lane
+        else Queue.push lane t.rotation;
+        t.running <- t.running + 1;
+        Some job
+      end)
+
+let worker t () =
+  let rec loop () =
+    match next t with
+    | None -> ()
+    | Some job ->
+        (* a job body that escapes with an exception must not kill the
+           worker domain — the session layer already converts failures
+           into Error responses, so anything reaching here is a bug in
+           that layer, contained to losing one query *)
+        (try job.run () with _ -> ()) [@lint.allow "exception-swallow"];
+        Scoll.Sync.with_lock t.lock (fun () ->
+            t.running <- t.running - 1;
+            Condition.broadcast t.idle);
+        loop ()
+  in
+  loop ()
+
+let create ~workers ~max_queue =
+  if workers < 1 then invalid_arg "Scheduler.create: workers must be >= 1";
+  if max_queue < 0 then invalid_arg "Scheduler.create: negative max_queue";
+  let t =
+    {
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      idle = Condition.create ();
+      lanes = Hashtbl.create 16;
+      rotation = Queue.create ();
+      queued = 0;
+      running = 0;
+      stopping = false;
+      workers;
+      max_queue;
+      domains = [||];
+    }
+  in
+  (* the workers must close over the same record whose [queued]/[stopping]
+     fields [submit]/[shutdown] mutate — a [{ t with ... }] copy here would
+     leave them watching a dead snapshot *)
+  t.domains <- Array.init workers (fun _ -> Domain.spawn (worker t));
+  t
+
+let submit t ~lane job =
+  Scoll.Sync.with_lock t.lock (fun () ->
+      if t.stopping then `Shutdown
+      else if t.queued >= t.max_queue && t.running >= t.workers then
+        `Busy (t.running, t.queued)
+      else begin
+        let q =
+          match Hashtbl.find_opt t.lanes lane with
+          | Some q -> q
+          | None ->
+              let q = Queue.create () in
+              Hashtbl.add t.lanes lane q;
+              Queue.push lane t.rotation;
+              q
+        in
+        Queue.push job q;
+        t.queued <- t.queued + 1;
+        Condition.signal t.wake;
+        `Accepted
+      end)
+
+let retire_lane t lane =
+  let dropped =
+    Scoll.Sync.with_lock t.lock (fun () ->
+        match Hashtbl.find_opt t.lanes lane with
+        | None -> []
+        | Some q ->
+            Hashtbl.remove t.lanes lane;
+            let keep = Queue.create () in
+            Queue.iter (fun l -> if l <> lane then Queue.push l keep) t.rotation;
+            Queue.clear t.rotation;
+            Queue.transfer keep t.rotation;
+            let jobs = List.of_seq (Queue.to_seq q) in
+            t.queued <- t.queued - List.length jobs;
+            jobs)
+  in
+  List.iter (fun job -> job.abort ()) dropped
+
+let running t = Scoll.Sync.with_lock t.lock (fun () -> t.running)
+
+let queued t = Scoll.Sync.with_lock t.lock (fun () -> t.queued)
+
+let shutdown t =
+  let dropped, join =
+    Scoll.Sync.with_lock t.lock (fun () ->
+        let first = not t.stopping in
+        t.stopping <- true;
+        let jobs =
+          Hashtbl.fold (fun _ q acc -> List.of_seq (Queue.to_seq q) :: acc) t.lanes []
+          |> List.concat
+        in
+        Hashtbl.reset t.lanes;
+        Queue.clear t.rotation;
+        t.queued <- 0;
+        Condition.broadcast t.wake;
+        (jobs, first))
+  in
+  List.iter (fun job -> job.abort ()) dropped;
+  if join then Array.iter Domain.join t.domains
+  else
+    (* a concurrent shutdown already owns the join; wait for the drain *)
+    Scoll.Sync.with_lock t.lock (fun () ->
+        while t.running > 0 do
+          Condition.wait t.idle t.lock
+        done)

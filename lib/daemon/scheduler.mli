@@ -1,0 +1,45 @@
+(** Fair, bounded scheduling of query jobs onto a shared worker pool.
+
+    The daemon runs every query body on one of [workers] dedicated
+    domains; sessions submit jobs into per-{e lane} FIFO queues (one lane
+    per connection) and the workers drain the lanes round-robin — after a
+    lane yields one job it goes to the back of the rotation, so a client
+    that floods queries cannot starve its siblings. Admission is bounded:
+    a submit that finds every worker busy {e and} the backlog at
+    [max_queue] is refused with [`Busy], the wire protocol's typed
+    pushback.
+
+    Jobs carry two closures: [run] executes on a worker; [abort] is
+    called instead (on the caller of {!retire_lane}/{!shutdown}) when the
+    job is dropped before running — the session uses it to answer the
+    query with a cancelled [Done] and release its accounting. Exactly one
+    of the two is invoked, exactly once. *)
+
+type t
+
+type job = { run : unit -> unit; abort : unit -> unit }
+
+val create : workers:int -> max_queue:int -> t
+(** Spawn [workers] domains ready to drain jobs. [max_queue] bounds the
+    jobs accepted but not yet running (0 = refuse whenever all workers
+    are busy).
+    @raise Invalid_argument when [workers < 1] or [max_queue < 0]. *)
+
+val submit : t -> lane:int -> job -> [ `Accepted | `Busy of int * int | `Shutdown ]
+(** Enqueue on the lane. [`Busy (running, queued)] when admission refused
+    it; [`Shutdown] after {!shutdown} began. Accepted jobs run in FIFO
+    order within their lane. *)
+
+val retire_lane : t -> int -> unit
+(** Drop the lane's queued jobs (their [abort]s run in this thread, in
+    FIFO order) — the session died; whatever it had running is cancelled
+    separately through its budget. *)
+
+val running : t -> int
+
+val queued : t -> int
+
+val shutdown : t -> unit
+(** Graceful drain: refuse new submits, [abort] every queued job, then
+    block until the running jobs finish and every worker domain is
+    joined. Idempotent; concurrent calls block until the first completes. *)

@@ -1,0 +1,550 @@
+module E = Scliques_core.Enumerate
+module Budget = Scliques_core.Budget
+module Ckpt = Scliques_core.Checkpoint
+module Neighborhood = Scliques_core.Neighborhood
+module Stream = Scliques_core.Result_io.Stream
+
+type addr = Unix_socket of string | Tcp of string * int
+
+module Smap = Hashtbl.Make (String)
+
+(* One preloaded graph plus its lazily created per-s shared ball caches:
+   every query against (name, s) attaches to the same store, so the
+   first query warms the cache for all its siblings. *)
+type graph_entry = {
+  ge_graph : Sgraph.Graph.t;
+  ge_lock : Mutex.t;
+  ge_stores : (int, Neighborhood.Shared.store) Hashtbl.t;
+}
+
+type session = {
+  sid : int;
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  wlock : Mutex.t; (* serializes response frames from all query domains *)
+  slock : Mutex.t; (* guards [alive] transitions and [queries] *)
+  mutable alive : bool;
+  mutable queries : (int * Budget.t) list; (* admitted, not yet answered *)
+}
+
+type t = {
+  t_addr : addr;
+  listen_fd : Unix.file_descr;
+  sched : Scheduler.t;
+  fault : Scoll.Fault.t;
+  graphs : graph_entry Smap.t;
+  graph_infos : Protocol.graph_info list;
+  par_workers : int;
+  cache_capacity : int;
+  lock : Mutex.t; (* sessions table + stopping flag *)
+  mutable sessions : (session * Thread.t) list;
+  mutable stopping : bool;
+  mutable next_sid : int;
+  mutable accept_thread : Thread.t option;
+}
+
+(* Raised (only internally) when a response cannot reach the client —
+   the session is already marked dead and its budgets cancelled by the
+   time this propagates. *)
+exception Write_failed
+
+(* ---------- session plumbing ---------- *)
+
+let register sess id budget =
+  Scoll.Sync.with_lock sess.slock (fun () ->
+      sess.queries <- (id, budget) :: sess.queries)
+
+let unregister sess id =
+  Scoll.Sync.with_lock sess.slock (fun () ->
+      sess.queries <- List.filter (fun (i, _) -> i <> id) sess.queries)
+
+let lookup sess id =
+  Scoll.Sync.with_lock sess.slock (fun () -> List.assoc_opt id sess.queries)
+
+let live_query sess id =
+  Scoll.Sync.with_lock sess.slock (fun () ->
+      List.exists (fun (i, _) -> i = id) sess.queries)
+
+(* First failure wins: mark the session dead, cancel every budget it
+   admitted (a worker mid-enumeration observes the trip at its next
+   poll), drop its queued jobs, and wake anything blocked on its socket.
+   The file descriptors are closed later, by the session thread itself,
+   so no other thread ever touches a recycled fd. *)
+let kill_session srv sess =
+  let first =
+    Scoll.Sync.with_lock sess.slock (fun () ->
+        if sess.alive then begin
+          sess.alive <- false;
+          true
+        end
+        else false)
+  in
+  if first then begin
+    List.iter
+      (fun (_, b) -> Budget.request_cancel b)
+      (Scoll.Sync.with_lock sess.slock (fun () -> sess.queries));
+    Scheduler.retire_lane srv.sched sess.sid;
+    try Unix.shutdown sess.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+  end
+
+(* Send one response frame. Any failure — the peer vanished (EPIPE /
+   reset surfaces as [Sys_error] through the channel), or an injected
+   [daemon.write]/[daemon.flush] fault — kills the session and raises
+   [Write_failed]: the caller's query dies, its siblings never notice. *)
+let send srv sess resp =
+  let payload = Protocol.encode_response resp in
+  match
+    Scoll.Sync.with_lock sess.wlock (fun () ->
+        if not sess.alive then raise Write_failed;
+        Scoll.Fault.check srv.fault "daemon.write";
+        Protocol.output_frame sess.oc payload;
+        Scoll.Fault.check srv.fault "daemon.flush";
+        flush sess.oc)
+  with
+  | () -> ()
+  | exception Write_failed -> raise Write_failed
+  | exception (Sys_error _ | Unix.Unix_error _ | Scoll.Fault.Injected _) ->
+      kill_session srv sess;
+      raise Write_failed
+
+let try_send srv sess resp = try send srv sess resp with Write_failed -> ()
+
+(* ---------- query execution (on a scheduler worker domain) ---------- *)
+
+let store_for srv entry s =
+  Scoll.Sync.with_lock entry.ge_lock (fun () ->
+      match Hashtbl.find_opt entry.ge_stores s with
+      | Some st -> st
+      | None ->
+          let st =
+            Neighborhood.Shared.create ~cache_capacity:srv.cache_capacity ~s
+              entry.ge_graph
+          in
+          Hashtbl.add entry.ge_stores s st;
+          st)
+
+let cancelled_done id =
+  Protocol.Done
+    {
+      d_id = id;
+      d_outcome = Budget.Truncated Budget.Cancelled;
+      d_emitted = 0;
+      d_resume = None;
+    }
+
+let exec_query srv sess entry (q : Protocol.query) budget =
+  let emitted = ref 0 in
+  let yield set =
+    send srv sess (Protocol.Result (q.q_id, Stream.encode_set set));
+    incr emitted
+  in
+  match q.q_engine with
+  | Protocol.Alg alg ->
+      (* the brute oracle never consults an N^s oracle; every other
+         sequential engine attaches to the shared warm cache *)
+      let nh =
+        match alg with
+        | E.Brute -> None
+        | _ -> Some (Neighborhood.of_shared (store_for srv entry q.q_s))
+      in
+      let report =
+        E.run ~min_size:q.q_min_size ?nh ~budget ?resume:q.q_resume alg
+          entry.ge_graph ~s:q.q_s yield
+      in
+      (* unregister before the terminal frame: the moment the client
+         reads Done, the id is free to reuse on this connection *)
+      unregister sess q.q_id;
+      send srv sess
+        (Protocol.Done
+           {
+             d_id = q.q_id;
+             d_outcome = report.E.outcome;
+             d_emitted = !emitted;
+             d_resume = report.E.resumable;
+           })
+  | Protocol.Par ->
+      let skip_roots =
+        match q.q_resume with
+        | Some (Ckpt.Roots { retired }) -> retired
+        | _ -> []
+      in
+      let on_root_retired _root results = List.iter yield results in
+      let _, outcome, retired =
+        Scliques_core.Parallel.enumerate_budgeted ~workers:srv.par_workers
+          ~min_size:q.q_min_size ~budget ~skip_roots ~on_root_retired
+          entry.ge_graph ~s:q.q_s
+      in
+      let d_resume =
+        match outcome with
+        | Budget.Complete -> None
+        | Budget.Truncated _ ->
+            Some
+              (Ckpt.Roots
+                 { retired = List.sort Int.compare (skip_roots @ retired) })
+      in
+      unregister sess q.q_id;
+      send srv sess
+        (Protocol.Done
+           {
+             d_id = q.q_id;
+             d_outcome = outcome;
+             d_emitted = !emitted;
+             d_resume;
+           })
+
+let run_job srv sess entry (q : Protocol.query) budget =
+  Fun.protect
+    ~finally:(fun () -> unregister sess q.q_id)
+    (fun () ->
+      match exec_query srv sess entry q budget with
+      | () -> ()
+      | exception Write_failed ->
+          (* the session is dead and its budgets cancelled; nothing left
+             to tell anyone *)
+          ()
+      | exception e ->
+          (* engine failure (oversized Brute graph, resume mismatch the
+             upfront validation missed, an injected par.task fault):
+             contained to this one query as a typed error response *)
+          (let msg =
+             match e with
+             | Failure m | Invalid_argument m -> m
+             | e -> Printexc.to_string e
+           in
+           try_send srv sess
+             (Protocol.Error_resp
+                { e_id = q.q_id; e_code = Protocol.Server_error; e_msg = msg }))
+          [@lint.allow "exception-swallow"])
+
+(* ---------- request dispatch (on the session thread) ---------- *)
+
+let validate srv sess (q : Protocol.query) =
+  match Smap.find_opt srv.graphs q.q_graph with
+  | None -> Error (Printf.sprintf "unknown graph %S" q.q_graph)
+  | Some entry ->
+      if q.q_s < 1 then Error "s must be >= 1"
+      else if q.q_min_size < 0 then Error "min-size must be >= 0"
+      else if live_query sess q.q_id then
+        Error (Printf.sprintf "query id %d is already in flight" q.q_id)
+      else begin
+        let family =
+          match q.q_engine with
+          | Protocol.Alg alg -> E.checkpoint_family alg
+          | Protocol.Par -> "roots"
+        in
+        match q.q_resume with
+        | Some st when not (String.equal (Ckpt.family st) family) ->
+            Error
+              (Printf.sprintf "resume token is %S but the engine needs %S"
+                 (Ckpt.family st) family)
+        | _ -> Ok entry
+      end
+
+let handle_query srv sess (q : Protocol.query) =
+  match validate srv sess q with
+  | Error msg ->
+      try_send srv sess
+        (Protocol.Error_resp
+           { e_id = q.q_id; e_code = Protocol.Bad_request; e_msg = msg })
+  | Ok entry -> (
+      match
+        Budget.create ?deadline_s:q.q_deadline_s ?max_results:q.q_max_results
+          ()
+      with
+      | exception Invalid_argument msg ->
+          try_send srv sess
+            (Protocol.Error_resp
+               { e_id = q.q_id; e_code = Protocol.Bad_request; e_msg = msg })
+      | budget -> (
+          (* registered before submission so a [Cancel] can hit a query
+             that is still queued; the job's run/abort unregisters *)
+          register sess q.q_id budget;
+          let job =
+            {
+              Scheduler.run = (fun () -> run_job srv sess entry q budget);
+              abort =
+                (fun () ->
+                  unregister sess q.q_id;
+                  try_send srv sess (cancelled_done q.q_id));
+            }
+          in
+          match Scheduler.submit srv.sched ~lane:sess.sid job with
+          | `Accepted -> ()
+          | `Busy (running, queued) ->
+              unregister sess q.q_id;
+              try_send srv sess
+                (Protocol.Busy
+                   { b_id = q.q_id; b_running = running; b_queued = queued })
+          | `Shutdown ->
+              unregister sess q.q_id;
+              try_send srv sess (cancelled_done q.q_id)))
+
+let session_loop srv sess =
+  match
+    Protocol.output_magic sess.oc;
+    flush sess.oc;
+    Protocol.input_magic sess.ic;
+    let rec loop () =
+      match Protocol.input_frame sess.ic with
+      | None -> () (* clean EOF at a frame boundary: the client left *)
+      | Some payload ->
+          (match Protocol.decode_request payload with
+          | Protocol.Ping -> try_send srv sess Protocol.Pong
+          | Protocol.List_graphs ->
+              try_send srv sess (Protocol.Graphs srv.graph_infos)
+          | Protocol.Cancel id -> (
+              match lookup sess id with
+              | Some budget -> Budget.request_cancel budget
+              | None -> () (* already answered, or never ours: a no-op *))
+          | Protocol.Query q -> handle_query srv sess q);
+          loop ()
+    in
+    loop ()
+  with
+  | () -> ()
+  | exception Protocol.Error e ->
+      (* a malformed frame or payload: answer with the typed refusal,
+         then drop the connection — after a framing error the byte
+         stream cannot be trusted to resynchronize *)
+      try_send srv sess
+        (Protocol.Error_resp
+           {
+             e_id = 0;
+             e_code = Protocol.Bad_request;
+             e_msg = Protocol.error_to_string e;
+           })
+  | exception (End_of_file | Sys_error _ | Unix.Unix_error _ | Write_failed)
+    ->
+      ()
+
+let session_thread srv sess () =
+  Fun.protect
+    ~finally:(fun () ->
+      kill_session srv sess;
+      (* only this thread closes the fds, and only with the session dead
+         (workers check [alive] under [wlock] before touching [oc]) *)
+      Scoll.Sync.with_lock sess.wlock (fun () -> close_out_noerr sess.oc);
+      close_in_noerr sess.ic;
+      Scoll.Sync.with_lock srv.lock (fun () ->
+          srv.sessions <-
+            List.filter (fun (s, _) -> s.sid <> sess.sid) srv.sessions))
+    (fun () -> session_loop srv sess)
+
+(* ---------- accept loop ---------- *)
+
+let spawn_session srv fd =
+  Scoll.Sync.with_lock srv.lock (fun () ->
+      if srv.stopping then raise Write_failed;
+      let sess =
+        {
+          sid = srv.next_sid;
+          fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+          wlock = Mutex.create ();
+          slock = Mutex.create ();
+          alive = true;
+          queries = [];
+        }
+      in
+      srv.next_sid <- srv.next_sid + 1;
+      let th = Thread.create (session_thread srv sess) () in
+      srv.sessions <- (sess, th) :: srv.sessions)
+
+let accept_loop srv () =
+  let rec loop () =
+    let stop = Scoll.Sync.with_lock srv.lock (fun () -> srv.stopping) in
+    if not stop then begin
+      (match Unix.select [ srv.listen_fd ] [] [] 0.05 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept srv.listen_fd with
+          | exception Unix.Unix_error _ -> () (* racing stop, or transient *)
+          | fd, _ -> (
+              match Scoll.Fault.check srv.fault "daemon.accept" with
+              | () -> (
+                  try spawn_session srv fd
+                  with Write_failed ->
+                    (* stop began between select and accept *)
+                    (try Unix.close fd with Unix.Unix_error _ -> ()))
+              | exception Scoll.Fault.Injected _ ->
+                  (* injected accept failure: this one connection is
+                     refused (the peer sees EOF instead of the magic);
+                     the daemon keeps accepting *)
+                  (try Unix.close fd with Unix.Unix_error _ -> ())))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* ---------- lifecycle ---------- *)
+
+let addr t = t.t_addr
+
+let port t =
+  match Unix.getsockname t.listen_fd with
+  | Unix.ADDR_INET (_, port) -> port
+  | Unix.ADDR_UNIX _ -> 0
+
+type stats = { running : int; queued : int; sessions : int; live_queries : int }
+
+let stats srv =
+  let sessions, live_queries =
+    Scoll.Sync.with_lock srv.lock (fun () ->
+        ( List.length srv.sessions,
+          List.fold_left
+            (fun acc (sess, _) ->
+              acc
+              + Scoll.Sync.with_lock sess.slock (fun () ->
+                    List.length sess.queries))
+            0 srv.sessions ))
+  in
+  {
+    running = Scheduler.running srv.sched;
+    queued = Scheduler.queued srv.sched;
+    sessions;
+    live_queries;
+  }
+
+let store srv ~graph ~s =
+  match Smap.find_opt srv.graphs graph with
+  | None -> None
+  | Some entry ->
+      Scoll.Sync.with_lock entry.ge_lock (fun () ->
+          Hashtbl.find_opt entry.ge_stores s)
+
+let create ?(workers = 2) ?(max_queue = 16) ?(par_workers = 1)
+    ?(cache_capacity = 65536) ?(fault = Scoll.Fault.none) ~graphs addr =
+  if par_workers < 1 then
+    invalid_arg "Server.create: par_workers must be >= 1";
+  if List.is_empty graphs then invalid_arg "Server.create: no graphs to serve";
+  (* a vanished client must surface as a write error, not kill the
+     process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let table = Smap.create 8 in
+  List.iter
+    (fun (name, g) ->
+      if String.length name > 0xFFFF then
+        invalid_arg "Server.create: graph name exceeds the wire length field";
+      if Smap.mem table name then
+        invalid_arg (Printf.sprintf "Server.create: duplicate graph %S" name);
+      Smap.add table name
+        { ge_graph = g; ge_lock = Mutex.create (); ge_stores = Hashtbl.create 4 })
+    graphs;
+  let graph_infos =
+    List.map
+      (fun (name, g) ->
+        {
+          Protocol.g_name = name;
+          g_n = Sgraph.Graph.n g;
+          g_m = Sgraph.Graph.m g;
+        })
+      graphs
+  in
+  let listen_fd =
+    match addr with
+    | Unix_socket path ->
+        if Sys.file_exists path then Sys.remove path;
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try
+           Unix.bind fd (Unix.ADDR_UNIX path);
+           Unix.listen fd 64
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        fd
+    | Tcp (host, port) ->
+        let ip =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } ->
+                invalid_arg
+                  (Printf.sprintf "Server.create: host %S has no address" host)
+            | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+            | exception Not_found ->
+                invalid_arg
+                  (Printf.sprintf "Server.create: unknown host %S" host))
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try
+           Unix.setsockopt fd Unix.SO_REUSEADDR true;
+           Unix.bind fd (Unix.ADDR_INET (ip, port));
+           Unix.listen fd 64
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        fd
+  in
+  let srv =
+    {
+      t_addr = addr;
+      listen_fd;
+      sched = Scheduler.create ~workers ~max_queue;
+      fault;
+      graphs = table;
+      graph_infos;
+      par_workers;
+      cache_capacity;
+      lock = Mutex.create ();
+      sessions = [];
+      stopping = false;
+      next_sid = 1;
+      accept_thread = None;
+    }
+  in
+  srv.accept_thread <- Some (Thread.create (accept_loop srv) ());
+  srv
+
+let stop ?(drain = true) srv =
+  let first =
+    Scoll.Sync.with_lock srv.lock (fun () ->
+        if srv.stopping then false
+        else begin
+          srv.stopping <- true;
+          true
+        end)
+  in
+  if first then begin
+    (match srv.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
+    (match srv.t_addr with
+    | Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
+    | Tcp _ -> ());
+    if not drain then
+      (* truncate the in-flight queries: each answers Done (cancelled,
+         with whatever resume token its engine can produce) promptly *)
+      List.iter
+        (fun (sess, _) ->
+          List.iter
+            (fun (_, b) -> Budget.request_cancel b)
+            (Scoll.Sync.with_lock sess.slock (fun () -> sess.queries)))
+        (Scoll.Sync.with_lock srv.lock (fun () -> srv.sessions));
+    (* refuse new work, abort the backlog (each queued query is answered
+       with a cancelled Done), wait for the running queries to finish
+       streaming, and join the worker domains *)
+    Scheduler.shutdown srv.sched;
+    let sessions = Scoll.Sync.with_lock srv.lock (fun () -> srv.sessions) in
+    List.iter
+      (fun (sess, _) ->
+        try Unix.shutdown sess.fd Unix.SHUTDOWN_ALL
+        with Unix.Unix_error _ -> ())
+      sessions;
+    List.iter (fun (_, th) -> Thread.join th) sessions
+  end
+  else
+    (* a concurrent stop owns the teardown; wait until it finished *)
+    let rec wait () =
+      let busy =
+        Scoll.Sync.with_lock srv.lock (fun () ->
+            not (List.is_empty srv.sessions))
+      in
+      if busy then begin
+        Thread.yield ();
+        wait ()
+      end
+    in
+    wait ()

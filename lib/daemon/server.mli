@@ -1,0 +1,81 @@
+(** The s-clique query daemon: concurrent [SCLQRPC1] serving over a
+    Unix-domain or TCP socket.
+
+    A server preloads named graphs (the CLI loads [.sgr] snapshots),
+    listens on one socket, and answers each connection on its own
+    thread. [Query] requests are admitted through the {!Scheduler} —
+    bounded backlog, one fair round-robin lane per connection — and
+    execute on its shared pool of worker domains, streaming one
+    [Result] frame per maximal connected s-clique and a terminal [Done]
+    (outcome + resume token) through the session's frame-atomic writer.
+    Queries against the same graph and [s] share one warm epoch-tagged
+    N{^s} ball cache ({!Scliques_core.Neighborhood.Shared}), created
+    lazily per [(graph, s)].
+
+    Failure containment is the design invariant: a malformed request, a
+    client that disconnects mid-stream, a blocked or broken socket
+    write, or an injected {!Scoll.Fault} at [daemon.accept] /
+    [daemon.write] / [daemon.flush] degrades to a per-query error or a
+    dead session — the daemon itself, its worker pool and its sibling
+    queries keep running, and the dead session's budgets are cancelled
+    and its scheduler lane retired so nothing leaks. The fault-drill
+    suite in [test_daemon.ml] pins all of this down. *)
+
+type addr =
+  | Unix_socket of string  (** path; a stale socket file is replaced *)
+  | Tcp of string * int  (** host, port; port [0] picks a free one *)
+
+type t
+
+val create :
+  ?workers:int ->
+  ?max_queue:int ->
+  ?par_workers:int ->
+  ?cache_capacity:int ->
+  ?fault:Scoll.Fault.t ->
+  graphs:(string * Sgraph.Graph.t) list ->
+  addr ->
+  t
+(** Bind, listen, spawn [workers] (default 2) query domains and the
+    accept thread; returns once the socket accepts connections.
+    [max_queue] (default 16) bounds admitted-but-not-running queries —
+    past it, submission answers [Busy]. [par_workers] (default 1) is the
+    domain count a [Par]-engine query may use {e in addition to} its
+    scheduler worker. [cache_capacity] bounds each shared ball cache.
+    [fault] arms the [daemon.accept]/[daemon.write]/[daemon.flush]
+    injection sites.
+    @raise Invalid_argument on an empty or duplicate-name graph list, a
+    graph name longer than the wire's u16 length field, or bad limits.
+    @raise Unix.Unix_error when the socket cannot be bound. *)
+
+val addr : t -> addr
+
+val port : t -> int
+(** The bound TCP port ([Tcp (_, 0)] resolves to the kernel's pick);
+    [0] for a Unix socket. *)
+
+type stats = {
+  running : int;  (** queries executing on a worker domain right now *)
+  queued : int;  (** admitted queries waiting for a worker *)
+  sessions : int;  (** live client connections *)
+  live_queries : int;
+      (** queries admitted and not yet answered with a terminal frame —
+          running, queued, or streaming; [0] when the daemon is idle *)
+}
+
+val stats : t -> stats
+
+val store :
+  t -> graph:string -> s:int -> Scliques_core.Neighborhood.Shared.store option
+(** The shared N{^s} ball cache for [(graph, s)] — [None] until a first
+    query created it. The fault drill uses this to check the weight
+    ledger after sessions die mid-query. *)
+
+val stop : ?drain:bool -> t -> unit
+(** Shut down: stop accepting, refuse new submissions, abort queued
+    queries (each is answered with a cancelled [Done]), then wait for
+    the running queries to finish streaming, close every session and
+    join every thread and domain. A [Unix_socket] file is removed. With
+    [~drain:false] the in-flight queries' budgets are cancelled first,
+    so they truncate at their next poll instead of running out.
+    Idempotent; concurrent calls wait for the first. *)

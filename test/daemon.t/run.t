@@ -1,0 +1,68 @@
+The serving daemon end to end: start it on the paper's exponential
+gadget, query it over the socket, compare against the in-process
+enumeration, and drain it with SIGTERM.
+
+  $ scliques gen --family gadget -n 3 -o base.edges
+  wrote base.edges: n=14 m=19 avg_deg=2.71 density=0.208791 max_deg=4 triangles=0
+  $ scliques-daemon --socket ./d.sock --graph base=base.edges --workers 2 > daemon.log 2>&1 &
+  $ DPID=$!
+  $ for i in $(seq 1 150); do [ -S d.sock ] && break; sleep 0.1; done
+
+The daemon answers pings and lists what it serves:
+
+  $ scliques client --socket ./d.sock --ping
+  pong
+  $ scliques client --socket ./d.sock --list
+  base n=14 m=19
+
+A served query streams exactly what the library enumerates:
+
+  $ scliques client --socket ./d.sock base -s 2 | sort > daemon.out
+  $ scliques enum base.edges -s 2 | sort > local.out
+  $ diff daemon.out local.out
+
+A garbage byte stream is refused with a typed error, and the daemon
+shrugs it off:
+
+  $ scliques client --socket ./d.sock --corrupt
+  refused: oversized frame (4022250974 bytes)
+  $ scliques client --socket ./d.sock --ping
+  pong
+
+Malformed requests get typed refusals — unknown graph, nonsense s:
+
+  $ scliques client --socket ./d.sock nosuch -s 2
+  scliques: client: daemon serves no graph "nosuch"
+  [1]
+  $ scliques client --socket ./d.sock base -s 0
+  scliques: client: s must be >= 1
+  [1]
+
+SIGTERM drains gracefully: one goodbye line, and the socket file is
+gone:
+
+  $ kill -TERM $DPID
+  $ wait $DPID
+  $ cat daemon.log
+  scliques-daemon: serving 1 graph on ./d.sock
+  scliques-daemon: drained, bye
+  $ test -e d.sock || echo socket removed
+  socket removed
+
+Admission control: a daemon with one worker and no queue refuses the
+second query with Busy while the first is still streaming. The drill
+occupies the daemon with the slow exponential gadget, observes the
+refusal, then cancels the occupying query:
+
+  $ scliques gen --family gadget -n 16 -o slow.edges
+  wrote slow.edges: n=274 m=513 avg_deg=3.74 density=0.013716 max_deg=17 triangles=0
+  $ scliques-daemon --socket ./busy.sock --graph slow=slow.edges --workers 1 --max-queue 0 > busy.log 2>&1 &
+  $ BPID=$!
+  $ for i in $(seq 1 150); do [ -S busy.sock ] && break; sleep 0.1; done
+  $ scliques client --socket ./busy.sock slow -s 2 --busy-drill
+  busy: running=1 queued=0
+  $ kill -TERM $BPID
+  $ wait $BPID
+  $ cat busy.log
+  scliques-daemon: serving 1 graph on ./busy.sock
+  scliques-daemon: drained, bye
