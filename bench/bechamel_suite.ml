@@ -160,7 +160,7 @@ let run ?filter () =
           (fun t ->
             let name = Test.name t in
             String.length name >= String.length prefix
-            && String.sub name 0 (String.length prefix) = prefix)
+            && String.equal (String.sub name 0 (String.length prefix)) prefix)
           (tests ())
   in
   let grouped = Test.make_grouped ~name:"scliques" ~fmt:"%s %s" selected in
@@ -181,5 +181,5 @@ let run ?filter () =
   in
   List.iter
     (fun (name, ns) -> Printf.printf "  %-28s %12.0f ns/run (%.3f ms)\n" name ns (ns /. 1e6))
-    (List.sort compare rows);
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
   flush stdout

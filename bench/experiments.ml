@@ -481,7 +481,7 @@ let parallel_balance () =
       Scliques_core.Parallel.enumerate_with_stats ~workers:4 g ~s:2
     in
     let loads = stats.Scliques_core.Parallel.tasks_per_worker in
-    let max_load = Array.fold_left max 0 loads in
+    let max_load = Array.fold_left Int.max 0 loads in
     let avg_load =
       float_of_int (Array.fold_left ( + ) 0 loads) /. float_of_int (Array.length loads)
     in
@@ -543,7 +543,7 @@ let scaling () =
             let wall = Harness.now () -. t0 in
             let speedup = t_seq /. Float.max 1e-9 wall in
             let tasks = stats.Scliques_core.Parallel.tasks_per_worker in
-            let max_tasks = Array.fold_left max 0 tasks in
+            let max_tasks = Array.fold_left Int.max 0 tasks in
             let avg_tasks =
               float_of_int (Array.fold_left ( + ) 0 tasks)
               /. float_of_int (Array.length tasks)

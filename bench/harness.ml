@@ -16,7 +16,7 @@
    Workloads module initializes — a flag parsed later in main would come
    too late to shrink them. *)
 
-let smoke = Array.exists (( = ) "--smoke") Sys.argv
+let smoke = Array.exists (String.equal "--smoke") Sys.argv
 
 let fast =
   smoke || match Sys.getenv_opt "FAST" with Some ("1" | "true") -> true | _ -> false

@@ -28,7 +28,7 @@ let run_experiment (id, descr, f) =
 
 let () =
   let args =
-    List.filter (( <> ) "--smoke") (List.tl (Array.to_list Sys.argv))
+    List.filter (fun a -> not (String.equal a "--smoke")) (List.tl (Array.to_list Sys.argv))
   in
   Printf.printf "s-clique benchmark suite (FAST=%b, per-cell budget %gs, seed %d)\n%!"
     Harness.fast Harness.budget Harness.seed;
@@ -42,9 +42,9 @@ let () =
   | ids ->
       List.iter
         (fun id ->
-          if id = "bechamel" then Bechamel_suite.run ()
+          if String.equal id "bechamel" then Bechamel_suite.run ()
           else
-            match List.find_opt (fun (i, _, _) -> i = id) Experiments.all with
+            match List.find_opt (fun (i, _, _) -> String.equal i id) Experiments.all with
             | Some exp -> run_experiment exp
             | None ->
                 Printf.eprintf "unknown experiment %S (try --list)\n" id;

@@ -7,14 +7,16 @@
 
 module G = Sgraph.Graph
 
-let cache : (string, G.t) Hashtbl.t = Hashtbl.create 32
+module Stbl = Hashtbl.Make (String)
+
+let cache : G.t Stbl.t = Stbl.create 32
 
 let memo key build =
-  match Hashtbl.find_opt cache key with
+  match Stbl.find_opt cache key with
   | Some g -> g
   | None ->
       let g = build () in
-      Hashtbl.replace cache key g;
+      Stbl.replace cache key g;
       g
 
 let rng_for key =

@@ -4,6 +4,12 @@
     This helper is the designated owner of direct [Mutex.lock]/[unlock]
     calls: the lock-discipline rule of [scliques-lint] rejects them
     anywhere else, which makes "the unlock is paired on all exit paths"
-    a checkable property instead of a review convention. *)
+    a checkable property instead of a review convention.
+
+    [with_lock] is also the marker the global concurrency rules key on
+    (DESIGN.md §15): [scliques-lint] treats the dynamic extent of [f] as
+    a critical section on [m] when it builds the lock-order graph and
+    classifies accesses as locked or unlocked — so critical sections
+    expressed any other way are invisible to the analysis. *)
 
 val with_lock : Mutex.t -> (unit -> 'a) -> 'a

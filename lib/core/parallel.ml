@@ -114,10 +114,14 @@ let run_worker ~id ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed
         Scoll.Deque.pop_back_opt shared.deques.(id))
   in
   let steal () =
-    (* victims longest-backlog first; the unlocked length reads are only a
-       heuristic ordering — the pop itself is under the victim's lock *)
+    (* SAFETY: victims longest-backlog first; the unlocked length reads are
+       only a heuristic ordering — the pop itself is under the victim's
+       lock, so a torn or stale length costs a wasted probe, never a task *)
     let victims =
-      List.init workers (fun j -> (Scoll.Deque.length shared.deques.(j), j))
+      List.init workers (fun j ->
+          ( (Scoll.Deque.length shared.deques.(j) [@lint.allow "atomicity"]
+             [@lint.allow "domain-escape"]),
+            j ))
       |> List.filter (fun (len, j) -> j <> id && len > 0)
       |> List.sort (fun (a, _) (b, _) -> Int.compare b a)
     in
@@ -260,7 +264,10 @@ let enumerate_with_stats ?workers ?(split_depth = 3) ?(split_width = 8)
      SMALLEST remaining root id — the branch with the largest candidate
      set, i.e. the heaviest work, which is what balancing wants moved *)
   for v = 0 to n - 1 do
-    Scoll.Deque.push_back shared.deques.(v mod workers) (Root v)
+    (* SAFETY: pre-spawn dealing — no helper domain exists yet, so these
+       unlocked pushes cannot race with the locked owner/thief accesses *)
+    (Scoll.Deque.push_back shared.deques.(v mod workers) (Root v)
+    [@lint.allow "atomicity"])
   done;
   let worker id () =
     run_worker ~id ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed
@@ -340,8 +347,11 @@ let enumerate_budgeted ?workers ?(split_depth = 3) ?(split_width = 8)
       failed = Atomic.make None;
     }
   in
+  (* SAFETY: pre-spawn dealing, as in [enumerate] above *)
   List.iteri
-    (fun i v -> Scoll.Deque.push_back shared.deques.(i mod workers) (Root v))
+    (fun i v ->
+      (Scoll.Deque.push_back shared.deques.(i mod workers) (Root v)
+      [@lint.allow "atomicity"]))
     roots;
   let rooted =
     {
@@ -380,9 +390,11 @@ let enumerate_budgeted ?workers ?(split_depth = 3) ?(split_width = 8)
       Scliques_obs.Counters.set
         (Scliques_obs.Obs.counter into "par.workers")
         workers);
-  ( List.sort Node_set.compare rooted.committed,
+  (* SAFETY: every helper domain is joined above — these reads happen after
+     quiescence, sequentially, so the commit lock is not needed *)
+  ( List.sort Node_set.compare (rooted.committed [@lint.allow "atomicity"]),
     Budget.status budget,
-    List.sort Int.compare rooted.retired )
+    List.sort Int.compare (rooted.retired [@lint.allow "atomicity"]) )
 
 let enumerate_roots ?workers ?split_depth ?split_width ?pivot ?feasibility
     ?min_size ?cache_capacity ?obs ~roots g ~s =

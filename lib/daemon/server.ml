@@ -98,9 +98,12 @@ let send srv sess resp =
     Scoll.Sync.with_lock sess.wlock (fun () ->
         if not sess.alive then raise Write_failed;
         Scoll.Fault.check srv.fault "daemon.write";
-        Protocol.output_frame sess.oc payload;
+        (* SAFETY: [wlock] exists precisely to serialize frame writes; a
+           slow peer stalls only this session's writers, and a vanished
+           peer surfaces as Sys_error, killing the session below *)
+        (Protocol.output_frame sess.oc payload [@lint.allow "lock-order"]);
         Scoll.Fault.check srv.fault "daemon.flush";
-        flush sess.oc)
+        (flush sess.oc [@lint.allow "lock-order"]))
   with
   | () -> ()
   | exception Write_failed -> raise Write_failed
@@ -322,9 +325,11 @@ let session_thread srv sess () =
   Fun.protect
     ~finally:(fun () ->
       kill_session srv sess;
-      (* only this thread closes the fds, and only with the session dead
-         (workers check [alive] under [wlock] before touching [oc]) *)
-      Scoll.Sync.with_lock sess.wlock (fun () -> close_out_noerr sess.oc);
+      (* SAFETY: only this thread closes the fds, and only with the session
+         dead (workers check [alive] under [wlock] before touching [oc]);
+         the close under [wlock] waits out at most one in-flight frame *)
+      Scoll.Sync.with_lock sess.wlock (fun () ->
+          (close_out_noerr sess.oc [@lint.allow "lock-order"]));
       close_in_noerr sess.ic;
       Scoll.Sync.with_lock srv.lock (fun () ->
           srv.sessions <-

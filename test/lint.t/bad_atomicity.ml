@@ -1,0 +1,13 @@
+(* Mixed discipline: the write path takes the lock, the read path does
+   not — the unlocked read races with the locked increment. *)
+
+module Sync = struct
+  let with_lock _m f = f ()
+end
+
+let m = Mutex.create ()
+
+type t = { mutable count : int }
+
+let bump t = Sync.with_lock m (fun () -> t.count <- t.count + 1)
+let peek t = t.count

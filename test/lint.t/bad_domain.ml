@@ -1,0 +1,16 @@
+(* Minimized from the pool-resize bug once shipped in Parallel: the
+   spawned closure captured a record *snapshot*, so it kept reading a
+   dead copy of [live] while the parent mutated the original — and
+   neither side held a lock. *)
+
+module Sync = struct
+  let with_lock _m f = f ()
+end
+
+type pool = { mutable live : int; lock : Mutex.t }
+
+let resize p =
+  let snapshot = { p with live = 0 } in
+  let d = Domain.spawn (fun () -> snapshot.live) in
+  p.live <- p.live + 1;
+  ignore (Domain.join d)

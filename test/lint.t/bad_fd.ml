@@ -1,0 +1,7 @@
+(* The socket neither reaches a close on any path nor a recognized
+   owner: returned bare, it leaks if the caller forgets it. *)
+
+let leak () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  ignore (Unix.getsockname fd);
+  fd

@@ -1,0 +1,12 @@
+(* Two locks acquired in opposite orders on two paths: the classic
+   AB/BA deadlock, visible statically in the acquisition graph. *)
+
+module Sync = struct
+  let with_lock _m f = f ()
+end
+
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let forward f = Sync.with_lock a (fun () -> Sync.with_lock b f)
+let backward f = Sync.with_lock b (fun () -> Sync.with_lock a f)

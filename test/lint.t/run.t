@@ -4,6 +4,8 @@ fixture that must produce none. Fixtures are compiled here with
 bin_annot so the linter sees the same typed trees dune produces.
 
   $ ocamlc -bin-annot -c bad_poly.ml bad_unsafe.ml bitset.ml bad_swallow.ml bad_lock.ml clean.ml suppressed.ml
+  $ ocamlc -bin-annot -c bad_domain.ml bad_join.ml bad_lock_order.ml bad_atomicity.ml suppressed_conc.ml
+  $ ocamlc -bin-annot -I +unix -c bad_fd.ml
 
 poly-compare. bad_poly.ml seeds the exact bug once shipped in
 Node_set.dedup_sorted: an unannotated body generalizing to 'a array, so
@@ -63,6 +65,53 @@ lock-discipline: hand-paired Mutex.lock/unlock outside the Sync helper:
   2 finding(s)
   [1]
 
+domain-escape. bad_domain.ml minimizes the pool-resize bug once
+shipped in Parallel: the spawned closure captures a record snapshot and
+reads its mutable field with no lock while the parent keeps writing:
+
+  $ scliques-lint bad_domain.cmt
+  bad_domain.ml:14:34: domain-escape: mutable field bad_domain.live is captured by a Domain.spawn closure and read outside any Sync.with_lock region
+    hint: make the state Atomic.t, guard every access with Scoll.Sync.with_lock, or annotate the deliberate site with [@lint.allow "domain-escape"] plus a (* SAFETY: ... *) comment
+  1 finding(s)
+  [1]
+
+lock-order, blocking: bad_join.ml minimizes the worker-pool join
+deadlock — Domain.join while holding a lock the joined domain may need:
+
+  $ scliques-lint bad_join.cmt
+  bad_join.ml:10:45: lock-order: blocking call Domain.join while holding lock Bad_join.m
+    hint: move the blocking operation outside the critical section, or annotate the deliberate site with [@lint.allow "lock-order"] plus a (* SAFETY: ... *) comment
+  1 finding(s)
+  [1]
+
+lock-order, cycles: two locks nested in opposite orders on two paths —
+each closing edge of the AB/BA cycle is reported at its inner acquire:
+
+  $ scliques-lint bad_lock_order.cmt
+  bad_lock_order.ml:11:59: lock-order: lock-order cycle: Bad_lock_order.b is acquired while holding Bad_lock_order.a, and another path acquires them in the opposite order
+    hint: impose one global acquisition order for these locks (document it in DESIGN.md §15) or restructure so only one is held at a time; annotate a proven-disjoint protocol with [@lint.allow "lock-order"] plus a (* SAFETY: ... *) comment
+  bad_lock_order.ml:12:60: lock-order: lock-order cycle: Bad_lock_order.a is acquired while holding Bad_lock_order.b, and another path acquires them in the opposite order
+    hint: impose one global acquisition order for these locks (document it in DESIGN.md §15) or restructure so only one is held at a time; annotate a proven-disjoint protocol with [@lint.allow "lock-order"] plus a (* SAFETY: ... *) comment
+  2 finding(s)
+  [1]
+
+atomicity: the write path takes the lock, the read path does not:
+
+  $ scliques-lint bad_atomicity.cmt
+  bad_atomicity.ml:13:13: atomicity: mutable field bad_atomicity.count is accessed both under Sync.with_lock and outside it; this unlocked read races with the locked sites
+    hint: hold the same lock on every access, make the state Atomic.t, or annotate the deliberate site with [@lint.allow "atomicity"] plus a (* SAFETY: ... *) comment
+  1 finding(s)
+  [1]
+
+fd-lifecycle: a socket returned bare, never reaching a close, a channel
+conversion, or an fd-owner in its binding scope:
+
+  $ scliques-lint bad_fd.cmt
+  bad_fd.ml:5:11: fd-lifecycle: file descriptor from Unix.socket does not reach Fun.protect, a close function, or a recognized owner in its binding scope
+    hint: close it on every path (Fun.protect ~finally), convert it with Unix.in_channel_of_descr/out_channel_of_descr, pass it to an fd-owner (--fd-owners), or annotate the transfer with [@lint.allow "fd-lifecycle"] plus a (* SAFETY: ... *) comment
+  1 finding(s)
+  [1]
+
 Clean code produces no findings and exits 0:
 
   $ scliques-lint clean.cmt
@@ -72,6 +121,12 @@ code (suppressed.ml repeats bad_poly's generic compare and an unsafe
 access under the attribute):
 
   $ scliques-lint suppressed.cmt
+
+The same annotation (plus the SAFETY comment the review convention
+requires) is how a deliberate concurrency pattern is kept: this fixture
+repeats bad_atomicity's unlocked read under the attribute:
+
+  $ scliques-lint suppressed_conc.cmt
 
 The JSON output is machine-stable: same findings, one object per site:
 
@@ -84,10 +139,26 @@ The JSON output is machine-stable: same findings, one object per site:
   }
   [1]
 
+The global rules emit through the same stable JSON sink:
+
+  $ scliques-lint --json bad_atomicity.cmt
+  {
+    "findings": [
+      {"file": "bad_atomicity.ml", "line": 13, "col": 13, "rule": "atomicity", "message": "mutable field bad_atomicity.count is accessed both under Sync.with_lock and outside it; this unlocked read races with the locked sites", "hint": "hold the same lock on every access, make the state Atomic.t, or annotate the deliberate site with [@lint.allow \"atomicity\"] plus a (* SAFETY: ... *) comment"}
+    ],
+    "count": 1
+  }
+  [1]
+
 --rules restricts the run to a subset, so the poly findings vanish when
 only the unsafe rule is requested:
 
   $ scliques-lint --rules unsafe-allowlist bad_poly.cmt
+
+and the global rules filter the same way — the join-deadlock fixture is
+clean when only fd-lifecycle is requested:
+
+  $ scliques-lint --rules fd-lifecycle bad_join.cmt
 
 Pointing the tool at a tree with no compiled cmt files is an error, not
 a vacuous pass:
@@ -95,3 +166,18 @@ a vacuous pass:
   $ mkdir empty && scliques-lint empty
   scliques-lint: no .cmt files under: empty
   [2]
+
+A .cmt older than its source describes a tree that no longer exists;
+by default the run refuses (exit 2) rather than lint stale code. This
+must stay the last test: it invalidates bad_poly.cmt.
+
+  $ touch bad_poly.ml
+  $ scliques-lint bad_poly.cmt
+  scliques-lint: stale .cmt: bad_poly.cmt is older than bad_poly.ml — rebuild first
+  scliques-lint: refusing to analyze a stale tree (pass --no-mtime-check if freshness is guaranteed by other means)
+  [2]
+
+--no-mtime-check is the escape hatch for build systems (dune's cache)
+that guarantee freshness by content, not timestamps:
+
+  $ scliques-lint --no-mtime-check --rules lock-discipline bad_poly.cmt

@@ -1,0 +1,14 @@
+(* SAFETY: the unlocked read below is a monitoring heuristic — staleness
+   is acceptable, and every write path is fully locked. The annotation
+   plus this comment is the reviewed way to keep such a site. *)
+
+module Sync = struct
+  let with_lock _m f = f ()
+end
+
+let m = Mutex.create ()
+
+type t = { mutable count : int }
+
+let bump t = Sync.with_lock m (fun () -> t.count <- t.count + 1)
+let peek t = (t.count [@lint.allow "atomicity"])

@@ -1,0 +1,785 @@
+(* Shared concurrency-analysis substrate for the whole-library rules
+   (domain-escape, lock-order, atomicity, fd-lifecycle).
+
+   One walk per .cmt collects *facts* — mutable-state accesses, lock
+   acquisitions, calls made while locks are held, Domain/Thread spawn
+   roots, and fd-producing calls — into a store that survives across
+   compilation units. The rules then evaluate globally: lock-order
+   builds an acquisition graph over the intra-library call graph,
+   atomicity groups accesses by canonical target, domain-escape chases
+   spawn roots through trivial wrapper functions.
+
+   Canonical naming: a mutable record field is named by its declaration
+   site ("scheduler.lock" = field [lock] declared in scheduler.ml), so
+   the same field reached from different modules groups together; local
+   refs are named by ident stamp and file; arrays of locks get a "[]"
+   suffix. Soundness limits (no aliasing analysis, callees trusted to
+   guard their own state, functor-instance containers invisible) are
+   documented in DESIGN.md §15. *)
+
+module T = Typedtree
+module Stbl = Lint.Stbl
+
+type binder_kind = Param | Local
+
+type binder =
+  | B_frame of string * binder_kind (* frame key that binds the base ident *)
+  | B_module of string (* module-level or cross-module value *)
+  | B_unknown (* complex base: treated as escaping *)
+
+type access = {
+  a_target : string option; (* canonical grouping key; None = ungroupable *)
+  a_display : string; (* human name for messages *)
+  a_write : bool;
+  a_loc : Location.t;
+  a_allows : string list;
+  a_locked : bool;
+  a_binder : binder;
+  a_frames : string list; (* enclosing analysis frames, innermost first *)
+}
+
+type acquire = {
+  q_lock : string;
+  q_loc : Location.t;
+  q_allows : string list;
+  q_held : string list; (* locks already held, innermost first *)
+  q_frames : string list;
+}
+
+type call = {
+  c_name : string; (* normalized name, for blocking-call matching *)
+  c_keys : string list; (* candidate resolution keys into fn_tbl *)
+  c_loc : Location.t;
+  c_allows : string list;
+  c_held : string list;
+  c_frames : string list;
+  c_wait_ok : bool; (* Condition.wait whose mutex is the innermost held lock *)
+}
+
+type spawn = {
+  s_kind : string; (* "Domain.spawn" or "Thread.create" *)
+  s_root : string list; (* frame key (inline closure) or resolution keys *)
+  s_loc : Location.t;
+  s_allows : string list;
+}
+
+type fd_site = {
+  fd_name : string;
+  fd_loc : Location.t;
+  fd_allows : string list;
+  fd_ok : bool;
+}
+
+type facts = {
+  mutable accesses : access list;
+  mutable acquires : acquire list;
+  mutable calls : call list;
+  mutable spawns : spawn list;
+  mutable fds : fd_site list;
+  fn_tbl : string Stbl.t; (* alias -> canonical function key *)
+  mutable wrappers : string list; (* wrapped-library alias modules seen *)
+}
+
+let create_facts () =
+  {
+    accesses = [];
+    acquires = [];
+    calls = [];
+    spawns = [];
+    fds = [];
+    fn_tbl = Stbl.create 256;
+    wrappers = [];
+  }
+
+let resolve facts keys = List.find_map (Stbl.find_opt facts.fn_tbl) keys
+let in_frames key frames = List.exists (String.equal key) frames
+
+let note_wrapper facts raw_modname =
+  match Lint.wrapper_of_modname raw_modname with
+  | Some w when not (List.exists (String.equal w) facts.wrappers) ->
+      facts.wrappers <- w :: facts.wrappers
+  | _ -> ()
+
+(* Cross-library references go through the generated alias module of the
+   wrapped library ("Scoll.Sync.m"), while names recorded inside that
+   library use the unwrapped modname ("Sync.m"). Once every .cmt has
+   been collected the full wrapper set is known; strip the prefixes so
+   the two spellings of one entity compare equal in the global rules.
+   Keys with a non-path shape ("id:...", "spawn@...", "lock@...") and
+   two-component names are left alone. *)
+let normalize_facts facts =
+  let strip s =
+    let rec go s =
+      match String.index_opt s '.' with
+      | Some i
+        when String.contains_from s (i + 1) '.'
+             && List.exists (String.equal (String.sub s 0 i)) facts.wrappers ->
+          go (String.sub s (i + 1) (String.length s - i - 1))
+      | _ -> s
+    in
+    if String.contains s '@' || String.length s > 3 && String.equal (String.sub s 0 3) "id:"
+    then s
+    else go s
+  in
+  let strip_all = List.map strip in
+  facts.accesses <-
+    List.map
+      (fun a ->
+        {
+          a with
+          a_target = Option.map strip a.a_target;
+          a_display = strip a.a_display;
+        })
+      facts.accesses;
+  facts.acquires <-
+    List.map
+      (fun q -> { q with q_lock = strip q.q_lock; q_held = strip_all q.q_held })
+      facts.acquires;
+  facts.calls <-
+    List.map
+      (fun c ->
+        {
+          c with
+          c_name = strip c.c_name;
+          c_keys = strip_all c.c_keys;
+          c_held = strip_all c.c_held;
+        })
+      facts.calls;
+  facts.spawns <-
+    List.map (fun s -> { s with s_root = strip_all s.s_root }) facts.spawns
+
+(* ---------- name tables ---------- *)
+
+let spawn_prims = [ "Domain.spawn"; "Thread.create" ]
+
+let fd_producers =
+  [ "Unix.socket"; "Unix.accept"; "Unix.openfile"; "Unix.pipe"; "Unix.socketpair" ]
+
+let fd_closers =
+  [
+    "Unix.close";
+    "close_in";
+    "close_out";
+    "close_in_noerr";
+    "close_out_noerr";
+    (* converting to a channel transfers ownership: the channel close owns
+       the descriptor from then on *)
+    "Unix.in_channel_of_descr";
+    "Unix.out_channel_of_descr";
+  ]
+
+(* calls that can block the holder of a lock; Mutex acquisition itself is
+   covered by the lock-order graph instead *)
+let blocking_calls =
+  [
+    "Condition.wait";
+    "Unix.read";
+    "Unix.write";
+    "Unix.single_write";
+    "Unix.accept";
+    "Unix.connect";
+    "Unix.select";
+    "Unix.sleep";
+    "Unix.sleepf";
+    "Unix.recv";
+    "Unix.send";
+    "Thread.join";
+    "Thread.delay";
+    "Domain.join";
+    "flush";
+    "output_string";
+    "output_bytes";
+    "output";
+    "output_binary_int";
+    "input";
+    "input_line";
+    "input_binary_int";
+    "really_input";
+    "really_input_string";
+    "close_in";
+    "close_out";
+    "close_in_noerr";
+    "close_out_noerr";
+  ]
+
+let array_reads = [ "Array.get"; "Array.unsafe_get" ]
+let array_writes = [ "Array.set"; "Array.unsafe_set"; "Bytes.set"; "Bytes.unsafe_set" ]
+
+let container_prefixes = [ "Hashtbl."; "Queue."; "Stack."; "Buffer." ]
+
+let container_creators = [ "create"; "make"; "init"; "copy"; "of_seq" ]
+
+let container_reads =
+  [
+    "find"; "find_opt"; "find_all"; "mem"; "length"; "is_empty"; "iter"; "fold";
+    "peek"; "peek_opt"; "top"; "top_opt"; "to_seq"; "to_seq_keys"; "to_seq_values";
+    "contents"; "nth"; "stats";
+  ]
+
+(* ---------- per-walk state ---------- *)
+
+type frame = { fr_key : string; fr_params : unit Stbl.t; fr_locals : unit Stbl.t }
+
+type st = {
+  cfg : Lint.config;
+  modname : string;
+  file : string; (* source basename, used to make local names unique *)
+  facts : facts;
+  mutable frames : frame list; (* innermost first *)
+  mutable held : string list; (* innermost first *)
+  mutable allows : string list list;
+  mutable mod_path : string list; (* enclosing submodule names, reversed *)
+  module_ids : string Stbl.t; (* ident stamp -> qualified module-level name *)
+  fd_claimed : unit Stbl.t; (* producer sites already owned by a binding *)
+  mutable arg_owner : bool; (* immediate argument of a closer/owner call *)
+  mutable in_lock_arg : bool;
+      (* inside the lock argument of with_lock: reading the lock cell
+         (shared.locks.(id), t.lock) is the synchronization itself, not a
+         data access, so it is exempt from access recording *)
+}
+
+let now_allows st = List.concat st.allows
+let frame_keys st = List.map (fun f -> f.fr_key) st.frames
+
+let module_qualified st name =
+  String.concat "." ((st.modname :: List.rev st.mod_path) @ [ name ])
+
+let register_ident st id =
+  let u = Ident.unique_name id in
+  match st.frames with
+  | [] -> Stbl.replace st.module_ids u (module_qualified st (Ident.name id))
+  | fr :: _ -> if not (Stbl.mem fr.fr_params u) then Stbl.replace fr.fr_locals u ()
+
+let lookup_binder st id =
+  let u = Ident.unique_name id in
+  let rec go = function
+    | [] ->
+        if Stbl.mem st.module_ids u then B_module (Stbl.find st.module_ids u)
+        else B_unknown
+    | fr :: rest ->
+        if Stbl.mem fr.fr_params u then B_frame (fr.fr_key, Param)
+        else if Stbl.mem fr.fr_locals u then B_frame (fr.fr_key, Local)
+        else go rest
+  in
+  go st.frames
+
+(* ---------- canonical names ---------- *)
+
+let lbl_key (lbl : Types.label_description) =
+  let f =
+    Filename.remove_extension (Filename.basename lbl.lbl_loc.loc_start.pos_fname)
+  in
+  Printf.sprintf "%s.%s" f lbl.lbl_name
+
+let first_pos_arg args =
+  List.find_map
+    (fun ((lbl : Asttypes.arg_label), a) ->
+      match (lbl, a) with (Optional _, _) | (_, None) -> None | _ -> a)
+    args
+
+let is_array_read name = List.exists (String.equal name) array_reads
+
+(* grouping key for a lock or mutable target expression *)
+let rec canon_target st (e : T.expression) : string option =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) -> (
+      match lookup_binder st id with
+      | B_module q -> Some q
+      | B_frame _ -> Some (Printf.sprintf "loc:%s@%s" (Ident.unique_name id) st.file)
+      | B_unknown -> None)
+  | Texp_ident (p, _, _) -> Some (Lint.canon_path p)
+  | Texp_field (_, _, lbl) -> Some (lbl_key lbl)
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+    when is_array_read (Lint.canon_path p) -> (
+      match first_pos_arg args with
+      | Some a -> Option.map (fun s -> s ^ "[]") (canon_target st a)
+      | None -> None)
+  | _ -> None
+
+let rec display_target st (e : T.expression) : string =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) -> Ident.name id
+  | Texp_ident (p, _, _) -> Lint.canon_path p
+  | Texp_field (_, _, lbl) -> lbl_key lbl
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+    when is_array_read (Lint.canon_path p) -> (
+      match first_pos_arg args with
+      | Some a -> display_target st a ^ "[]"
+      | None -> "<array>")
+  | _ -> "<expr>"
+
+let lock_canon st (e : T.expression) =
+  match canon_target st e with
+  | Some c -> c
+  | None ->
+      Printf.sprintf "lock@%s:%d" st.file e.exp_loc.loc_start.pos_lnum
+
+let rec base_binder st (e : T.expression) : binder =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) -> lookup_binder st id
+  | Texp_ident (p, _, _) -> B_module (Lint.canon_path p)
+  | Texp_field (b, _, _) -> base_binder st b
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+    when is_array_read (Lint.canon_path p) -> (
+      match first_pos_arg args with Some a -> base_binder st a | None -> B_unknown)
+  | _ -> B_unknown
+
+(* ---------- fact recording ---------- *)
+
+let record_access st ~target ~display ~write ~binder (loc : Location.t) =
+  if st.in_lock_arg then () else
+  st.facts.accesses <-
+    {
+      a_target = target;
+      a_display = display;
+      a_write = write;
+      a_loc = loc;
+      a_allows = now_allows st;
+      a_locked = not (List.is_empty st.held);
+      a_binder = binder;
+      a_frames = frame_keys st;
+    }
+    :: st.facts.accesses
+
+let record_mutable_expr st ~kind ~write (e : T.expression) (loc : Location.t) =
+  record_access st ~target:(canon_target st e)
+    ~display:(Printf.sprintf "%s %s" kind (display_target st e))
+    ~write ~binder:(base_binder st e) loc
+
+let record_call st ~name ~keys ~wait_ok (loc : Location.t) =
+  st.facts.calls <-
+    {
+      c_name = name;
+      c_keys = keys;
+      c_loc = loc;
+      c_allows = now_allows st;
+      c_held = st.held;
+      c_frames = frame_keys st;
+      c_wait_ok = wait_ok;
+    }
+    :: st.facts.calls
+
+(* Candidate resolution keys for a callee path. References that cross a
+   wrapped-library boundary go through the generated alias module
+   ("Scliques_daemon.Protocol.output_frame"), while registration keys
+   come from the unwrapped cmt modname ("Protocol.output_frame"), so we
+   also record each suffix of the dotted path down to two components.
+   [resolve] tries candidates in order, longest first. *)
+let keys_of_path p =
+  match p with
+  | Path.Pident id -> [ "id:" ^ Ident.unique_name id ]
+  | p ->
+      let canon = Lint.canon_path p in
+      let rec suffixes name =
+        match String.index_opt name '.' with
+        | Some i when String.contains_from name (i + 1) '.' ->
+            let rest = String.sub name (i + 1) (String.length name - i - 1) in
+            rest :: suffixes rest
+        | _ -> []
+      in
+      canon :: suffixes canon
+
+(* ---------- pattern helpers ---------- *)
+
+let rec pattern_vars : type k. k T.general_pattern -> Ident.t list =
+ fun p ->
+  match p.pat_desc with
+  | T.Tpat_var (id, _) -> [ id ]
+  | T.Tpat_alias (sub, id, _) -> id :: pattern_vars sub
+  | T.Tpat_tuple ps -> List.concat_map pattern_vars ps
+  | T.Tpat_construct (_, _, ps, _) -> List.concat_map pattern_vars ps
+  | T.Tpat_variant (_, Some p, _) -> pattern_vars p
+  | T.Tpat_record (fields, _) ->
+      List.concat_map (fun (_, _, p) -> pattern_vars p) fields
+  | T.Tpat_array ps -> List.concat_map pattern_vars ps
+  | T.Tpat_or (a, b, _) -> pattern_vars a @ pattern_vars b
+  | T.Tpat_lazy p -> pattern_vars p
+  | T.Tpat_value v -> pattern_vars (v :> T.value T.general_pattern)
+  | _ -> []
+
+let rec typed_pattern_vars : type k. k T.general_pattern -> (Ident.t * Types.type_expr) list =
+ fun p ->
+  match p.pat_desc with
+  | T.Tpat_var (id, _) -> [ (id, p.pat_type) ]
+  | T.Tpat_alias (sub, id, _) -> (id, p.pat_type) :: typed_pattern_vars sub
+  | T.Tpat_tuple ps -> List.concat_map typed_pattern_vars ps
+  | T.Tpat_construct (_, _, ps, _) -> List.concat_map typed_pattern_vars ps
+  | T.Tpat_variant (_, Some p, _) -> typed_pattern_vars p
+  | T.Tpat_record (fields, _) ->
+      List.concat_map (fun (_, _, p) -> typed_pattern_vars p) fields
+  | T.Tpat_array ps -> List.concat_map typed_pattern_vars ps
+  | T.Tpat_or (a, b, _) -> typed_pattern_vars a @ typed_pattern_vars b
+  | T.Tpat_lazy p -> typed_pattern_vars p
+  | T.Tpat_value v -> typed_pattern_vars (v :> T.value T.general_pattern)
+  | _ -> []
+
+let rec pure_exception_case : type k. k T.general_pattern -> bool =
+ fun p ->
+  match p.pat_desc with
+  | T.Tpat_exception _ -> true
+  | T.Tpat_or (a, b, _) -> pure_exception_case a && pure_exception_case b
+  | _ -> false
+
+(* outer curried-parameter spine of a function binding: these idents are
+   bound at closure-construction time, i.e. captured from the spawner's
+   world when the function becomes a spawn root *)
+let spine_params (e : T.expression) =
+  let rec go acc (e : T.expression) =
+    match e.exp_desc with
+    | T.Texp_function { param; cases; _ } -> (
+        let acc = Ident.unique_name param :: acc in
+        let acc =
+          List.fold_left
+            (fun acc (c : T.value T.case) ->
+              List.rev_append
+                (List.map Ident.unique_name (pattern_vars c.T.c_lhs))
+                acc)
+            acc cases
+        in
+        match cases with [ { c_rhs; _ } ] -> go acc c_rhs | _ -> acc)
+    | _ -> acc
+  in
+  go [] e
+
+let push_frame st key fn_expr =
+  let fr =
+    { fr_key = key; fr_params = Stbl.create 8; fr_locals = Stbl.create 16 }
+  in
+  List.iter (fun u -> Stbl.replace fr.fr_params u ()) (spine_params fn_expr);
+  st.frames <- fr :: st.frames
+
+let pop_frame st = st.frames <- List.tl st.frames
+
+(* ---------- fd-lifecycle helpers ---------- *)
+
+let is_fd_producer name = List.exists (String.equal name) fd_producers
+
+let is_closer_or_owner st name =
+  List.exists (String.equal name) fd_closers
+  || List.exists (String.equal (Lint.last_component name)) st.cfg.Lint.fd_owners
+
+let is_file_descr_ty ty =
+  match Types.get_desc ty with
+  | Tconstr (p, _, _) -> String.equal (Lint.canon_path p) "Unix.file_descr"
+  | _ -> false
+
+(* does [scope] pass one of [stamps] to a closing/owning function? *)
+let scope_uses_closer st stamps scope =
+  let found = ref false in
+  let default = Tast_iterator.default_iterator in
+  let expr sub (e : T.expression) =
+    (match e.exp_desc with
+    | T.Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+      when is_closer_or_owner st (Lint.canon_path p) ->
+        List.iter
+          (fun ((_ : Asttypes.arg_label), a) ->
+            match a with
+            | Some { T.exp_desc = Texp_ident (Path.Pident id, _, _); _ }
+              when List.exists (String.equal (Ident.unique_name id)) stamps ->
+                found := true
+            | _ -> ())
+          args
+    | _ -> ());
+    default.expr sub e
+  in
+  let it = { default with expr } in
+  it.expr it scope;
+  !found
+
+let record_fd st ~name ~ok (loc : Location.t) =
+  st.facts.fds <-
+    { fd_name = name; fd_loc = loc; fd_allows = now_allows st; fd_ok = ok }
+    :: st.facts.fds
+
+(* a binding [let p = <producer> in scope] (or a match case): every
+   fd-typed ident bound by [p] must reach a closer/owner inside [scope] *)
+let fd_check_binding : type k.
+    st -> T.expression -> k T.general_pattern -> T.expression option -> unit =
+ fun st rhs pat scope ->
+  match rhs.exp_desc with
+  | T.Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _)
+    when is_fd_producer (Lint.canon_path p) ->
+      let name = Lint.canon_path p in
+      Stbl.replace st.fd_claimed (Lint.loc_key rhs.exp_loc) ();
+      let fd_stamps =
+        List.filter_map
+          (fun (id, ty) ->
+            if is_file_descr_ty ty then Some (Ident.unique_name id) else None)
+          (typed_pattern_vars pat)
+      in
+      let ok =
+        match (fd_stamps, scope) with
+        | [], _ | _, None -> false (* result dropped or scope unknown: leaked *)
+        | stamps, Some scope ->
+            List.for_all (fun s -> scope_uses_closer st [ s ] scope) stamps
+      in
+      record_fd st ~name ~ok rhs.exp_loc
+  | _ -> ()
+
+(* ---------- access classification for applications ---------- *)
+
+let container_op name =
+  if
+    List.exists (fun pre -> String.starts_with ~prefix:pre name) container_prefixes
+  then
+    let op = Lint.last_component name in
+    if List.exists (String.equal op) container_creators then None
+    else Some (not (List.exists (String.equal op) container_reads))
+  else None
+
+(* [Some (write, kind, target_expr)] when the application mutates or reads
+   mutable state through a recognized entry point *)
+let access_of_app name pos =
+  let tgt () = match pos with a :: _ -> Some a | [] -> None in
+  match name with
+  | "!" -> Option.map (fun a -> (false, "ref", a)) (tgt ())
+  | ":=" | "incr" | "decr" -> Option.map (fun a -> (true, "ref", a)) (tgt ())
+  | _ ->
+      if is_array_read name then
+        Option.map (fun a -> (false, "array", a)) (tgt ())
+      else if List.exists (String.equal name) array_writes then
+        Option.map (fun a -> (true, "array", a)) (tgt ())
+      else
+        match container_op name with
+        | Some write ->
+            let kind =
+              match String.index_opt name '.' with
+              | Some i -> String.sub name 0 i
+              | None -> name
+            in
+            Option.map (fun a -> (write, kind, a)) (tgt ())
+        | None -> None
+
+(* calls we never need in the graph: pure constructors and raisers *)
+let ignored_calls =
+  [ "raise"; "raise_notrace"; "ignore"; "ref"; "not"; "failwith"; "invalid_arg" ]
+
+(* ---------- the walk ---------- *)
+
+let collect cfg ~modname ~file (str : T.structure) (facts : facts) =
+  let st =
+    {
+      cfg;
+      modname;
+      file;
+      facts;
+      frames = [];
+      held = [];
+      allows = [];
+      mod_path = [];
+      module_ids = Stbl.create 64;
+      fd_claimed = Stbl.create 16;
+      arg_owner = false;
+      in_lock_arg = false;
+    }
+  in
+  let default = Tast_iterator.default_iterator in
+  let pat : type k. Tast_iterator.iterator -> k T.general_pattern -> unit =
+   fun sub p ->
+    (match p.pat_desc with
+    | T.Tpat_var (id, _) -> register_ident st id
+    | T.Tpat_alias (_, id, _) -> register_ident st id
+    | _ -> ());
+    default.pat sub p
+  in
+  let positional args =
+    List.filter_map
+      (fun ((lbl : Asttypes.arg_label), a) ->
+        match (lbl, a) with (Optional _, _) | (_, None) -> None | _ -> a)
+      args
+  in
+  let walk_arg sub owner a =
+    let saved = st.arg_owner in
+    st.arg_owner <- owner;
+    sub.Tast_iterator.expr sub a;
+    st.arg_owner <- saved
+  in
+  (* mutually recursive bindings reference each other before their own
+     value_binding is visited: pre-register the function keys *)
+  let preregister_rec vbs =
+    List.iter
+      (fun (vb : T.value_binding) ->
+        match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+        | T.Tpat_var (id, _), T.Texp_function _ ->
+            let key =
+              if List.is_empty st.frames then module_qualified st (Ident.name id)
+              else "id:" ^ Ident.unique_name id
+            in
+            Stbl.replace st.facts.fn_tbl ("id:" ^ Ident.unique_name id) key;
+            if List.is_empty st.frames then Stbl.replace st.facts.fn_tbl key key
+        | _ -> ())
+      vbs
+  in
+  let rec spawn_root_keys (e : T.expression) =
+    match e.exp_desc with
+    | Texp_ident (p, _, _) -> keys_of_path p
+    | Texp_apply (head, _) -> spawn_root_keys head
+    | _ -> []
+  in
+  let handle_with_lock sub (lock_e : T.expression) (body_e : T.expression) =
+    let lname = lock_canon st lock_e in
+    st.facts.acquires <-
+      {
+        q_lock = lname;
+        q_loc = lock_e.exp_loc;
+        q_allows = now_allows st;
+        q_held = st.held;
+        q_frames = frame_keys st;
+      }
+      :: st.facts.acquires;
+    let saved = st.in_lock_arg in
+    st.in_lock_arg <- true;
+    walk_arg sub false lock_e;
+    st.in_lock_arg <- saved;
+    st.held <- lname :: st.held;
+    (match body_e.exp_desc with
+    | Texp_ident (p, _, _) ->
+        (* [with_lock m f]: f runs under the lock *)
+        record_call st ~name:(Lint.canon_path p) ~keys:(keys_of_path p)
+          ~wait_ok:false body_e.exp_loc
+    | _ -> ());
+    walk_arg sub false body_e;
+    st.held <- List.tl st.held
+  in
+  let handle_spawn sub kind (e : T.expression) fn_arg rest =
+    (match fn_arg with
+    | { T.exp_desc = Texp_function _; _ } as f ->
+        let fkey =
+          Printf.sprintf "spawn@%s:%d" st.file e.T.exp_loc.loc_start.pos_lnum
+        in
+        st.facts.spawns <-
+          { s_kind = kind; s_root = [ fkey ]; s_loc = e.exp_loc; s_allows = now_allows st }
+          :: st.facts.spawns;
+        (* the closure runs on another domain/thread: locks held at the
+           spawn site do not protect its body *)
+        let saved_held = st.held in
+        st.held <- [];
+        push_frame st fkey f;
+        walk_arg sub false f;
+        pop_frame st;
+        st.held <- saved_held
+    | f ->
+        st.facts.spawns <-
+          {
+            s_kind = kind;
+            s_root = spawn_root_keys f;
+            s_loc = e.exp_loc;
+            s_allows = now_allows st;
+          }
+          :: st.facts.spawns;
+        walk_arg sub false f);
+    List.iter (walk_arg sub false) rest
+  in
+  let handle_apply sub (e : T.expression) path args =
+    let name = Lint.canon_path path in
+    let pos = positional args in
+    if String.equal (Lint.last_component name) "with_lock" then (
+      match pos with
+      | [ lock_e; body_e ] -> handle_with_lock sub lock_e body_e
+      | _ -> List.iter (walk_arg sub false) pos)
+    else if List.exists (String.equal name) spawn_prims then (
+      match pos with
+      | fn_arg :: rest -> handle_spawn sub name e fn_arg rest
+      | [] -> ())
+    else begin
+      (* bare fd producer: legal only as the immediate argument of a
+         closer/owner; bindings were claimed by the let/match handler *)
+      if is_fd_producer name && not (Stbl.mem st.fd_claimed (Lint.loc_key e.exp_loc))
+      then record_fd st ~name ~ok:st.arg_owner e.exp_loc;
+      (* the function ident of desugared syntax (a.(i), !r) carries a
+         ghost location: anchor facts on the whole application instead *)
+      (match access_of_app name pos with
+      | Some (write, kind, tgt) -> record_mutable_expr st ~kind ~write tgt e.T.exp_loc
+      | None -> ());
+      let partial =
+        match Types.get_desc (Lint.expand e.exp_env e.exp_type) with
+        | Tarrow _ -> true
+        | _ -> false
+      in
+      if (not partial) && not (List.exists (String.equal name) ignored_calls)
+      then begin
+        let wait_ok =
+          String.equal name "Condition.wait"
+          &&
+          match (pos, st.held) with
+          | [ _; m ], innermost :: _ -> String.equal (lock_canon st m) innermost
+          | _ -> false
+        in
+        record_call st ~name ~keys:(keys_of_path path) ~wait_ok e.T.exp_loc
+      end;
+      let owner = is_closer_or_owner st name in
+      List.iter (walk_arg sub owner) pos;
+      (* optional arguments still evaluate in the caller *)
+      List.iter
+        (fun ((lbl : Asttypes.arg_label), a) ->
+          match (lbl, a) with
+          | Optional _, Some a -> walk_arg sub false a
+          | _ -> ())
+        args
+    end
+  in
+  let expr sub (e : T.expression) =
+    st.allows <- Lint.allows_of_attributes e.exp_attributes :: st.allows;
+    (match e.exp_desc with
+    | Texp_apply ({ exp_desc = Texp_ident (path, _, _); _ }, args) ->
+        handle_apply sub e path args
+    | Texp_field (b, _, lbl) when lbl.Types.lbl_mut = Asttypes.Mutable ->
+        record_access st ~target:(Some (lbl_key lbl))
+          ~display:(Printf.sprintf "mutable field %s" (lbl_key lbl))
+          ~write:false ~binder:(base_binder st b) e.exp_loc;
+        default.expr sub e
+    | Texp_setfield (b, _, lbl, _) ->
+        record_access st ~target:(Some (lbl_key lbl))
+          ~display:(Printf.sprintf "mutable field %s" (lbl_key lbl))
+          ~write:true ~binder:(base_binder st b) e.exp_loc;
+        default.expr sub e
+    | Texp_let (rf, vbs, body) ->
+        if rf = Asttypes.Recursive then preregister_rec vbs;
+        List.iter (fun vb -> fd_check_binding st vb.T.vb_expr vb.T.vb_pat (Some body)) vbs;
+        default.expr sub e
+    | Texp_match (scrut, cases, _) ->
+        List.iter
+          (fun (c : T.computation T.case) ->
+            if not (pure_exception_case c.T.c_lhs) then
+              fd_check_binding st scrut c.T.c_lhs (Some c.T.c_rhs))
+          cases;
+        default.expr sub e
+    | _ -> default.expr sub e);
+    st.allows <- List.tl st.allows
+  in
+  let value_binding sub (vb : T.value_binding) =
+    st.allows <- Lint.allows_of_attributes vb.vb_attributes :: st.allows;
+    sub.Tast_iterator.pat sub vb.vb_pat;
+    (match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+    | T.Tpat_var (id, _), T.Texp_function _ ->
+        let key, aliases =
+          if List.is_empty st.frames then
+            let q = module_qualified st (Ident.name id) in
+            (q, [ q; "id:" ^ Ident.unique_name id ])
+          else
+            let k = "id:" ^ Ident.unique_name id in
+            (k, [ k ])
+        in
+        List.iter (fun a -> Stbl.replace st.facts.fn_tbl a key) aliases;
+        push_frame st key vb.vb_expr;
+        sub.Tast_iterator.expr sub vb.vb_expr;
+        pop_frame st
+    | _ -> sub.Tast_iterator.expr sub vb.vb_expr);
+    st.allows <- List.tl st.allows
+  in
+  let structure_item sub (si : T.structure_item) =
+    match si.str_desc with
+    | T.Tstr_module mb ->
+        let name =
+          match mb.mb_name.Location.txt with Some n -> n | None -> "_"
+        in
+        st.mod_path <- name :: st.mod_path;
+        default.structure_item sub si;
+        st.mod_path <- List.tl st.mod_path
+    | T.Tstr_value (Recursive, vbs) ->
+        preregister_rec vbs;
+        default.structure_item sub si
+    | _ -> default.structure_item sub si
+  in
+  let it = { default with expr; value_binding; structure_item; pat } in
+  it.structure it str

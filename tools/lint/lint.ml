@@ -1,0 +1,299 @@
+(* Shared substrate for scliques-lint: finding/config types, the rule
+   registry's id strings, typed-tree classification helpers, suppression
+   attributes, canonical naming, and the output sinks. Rule logic lives
+   in the rule_*.ml modules; the driver is scliques_lint.ml.
+
+   This tool analyzes itself (`dune build @lint` runs the original four
+   rules over tools/), so the code here keeps to the same discipline it
+   enforces: monomorphic comparisons, string-keyed hashtables through
+   [Hashtbl.Make (String)], no catch-all [try ... with]. *)
+
+module T = Typedtree
+module Stbl = Hashtbl.Make (String)
+
+(* ---------- rule ids ---------- *)
+
+let r_poly = "poly-compare"
+let r_unsafe = "unsafe-allowlist"
+let r_swallow = "exception-swallow"
+let r_lockdisc = "lock-discipline"
+let r_domain = "domain-escape"
+let r_lock_order = "lock-order"
+let r_atomicity = "atomicity"
+let r_fd = "fd-lifecycle"
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+  hint : string;
+}
+
+(* ---------- configuration ---------- *)
+
+type config = {
+  mutable json : bool;
+  mutable rules : string list;
+  mutable unsafe_allow : string list; (* module names where unsafe_* is permitted *)
+  mutable lock_allow : string list; (* module names allowed to touch Mutex directly *)
+  mutable fd_owners : string list; (* functions that take ownership of an fd *)
+  mutable root : string; (* prefix tried when resolving recorded source paths *)
+  mutable mtime_check : bool; (* refuse .cmt files older than their source *)
+  mutable paths : string list;
+}
+
+(* ---------- name normalization ---------- *)
+
+let unwrap_modname name =
+  (* dune-wrapped modules are "Lib__Module"; keep the last component *)
+  let n = String.length name in
+  let rec go i after =
+    if i + 1 >= n then after
+    else if name.[i] = '_' && name.[i + 1] = '_' then go (i + 2) (i + 2)
+    else go (i + 1) after
+  in
+  let j = go 0 0 in
+  String.sub name j (n - j)
+
+(* "Scoll__Sync" -> Some "Scoll": the generated alias module of a
+   wrapped library. References from a sibling library go through it
+   ("Scoll.Sync.with_lock"), so fact names carry the wrapper as a
+   leading path component that registration-side names (built from the
+   unwrapped cmt modname) lack; Conc.normalize_facts strips it. *)
+let wrapper_of_modname name =
+  let n = String.length name in
+  let rec go i =
+    if i + 1 >= n then None
+    else if name.[i] = '_' && name.[i + 1] = '_' then Some (String.sub name 0 i)
+    else go (i + 1)
+  in
+  go 0
+
+(* "Stdlib__Hashtbl.create" / "Stdlib.Hashtbl.create" -> "Hashtbl.create";
+   "Scoll__Sync.with_lock" -> "Sync.with_lock". The normalized spelling is
+   what rule tables match on; messages keep the raw [Path.name]. *)
+let normalize_name s =
+  let parts = List.map unwrap_modname (String.split_on_char '.' s) in
+  let parts =
+    match parts with "Stdlib" :: (_ :: _ as rest) -> rest | parts -> parts
+  in
+  String.concat "." parts
+
+let canon_path p = normalize_name (Path.name p)
+
+let last_component s =
+  match String.rindex_opt s '.' with
+  | None -> s
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+
+(* ---------- per-file local-walk state ---------- *)
+
+type ctx = {
+  cfg : config;
+  modname : string; (* unwrapped module name, e.g. "Bitset" *)
+  safety_lines : int list; (* lines of the source containing a SAFETY comment *)
+  mutable scope_start : int; (* start line of the nearest enclosing binding *)
+  mutable allows : string list list; (* [@lint.allow] suppression stack *)
+  handled : unit Stbl.t;
+      (* function-position idents already checked as part of an application,
+         so the bare-ident pass does not report them twice *)
+  mutable out : finding list;
+}
+
+let loc_key (loc : Location.t) =
+  let p = loc.loc_start in
+  Printf.sprintf "%s:%d:%d" p.pos_fname p.pos_lnum (p.pos_cnum - p.pos_bol)
+
+let report ctx (loc : Location.t) rule message hint =
+  let enabled = List.exists (String.equal rule) ctx.cfg.rules in
+  let suppressed =
+    List.exists (List.exists (String.equal rule)) ctx.allows
+  in
+  if enabled && (not suppressed) && not loc.loc_ghost then
+    let p = loc.loc_start in
+    ctx.out <-
+      {
+        file = p.pos_fname;
+        line = p.pos_lnum;
+        col = p.pos_cnum - p.pos_bol;
+        rule;
+        message;
+        hint;
+      }
+      :: ctx.out
+
+(* findings produced by the whole-library rules carry the [@lint.allow]
+   set that was active when the underlying fact was collected *)
+let global_finding cfg ~rule ~allows (loc : Location.t) message hint =
+  let enabled = List.exists (String.equal rule) cfg.rules in
+  let suppressed = List.exists (String.equal rule) allows in
+  if enabled && (not suppressed) && not loc.loc_ghost then
+    let p = loc.loc_start in
+    Some
+      {
+        file = p.pos_fname;
+        line = p.pos_lnum;
+        col = p.pos_cnum - p.pos_bol;
+        rule;
+        message;
+        hint;
+      }
+  else None
+
+(* ---------- suppression attributes ---------- *)
+
+let allows_of_attributes (attrs : T.attributes) =
+  List.concat_map
+    (fun (a : Parsetree.attribute) ->
+      if not (String.equal a.attr_name.txt "lint.allow") then []
+      else
+        match a.attr_payload with
+        | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] ->
+            (* accept [@lint.allow "r"], [@lint.allow "r1" "r2"] and
+               [@lint.allow ("r1", "r2")] *)
+            let rec strings (e : Parsetree.expression) =
+              match e.pexp_desc with
+              | Pexp_constant (Pconst_string (s, _, _)) -> [ s ]
+              | Pexp_tuple es -> List.concat_map strings es
+              | Pexp_apply (f, args) ->
+                  strings f @ List.concat_map (fun (_, a) -> strings a) args
+              | _ -> []
+            in
+            strings e
+        | _ -> [])
+    attrs
+
+(* ---------- type classification ---------- *)
+
+type verdict = Immediate | Tyvar | Boxed of string
+
+let print_type ty = Format.asprintf "%a" Printtyp.type_expr ty
+
+(* Structural fallback when the serialized environment cannot be
+   rebuilt (missing .cmi on the load path): predefined immediates are
+   recognized, everything else is conservatively boxed. *)
+let rec classify_structural ty =
+  match Types.get_desc ty with
+  | Tvar _ | Tunivar _ -> Tyvar
+  | Tpoly (t, _) -> classify_structural t
+  | Tconstr (p, _, _)
+    when Path.same p Predef.path_int || Path.same p Predef.path_bool
+         || Path.same p Predef.path_char || Path.same p Predef.path_unit ->
+      Immediate
+  | _ -> Boxed (print_type ty)
+
+let classify (env : Env.t) ty =
+  match Envaux.env_of_only_summary env with
+  | env -> (
+      let expanded =
+        match Ctype.expand_head env ty with
+        | ty -> ty
+        | exception _ -> ty
+      in
+      match Types.get_desc expanded with
+      | Tvar _ | Tunivar _ -> Tyvar
+      | _ -> (
+          match Ctype.immediacy env ty with
+          | Type_immediacy.Always | Type_immediacy.Always_on_64bits -> Immediate
+          | Type_immediacy.Unknown -> Boxed (print_type ty)
+          | exception _ -> classify_structural expanded))
+  | exception _ -> classify_structural ty
+
+let expand env ty =
+  match Ctype.expand_head (Envaux.env_of_only_summary env) ty with
+  | ty -> ty
+  | exception _ -> ty
+
+(* final result type of a (possibly partial) application: peel arrows *)
+let rec peel_arrows env ty =
+  let ty = expand env ty in
+  match Types.get_desc ty with Tarrow (_, _, r, _) -> peel_arrows env r | _ -> ty
+
+(* first value-argument type of a function type: peel optional labels *)
+let rec first_operand env ty =
+  let ty = expand env ty in
+  match Types.get_desc ty with
+  | Tarrow (Optional _, _, r, _) -> first_operand env r
+  | Tarrow (_, d, _, _) -> Some d
+  | _ -> None
+
+(* ---------- SAFETY comments ---------- *)
+
+let safety_covered ctx line =
+  List.exists (fun l -> l >= ctx.scope_start - 12 && l <= line) ctx.safety_lines
+
+let safety_lines_of_source path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lines = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           let has_safety =
+             let n = String.length line and pat = "SAFETY" in
+             let rec go i =
+               i + 6 <= n && (String.equal (String.sub line i 6) pat || go (i + 1))
+             in
+             go 0
+           in
+           if has_safety then lines := !lineno :: !lines
+         done
+       with End_of_file -> ());
+      List.rev !lines)
+
+(* ---------- output ---------- *)
+
+let compare_findings a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let print_json findings =
+  print_string "{\n  \"findings\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then print_string ",";
+      Printf.printf
+        "\n    {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \
+         \"message\": \"%s\", \"hint\": \"%s\"}"
+        (json_escape f.file) f.line f.col f.rule (json_escape f.message)
+        (json_escape f.hint))
+    findings;
+  if not (List.is_empty findings) then print_string "\n  ";
+  Printf.printf "],\n  \"count\": %d\n}\n" (List.length findings)
+
+let print_text findings =
+  List.iter
+    (fun f ->
+      Printf.printf "%s:%d:%d: %s: %s\n" f.file f.line f.col f.rule f.message;
+      Printf.printf "  hint: %s\n" f.hint)
+    findings;
+  match findings with
+  | [] -> ()
+  | _ -> Printf.printf "%d finding(s)\n" (List.length findings)

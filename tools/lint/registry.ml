@@ -1,0 +1,67 @@
+(* Rule registry: one entry per rule, in reporting order. Local rules
+   run per-expression during [Walk.lint_structure]; global rules run
+   once over the whole fact store after every .cmt has been walked. *)
+
+type kind = Local | Global of (Lint.config -> Conc.facts -> Lint.finding list)
+
+type entry = { id : string; summary : string; kind : kind }
+
+let entries =
+  [
+    {
+      id = Lint.r_poly;
+      summary =
+        "polymorphic =/<>/compare/min/max at non-immediate types, unapplied \
+         primitives, Hashtbl.create with boxed keys";
+      kind = Local;
+    };
+    {
+      id = Lint.r_unsafe;
+      summary =
+        "*.unsafe_* only in allowlisted modules and under a SAFETY comment";
+      kind = Local;
+    };
+    {
+      id = Lint.r_swallow;
+      summary = "catch-all try handlers that never re-raise";
+      kind = Local;
+    };
+    {
+      id = Lint.r_lockdisc;
+      summary = "direct Mutex.lock/unlock outside the Sync helper";
+      kind = Local;
+    };
+    {
+      id = Lint.r_domain;
+      summary =
+        "mutable state captured by Domain.spawn/Thread.create closures \
+         without Atomic.t or with_lock";
+      kind = Global Rule_domain_escape.run;
+    };
+    {
+      id = Lint.r_lock_order;
+      summary =
+        "nested-acquisition cycles and blocking calls while a lock is held";
+      kind = Global Rule_lock_order.run;
+    };
+    {
+      id = Lint.r_atomicity;
+      summary =
+        "mutable state accessed both under with_lock and outside it";
+      kind = Global Rule_atomicity.run;
+    };
+    {
+      id = Lint.r_fd;
+      summary =
+        "Unix fd results must reach a close, channel conversion, or fd-owner";
+      kind = Global Rule_fd.run;
+    };
+  ]
+
+let ids = List.map (fun e -> e.id) entries
+let is_rule id = List.exists (String.equal id) ids
+
+let global_runs cfg facts =
+  List.concat_map
+    (fun e -> match e.kind with Local -> [] | Global run -> run cfg facts)
+    entries

@@ -1,0 +1,55 @@
+(* atomicity (mixed-discipline): a mutable location reached both inside
+   and outside [Sync.with_lock] regions anywhere in the analyzed tree.
+   Grouping is by canonical target name (declaration-site field key,
+   stamped local, or module-level path); every *unlocked* access of a
+   mixed group is a finding.
+
+   Limits: no aliasing analysis — two different record instances of the
+   same type share a group; a callee that accesses the state on the
+   caller's behalf is attributed to the callee's site, with the lock
+   state at that site. *)
+
+module Stbl = Lint.Stbl
+
+let run (cfg : Lint.config) (facts : Conc.facts) : Lint.finding list =
+  let groups : Conc.access list ref Stbl.t = Stbl.create 64 in
+  List.iter
+    (fun (a : Conc.access) ->
+      match a.Conc.a_target with
+      | None -> ()
+      | Some t -> (
+          match Stbl.find_opt groups t with
+          | Some l -> l := a :: !l
+          | None -> Stbl.add groups t (ref [ a ])))
+    facts.Conc.accesses;
+  Stbl.fold
+    (fun _target group acc ->
+      let locked = List.exists (fun a -> a.Conc.a_locked) !group in
+      let unlocked = List.exists (fun a -> not a.Conc.a_locked) !group in
+      if not (locked && unlocked) then acc
+      else
+        List.fold_left
+          (fun acc (a : Conc.access) ->
+            if a.Conc.a_locked then acc
+            else
+              let display =
+                (* field keys already carry the declaration file; locals
+                   show their source name *)
+                a.Conc.a_display
+              in
+              match
+                Lint.global_finding cfg ~rule:Lint.r_atomicity
+                  ~allows:a.Conc.a_allows a.Conc.a_loc
+                  (Printf.sprintf
+                     "%s is accessed both under Sync.with_lock and outside it; \
+                      this unlocked %s races with the locked sites"
+                     display
+                     (if a.Conc.a_write then "write" else "read"))
+                  "hold the same lock on every access, make the state Atomic.t, \
+                   or annotate the deliberate site with [@lint.allow \
+                   \"atomicity\"] plus a (* SAFETY: ... *) comment"
+              with
+              | Some f -> f :: acc
+              | None -> acc)
+          acc !group)
+    groups []

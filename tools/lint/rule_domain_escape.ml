@@ -1,0 +1,115 @@
+(* domain-escape: mutable state captured by a [Domain.spawn] /
+   [Thread.create] closure must be Atomic.t (invisible to this analysis,
+   so never flagged), accessed only under [Sync.with_lock], or carry a
+   per-site [@lint.allow "domain-escape"] with a SAFETY comment.
+
+   A spawn root is the inline closure, or the function a (partial)
+   application of which is passed to the spawn primitive. Trivial
+   wrappers — functions whose whole body is a single call — are chased
+   up to a small depth, so [Domain.spawn (worker t)] with
+   [let worker t () = run t] analyzes [run]. Only the root function's
+   own body (including its local closures) is inspected; callees are
+   trusted to guard their own state (callee-trust limit, DESIGN.md §15).
+
+   "Captured" means the access base is bound outside the root — a
+   parameter of the root itself (bound at spawn time in the spawner), a
+   binding of an enclosing function, a module-level value, or a complex
+   base. Values bound inside the root during execution are local. This
+   is exactly the PR-7 dead-snapshot shape: a functional-update record
+   copied in the spawner and read by the spawned closure. *)
+
+module Stbl = Lint.Stbl
+
+let max_wrapper_depth = 5
+
+let run (cfg : Lint.config) (facts : Conc.facts) : Lint.finding list =
+  (* index facts by frame membership *)
+  let has_own_facts key =
+    List.exists (fun (a : Conc.access) -> Conc.in_frames key a.Conc.a_frames)
+      facts.Conc.accesses
+    || List.exists (fun (q : Conc.acquire) -> Conc.in_frames key q.Conc.q_frames)
+         facts.Conc.acquires
+  in
+  let calls_of key =
+    List.filter (fun (c : Conc.call) -> Conc.in_frames key c.Conc.c_frames)
+      facts.Conc.calls
+  in
+  (* chase trivial wrappers: no accesses/acquires of its own, exactly one
+     call that resolves to a known function *)
+  let rec resolve_root depth key =
+    if depth >= max_wrapper_depth then key
+    else if has_own_facts key then key
+    else
+      match calls_of key with
+      | [ c ] -> (
+          match Conc.resolve facts c.Conc.c_keys with
+          | Some next when not (String.equal next key) ->
+              resolve_root (depth + 1) next
+          | _ -> key)
+      | _ -> key
+  in
+  let index_of key frames =
+    let rec go i = function
+      | [] -> None
+      | k :: rest -> if String.equal k key then Some i else go (i + 1) rest
+    in
+    go 0 frames
+  in
+  let captured root (a : Conc.access) =
+    match index_of root a.Conc.a_frames with
+    | None -> false (* access not inside the root at all *)
+    | Some root_idx -> (
+        match a.Conc.a_binder with
+        | Conc.B_module _ | Conc.B_unknown -> true
+        | Conc.B_frame (bkey, kind) -> (
+            match index_of bkey a.Conc.a_frames with
+            | None -> true (* bound outside the whole stack: captured *)
+            | Some bidx -> (
+                match kind with
+                | Conc.Local -> bidx > root_idx
+                | Conc.Param ->
+                    (* parameters of the root are bound at spawn time in
+                       the spawner; parameters of inner closures are
+                       bound during spawned execution *)
+                    bidx >= root_idx)))
+  in
+  let roots =
+    List.filter_map
+      (fun (s : Conc.spawn) ->
+        match s.Conc.s_root with
+        | [] -> None
+        | keys -> (
+            (* inline closures registered their frame key directly; named
+               targets resolve through the function table *)
+            match Conc.resolve facts keys with
+            | Some key -> Some (s, resolve_root 0 key)
+            | None -> (
+                match keys with
+                | [ key ] when String.length key >= 6
+                               && String.equal (String.sub key 0 6) "spawn@" ->
+                    Some (s, resolve_root 0 key)
+                | _ -> None)))
+      facts.Conc.spawns
+  in
+  let findings =
+    List.concat_map
+      (fun ((s : Conc.spawn), root) ->
+        List.filter_map
+          (fun (a : Conc.access) ->
+            if a.Conc.a_locked || not (captured root a) then None
+            else
+              Lint.global_finding cfg ~rule:Lint.r_domain
+                ~allows:(a.Conc.a_allows @ s.Conc.s_allows) a.Conc.a_loc
+                (Printf.sprintf
+                   "%s is captured by a %s closure and %s outside any \
+                    Sync.with_lock region"
+                   a.Conc.a_display s.Conc.s_kind
+                   (if a.Conc.a_write then "written" else "read"))
+                "make the state Atomic.t, guard every access with \
+                 Scoll.Sync.with_lock, or annotate the deliberate site with \
+                 [@lint.allow \"domain-escape\"] plus a (* SAFETY: ... *) \
+                 comment")
+          facts.Conc.accesses)
+      roots
+  in
+  findings

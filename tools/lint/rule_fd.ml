@@ -1,0 +1,27 @@
+(* fd-lifecycle: every [Unix.socket]/[Unix.accept]/[Unix.openfile] (and
+   pipe/socketpair) result must flow into [Fun.protect]'s finally, a
+   recognized closing function ([Unix.close], [close_in*]/[close_out*],
+   or an ownership transfer via [in_channel_of_descr]/
+   [out_channel_of_descr]), or an allowlisted fd-owner function
+   (--fd-owners, default [spawn_session]) within the binding scope.
+
+   The check is syntactic and scope-local — an fd smuggled through a
+   record field or returned bare is not tracked; annotate such transfers
+   with [@lint.allow "fd-lifecycle"]. *)
+
+let run (cfg : Lint.config) (facts : Conc.facts) : Lint.finding list =
+  List.filter_map
+    (fun (s : Conc.fd_site) ->
+      if s.Conc.fd_ok then None
+      else
+        Lint.global_finding cfg ~rule:Lint.r_fd ~allows:s.Conc.fd_allows
+          s.Conc.fd_loc
+          (Printf.sprintf
+             "file descriptor from %s does not reach Fun.protect, a close \
+              function, or a recognized owner in its binding scope"
+             s.Conc.fd_name)
+          "close it on every path (Fun.protect ~finally), convert it with \
+           Unix.in_channel_of_descr/out_channel_of_descr, pass it to an \
+           fd-owner (--fd-owners), or annotate the transfer with [@lint.allow \
+           \"fd-lifecycle\"] plus a (* SAFETY: ... *) comment")
+    facts.Conc.fds

@@ -1,0 +1,234 @@
+(* lock-order: build the static graph of nested lock acquisitions —
+   direct [with_lock] nesting plus nesting through the intra-library
+   call graph — and report cycles as potential deadlocks. Additionally
+   flag blocking calls (Condition.wait outside its idiom, Unix I/O,
+   joins, channel flushes/closes) made while a lock is held, directly or
+   through a resolved callee.
+
+   Array-element locks share one canonical name ("parallel.stripes[]"),
+   so an index-disjoint protocol on the same array reads as a self-cycle;
+   annotate such protocols. Closures passed through record fields are
+   not traced (no higher-order call graph). *)
+
+module Stbl = Lint.Stbl
+
+type edge = {
+  e_from : string;
+  e_to : string;
+  e_loc : Location.t;
+  e_allows : string list;
+  e_via : string option; (* callee name when the edge is transitive *)
+}
+
+let run (cfg : Lint.config) (facts : Conc.facts) : Lint.finding list =
+  (* ---- transitive acquisition / blocking summaries per function ---- *)
+  let trans_acq : (string * Location.t) list Stbl.t = Stbl.create 64 in
+  let trans_block : string list Stbl.t = Stbl.create 64 in
+  let visiting = Stbl.create 16 in
+  let acquires_in key =
+    List.filter (fun (q : Conc.acquire) -> Conc.in_frames key q.Conc.q_frames)
+      facts.Conc.acquires
+  in
+  let calls_in key =
+    List.filter (fun (c : Conc.call) -> Conc.in_frames key c.Conc.c_frames)
+      facts.Conc.calls
+  in
+  let is_blocking (c : Conc.call) =
+    List.exists (String.equal c.Conc.c_name) Conc.blocking_calls
+    && not c.Conc.c_wait_ok
+  in
+  let rec acq_of key =
+    match Stbl.find_opt trans_acq key with
+    | Some v -> v
+    | None ->
+        if Stbl.mem visiting key then []
+        else begin
+          Stbl.replace visiting key ();
+          let direct =
+            List.map
+              (fun (q : Conc.acquire) -> (q.Conc.q_lock, q.Conc.q_loc))
+              (acquires_in key)
+          in
+          let indirect =
+            List.concat_map
+              (fun (c : Conc.call) ->
+                match Conc.resolve facts c.Conc.c_keys with
+                | Some callee when not (String.equal callee key) -> acq_of callee
+                | _ -> [])
+              (calls_in key)
+          in
+          Stbl.remove visiting key;
+          let v = direct @ indirect in
+          Stbl.replace trans_acq key v;
+          v
+        end
+  in
+  let rec block_of key =
+    match Stbl.find_opt trans_block key with
+    | Some v -> v
+    | None ->
+        if Stbl.mem visiting key then []
+        else begin
+          Stbl.replace visiting key ();
+          let direct =
+            List.filter_map
+              (fun (c : Conc.call) ->
+                if is_blocking c then Some c.Conc.c_name else None)
+              (calls_in key)
+          in
+          let indirect =
+            List.concat_map
+              (fun (c : Conc.call) ->
+                match Conc.resolve facts c.Conc.c_keys with
+                | Some callee when not (String.equal callee key) ->
+                    block_of callee
+                | _ -> [])
+              (calls_in key)
+          in
+          Stbl.remove visiting key;
+          let v = List.sort_uniq String.compare (direct @ indirect) in
+          Stbl.replace trans_block key v;
+          v
+        end
+  in
+  (* ---- edges ---- *)
+  let direct_edges =
+    List.filter_map
+      (fun (q : Conc.acquire) ->
+        match q.Conc.q_held with
+        | [] -> None
+        | innermost :: _ ->
+            Some
+              {
+                e_from = innermost;
+                e_to = q.Conc.q_lock;
+                e_loc = q.Conc.q_loc;
+                e_allows = q.Conc.q_allows;
+                e_via = None;
+              })
+      facts.Conc.acquires
+  in
+  let call_edges =
+    List.concat_map
+      (fun (c : Conc.call) ->
+        match c.Conc.c_held with
+        | [] -> []
+        | innermost :: _ -> (
+            match Conc.resolve facts c.Conc.c_keys with
+            | None -> []
+            | Some callee ->
+                List.map
+                  (fun (lock, _) ->
+                    {
+                      e_from = innermost;
+                      e_to = lock;
+                      e_loc = c.Conc.c_loc;
+                      e_allows = c.Conc.c_allows;
+                      e_via = Some c.Conc.c_name;
+                    })
+                  (acq_of callee)))
+      facts.Conc.calls
+  in
+  let edges = direct_edges @ call_edges in
+  (* ---- cycle detection: report one finding per edge that closes a
+     cycle (a path from e_to back to e_from exists) ---- *)
+  let succs = Stbl.create 32 in
+  List.iter
+    (fun e ->
+      let cur = match Stbl.find_opt succs e.e_from with Some l -> l | None -> [] in
+      if not (List.exists (String.equal e.e_to) cur) then
+        Stbl.replace succs e.e_from (e.e_to :: cur))
+    edges;
+  let reaches src dst =
+    let seen = Stbl.create 16 in
+    let rec go n =
+      String.equal n dst
+      || (not (Stbl.mem seen n))
+         && begin
+              Stbl.replace seen n ();
+              match Stbl.find_opt succs n with
+              | None -> false
+              | Some next -> List.exists go next
+            end
+    in
+    go src
+  in
+  let cycle_findings =
+    List.filter_map
+      (fun e ->
+        if not (reaches e.e_to e.e_from) then None
+        else
+          let message =
+            if String.equal e.e_from e.e_to then
+              Printf.sprintf
+                "lock %s is acquired while already held: self-deadlock (or an \
+                 index-disjoint array-lock protocol this analysis cannot see)"
+                e.e_to
+            else
+              Printf.sprintf
+                "lock-order cycle: %s is acquired while holding %s%s, and \
+                 another path acquires them in the opposite order"
+                e.e_to e.e_from
+                (match e.e_via with
+                | None -> ""
+                | Some via -> Printf.sprintf " (through call to %s)" via)
+          in
+          Lint.global_finding cfg ~rule:Lint.r_lock_order ~allows:e.e_allows
+            e.e_loc message
+            "impose one global acquisition order for these locks (document it \
+             in DESIGN.md §15) or restructure so only one is held at a time; \
+             annotate a proven-disjoint protocol with [@lint.allow \
+             \"lock-order\"] plus a (* SAFETY: ... *) comment")
+      edges
+  in
+  (* ---- blocking calls while a lock is held ---- *)
+  let blocking_findings =
+    List.filter_map
+      (fun (c : Conc.call) ->
+        let wait = String.equal c.Conc.c_name "Condition.wait" in
+        match c.Conc.c_held with
+        | [] ->
+            if wait then
+              Lint.global_finding cfg ~rule:Lint.r_lock_order
+                ~allows:c.Conc.c_allows c.Conc.c_loc
+                "Condition.wait with no lock held: the wait releases a mutex \
+                 this thread does not hold"
+                "wrap the wait in Sync.with_lock on the condition's mutex \
+                 (while not pred do Condition.wait c m done)"
+            else None
+        | innermost :: _ ->
+            if is_blocking c then
+              Lint.global_finding cfg ~rule:Lint.r_lock_order
+                ~allows:c.Conc.c_allows c.Conc.c_loc
+                (if wait then
+                   Printf.sprintf
+                     "Condition.wait outside its idiom while holding lock %s: \
+                      the mutex argument must be the innermost held lock"
+                     innermost
+                 else
+                   Printf.sprintf "blocking call %s while holding lock %s"
+                     c.Conc.c_name innermost)
+                "move the blocking operation outside the critical section, or \
+                 annotate the deliberate site with [@lint.allow \
+                 \"lock-order\"] plus a (* SAFETY: ... *) comment"
+            else
+              (* transitive: a resolved callee that blocks *)
+              match Conc.resolve facts c.Conc.c_keys with
+              | None -> None
+              | Some callee -> (
+                  match block_of callee with
+                  | [] -> None
+                  | b :: _ ->
+                      Lint.global_finding cfg ~rule:Lint.r_lock_order
+                        ~allows:c.Conc.c_allows c.Conc.c_loc
+                        (Printf.sprintf
+                           "call to %s may block (reaches %s) while holding \
+                            lock %s"
+                           c.Conc.c_name b innermost)
+                        "move the blocking operation outside the critical \
+                         section, or annotate the deliberate site with \
+                         [@lint.allow \"lock-order\"] plus a (* SAFETY: ... *) \
+                         comment"))
+      facts.Conc.calls
+  in
+  cycle_findings @ blocking_findings

@@ -1,0 +1,27 @@
+(* lock-discipline: direct [Mutex.lock]/[Mutex.unlock] calls outside
+   the designated helper module (default [Sync]); pairing on every exit
+   path is exactly what [Sync.with_lock] guarantees, so routing through
+   it is the checkable form of the invariant. *)
+
+let mutex_ops =
+  [
+    "Stdlib.Mutex.lock";
+    "Stdlib.Mutex.unlock";
+    "Stdlib.Mutex.try_lock";
+    "Stdlib__Mutex.lock";
+    "Stdlib__Mutex.unlock";
+    "Stdlib__Mutex.try_lock";
+  ]
+
+let is_mutex_op path = List.exists (String.equal (Path.name path)) mutex_ops
+
+let check ctx (loc : Location.t) path =
+  if not (List.exists (String.equal ctx.Lint.modname) ctx.Lint.cfg.Lint.lock_allow)
+  then
+    Lint.report ctx loc Lint.r_lockdisc
+      (Printf.sprintf
+         "direct %s in module %s: hand-paired lock/unlock loses the lock on any \
+          exception between them"
+         (Path.name path) ctx.Lint.modname)
+      "route the critical section through Scoll.Sync.with_lock (Fun.protect pairs the \
+       unlock on every exit path)"

@@ -1,0 +1,87 @@
+(* poly-compare: [=], [<>], [compare], [min], [max] applied at a type
+   variable or a non-immediate type, any of them passed unapplied as a
+   first-class value (the closure is always the generic runtime compare,
+   even at [int]), and [Hashtbl.create] whose key type is a type
+   variable or non-immediate (polymorphic hash + structural equality per
+   probe). *)
+
+let poly_ops = [ "="; "<>"; "compare"; "min"; "max" ]
+
+let is_poly_op path =
+  match path with
+  | Path.Pdot (Path.Pident id, op) ->
+      String.equal (Ident.name id) "Stdlib"
+      && List.exists (String.equal op) poly_ops
+  | _ -> false
+
+let op_name path = match path with Path.Pdot (_, op) -> op | _ -> Path.name path
+
+let mono_hint op ty_desc =
+  match ty_desc with
+  | Some "int" -> Printf.sprintf "use Int.%s" op
+  | Some "float" -> Printf.sprintf "use Float.%s" op
+  | Some "string" -> Printf.sprintf "use String.%s" op
+  | _ -> (
+      match op with
+      | "=" | "<>" -> "compare with a monomorphic equal or an explicit loop"
+      | _ -> "use a monomorphic comparator (Int.compare, Float.compare, ...)")
+
+let eq_ops = [ "="; "<>" ]
+
+let check_applied ctx (loc : Location.t) env op operand_ty =
+  match Lint.classify env operand_ty with
+  | Lint.Immediate -> ()
+  | Lint.Tyvar ->
+      Lint.report ctx loc Lint.r_poly
+        (Printf.sprintf
+           "(%s) instantiated at a type variable: the body generalized, so every call \
+            is the polymorphic runtime compare"
+           op)
+        "annotate the operand type (e.g. (x : int)) so the comparison is monomorphic"
+  | Lint.Boxed t ->
+      Lint.report ctx loc Lint.r_poly
+        (Printf.sprintf "(%s) at non-immediate type %s compiles to caml_compare" op t)
+        (if List.exists (String.equal op) eq_ops then
+           Printf.sprintf "use a monomorphic equal for %s or an explicit loop" t
+         else mono_hint op (Some t))
+
+let check_unapplied ctx (loc : Location.t) env op (ty : Types.type_expr) =
+  let operand = Lint.first_operand env ty in
+  let operand_desc =
+    match operand with
+    | None -> None
+    | Some d -> (
+        match Lint.classify env d with
+        | Lint.Tyvar -> None
+        | Lint.Immediate | Lint.Boxed _ -> Some (Lint.print_type d))
+  in
+  Lint.report ctx loc Lint.r_poly
+    (Printf.sprintf
+       "generic Stdlib.%s passed as a value: an unapplied primitive is compiled as the \
+        polymorphic runtime compare, even at int"
+       op)
+    (mono_hint op operand_desc)
+
+let check_hashtbl_create ctx (loc : Location.t) env (result_ty : Types.type_expr) =
+  let final = Lint.peel_arrows env result_ty in
+  match Types.get_desc final with
+  | Tconstr (p, [ key; _ ], _)
+  (* the alias [Stdlib.Hashtbl] is normalized to the unit name
+     [Stdlib__Hashtbl] during expansion, so accept both spellings *)
+    when List.exists (String.equal (Path.name p))
+           [ "Stdlib.Hashtbl.t"; "Stdlib__Hashtbl.t" ] -> (
+      match Lint.classify env key with
+      | Lint.Immediate -> ()
+      | Lint.Tyvar ->
+          Lint.report ctx loc Lint.r_poly
+            "Hashtbl.create with a type-variable key: default structural hash/equality \
+             generalize to the polymorphic runtime versions"
+            "pin the key type (e.g. int) or use Hashtbl.Make with explicit equal/hash"
+      | Lint.Boxed t ->
+          Lint.report ctx loc Lint.r_poly
+            (Printf.sprintf
+               "Hashtbl.create with non-immediate key type %s: every probe pays \
+                polymorphic hash + structural equality"
+               t)
+            "encode the key as an int or use Hashtbl.Make with explicit equal/hash")
+  | _ -> ()

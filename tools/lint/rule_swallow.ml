@@ -1,0 +1,57 @@
+(* exception-swallow: [try ... with] handlers whose pattern catches
+   every exception and whose body never re-raises; these hide worker
+   crashes and parser bugs. *)
+
+module T = Typedtree
+
+let rec catch_all_pattern : T.pattern -> bool =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_any -> true
+  | Tpat_var _ -> true
+  | Tpat_alias (p, _, _) -> catch_all_pattern p
+  | Tpat_or (a, b, _) -> catch_all_pattern a || catch_all_pattern b
+  | _ -> false
+
+let reraise_names =
+  [
+    "Stdlib.raise";
+    "Stdlib.raise_notrace";
+    "Stdlib.Printexc.raise_with_backtrace";
+    "Stdlib__Printexc.raise_with_backtrace";
+    (* never-returning raisers count too: a backstop that converts the
+       stray exception into a structured [Io_error.Parse_error] is not a
+       swallow — the failure still propagates, just typed *)
+    "Io_error.fail";
+    "Io_error.failf";
+    "Sgraph.Io_error.fail";
+    "Sgraph.Io_error.failf";
+    "Sgraph__Io_error.fail";
+    "Sgraph__Io_error.failf";
+  ]
+
+let mentions_reraise (body : T.expression) =
+  let found = ref false in
+  let default = Tast_iterator.default_iterator in
+  let expr sub (e : T.expression) =
+    (match e.exp_desc with
+    | Texp_ident (p, _, _)
+      when List.exists (String.equal (Path.name p)) reraise_names ->
+        found := true
+    | _ -> ());
+    default.expr sub e
+  in
+  let it = { default with expr } in
+  it.expr it body;
+  !found
+
+let check_try ctx (cases : T.value T.case list) =
+  List.iter
+    (fun (c : T.value T.case) ->
+      if catch_all_pattern c.c_lhs && not (mentions_reraise c.c_rhs) then
+        Lint.report ctx c.c_lhs.pat_loc Lint.r_swallow
+          "catch-all exception handler that never re-raises: a crash in the guarded \
+           code (worker body, parser loop) is silently swallowed"
+          "match the exceptions you expect explicitly and re-raise the rest (| e -> \
+           ...; raise e), or use Fun.protect for cleanup")
+    cases

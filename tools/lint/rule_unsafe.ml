@@ -1,0 +1,20 @@
+(* unsafe-allowlist: [*.unsafe_*] calls are permitted only inside an
+   explicit module allowlist (default [Bitset], [Node_set]) and only
+   when the call site is covered by a [(* SAFETY: ... *)] comment
+   stating the bounds argument. *)
+
+let is_unsafe_ident path = String.starts_with ~prefix:"unsafe_" (Path.last path)
+
+let check ctx (loc : Location.t) path =
+  let name = Path.name path in
+  if not (List.exists (String.equal ctx.Lint.modname) ctx.Lint.cfg.Lint.unsafe_allow)
+  then
+    Lint.report ctx loc Lint.r_unsafe
+      (Printf.sprintf "%s used in module %s, which is not on the unsafe allowlist" name
+         ctx.Lint.modname)
+      "move the kernel into an allowlisted module (Bitset, Node_set) or justify the \
+       site with [@lint.allow \"unsafe-allowlist\"] plus a (* SAFETY: ... *) comment"
+  else if not (Lint.safety_covered ctx loc.loc_start.pos_lnum) then
+    Lint.report ctx loc Lint.r_unsafe
+      (Printf.sprintf "%s call site has no (* SAFETY: ... *) comment in scope" name)
+      "state the bounds argument in a (* SAFETY: ... *) comment on the enclosing binding"

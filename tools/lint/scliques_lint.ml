@@ -1,481 +1,66 @@
 (* scliques-lint — static analysis over the typed trees (.cmt files) of
-   lib/ and bin/.
+   the repository's libraries and executables.
 
-   The enumeration engine lives or dies on per-element constant factors:
-   a polymorphic compare that slips into a merge loop, an unsafe access
-   outside its bounds argument, or a mutex left locked on an exception
-   path each cost an order of magnitude or a hang, and none of them are
-   visible in the .mli. This tool walks the *typed* tree (so it sees the
-   instantiation types the source hides) and enforces four rules:
+   The enumeration engine lives or dies on per-element constant factors
+   and, since PR 2/4/7, on multicore discipline: a polymorphic compare
+   in a merge loop, a mutex left locked on an exception path, a mutable
+   field snapshot captured by a spawned domain, or two locks taken in
+   opposite orders each cost an order of magnitude, a hang, or a lost
+   answer, and none of them are visible in the .mli. The tool walks the
+   *typed* tree (so it sees the instantiation types the source hides)
+   and enforces eight rules — see registry.ml for the list and
+   DESIGN.md §10/§15 for the semantics:
 
-   - poly-compare: [=], [<>], [compare], [min], [max] applied at a type
-     variable or a non-immediate type, any of them passed unapplied as a
-     first-class value (the closure is always the generic runtime
-     compare, even at [int]), and [Hashtbl.create] whose key type is a
-     type variable or non-immediate (polymorphic hash + structural
-     equality per probe).
-   - unsafe-allowlist: [*.unsafe_*] calls are permitted only inside an
-     explicit module allowlist (default [Bitset], [Node_set]) and only
-     when the call site is covered by a [(* SAFETY: ... *)] comment
-     stating the bounds argument.
-   - exception-swallow: [try ... with] handlers whose pattern catches
-     every exception and whose body never re-raises; these hide worker
-     crashes and parser bugs.
-   - lock-discipline: direct [Mutex.lock]/[Mutex.unlock] calls outside
-     the designated helper module (default [Sync]); pairing on every
-     exit path is exactly what [Sync.with_lock] guarantees, so routing
-     through it is the checkable form of the invariant.
+   local (per expression): poly-compare, unsafe-allowlist,
+   exception-swallow, lock-discipline.
+
+   global (whole analyzed tree, from facts gathered by Conc.collect):
+   domain-escape, lock-order, atomicity, fd-lifecycle.
 
    Per-site suppression: [@lint.allow "rule-id"] on an expression or a
-   [let] binding disables the named rule for that subtree.
+   [let] binding disables the named rule for that subtree; the
+   concurrency rules additionally require a (* SAFETY: ... *) comment by
+   convention (reviewed, not machine-checked).
 
    Findings go to stdout as [file:line:col: rule: message] plus a fix
    hint, or as a stable JSON document under [--json]. Exit status: 0 no
-   findings, 1 findings, 2 usage or read error. *)
-
-module T = Typedtree
-
-(* ---------- rules ---------- *)
-
-type rule = Poly_compare | Unsafe_allowlist | Exception_swallow | Lock_discipline
-
-let all_rules = [ Poly_compare; Unsafe_allowlist; Exception_swallow; Lock_discipline ]
-
-let rule_id = function
-  | Poly_compare -> "poly-compare"
-  | Unsafe_allowlist -> "unsafe-allowlist"
-  | Exception_swallow -> "exception-swallow"
-  | Lock_discipline -> "lock-discipline"
-
-let rule_of_id = function
-  | "poly-compare" -> Some Poly_compare
-  | "unsafe-allowlist" -> Some Unsafe_allowlist
-  | "exception-swallow" -> Some Exception_swallow
-  | "lock-discipline" -> Some Lock_discipline
-  | _ -> None
-
-type finding = {
-  file : string;
-  line : int;
-  col : int;
-  rule : rule;
-  message : string;
-  hint : string;
-}
-
-(* ---------- configuration ---------- *)
-
-type config = {
-  mutable json : bool;
-  mutable rules : rule list;
-  mutable unsafe_allow : string list; (* module names where unsafe_* is permitted *)
-  mutable lock_allow : string list; (* module names allowed to touch Mutex directly *)
-  mutable root : string; (* prefix tried when resolving recorded source paths *)
-  mutable paths : string list;
-}
+   findings, 1 findings, 2 usage error, unreadable input, or stale .cmt
+   files (older than their sources; disable with --no-mtime-check when a
+   build system already guarantees freshness by content digests). *)
 
 let default_config () =
   {
-    json = false;
-    rules = all_rules;
+    Lint.json = false;
+    rules = Registry.ids;
     unsafe_allow = [ "Bitset"; "Node_set" ];
     lock_allow = [ "Sync" ];
+    fd_owners = [ "spawn_session" ];
     root = ".";
+    mtime_check = true;
     paths = [];
   }
 
 let usage =
   "usage: scliques-lint [--json] [--rules r1,r2,...] [--unsafe-allow M1,M2]\n\
-  \                     [--lock-allow M1,M2] [--root DIR] PATH...\n\
+  \                     [--lock-allow M1,M2] [--fd-owners f1,f2]\n\
+  \                     [--no-mtime-check] [--root DIR] PATH...\n\
    PATH is a .cmt file or a directory searched recursively for .cmt files.\n\
-   Rules: poly-compare unsafe-allowlist exception-swallow lock-discipline"
-
-(* ---------- per-file analysis state ---------- *)
-
-type ctx = {
-  cfg : config;
-  modname : string; (* unwrapped module name, e.g. "Bitset" *)
-  safety_lines : int list; (* lines of the source containing a SAFETY comment *)
-  mutable scope_start : int; (* start line of the nearest enclosing binding *)
-  mutable allows : rule list list; (* [@lint.allow] suppression stack *)
-  handled : (string * int * int, unit) Hashtbl.t;
-      (* function-position idents already checked as part of an application,
-         so the bare-ident pass does not report them twice *)
-  mutable out : finding list;
-}
-
-let loc_key (loc : Location.t) =
-  let p = loc.loc_start in
-  (p.pos_fname, p.pos_lnum, p.pos_cnum - p.pos_bol)
-
-let report ctx (loc : Location.t) rule message hint =
-  let enabled = List.mem rule ctx.cfg.rules in
-  let suppressed = List.exists (fun rs -> List.mem rule rs) ctx.allows in
-  if enabled && (not suppressed) && not loc.loc_ghost then
-    let p = loc.loc_start in
-    ctx.out <-
-      {
-        file = p.pos_fname;
-        line = p.pos_lnum;
-        col = p.pos_cnum - p.pos_bol;
-        rule;
-        message;
-        hint;
-      }
-      :: ctx.out
-
-(* ---------- suppression attributes ---------- *)
-
-let allows_of_attributes (attrs : T.attributes) =
-  List.concat_map
-    (fun (a : Parsetree.attribute) ->
-      if not (String.equal a.attr_name.txt "lint.allow") then []
-      else
-        match a.attr_payload with
-        | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] ->
-            (* accept [@lint.allow "r"], [@lint.allow "r1" "r2"] and
-               [@lint.allow ("r1", "r2")] *)
-            let rec strings (e : Parsetree.expression) =
-              match e.pexp_desc with
-              | Pexp_constant (Pconst_string (s, _, _)) -> [ s ]
-              | Pexp_tuple es -> List.concat_map strings es
-              | Pexp_apply (f, args) ->
-                  strings f @ List.concat_map (fun (_, a) -> strings a) args
-              | _ -> []
-            in
-            List.filter_map rule_of_id (strings e)
-        | _ -> [])
-    attrs
-
-(* ---------- type classification ---------- *)
-
-type verdict = Immediate | Tyvar | Boxed of string
-
-let print_type ty = Format.asprintf "%a" Printtyp.type_expr ty
-
-(* Structural fallback when the serialized environment cannot be
-   rebuilt (missing .cmi on the load path): predefined immediates are
-   recognized, everything else is conservatively boxed. *)
-let rec classify_structural ty =
-  match Types.get_desc ty with
-  | Tvar _ | Tunivar _ -> Tyvar
-  | Tpoly (t, _) -> classify_structural t
-  | Tconstr (p, _, _)
-    when Path.same p Predef.path_int || Path.same p Predef.path_bool
-         || Path.same p Predef.path_char || Path.same p Predef.path_unit ->
-      Immediate
-  | _ -> Boxed (print_type ty)
-
-let classify (env : Env.t) ty =
-  match Envaux.env_of_only_summary env with
-  | env -> (
-      let expanded = try Ctype.expand_head env ty with _ -> ty in
-      match Types.get_desc expanded with
-      | Tvar _ | Tunivar _ -> Tyvar
-      | _ -> (
-          match Ctype.immediacy env ty with
-          | Type_immediacy.Always | Type_immediacy.Always_on_64bits -> Immediate
-          | Type_immediacy.Unknown -> Boxed (print_type ty)
-          | exception _ -> classify_structural expanded))
-  | exception _ -> classify_structural ty
-
-(* final result type of a (possibly partial) application: peel arrows *)
-let rec peel_arrows env ty =
-  let ty = try Ctype.expand_head (Envaux.env_of_only_summary env) ty with _ -> ty in
-  match Types.get_desc ty with Tarrow (_, _, r, _) -> peel_arrows env r | _ -> ty
-
-(* first value-argument type of a function type: peel optional labels *)
-let rec first_operand env ty =
-  let ty = try Ctype.expand_head (Envaux.env_of_only_summary env) ty with _ -> ty in
-  match Types.get_desc ty with
-  | Tarrow (Optional _, _, r, _) -> first_operand env r
-  | Tarrow (_, d, _, _) -> Some d
-  | _ -> None
-
-(* ---------- rule: poly-compare ---------- *)
-
-let poly_ops = [ "="; "<>"; "compare"; "min"; "max" ]
-
-let is_poly_op path =
-  match path with
-  | Path.Pdot (Path.Pident id, op) ->
-      String.equal (Ident.name id) "Stdlib" && List.mem op poly_ops
-  | _ -> false
-
-let op_name path = match path with Path.Pdot (_, op) -> op | _ -> Path.name path
-
-let mono_hint op ty_desc =
-  match ty_desc with
-  | Some "int" -> Printf.sprintf "use Int.%s" op
-  | Some "float" -> Printf.sprintf "use Float.%s" op
-  | Some "string" -> Printf.sprintf "use String.%s" op
-  | _ -> (
-      match op with
-      | "=" | "<>" -> "compare with a monomorphic equal or an explicit loop"
-      | _ -> "use a monomorphic comparator (Int.compare, Float.compare, ...)")
-
-let eq_ops = [ "="; "<>" ]
-
-let check_poly_applied ctx (loc : Location.t) env op operand_ty =
-  match classify env operand_ty with
-  | Immediate -> ()
-  | Tyvar ->
-      report ctx loc Poly_compare
-        (Printf.sprintf
-           "(%s) instantiated at a type variable: the body generalized, so every call \
-            is the polymorphic runtime compare"
-           op)
-        "annotate the operand type (e.g. (x : int)) so the comparison is monomorphic"
-  | Boxed t ->
-      report ctx loc Poly_compare
-        (Printf.sprintf "(%s) at non-immediate type %s compiles to caml_compare" op t)
-        (if List.mem op eq_ops then
-           Printf.sprintf "use a monomorphic equal for %s or an explicit loop" t
-         else mono_hint op (Some t))
-
-let check_poly_unapplied ctx (loc : Location.t) env op (ty : Types.type_expr) =
-  let operand = first_operand env ty in
-  let operand_desc =
-    match operand with
-    | None -> None
-    | Some d -> (
-        match classify env d with
-        | Tyvar -> None
-        | Immediate | Boxed _ -> Some (print_type d))
-  in
-  report ctx loc Poly_compare
-    (Printf.sprintf
-       "generic Stdlib.%s passed as a value: an unapplied primitive is compiled as the \
-        polymorphic runtime compare, even at int"
-       op)
-    (mono_hint op operand_desc)
-
-let check_hashtbl_create ctx (loc : Location.t) env (result_ty : Types.type_expr) =
-  let final = peel_arrows env result_ty in
-  match Types.get_desc final with
-  | Tconstr (p, [ key; _ ], _)
-  (* the alias [Stdlib.Hashtbl] is normalized to the unit name
-     [Stdlib__Hashtbl] during expansion, so accept both spellings *)
-    when List.mem (Path.name p) [ "Stdlib.Hashtbl.t"; "Stdlib__Hashtbl.t" ] -> (
-      match classify env key with
-      | Immediate -> ()
-      | Tyvar ->
-          report ctx loc Poly_compare
-            "Hashtbl.create with a type-variable key: default structural hash/equality \
-             generalize to the polymorphic runtime versions"
-            "pin the key type (e.g. int) or use Hashtbl.Make with explicit equal/hash"
-      | Boxed t ->
-          report ctx loc Poly_compare
-            (Printf.sprintf
-               "Hashtbl.create with non-immediate key type %s: every probe pays \
-                polymorphic hash + structural equality"
-               t)
-            "encode the key as an int or use Hashtbl.Make with explicit equal/hash")
-  | _ -> ()
-
-(* ---------- rule: unsafe-allowlist ---------- *)
-
-let is_unsafe_ident path = String.starts_with ~prefix:"unsafe_" (Path.last path)
-
-let safety_covered ctx line =
-  List.exists (fun l -> l >= ctx.scope_start - 12 && l <= line) ctx.safety_lines
-
-let check_unsafe ctx (loc : Location.t) path =
-  let name = Path.name path in
-  if not (List.mem ctx.modname ctx.cfg.unsafe_allow) then
-    report ctx loc Unsafe_allowlist
-      (Printf.sprintf "%s used in module %s, which is not on the unsafe allowlist" name
-         ctx.modname)
-      "move the kernel into an allowlisted module (Bitset, Node_set) or justify the \
-       site with [@lint.allow \"unsafe-allowlist\"] plus a (* SAFETY: ... *) comment"
-  else if not (safety_covered ctx loc.loc_start.pos_lnum) then
-    report ctx loc Unsafe_allowlist
-      (Printf.sprintf "%s call site has no (* SAFETY: ... *) comment in scope" name)
-      "state the bounds argument in a (* SAFETY: ... *) comment on the enclosing binding"
-
-(* ---------- rule: exception-swallow ---------- *)
-
-let rec catch_all_pattern : T.pattern -> bool =
- fun p ->
-  match p.pat_desc with
-  | Tpat_any -> true
-  | Tpat_var _ -> true
-  | Tpat_alias (p, _, _) -> catch_all_pattern p
-  | Tpat_or (a, b, _) -> catch_all_pattern a || catch_all_pattern b
-  | _ -> false
-
-let reraise_names =
-  [
-    "Stdlib.raise";
-    "Stdlib.raise_notrace";
-    "Stdlib.Printexc.raise_with_backtrace";
-    "Stdlib__Printexc.raise_with_backtrace";
-    (* never-returning raisers count too: a backstop that converts the
-       stray exception into a structured [Io_error.Parse_error] is not a
-       swallow — the failure still propagates, just typed *)
-    "Io_error.fail";
-    "Io_error.failf";
-    "Sgraph.Io_error.fail";
-    "Sgraph.Io_error.failf";
-    "Sgraph__Io_error.fail";
-    "Sgraph__Io_error.failf";
-  ]
-
-let mentions_reraise (body : T.expression) =
-  let found = ref false in
-  let default = Tast_iterator.default_iterator in
-  let expr sub (e : T.expression) =
-    (match e.exp_desc with
-    | Texp_ident (p, _, _) when List.mem (Path.name p) reraise_names -> found := true
-    | _ -> ());
-    default.expr sub e
-  in
-  let it = { default with expr } in
-  it.expr it body;
-  !found
-
-let check_try ctx (cases : T.value T.case list) =
-  List.iter
-    (fun (c : T.value T.case) ->
-      if catch_all_pattern c.c_lhs && not (mentions_reraise c.c_rhs) then
-        report ctx c.c_lhs.pat_loc Exception_swallow
-          "catch-all exception handler that never re-raises: a crash in the guarded \
-           code (worker body, parser loop) is silently swallowed"
-          "match the exceptions you expect explicitly and re-raise the rest (| e -> \
-           ...; raise e), or use Fun.protect for cleanup")
-    cases
-
-(* ---------- rule: lock-discipline ---------- *)
-
-let mutex_ops =
-  [
-    "Stdlib.Mutex.lock";
-    "Stdlib.Mutex.unlock";
-    "Stdlib.Mutex.try_lock";
-    "Stdlib__Mutex.lock";
-    "Stdlib__Mutex.unlock";
-    "Stdlib__Mutex.try_lock";
-  ]
-
-let check_mutex ctx (loc : Location.t) path =
-  if not (List.mem ctx.modname ctx.cfg.lock_allow) then
-    report ctx loc Lock_discipline
-      (Printf.sprintf
-         "direct %s in module %s: hand-paired lock/unlock loses the lock on any \
-          exception between them"
-         (Path.name path) ctx.modname)
-      "route the critical section through Scoll.Sync.with_lock (Fun.protect pairs the \
-       unlock on every exit path)"
-
-(* ---------- expression dispatch ---------- *)
-
-let check_ident ctx (loc : Location.t) env path ~(applied_args : T.expression option list)
-    ~(ident_ty : Types.type_expr) ~(whole_ty : Types.type_expr) =
-  if is_poly_op path then begin
-    let op = op_name path in
-    match List.find_map (fun a -> a) applied_args with
-    | Some arg -> check_poly_applied ctx loc arg.T.exp_env op arg.T.exp_type
-    | None -> check_poly_unapplied ctx loc env op ident_ty
-  end;
-  if String.equal (Path.name path) "Stdlib.Hashtbl.create" then
-    check_hashtbl_create ctx loc env whole_ty;
-  if is_unsafe_ident path then check_unsafe ctx loc path;
-  if List.mem (Path.name path) mutex_ops then check_mutex ctx loc path
-
-let check_expr ctx (e : T.expression) =
-  match e.exp_desc with
-  | Texp_apply (({ exp_desc = Texp_ident (path, _, _); _ } as fn), args) ->
-      Hashtbl.replace ctx.handled (loc_key fn.exp_loc) ();
-      let applied_args =
-        List.filter_map
-          (fun (lbl, a) ->
-            match (lbl : Asttypes.arg_label) with
-            | Nolabel | Labelled _ -> Some a
-            | Optional _ -> None)
-          args
-      in
-      check_ident ctx fn.exp_loc fn.exp_env path ~applied_args ~ident_ty:fn.exp_type
-        ~whole_ty:e.exp_type
-  | Texp_ident (path, _, _) when not (Hashtbl.mem ctx.handled (loc_key e.exp_loc)) ->
-      check_ident ctx e.exp_loc e.exp_env path ~applied_args:[] ~ident_ty:e.exp_type
-        ~whole_ty:e.exp_type
-  | Texp_try (_, cases) -> check_try ctx cases
-  | _ -> ()
-
-(* ---------- tree walk ---------- *)
-
-let lint_structure ctx (str : T.structure) =
-  let default = Tast_iterator.default_iterator in
-  let expr sub (e : T.expression) =
-    ctx.allows <- allows_of_attributes e.exp_attributes :: ctx.allows;
-    check_expr ctx e;
-    default.expr sub e;
-    ctx.allows <- List.tl ctx.allows
-  in
-  let value_binding sub (vb : T.value_binding) =
-    let saved_scope = ctx.scope_start in
-    ctx.scope_start <- vb.vb_loc.loc_start.pos_lnum;
-    ctx.allows <- allows_of_attributes vb.vb_attributes :: ctx.allows;
-    default.value_binding sub vb;
-    ctx.allows <- List.tl ctx.allows;
-    ctx.scope_start <- saved_scope
-  in
-  let structure_item sub (si : T.structure_item) =
-    let saved_scope = ctx.scope_start in
-    ctx.scope_start <- si.str_loc.loc_start.pos_lnum;
-    default.structure_item sub si;
-    ctx.scope_start <- saved_scope
-  in
-  let it = { default with expr; value_binding; structure_item } in
-  it.structure it str
+   Rules: poly-compare unsafe-allowlist exception-swallow lock-discipline\n\
+  \       domain-escape lock-order atomicity fd-lifecycle"
 
 (* ---------- cmt handling ---------- *)
-
-let unwrap_modname name =
-  (* dune-wrapped modules are "Lib__Module"; keep the last component *)
-  let n = String.length name in
-  let rec go i after =
-    if i + 1 >= n then after
-    else if name.[i] = '_' && name.[i + 1] = '_' then go (i + 2) (i + 2)
-    else go (i + 1) after
-  in
-  let j = go 0 0 in
-  String.sub name j (n - j)
 
 let resolve_source cfg cmt_path source =
   let candidates =
     [
       source;
-      Filename.concat cfg.root source;
+      Filename.concat cfg.Lint.root source;
       Filename.concat (Filename.dirname cmt_path) (Filename.basename source);
     ]
   in
   List.find_opt Sys.file_exists candidates
 
-let safety_lines_of_source path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let lines = ref [] in
-      let lineno = ref 0 in
-      (try
-         while true do
-           let line = input_line ic in
-           incr lineno;
-           let has_safety =
-             let n = String.length line and pat = "SAFETY" in
-             let rec go i =
-               i + 6 <= n && (String.equal (String.sub line i 6) pat || go (i + 1))
-             in
-             go 0
-           in
-           if has_safety then lines := !lineno :: !lines
-         done
-       with End_of_file -> ());
-      List.rev !lines)
-
-let process_cmt cfg path =
+let process_cmt cfg facts path =
   let cmt = Cmt_format.read_cmt path in
   match cmt.cmt_annots with
   | Implementation str ->
@@ -488,24 +73,50 @@ let process_cmt cfg path =
         | Some s -> (
             match resolve_source cfg path s with
             | None -> []
-            | Some resolved -> safety_lines_of_source resolved)
+            | Some resolved -> Lint.safety_lines_of_source resolved)
       in
+      let modname = Lint.unwrap_modname cmt.cmt_modname in
+      Conc.note_wrapper facts cmt.cmt_modname;
       let ctx =
         {
-          cfg;
-          modname = unwrap_modname cmt.cmt_modname;
+          Lint.cfg;
+          modname;
           safety_lines;
           scope_start = 1;
           allows = [];
-          handled = Hashtbl.create 256;
+          handled = Lint.Stbl.create 256;
           out = [];
         }
       in
-      lint_structure ctx str;
-      ctx.out
+      Walk.lint_structure ctx str;
+      let file =
+        match cmt.cmt_sourcefile with
+        | Some s -> Filename.basename s
+        | None -> Filename.basename path
+      in
+      Conc.collect cfg ~modname ~file str facts;
+      ctx.Lint.out
   | _ -> []
 
-(* ---------- discovery, output, driver ---------- *)
+(* ---------- staleness check ---------- *)
+
+(* a .cmt older than its source describes a tree that no longer exists;
+   analyzing it gives findings (or a clean pass) for stale code *)
+let stale_cmts cfg cmts =
+  List.filter_map
+    (fun cmt_path ->
+      match Cmt_format.read_cmt cmt_path with
+      | { cmt_sourcefile = Some s; _ } -> (
+          match resolve_source cfg cmt_path s with
+          | Some src when (Unix.stat src).Unix.st_mtime
+                          > (Unix.stat cmt_path).Unix.st_mtime ->
+              Some (cmt_path, src)
+          | _ -> None)
+      | _ -> None
+      | exception _ -> None)
+    cmts
+
+(* ---------- discovery, driver ---------- *)
 
 let rec collect_cmts acc path =
   if Sys.is_directory path then
@@ -515,53 +126,9 @@ let rec collect_cmts acc path =
   else if Filename.check_suffix path ".cmt" then path :: acc
   else acc
 
-let compare_findings a b =
-  let c = String.compare a.file b.file in
-  if c <> 0 then c
-  else
-    let c = Int.compare a.line b.line in
-    if c <> 0 then c
-    else
-      let c = Int.compare a.col b.col in
-      if c <> 0 then c else String.compare (rule_id a.rule) (rule_id b.rule)
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let print_json findings =
-  print_string "{\n  \"findings\": [";
-  List.iteri
-    (fun i f ->
-      if i > 0 then print_string ",";
-      Printf.printf
-        "\n    {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \
-         \"message\": \"%s\", \"hint\": \"%s\"}"
-        (json_escape f.file) f.line f.col (rule_id f.rule) (json_escape f.message)
-        (json_escape f.hint))
-    findings;
-  if findings <> [] then print_string "\n  ";
-  Printf.printf "],\n  \"count\": %d\n}\n" (List.length findings)
-
-let print_text findings =
-  List.iter
-    (fun f ->
-      Printf.printf "%s:%d:%d: %s: %s\n" f.file f.line f.col (rule_id f.rule) f.message;
-      Printf.printf "  hint: %s\n" f.hint)
-    findings;
-  match findings with
-  | [] -> ()
-  | _ -> Printf.printf "%d finding(s)\n" (List.length findings)
+(* undocumented maintenance aid: dump the concurrency fact store to
+   stderr so rule misses can be traced to collection vs evaluation *)
+let dump_facts = ref false
 
 let parse_args () =
   let cfg = default_config () in
@@ -570,29 +137,39 @@ let parse_args () =
     prerr_endline usage;
     exit 2
   in
-  let split_commas s = List.filter (fun x -> String.length x > 0) (String.split_on_char ',' s) in
+  let split_commas s =
+    List.filter (fun x -> String.length x > 0) (String.split_on_char ',' s)
+  in
   let rec go = function
     | [] -> ()
     | "--json" :: rest ->
-        cfg.json <- true;
+        cfg.Lint.json <- true;
         go rest
     | "--rules" :: v :: rest ->
-        cfg.rules <-
+        cfg.Lint.rules <-
           List.map
             (fun id ->
-              match rule_of_id id with
-              | Some r -> r
-              | None -> die (Printf.sprintf "unknown rule %S" id))
+              if Registry.is_rule id then id
+              else die (Printf.sprintf "unknown rule %S" id))
             (split_commas v);
         go rest
     | "--unsafe-allow" :: v :: rest ->
-        cfg.unsafe_allow <- split_commas v;
+        cfg.Lint.unsafe_allow <- split_commas v;
         go rest
     | "--lock-allow" :: v :: rest ->
-        cfg.lock_allow <- split_commas v;
+        cfg.Lint.lock_allow <- split_commas v;
+        go rest
+    | "--fd-owners" :: v :: rest ->
+        cfg.Lint.fd_owners <- split_commas v;
+        go rest
+    | "--no-mtime-check" :: rest ->
+        cfg.Lint.mtime_check <- false;
+        go rest
+    | "--dump-facts" :: rest ->
+        dump_facts := true;
         go rest
     | "--root" :: v :: rest ->
-        cfg.root <- v;
+        cfg.Lint.root <- v;
         go rest
     | ("--help" | "-help") :: _ ->
         print_endline usage;
@@ -600,11 +177,11 @@ let parse_args () =
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
         die (Printf.sprintf "unknown option %S" arg)
     | path :: rest ->
-        cfg.paths <- cfg.paths @ [ path ];
+        cfg.Lint.paths <- cfg.Lint.paths @ [ path ];
         go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  if cfg.paths = [] then die "no input paths given";
+  if List.is_empty cfg.Lint.paths then die "no input paths given";
   cfg
 
 let () =
@@ -617,29 +194,85 @@ let () =
           exit 2
         end;
         collect_cmts [] p)
-      cfg.paths
+      cfg.Lint.paths
     |> List.sort_uniq String.compare
   in
-  if cmts = [] then begin
+  if List.is_empty cmts then begin
     (* zero inputs would report a vacuous "clean": refuse instead, so a
        stale or mispointed build directory cannot pass the gate *)
     Printf.eprintf "scliques-lint: no .cmt files under: %s\n"
-      (String.concat " " cfg.paths);
+      (String.concat " " cfg.Lint.paths);
     exit 2
   end;
-  let findings =
+  if cfg.Lint.mtime_check then begin
+    match stale_cmts cfg cmts with
+    | [] -> ()
+    | stale ->
+        List.iter
+          (fun (cmt, src) ->
+            Printf.eprintf
+              "scliques-lint: stale .cmt: %s is older than %s — rebuild first\n"
+              (Filename.basename cmt) (Filename.basename src))
+          stale;
+        prerr_endline
+          "scliques-lint: refusing to analyze a stale tree (pass \
+           --no-mtime-check if freshness is guaranteed by other means)";
+        exit 2
+  end;
+  let facts = Conc.create_facts () in
+  let local_findings =
     List.concat_map
       (fun cmt ->
-        match process_cmt cfg cmt with
+        match process_cmt cfg facts cmt with
         | fs -> fs
         | exception e ->
             Printf.eprintf "scliques-lint: cannot analyze %s: %s\n" cmt
               (Printexc.to_string e);
             exit 2)
       cmts
-    |> List.sort_uniq (fun a b ->
-           let c = compare_findings a b in
-           if c <> 0 then c else String.compare a.message b.message)
   in
-  if cfg.json then print_json findings else print_text findings;
-  exit (if findings = [] then 0 else 1)
+  Conc.normalize_facts facts;
+  if !dump_facts then begin
+    let loc_line (l : Location.t) = l.loc_start.pos_lnum in
+    List.iter
+      (fun (c : Conc.call) ->
+        Printf.eprintf "call %s keys=[%s] held=[%s] frames=[%s] line=%d\n"
+          c.Conc.c_name
+          (String.concat ";" c.Conc.c_keys)
+          (String.concat ";" c.Conc.c_held)
+          (String.concat ";" c.Conc.c_frames)
+          (loc_line c.Conc.c_loc))
+      facts.Conc.calls;
+    List.iter
+      (fun (a : Conc.access) ->
+        Printf.eprintf "access %s target=%s locked=%b frames=[%s] line=%d\n"
+          a.Conc.a_display
+          (match a.Conc.a_target with Some t -> t | None -> "?")
+          a.Conc.a_locked
+          (String.concat ";" a.Conc.a_frames)
+          (loc_line a.Conc.a_loc))
+      facts.Conc.accesses;
+    List.iter
+      (fun (q : Conc.acquire) ->
+        Printf.eprintf "acquire %s held=[%s] line=%d\n" q.Conc.q_lock
+          (String.concat ";" q.Conc.q_held)
+          (loc_line q.Conc.q_loc))
+      facts.Conc.acquires;
+    List.iter
+      (fun (s : Conc.spawn) ->
+        Printf.eprintf "spawn %s root=[%s] line=%d\n" s.Conc.s_kind
+          (String.concat ";" s.Conc.s_root)
+          (loc_line s.Conc.s_loc))
+      facts.Conc.spawns;
+    Lint.Stbl.iter
+      (fun alias key -> Printf.eprintf "fn %s -> %s\n" alias key)
+      facts.Conc.fn_tbl
+  end;
+  let findings =
+    local_findings @ Registry.global_runs cfg facts
+    |> List.sort_uniq (fun a b ->
+           let c = Lint.compare_findings a b in
+           if c <> 0 then c else String.compare a.Lint.message b.Lint.message)
+  in
+  if cfg.Lint.json then Lint.print_json findings else Lint.print_text findings;
+  exit (match findings with [] -> 0 | _ -> 1)

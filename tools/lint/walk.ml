@@ -1,0 +1,68 @@
+(* Local-rule tree walk: dispatches each expression to the per-site
+   rules (poly-compare, unsafe-allowlist, exception-swallow,
+   lock-discipline) while maintaining the [@lint.allow] suppression
+   stack and the enclosing-binding scope line used by SAFETY-comment
+   coverage. Whole-library rules run from the facts gathered by
+   [Conc.collect], not from this walk. *)
+
+module T = Typedtree
+
+let check_ident ctx (loc : Location.t) env path
+    ~(applied_args : T.expression option list) ~(ident_ty : Types.type_expr)
+    ~(whole_ty : Types.type_expr) =
+  if Rule_poly.is_poly_op path then begin
+    let op = Rule_poly.op_name path in
+    match List.find_map (fun a -> a) applied_args with
+    | Some arg -> Rule_poly.check_applied ctx loc arg.T.exp_env op arg.T.exp_type
+    | None -> Rule_poly.check_unapplied ctx loc env op ident_ty
+  end;
+  if String.equal (Path.name path) "Stdlib.Hashtbl.create" then
+    Rule_poly.check_hashtbl_create ctx loc env whole_ty;
+  if Rule_unsafe.is_unsafe_ident path then Rule_unsafe.check ctx loc path;
+  if Rule_lockdisc.is_mutex_op path then Rule_lockdisc.check ctx loc path
+
+let check_expr ctx (e : T.expression) =
+  match e.exp_desc with
+  | Texp_apply (({ exp_desc = Texp_ident (path, _, _); _ } as fn), args) ->
+      Lint.Stbl.replace ctx.Lint.handled (Lint.loc_key fn.exp_loc) ();
+      let applied_args =
+        List.filter_map
+          (fun (lbl, a) ->
+            match (lbl : Asttypes.arg_label) with
+            | Nolabel | Labelled _ -> Some a
+            | Optional _ -> None)
+          args
+      in
+      check_ident ctx fn.exp_loc fn.exp_env path ~applied_args ~ident_ty:fn.exp_type
+        ~whole_ty:e.exp_type
+  | Texp_ident (path, _, _)
+    when not (Lint.Stbl.mem ctx.Lint.handled (Lint.loc_key e.exp_loc)) ->
+      check_ident ctx e.exp_loc e.exp_env path ~applied_args:[] ~ident_ty:e.exp_type
+        ~whole_ty:e.exp_type
+  | Texp_try (_, cases) -> Rule_swallow.check_try ctx cases
+  | _ -> ()
+
+let lint_structure ctx (str : T.structure) =
+  let default = Tast_iterator.default_iterator in
+  let expr sub (e : T.expression) =
+    ctx.Lint.allows <- Lint.allows_of_attributes e.exp_attributes :: ctx.Lint.allows;
+    check_expr ctx e;
+    default.expr sub e;
+    ctx.Lint.allows <- List.tl ctx.Lint.allows
+  in
+  let value_binding sub (vb : T.value_binding) =
+    let saved_scope = ctx.Lint.scope_start in
+    ctx.Lint.scope_start <- vb.vb_loc.loc_start.pos_lnum;
+    ctx.Lint.allows <- Lint.allows_of_attributes vb.vb_attributes :: ctx.Lint.allows;
+    default.value_binding sub vb;
+    ctx.Lint.allows <- List.tl ctx.Lint.allows;
+    ctx.Lint.scope_start <- saved_scope
+  in
+  let structure_item sub (si : T.structure_item) =
+    let saved_scope = ctx.Lint.scope_start in
+    ctx.Lint.scope_start <- si.str_loc.loc_start.pos_lnum;
+    default.structure_item sub si;
+    ctx.Lint.scope_start <- saved_scope
+  in
+  let it = { default with expr; value_binding; structure_item } in
+  it.structure it str
