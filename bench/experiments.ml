@@ -911,6 +911,202 @@ let serve () =
                 measured) );
        ])
 
+(* ---------- serving under churn ---------- *)
+
+let serve_churn () =
+  (* The live-mutation path, measured end to end: 4 client threads
+     stream verified-complete queries while a mutator thread flips the
+     same edit-script pair over the wire against a durable state dir —
+     so every ack pays the journal fsync, and the compaction threshold
+     is low enough that rebases happen mid-run. Epoch pinning makes
+     correctness checkable under churn: every completed stream must
+     equal one of the two reference answers, bit for bit. Numbers land
+     in BENCH_daemon_churn.json. *)
+  let module Server = Scliques_daemon.Server in
+  let module Client = Scliques_daemon.Client in
+  let module P = Scliques_daemon.Protocol in
+  let module Stream = Scliques_core.Result_io.Stream in
+  let gadget_n = if Harness.fast then 5 else 9 in
+  let g0 = Sgraph.Gen.exponential_gadget gadget_n in
+  let s = 2 in
+  (* flip one existing edge and one chord, keeping n and m fixed so the
+     forward and backward scripts alternate cleanly *)
+  let u = ref 0 in
+  while G.degree g0 !u = 0 do incr u done;
+  let u = !u in
+  let del_v = (G.neighbors g0 u).(0) in
+  let ins_v =
+    let v = ref 0 in
+    while !v = u || G.mem_edge g0 u !v do incr v done;
+    !v
+  in
+  let g1 =
+    Sgraph.Diff.apply g0
+      [ Sgraph.Overlay.Delete (u, del_v); Sgraph.Overlay.Insert (u, ins_v) ]
+  in
+  let script_between a b =
+    Sgraph.Diff.to_string ~base_n:(G.n a) ~base_m:(G.m a) (Sgraph.Diff.between a b)
+  in
+  let fwd = script_between g0 g1 in
+  let bwd = script_between g1 g0 in
+  let sorted_stream g =
+    List.sort String.compare
+      (List.map Stream.encode_set (E.sorted_results E.Cs2_pf g ~s))
+  in
+  let ref0 = sorted_stream g0 in
+  let ref1 = sorted_stream g1 in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "scliques-bench-churn-%d.sock" (Unix.getpid ()))
+  in
+  let state_dir = Filename.temp_file "scliques-bench-state" "" in
+  Sys.remove state_dir;
+  Unix.mkdir state_dir 0o755;
+  let workers = min 8 (max 2 (Domain.recommended_domain_count ())) in
+  let srv =
+    Server.create ~workers ~max_queue:64 ~compact_threshold:32 ~state_dir
+      ~graphs:[ ("bench", g0) ]
+      (Server.Unix_socket sock)
+  in
+  let queries = if Harness.fast then 4 else 25 in
+  let clients = 4 in
+  let bad = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let latencies = ref [] in
+  let mutator =
+    Thread.create
+      (fun () ->
+        let c = Client.connect (Server.Unix_socket sock) in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            let i = ref 0 in
+            let mutate_once script =
+              let t0 = Harness.now () in
+              match Client.mutate c ~id:(!i + 1) ~graph:"bench" ~script with
+              | Client.Applied _ -> latencies := (Harness.now () -. t0) :: !latencies
+              | _ -> Atomic.incr bad
+            in
+            while not (Atomic.get stop) do
+              mutate_once (if !i land 1 = 0 then fwd else bwd);
+              incr i;
+              Thread.yield ()
+            done;
+            (* leave the graph back at g0 *)
+            if !i land 1 = 1 then begin
+              mutate_once bwd;
+              incr i
+            end))
+      ()
+  in
+  let t0 = Harness.now () in
+  let threads =
+    List.init clients (fun _ ->
+        Thread.create
+          (fun () ->
+            let c = Client.connect (Server.Unix_socket sock) in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                for i = 1 to queries do
+                  let q =
+                    {
+                      P.q_id = i;
+                      q_engine = P.Alg E.Cs2_pf;
+                      q_graph = "bench";
+                      q_s = s;
+                      q_min_size = 0;
+                      q_deadline_s = None;
+                      q_max_results = None;
+                      q_resume = None;
+                    }
+                  in
+                  let acc = ref [] in
+                  match
+                    Client.run_query ~on_result:(fun r -> acc := r :: !acc) c q
+                  with
+                  | Client.Finished
+                      { P.d_outcome = Scliques_core.Budget.Complete; _ } ->
+                      let got = List.sort String.compare !acc in
+                      if
+                        not
+                          (List.equal String.equal got ref0
+                          || List.equal String.equal got ref1)
+                      then Atomic.incr bad
+                  | _ -> Atomic.incr bad
+                done))
+          ())
+  in
+  List.iter Thread.join threads;
+  let dt = Harness.now () -. t0 in
+  Atomic.set stop true;
+  Thread.join mutator;
+  let epoch = Server.graph_epoch srv ~graph:"bench" in
+  Server.stop srv;
+  Array.iter
+    (fun e -> Sys.remove (Filename.concat state_dir e))
+    (Sys.readdir state_dir);
+  Unix.rmdir state_dir;
+  if Atomic.get bad > 0 then
+    failwith
+      (Printf.sprintf "serve-churn: %d failed or wrong-epoch operations"
+         (Atomic.get bad));
+  let lats = List.sort Float.compare !latencies in
+  let mutations = List.length lats in
+  let mean = List.fold_left ( +. ) 0. lats /. float_of_int (max 1 mutations) in
+  let pick q =
+    if mutations = 0 then 0.
+    else List.nth lats (min (mutations - 1) (mutations * q / 100))
+  in
+  let qps = float_of_int (clients * queries) /. dt in
+  Harness.print_table
+    ~title:
+      (Printf.sprintf
+         "serving under churn (gadget n=%d, s=%d, %d workers, %d clients, \
+          journal fsync on ack)"
+         gadget_n s workers clients)
+    ~columns:[ "count"; "rate or latency" ]
+    ~rows:
+      [
+        ( "queries",
+          [
+            Harness.Note (string_of_int (clients * queries));
+            Harness.Note (Printf.sprintf "%.1f/s" qps);
+          ] );
+        ( "mutations",
+          [
+            Harness.Note (string_of_int mutations);
+            Harness.Note (Printf.sprintf "mean %.4fs p95 %.4fs" mean (pick 95));
+          ] );
+        ( "final epoch",
+          [
+            Harness.Note
+              (match epoch with Some e -> string_of_int e | None -> "?");
+            Harness.Note "2 edits per mutation";
+          ] );
+      ];
+  Harness.write_json ~path:"BENCH_daemon_churn.json"
+    (Scliques_obs.Sink.Obj
+       [
+         ("experiment", Scliques_obs.Sink.String "serve-churn");
+         ( "graph",
+           Scliques_obs.Sink.String (Printf.sprintf "gadget n=%d" gadget_n) );
+         ("s", Scliques_obs.Sink.Int s);
+         ("workers", Scliques_obs.Sink.Int workers);
+         ("clients", Scliques_obs.Sink.Int clients);
+         ("queries", Scliques_obs.Sink.Int (clients * queries));
+         ("queries_per_sec", Scliques_obs.Sink.Float qps);
+         ("wall_seconds", Scliques_obs.Sink.Float dt);
+         ("mutations", Scliques_obs.Sink.Int mutations);
+         ("mutation_mean_seconds", Scliques_obs.Sink.Float mean);
+         ("mutation_p95_seconds", Scliques_obs.Sink.Float (pick 95));
+         ( "mutation_max_seconds",
+           Scliques_obs.Sink.Float (pick 100) );
+         ( "final_epoch",
+           Scliques_obs.Sink.Int (Option.value epoch ~default:(-1)) );
+       ])
+
 (* ---------- registry ---------- *)
 
 let all : (string * string * (unit -> unit)) list =
@@ -941,4 +1137,7 @@ let all : (string * string * (unit -> unit)) list =
     ("load", "graph load: text parse vs binary snapshot + BFS sweep", graph_load);
     ("churn", "incremental refresh vs full recompute after an edge edit", churn);
     ("serve", "daemon throughput: queries/sec at 1/4/8 concurrent clients", serve);
+    ( "serve-churn",
+      "serving under live wire mutations: throughput + journaled ack latency",
+      serve_churn );
   ]

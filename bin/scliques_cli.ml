@@ -867,20 +867,81 @@ module Dproto = Scliques_daemon.Protocol
 module Dclient = Scliques_daemon.Client
 module Dserver = Scliques_daemon.Server
 
-let client_cmd =
-  let socket_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "socket" ] ~docv:"PATH"
-          ~doc:"Daemon's Unix-domain socket path.")
-  in
-  let tcp_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Daemon's TCP endpoint.")
-  in
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon's Unix-domain socket path.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Daemon's TCP endpoint.")
+
+let cdie fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "scliques: client: %s\n%!" msg;
+      Stdlib.exit 1)
+    fmt
+
+let client_addr socket tcp =
+  match (socket, tcp) with
+  | Some _, Some _ -> cdie "--socket and --tcp are mutually exclusive"
+  | Some path, None -> Dserver.Unix_socket path
+  | None, Some spec -> (
+      match String.rindex_opt spec ':' with
+      | None -> cdie "--tcp %S: expected HOST:PORT" spec
+      | Some i -> (
+          let host = String.sub spec 0 i in
+          let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p > 0 && p <= 0xFFFF -> Dserver.Tcp (host, p)
+          | _ -> cdie "--tcp %S: bad port" spec))
+  | None, None -> cdie "one of --socket PATH or --tcp HOST:PORT is required"
+
+let client_connect addr =
+  match Dclient.connect addr with
+  | c -> c
+  | exception Unix.Unix_error (e, _, _) ->
+      cdie "cannot reach the daemon: %s" (Unix.error_message e)
+  | exception Dproto.Error e ->
+      cdie "handshake failed: %s" (Dproto.error_to_string e)
+
+let client_id_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "id" ] ~docv:"ID" ~doc:"Client-chosen request id (echoed back).")
+
+let retry_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retry" ] ~docv:"N"
+        ~doc:
+          "On a quota refusal (Retry_after), sleep the advertised wait and \
+           retry, at most $(docv) times, before giving up with exit code 6.")
+
+(* The quota's advertised wait is honest (refusals are free), so the
+   backoff is simply that wait — padded a little more on each attempt in
+   case other clients drained the refill meanwhile. *)
+let throttled ~what ~attempt ~retries wait =
+  if attempt < retries then begin
+    let pause = Float.max 0.001 wait +. (0.05 *. float_of_int attempt) in
+    Printf.eprintf "scliques: client: %s throttled; retry %d/%d in %.3fs\n%!"
+      what (attempt + 1) retries pause;
+    Unix.sleepf pause;
+    `Retry
+  end
+  else begin
+    Printf.eprintf
+      "scliques: client: %s refused by the per-client quota; retry after \
+       %.3fs\n%!"
+      what wait;
+    Stdlib.exit 6
+  end
+
+let client_query_term =
   let graph_arg =
     Arg.(
       value
@@ -943,11 +1004,6 @@ let client_cmd =
           ~doc:"Resume from a token written by an earlier truncated query \
                 against the same graph/s/min-size.")
   in
-  let id_arg =
-    Arg.(
-      value & opt int 1
-      & info [ "id" ] ~docv:"ID" ~doc:"Client-chosen query id (echoed back).")
-  in
   let ping_arg =
     Arg.(value & flag & info [ "ping" ] ~doc:"Just check the daemon is alive.")
   in
@@ -970,21 +1026,8 @@ let client_cmd =
                 a second connection being refused with Busy (run the daemon \
                 with $(b,--workers 1 --max-queue 0)).")
   in
-  let die fmt =
-    Printf.ksprintf
-      (fun msg ->
-        Printf.eprintf "scliques: client: %s\n%!" msg;
-        Stdlib.exit 1)
-      fmt
-  in
-  let connect addr =
-    match Dclient.connect addr with
-    | c -> c
-    | exception Unix.Unix_error (e, _, _) ->
-        die "cannot reach the daemon: %s" (Unix.error_message e)
-    | exception Dproto.Error e ->
-        die "handshake failed: %s" (Dproto.error_to_string e)
-  in
+  let die = cdie in
+  let connect = client_connect in
   let graph_meta c name =
     match
       List.find_opt (fun gi -> String.equal gi.Dproto.g_name name)
@@ -994,24 +1037,8 @@ let client_cmd =
     | None -> die "daemon serves no graph %S" name
   in
   let run socket tcp graph algorithm s min_size deadline max_results ckpt
-      resume id ping list corrupt busy_drill =
-    let addr =
-      match (socket, tcp) with
-      | Some _, Some _ -> die "--socket and --tcp are mutually exclusive"
-      | Some path, None -> Dserver.Unix_socket path
-      | None, Some spec -> (
-          match String.rindex_opt spec ':' with
-          | None -> die "--tcp %S: expected HOST:PORT" spec
-          | Some i -> (
-              let host = String.sub spec 0 i in
-              let port =
-                String.sub spec (i + 1) (String.length spec - i - 1)
-              in
-              match int_of_string_opt port with
-              | Some p when p > 0 && p <= 0xFFFF -> Dserver.Tcp (host, p)
-              | _ -> die "--tcp %S: bad port" spec))
-      | None, None -> die "one of --socket PATH or --tcp HOST:PORT is required"
-    in
+      resume id retry ping list corrupt busy_drill =
+    let addr = client_addr socket tcp in
     if ping then begin
       let c = connect addr in
       let ok = Dclient.ping c in
@@ -1026,8 +1053,8 @@ let client_cmd =
       let c = connect addr in
       List.iter
         (fun gi ->
-          Printf.printf "%s n=%d m=%d\n" gi.Dproto.g_name gi.Dproto.g_n
-            gi.Dproto.g_m)
+          Printf.printf "%s n=%d m=%d epoch=%d\n" gi.Dproto.g_name
+            gi.Dproto.g_n gi.Dproto.g_m gi.Dproto.g_epoch)
         (Dclient.list_graphs c);
       Dclient.close c;
       Stdlib.exit 0
@@ -1130,9 +1157,19 @@ let client_cmd =
             q_resume = Option.map (fun ck -> ck.Ckpt.state) prior;
           }
         in
-        let outcome = Dclient.run_query c ~on_result:print_endline q in
+        let rec attempt tries =
+          match Dclient.run_query c ~on_result:print_endline q with
+          | Dclient.Throttled wait -> (
+              (* no result streamed yet — the quota refused admission, so
+                 resending the identical query is safe *)
+              match throttled ~what:"query" ~attempt:tries ~retries:retry wait with
+              | `Retry -> attempt (tries + 1))
+          | outcome -> outcome
+        in
+        let outcome = attempt 0 in
         Dclient.close c;
         match outcome with
+        | Dclient.Throttled _ -> assert false (* [attempt] never returns it *)
         | Dclient.Finished d -> (
             match d.Dproto.d_outcome with
             | Budget.Complete ->
@@ -1180,18 +1217,108 @@ let client_cmd =
       end
     end
   in
+  Term.(
+    const run $ socket_arg $ tcp_arg $ graph_arg $ algorithm_arg $ s_arg
+    $ min_size_arg $ deadline_arg $ max_results_arg $ checkpoint_arg
+    $ resume_arg $ client_id_arg $ retry_arg $ ping_arg $ list_arg
+    $ corrupt_arg $ busy_drill_arg)
+
+let client_mutate_cmd =
+  let graph_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"GRAPH" ~doc:"Name of a graph preloaded by the daemon.")
+  in
+  let script_arg =
+    let doc = "SGRDIFF1 edit-script file (written by $(b,scliques diff))." in
+    Arg.(required & pos 1 (some non_dir_file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run socket tcp graph script_file id retry =
+    let addr = client_addr socket tcp in
+    let script =
+      let ic = open_in_bin script_file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    (* validate locally with the daemon's own decoder, so a corrupt file
+       dies with a byte-precise diagnostic before any bytes hit the wire
+       (the daemon revalidates regardless) *)
+    (match Sgraph.Diff.of_string ~file:script_file script with
+    | (_ : Sgraph.Diff.header * Sgraph.Overlay.edit list) -> ()
+    | exception Sgraph.Io_error.Parse_error { file; line; msg } ->
+        cdie "%s" (Sgraph.Io_error.to_string ~file ~line msg));
+    let c = client_connect addr in
+    let rec attempt tries =
+      match Dclient.mutate c ~id ~graph ~script with
+      | Dclient.Applied { epoch; edits; n; m } ->
+          Printf.printf "applied %d edits; %s now n=%d m=%d epoch=%d\n" edits
+            graph n m epoch;
+          Dclient.close c;
+          Stdlib.exit 0
+      | Dclient.Mutate_throttled wait -> (
+          match
+            throttled ~what:"mutation" ~attempt:tries ~retries:retry wait
+          with
+          | `Retry -> attempt (tries + 1))
+      | Dclient.Mutate_failed { msg; _ } -> cdie "%s" msg
+      | Dclient.Mutate_disconnected -> cdie "daemon hung up mid-mutation"
+    in
+    attempt 0
+  in
   Cmd.v
+    (Cmd.info "mutate"
+       ~doc:
+         "Apply an SGRDIFF1 edit script to a graph served by a running \
+          $(b,scliques-daemon). The daemon journals the edits durably \
+          (flush-before-ack) and acks with the new epoch; queries already \
+          running are unaffected. The script's header must name the graph's \
+          $(i,current) (n, m) — see $(b,client --list) for the epoch. Exit \
+          code 0 applied, 6 quota-refused (after $(b,--retry) attempts), 1 \
+          error.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ graph_arg $ script_arg
+      $ client_id_arg $ retry_arg)
+
+let client_reload_cmd =
+  let graph_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"GRAPH" ~doc:"Name of a graph preloaded by the daemon.")
+  in
+  let run socket tcp graph id =
+    let addr = client_addr socket tcp in
+    let c = client_connect addr in
+    match Dclient.reload c ~id ~graph with
+    | Dclient.Swapped { epoch; n; m } ->
+        Printf.printf "reloaded %s: n=%d m=%d epoch=%d\n" graph n m epoch;
+        Dclient.close c;
+        Stdlib.exit 0
+    | Dclient.Reload_failed { msg; _ } -> cdie "%s" msg
+    | Dclient.Reload_disconnected -> cdie "daemon hung up mid-reload"
+  in
+  Cmd.v
+    (Cmd.info "reload"
+       ~doc:
+         "Hot-swap a graph served by a running $(b,scliques-daemon): re-read \
+          it from its source snapshot (sessions survive; in-flight queries \
+          finish on the epoch they were admitted under). Equivalent to \
+          sending the daemon SIGHUP, for one graph.")
+    Term.(const run $ socket_arg $ tcp_arg $ graph_arg $ client_id_arg)
+
+let client_cmd =
+  Cmd.group
+    ~default:client_query_term
     (Cmd.info "client"
        ~doc:
-         "Query a running $(b,scliques-daemon): stream all maximal connected \
-          s-cliques of a preloaded graph over the SCLQRPC1 socket protocol. \
-          Exit code 0 means the answer is complete, 3 truncated (resumable \
-          via $(b,--checkpoint)), 5 refused by admission control, 1 error.")
-    Term.(
-      const run $ socket_arg $ tcp_arg $ graph_arg $ algorithm_arg $ s_arg
-      $ min_size_arg $ deadline_arg $ max_results_arg $ checkpoint_arg
-      $ resume_arg $ id_arg $ ping_arg $ list_arg $ corrupt_arg
-      $ busy_drill_arg)
+         "Talk to a running $(b,scliques-daemon) over the SCLQRPC1 socket \
+          protocol. With no subcommand: stream all maximal connected \
+          s-cliques of a preloaded graph. Exit code 0 means the answer is \
+          complete, 3 truncated (resumable via $(b,--checkpoint)), 5 refused \
+          by admission control, 6 refused by the per-client quota, 1 error.")
+    [ client_mutate_cmd; client_reload_cmd ]
 
 let () =
   let doc = "maximal connected s-clique enumeration (Behar & Cohen, EDBT 2018)" in

@@ -17,8 +17,13 @@ let die fmt =
       Stdlib.exit 1)
     fmt
 
-(* NAME=FILE; .sgr loads as a CRC-checked binary snapshot, anything else
-   as an edge list *)
+(* .sgr loads as a CRC-checked binary snapshot, anything else as an edge
+   list; raises like the loaders do — Reload reuses this thunk *)
+let load_graph_file file =
+  if Filename.check_suffix file ".sgr" then Sgraph.Snapshot.load file
+  else Sgraph.Edge_list_io.load file
+
+(* NAME=FILE *)
 let load_graph_spec spec =
   match String.index_opt spec '=' with
   | None -> die "--graph %S: expected NAME=FILE" spec
@@ -27,16 +32,13 @@ let load_graph_spec spec =
       let file = String.sub spec (i + 1) (String.length spec - i - 1) in
       if String.length name = 0 then die "--graph %S: empty name" spec;
       let g =
-        match
-          if Filename.check_suffix file ".sgr" then Sgraph.Snapshot.load file
-          else Sgraph.Edge_list_io.load file
-        with
+        match load_graph_file file with
         | g -> g
         | exception Sgraph.Io_error.Parse_error { file; line; msg } ->
             die "%s" (Sgraph.Io_error.to_string ~file ~line msg)
         | exception Sys_error msg -> die "%s" msg
       in
-      (name, g)
+      (name, g, file)
 
 (* SITE:N — arm the registry's SITE to fail on its N-th hit *)
 let arm_spec fault spec =
@@ -60,8 +62,10 @@ let parse_tcp spec =
       | _ -> die "--tcp %S: bad port" spec)
 
 let stop_requested = Atomic.make false
+let hup_requested = Atomic.make false
 
 let serve socket tcp graphs workers max_queue par_workers cache_capacity
+    state_dir compact_threshold qps query_burst mutate_bps mutate_burst
     injects =
   let addr =
     match (socket, tcp) with
@@ -71,7 +75,31 @@ let serve socket tcp graphs workers max_queue par_workers cache_capacity
     | None, None -> die "one of --socket PATH or --tcp HOST:PORT is required"
   in
   if graphs = [] then die "at least one --graph NAME=FILE is required";
-  let graphs = List.map load_graph_spec graphs in
+  let specs = List.map load_graph_spec graphs in
+  let graphs = List.map (fun (name, g, _) -> (name, g)) specs in
+  let sources =
+    List.map (fun (name, _, file) -> (name, fun () -> load_graph_file file)) specs
+  in
+  let quota =
+    if qps = None && query_burst = None && mutate_bps = None
+       && mutate_burst = None
+    then None
+    else
+      Some
+        {
+          Scliques_daemon.Quota.queries_per_sec =
+            Option.value qps ~default:infinity;
+          query_burst = Option.value query_burst ~default:8;
+          mutate_bytes_per_sec = Option.value mutate_bps ~default:infinity;
+          mutate_burst = Option.value mutate_burst ~default:(1 lsl 20);
+        }
+  in
+  (match state_dir with
+  | None -> ()
+  | Some dir when Sys.file_exists dir -> ()
+  | Some dir -> (
+      try Unix.mkdir dir 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()));
   let fault =
     if injects = [] then Scoll.Fault.none
     else begin
@@ -82,11 +110,13 @@ let serve socket tcp graphs workers max_queue par_workers cache_capacity
   in
   let srv =
     match
-      Server.create ~workers ~max_queue ~par_workers ~cache_capacity ~fault
-        ~graphs addr
+      Server.create ~workers ~max_queue ~par_workers ~cache_capacity
+        ~compact_threshold ?quota ?state_dir ~sources ~fault ~graphs addr
     with
     | srv -> srv
     | exception Invalid_argument msg -> die "%s" msg
+    | exception Sgraph.Io_error.Parse_error { file; line; msg } ->
+        die "%s" (Sgraph.Io_error.to_string ~file ~line msg)
     | exception Unix.Unix_error (e, fn, arg) ->
         die "%s: %s (%s)" fn (Unix.error_message e) arg
   in
@@ -102,7 +132,24 @@ let serve socket tcp graphs workers max_queue par_workers cache_capacity
   let request_stop _ = Atomic.set stop_requested true in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
   Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  (* the handler only raises a flag; the swap itself runs on this thread *)
+  Sys.set_signal Sys.sighup
+    (Sys.Signal_handle (fun _ -> Atomic.set hup_requested true));
   while not (Atomic.get stop_requested) do
+    if Atomic.compare_and_set hup_requested true false then
+      List.iter
+        (fun (name, result) ->
+          match result with
+          | Ok (epoch, n, m) ->
+              Printf.printf
+                "scliques-daemon: reloaded %s: n=%d m=%d epoch=%d\n%!" name n
+                m epoch
+          | Error msg ->
+              Printf.eprintf
+                "scliques-daemon: reload of %s failed: %s (still serving the \
+                 previous graph)\n%!"
+                name msg)
+        (Server.reload_all srv);
     Thread.delay 0.1
   done;
   Server.stop ~drain:true srv;
@@ -140,11 +187,47 @@ let cache_capacity_arg =
   let doc = "Entry capacity of each shared N^s ball cache." in
   Arg.(value & opt int 65536 & info [ "cache-capacity" ] ~docv:"N" ~doc)
 
+let state_dir_arg =
+  let doc =
+    "Make wire mutations durable: per graph, keep a base snapshot plus an \
+     fsynced SGRDIFF1 journal in $(docv) (created if missing), and on \
+     restart resume from them — a mutation is acked only after its journal \
+     record reached disk. Graph names must be plain file-name stems."
+  in
+  Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc)
+
+let compact_threshold_arg =
+  let doc =
+    "Fold the journal into a fresh base snapshot once a graph accumulated \
+     $(docv) overlay edits."
+  in
+  Arg.(value & opt int 1024 & info [ "compact-threshold" ] ~docv:"N" ~doc)
+
+let qps_arg =
+  let doc = "Per-client quota: queries admitted per second (token bucket)." in
+  Arg.(value & opt (some float) None & info [ "quota-qps" ] ~docv:"RATE" ~doc)
+
+let query_burst_arg =
+  let doc = "Per-client quota: query bucket ceiling (default 8)." in
+  Arg.(value & opt (some int) None & info [ "quota-query-burst" ] ~docv:"N" ~doc)
+
+let mutate_bps_arg =
+  let doc = "Per-client quota: mutation payload bytes admitted per second." in
+  Arg.(
+    value & opt (some float) None & info [ "quota-mutate-bps" ] ~docv:"RATE" ~doc)
+
+let mutate_burst_arg =
+  let doc = "Per-client quota: mutation-byte bucket ceiling (default 1 MiB)." in
+  Arg.(
+    value & opt (some int) None & info [ "quota-mutate-burst" ] ~docv:"N" ~doc)
+
 let inject_arg =
   let doc =
     "Arm a deterministic fault: $(docv) makes the daemon's named \
      injection site ($(b,daemon.accept), $(b,daemon.write), \
-     $(b,daemon.flush)) fail on its N-th hit. Repeatable; for drills."
+     $(b,daemon.flush), $(b,daemon.mutate.journal), \
+     $(b,daemon.mutate.flush), $(b,daemon.reload)) fail on its N-th hit. \
+     Repeatable; for drills."
   in
   Arg.(value & opt_all string [] & info [ "inject" ] ~docv:"SITE:N" ~doc)
 
@@ -157,13 +240,20 @@ let cmd =
         "Preloads the given graphs and answers SCLQRPC1 queries — \
          streaming one result frame per maximal connected s-clique — \
          until SIGTERM or SIGINT, then drains gracefully. Queries \
-         against the same graph and s share a warm N^s ball cache.";
+         against the same graph and s share a warm N^s ball cache. \
+         Wire-level Mutate requests apply SGRDIFF1 edit scripts live \
+         (journaled durably under $(b,--state-dir)); in-flight queries \
+         always finish on the graph epoch they were admitted under. \
+         SIGHUP hot-reloads every graph from its source file without \
+         dropping connections.";
     ]
   in
   Cmd.v
     (Cmd.info "scliques-daemon" ~version:"%%VERSION%%" ~doc ~man)
     Term.(
       const serve $ socket_arg $ tcp_arg $ graphs_arg $ workers_arg
-      $ max_queue_arg $ par_workers_arg $ cache_capacity_arg $ inject_arg)
+      $ max_queue_arg $ par_workers_arg $ cache_capacity_arg $ state_dir_arg
+      $ compact_threshold_arg $ qps_arg $ query_burst_arg $ mutate_bps_arg
+      $ mutate_burst_arg $ inject_arg)
 
 let () = Stdlib.exit (Cmd.eval' cmd)

@@ -71,6 +71,43 @@ module Shared = struct
         drop_stale st.st_cache ~before:st.st_graph ~after ~s:st.st_s ~touched;
         st.st_graph <- after;
         st.st_epoch <- st.st_epoch + 1)
+
+  let advance st ~after ~touched =
+    Scoll.Sync.with_lock st.lock (fun () ->
+        if Graph.n after <> Graph.n st.st_graph then
+          invalid_arg "Neighborhood.Shared.advance: node counts differ";
+        let next =
+          {
+            lock = Mutex.create ();
+            st_graph = after;
+            st_epoch = st.st_epoch + 1;
+            st_s = st.st_s;
+            st_cache =
+              Scoll.Lri_cache.create ~weight:ball_weight
+                ~capacity:(Scoll.Lri_cache.capacity st.st_cache) ();
+          }
+        in
+        (* copy forward every ball the churn locality proof keeps valid
+           (the complement of drop_stale's stale set); [next] is private
+           until returned, so filling its cache needs no lock *)
+        (match touched with
+        | _ when st.st_s = 1 -> () (* s = 1 reads rows straight off the graph *)
+        | [] ->
+            Scoll.Lri_cache.fold
+              (fun k b () -> Scoll.Lri_cache.add next.st_cache k b)
+              st.st_cache ()
+        | _ :: _ ->
+            let stale =
+              Node_set.union
+                (Sgraph.Bfs.ball_multi st.st_graph ~srcs:touched ~radius:st.st_s)
+                (Sgraph.Bfs.ball_multi after ~srcs:touched ~radius:st.st_s)
+            in
+            Scoll.Lri_cache.fold
+              (fun k b () ->
+                if not (Node_set.mem k stale) then
+                  Scoll.Lri_cache.add next.st_cache k b)
+              st.st_cache ());
+        next)
 end
 
 type backend =
@@ -157,13 +194,19 @@ let ball t v =
     | Shared_store (st, birth) -> (
         (* double-checked: probe under the lock, but run the BFS outside
            it (Bfs.ball is pure), so one slow miss never serializes the
-           sibling queries sharing the store. The insert re-checks the
-           epoch — a concurrent [Shared.invalidate] must not be undone by
-           a ball computed against the pre-churn graph — and skips keys
-           another query already filled, keeping the weight ledger exact. *)
+           sibling queries sharing the store. Both the probe and the
+           insert check the epoch: a stale oracle must not read hits the
+           store cached for a *newer* graph (it answers for its birth
+           graph, and falls back to its own BFS instead), and a
+           concurrent [Shared.invalidate] must not be undone by a ball
+           computed against the pre-churn graph. The insert also skips
+           keys another query already filled, keeping the weight ledger
+           exact. *)
         match
           Scoll.Sync.with_lock st.Shared.lock (fun () ->
-              Scoll.Lri_cache.find_opt st.Shared.st_cache v)
+              if st.Shared.st_epoch = birth then
+                Scoll.Lri_cache.find_opt st.Shared.st_cache v
+              else None)
         with
         | Some b -> b
         | None ->

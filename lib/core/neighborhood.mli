@@ -24,10 +24,12 @@ type t
     Lookups use double-checked locking: the probe and the insert each
     take the lock, but a missing ball's BFS runs {e outside} it
     ([Sgraph.Bfs.ball] is pure), so a slow miss never serializes sibling
-    queries. An insert is dropped when the store's epoch moved since the
-    oracle attached (the ball was computed against a stale graph) or when
-    a sibling already filled the key — the weight ledger counts every
-    cached ball exactly once. *)
+    queries. Both sides are epoch-guarded: once the store's epoch moved
+    past an oracle's attach point, that oracle neither reads hits (they
+    may describe the newer graph) nor writes fills (computed against the
+    older one) — it keeps answering for its birth graph from its own
+    BFS. An insert is also skipped when a sibling already filled the
+    key, so the weight ledger counts every cached ball exactly once. *)
 module Shared : sig
   type store
 
@@ -50,6 +52,18 @@ module Shared : sig
       attached keep answering for their birth graph — their inserts are
       discarded from then on (see {!Neighborhood.stale}); attach fresh
       ones to serve the new graph.
+      @raise Invalid_argument when the node counts differ. *)
+
+  val advance : store -> after:Sgraph.Graph.t -> touched:int list -> store
+  (** [advance store ~after ~touched] is the copy-on-write sibling of
+      {!invalidate}: a {e fresh} store for [after] (epoch + 1, same [s]
+      and capacity), pre-warmed with every cached ball the radius-s
+      locality rule proves still valid, leaving [store] {b untouched} —
+      its graph, epoch and cache are exactly as before, so oracles
+      attached to it keep their warm hits for as long as they live. This
+      is what an epoch-pinned server wants on mutation: in-flight
+      queries finish on the old store, new admissions attach to the
+      returned one. With an empty [touched] every ball is carried over.
       @raise Invalid_argument when the node counts differ. *)
 
   val bytes : store -> int
@@ -87,8 +101,10 @@ val of_shared : ?obs:Scliques_obs.Obs.t -> Shared.store -> t
 val stale : t -> bool
 (** Whether the backing {!Shared.store} was {!Shared.invalidate}d since
     this oracle attached (always [false] for a {!create}d oracle). A
-    stale oracle still answers consistently for its birth graph, but no
-    longer populates the shared cache. *)
+    stale oracle still answers consistently for its birth graph — it
+    stops reading {e and} writing the shared cache (a hit filled for the
+    newer graph must not leak into its answers) and recomputes balls
+    itself. *)
 
 val graph : t -> Sgraph.Graph.t
 (** The graph the oracle currently answers for (the {!create} argument,

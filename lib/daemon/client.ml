@@ -86,6 +86,7 @@ let cancel c id = send_request c (Protocol.Cancel id)
 type query_outcome =
   | Finished of Protocol.done_info
   | Refused of { running : int; queued : int }
+  | Throttled of float
   | Failed of { code : Protocol.error_code; msg : string }
   | Disconnected
 
@@ -103,11 +104,59 @@ let run_query ?(on_result = fun _ -> ()) c (q : Protocol.query) =
             Finished d
         | Protocol.Busy b when b.b_id = q.Protocol.q_id ->
             Refused { running = b.b_running; queued = b.b_queued }
+        | Protocol.Retry_after r when r.ra_id = q.Protocol.q_id ->
+            Throttled r.ra_seconds
         | Protocol.Error_resp e
           when e.e_id = q.Protocol.q_id || e.e_id = 0 ->
             Failed { code = e.e_code; msg = e.e_msg }
         | Protocol.Result _ | Protocol.Done _ | Protocol.Busy _
+        | Protocol.Retry_after _ | Protocol.Mutated _ | Protocol.Reloaded _
         | Protocol.Error_resp _ | Protocol.Graphs _ | Protocol.Pong ->
             pump ())
+  in
+  pump ()
+
+type mutate_outcome =
+  | Applied of { epoch : int; edits : int; n : int; m : int }
+  | Mutate_throttled of float
+  | Mutate_failed of { code : Protocol.error_code; msg : string }
+  | Mutate_disconnected
+
+let mutate c ~id ~graph ~script =
+  send_request c
+    (Protocol.Mutate { m_id = id; m_graph = graph; m_script = script });
+  let rec pump () =
+    match read_response c with
+    | None -> Mutate_disconnected
+    | Some resp -> (
+        match resp with
+        | Protocol.Mutated mu when mu.mu_id = id ->
+            Applied
+              { epoch = mu.mu_epoch; edits = mu.mu_edits; n = mu.mu_n; m = mu.mu_m }
+        | Protocol.Retry_after r when r.ra_id = id ->
+            Mutate_throttled r.ra_seconds
+        | Protocol.Error_resp e when e.e_id = id || e.e_id = 0 ->
+            Mutate_failed { code = e.e_code; msg = e.e_msg }
+        | _ -> pump ())
+  in
+  pump ()
+
+type reload_outcome =
+  | Swapped of { epoch : int; n : int; m : int }
+  | Reload_failed of { code : Protocol.error_code; msg : string }
+  | Reload_disconnected
+
+let reload c ~id ~graph =
+  send_request c (Protocol.Reload { rl_id = id; rl_graph = graph });
+  let rec pump () =
+    match read_response c with
+    | None -> Reload_disconnected
+    | Some resp -> (
+        match resp with
+        | Protocol.Reloaded r when r.rl_id = id ->
+            Swapped { epoch = r.rl_epoch; n = r.rl_n; m = r.rl_m }
+        | Protocol.Error_resp e when e.e_id = id || e.e_id = 0 ->
+            Reload_failed { code = e.e_code; msg = e.e_msg }
+        | _ -> pump ())
   in
   pump ()

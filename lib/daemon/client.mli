@@ -44,6 +44,9 @@ type query_outcome =
   | Finished of Protocol.done_info
       (** terminal [Done] — inspect [d_outcome] for complete/truncated *)
   | Refused of { running : int; queued : int }  (** admission said [Busy] *)
+  | Throttled of float
+      (** the per-client quota said [Retry_after]: sleep this many
+          seconds, then retry *)
   | Failed of { code : Protocol.error_code; msg : string }
   | Disconnected  (** EOF before the terminal frame *)
 
@@ -54,4 +57,25 @@ val run_query :
     maximal connected s-clique) to [on_result] in emission order.
     Responses tagged with other query ids are skipped — this call owns
     the connection while it runs.
+    @raise Protocol.Error on a corrupt frame. *)
+
+type mutate_outcome =
+  | Applied of { epoch : int; edits : int; n : int; m : int }
+      (** journaled (flushed) and applied: the graph's new epoch/size *)
+  | Mutate_throttled of float  (** quota said [Retry_after]: sleep, retry *)
+  | Mutate_failed of { code : Protocol.error_code; msg : string }
+  | Mutate_disconnected
+
+val mutate : t -> id:int -> graph:string -> script:string -> mutate_outcome
+(** Send a complete [SGRDIFF1] image ({!Sgraph.Diff.to_string}) whose
+    header names the graph's current (n, m), and wait for the ack.
+    @raise Protocol.Error on a corrupt frame. *)
+
+type reload_outcome =
+  | Swapped of { epoch : int; n : int; m : int }
+  | Reload_failed of { code : Protocol.error_code; msg : string }
+  | Reload_disconnected
+
+val reload : t -> id:int -> graph:string -> reload_outcome
+(** Ask the daemon to hot-swap a graph from its source.
     @raise Protocol.Error on a corrupt frame. *)

@@ -40,7 +40,15 @@ type query = {
   q_resume : Ckpt.state option;
 }
 
-type request = Query of query | Cancel of int | List_graphs | Ping
+type mutate = { m_id : int; m_graph : string; m_script : string }
+
+type request =
+  | Query of query
+  | Mutate of mutate
+  | Reload of { rl_id : int; rl_graph : string }
+  | Cancel of int
+  | List_graphs
+  | Ping
 
 type done_info = {
   d_id : int;
@@ -51,12 +59,15 @@ type done_info = {
 
 type error_code = Bad_request | Server_error
 
-type graph_info = { g_name : string; g_n : int; g_m : int }
+type graph_info = { g_name : string; g_n : int; g_m : int; g_epoch : int }
 
 type response =
   | Result of int * string
   | Done of done_info
   | Busy of { b_id : int; b_running : int; b_queued : int }
+  | Retry_after of { ra_id : int; ra_seconds : float }
+  | Mutated of { mu_id : int; mu_epoch : int; mu_edits : int; mu_n : int; mu_m : int }
+  | Reloaded of { rl_id : int; rl_epoch : int; rl_n : int; rl_m : int }
   | Error_resp of { e_id : int; e_code : error_code; e_msg : string }
   | Graphs of graph_info list
   | Pong
@@ -251,6 +262,18 @@ let encode_request req =
       add_u16 b (String.length q.q_graph);
       Buffer.add_string b q.q_graph;
       add_state_opt b q.q_resume
+  | Mutate m ->
+      Buffer.add_char b 'M';
+      add_u32 b m.m_id;
+      add_u16 b (String.length m.m_graph);
+      Buffer.add_string b m.m_graph;
+      add_u32 b (String.length m.m_script);
+      Buffer.add_string b m.m_script
+  | Reload { rl_id; rl_graph } ->
+      Buffer.add_char b 'R';
+      add_u32 b rl_id;
+      add_u16 b (String.length rl_graph);
+      Buffer.add_string b rl_graph
   | Cancel id ->
       Buffer.add_char b 'C';
       add_u32 b id
@@ -283,6 +306,18 @@ let decode_request payload =
         let q_graph = bytes_of c name_len "graph name" in
         let q_resume = read_state_opt c in
         Query { q_id; q_engine; q_graph; q_s; q_min_size; q_deadline_s; q_max_results; q_resume }
+    | 0x4D (* 'M' *) ->
+        let m_id = u32 c "mutation id" in
+        let name_len = u16 c "graph name length" in
+        let m_graph = bytes_of c name_len "graph name" in
+        let script_len = u32 c "script length" in
+        let m_script = bytes_of c script_len "edit script" in
+        Mutate { m_id; m_graph; m_script }
+    | 0x52 (* 'R' *) ->
+        let rl_id = u32 c "reload id" in
+        let name_len = u16 c "graph name length" in
+        let rl_graph = bytes_of c name_len "graph name" in
+        Reload { rl_id; rl_graph }
     | 0x43 (* 'C' *) -> Cancel (u32 c "cancel id")
     | 0x4C (* 'L' *) -> List_graphs
     | 0x50 (* 'P' *) -> Ping
@@ -318,6 +353,23 @@ let encode_response resp =
       add_u32 b b_id;
       add_u32 b b_running;
       add_u32 b b_queued
+  | Retry_after { ra_id; ra_seconds } ->
+      Buffer.add_char b 'A';
+      add_u32 b ra_id;
+      add_f64 b ra_seconds
+  | Mutated { mu_id; mu_epoch; mu_edits; mu_n; mu_m } ->
+      Buffer.add_char b 'M';
+      add_u32 b mu_id;
+      add_u64 b mu_epoch;
+      add_u32 b mu_edits;
+      add_u32 b mu_n;
+      add_u64 b mu_m
+  | Reloaded { rl_id; rl_epoch; rl_n; rl_m } ->
+      Buffer.add_char b 'H';
+      add_u32 b rl_id;
+      add_u64 b rl_epoch;
+      add_u32 b rl_n;
+      add_u64 b rl_m
   | Error_resp { e_id; e_code; e_msg } ->
       Buffer.add_char b 'E';
       add_u32 b e_id;
@@ -327,11 +379,12 @@ let encode_response resp =
       Buffer.add_char b 'G';
       add_u16 b (List.length infos);
       List.iter
-        (fun { g_name; g_n; g_m } ->
+        (fun { g_name; g_n; g_m; g_epoch } ->
           add_u16 b (String.length g_name);
           Buffer.add_string b g_name;
           add_u32 b g_n;
-          add_u64 b g_m)
+          add_u64 b g_m;
+          add_u64 b g_epoch)
         infos
   | Pong -> Buffer.add_char b 'O');
   Buffer.contents b
@@ -355,6 +408,23 @@ let decode_response payload =
         let b_running = u32 c "running count" in
         let b_queued = u32 c "queued count" in
         Busy { b_id; b_running; b_queued }
+    | 0x41 (* 'A' *) ->
+        let ra_id = u32 c "query id" in
+        let ra_seconds = f64 c "retry delay" in
+        Retry_after { ra_id; ra_seconds }
+    | 0x4D (* 'M' *) ->
+        let mu_id = u32 c "mutation id" in
+        let mu_epoch = u64 c "epoch" in
+        let mu_edits = u32 c "edit count" in
+        let mu_n = u32 c "node count" in
+        let mu_m = u64 c "edge count" in
+        Mutated { mu_id; mu_epoch; mu_edits; mu_n; mu_m }
+    | 0x48 (* 'H' *) ->
+        let rl_id = u32 c "reload id" in
+        let rl_epoch = u64 c "epoch" in
+        let rl_n = u32 c "node count" in
+        let rl_m = u64 c "edge count" in
+        Reloaded { rl_id; rl_epoch; rl_n; rl_m }
     | 0x45 (* 'E' *) ->
         let e_id = u32 c "query id" in
         let e_code = error_code_of_byte (u8 c "error code") in
@@ -368,7 +438,8 @@ let decode_response payload =
                let g_name = bytes_of c name_len "graph name" in
                let g_n = u32 c "node count" in
                let g_m = u64 c "edge count" in
-               { g_name; g_n; g_m }))
+               let g_epoch = u64 c "epoch" in
+               { g_name; g_n; g_m; g_epoch }))
     | 0x4F (* 'O' *) -> Pong
     | op -> fail (Bad_opcode op)
   in

@@ -53,7 +53,27 @@ type query = {
       (** token from a previous truncated query's [Done] *)
 }
 
-type request = Query of query | Cancel of int | List_graphs | Ping
+type mutate = {
+  m_id : int;  (** client-chosen, echoed on the ack / refusal *)
+  m_graph : string;  (** preloaded graph name on the daemon *)
+  m_script : string;
+      (** a complete [SGRDIFF1] image ({!Sgraph.Diff.to_string}) whose
+          header names the graph's {e current} (n, m) — the daemon
+          decodes it with the same strict {!Sgraph.Diff.of_string} that
+          reads disk scripts and journals, so wire and disk share one
+          CRC/truncation discipline *)
+}
+
+type request =
+  | Query of query
+  | Mutate of mutate
+      (** apply an edit script to a graph and journal it durably *)
+  | Reload of { rl_id : int; rl_graph : string }
+      (** hot-swap the graph from its source snapshot (sessions and
+          in-flight queries survive on their pinned epoch) *)
+  | Cancel of int
+  | List_graphs
+  | Ping
 
 type done_info = {
   d_id : int;
@@ -65,7 +85,12 @@ type done_info = {
 
 type error_code = Bad_request | Server_error
 
-type graph_info = { g_name : string; g_n : int; g_m : int }
+type graph_info = {
+  g_name : string;
+  g_n : int;
+  g_m : int;
+  g_epoch : int;  (** edits applied since load — the serving epoch *)
+}
 
 type response =
   | Result of int * string
@@ -73,7 +98,17 @@ type response =
           space-separated member ids ({!Scliques_core.Result_io.Stream.encode_set}) *)
   | Done of done_info
   | Busy of { b_id : int; b_running : int; b_queued : int }
-      (** admission control refused the query; retry later *)
+      (** the scheduler's global backlog refused the query; retry later *)
+  | Retry_after of { ra_id : int; ra_seconds : float }
+      (** the {e per-client} quota refused the request; [ra_seconds] is
+          how long until the token bucket admits it — sleep that long
+          instead of hammering *)
+  | Mutated of { mu_id : int; mu_epoch : int; mu_edits : int; mu_n : int; mu_m : int }
+      (** mutation ack, sent only {e after} the journal append was
+          flushed: the new epoch, the number of edits applied, and the
+          resulting graph size *)
+  | Reloaded of { rl_id : int; rl_epoch : int; rl_n : int; rl_m : int }
+      (** reload ack: the fresh graph's epoch and size *)
   | Error_resp of { e_id : int; e_code : error_code; e_msg : string }
       (** [e_id] is 0 when the failure was not tied to a query *)
   | Graphs of graph_info list

@@ -1,0 +1,87 @@
+(* Continuous token buckets. Levels are floats so fractional refill
+   accumulates exactly; the caller supplies [now], so nothing here reads
+   a clock and the tests drive time by hand. *)
+
+type config = {
+  queries_per_sec : float;
+  query_burst : int;
+  mutate_bytes_per_sec : float;
+  mutate_burst : int;
+}
+
+let unlimited =
+  {
+    queries_per_sec = infinity;
+    query_burst = max_int;
+    mutate_bytes_per_sec = infinity;
+    mutate_burst = max_int;
+  }
+
+let config_ok c =
+  let rate what r =
+    if Float.is_nan r || r <= 0. then
+      Error (Printf.sprintf "%s rate must be positive (got %g)" what r)
+    else Ok ()
+  and burst what b =
+    if b <= 0 then Error (Printf.sprintf "%s burst must be positive (got %d)" what b)
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = rate "query" c.queries_per_sec in
+  let* () = burst "query" c.query_burst in
+  let* () = rate "mutation-byte" c.mutate_bytes_per_sec in
+  burst "mutation-byte" c.mutate_burst
+
+type bucket = {
+  rate : float;
+  burst : float;
+  mutable level : float;
+  mutable at : float; (* timestamp of the last refill *)
+}
+
+type t = { lock : Mutex.t; queries : bucket; mutation : bucket }
+
+let bucket ~rate ~burst ~now =
+  { rate; burst = float_of_int burst; level = float_of_int burst; at = now }
+
+let create c ~now =
+  {
+    lock = Mutex.create ();
+    queries = bucket ~rate:c.queries_per_sec ~burst:c.query_burst ~now;
+    mutation = bucket ~rate:c.mutate_bytes_per_sec ~burst:c.mutate_burst ~now;
+  }
+
+let refill b ~now =
+  (* the [dt > 0] guard also dodges [infinity *. 0. = nan] for the
+     unlimited config; time going backwards is ignored, never charged *)
+  let dt = now -. b.at in
+  if dt > 0. then begin
+    b.at <- now;
+    b.level <- Float.min b.burst (b.level +. (b.rate *. dt))
+  end
+
+let take b ~now cost =
+  refill b ~now;
+  if b.level >= cost then begin
+    b.level <- b.level -. cost;
+    Ok ()
+  end
+  else
+    (* refusals are free; the advertised wait is until [cost] tokens are
+       available — or until the bucket is full, for a cost that exceeds
+       the ceiling and can therefore never be admitted whole *)
+    let target = Float.min cost b.burst in
+    Error ((target -. b.level) /. b.rate)
+
+let put_back b cost = b.level <- Float.min b.burst (b.level +. cost)
+
+let admit_query t ~now =
+  Scoll.Sync.with_lock t.lock (fun () -> take t.queries ~now 1.)
+
+let refund_query t = Scoll.Sync.with_lock t.lock (fun () -> put_back t.queries 1.)
+
+let admit_mutation t ~now ~bytes =
+  Scoll.Sync.with_lock t.lock (fun () -> take t.mutation ~now (float_of_int bytes))
+
+let refund_mutation t ~bytes =
+  Scoll.Sync.with_lock t.lock (fun () -> put_back t.mutation (float_of_int bytes))

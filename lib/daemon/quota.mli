@@ -1,0 +1,62 @@
+(** Per-client admission quotas: token buckets for queries and mutation
+    bytes, layered {e under} the scheduler's global backlog (DESIGN.md
+    §16).
+
+    The scheduler's [`Busy] answer protects the server; it does nothing
+    to stop one client from eating every lane. A [Quota.t] is the
+    per-session guard in front of it: each session owns two token
+    buckets — one counting {e queries admitted}, one counting {e
+    mutation bytes accepted} — refilled continuously at a configured
+    rate up to a burst ceiling. An admission that finds its bucket empty
+    is refused with the number of seconds until enough tokens
+    accumulate, which the server relays verbatim as the wire-level
+    [Retry_after] frame; a well-behaved client sleeps exactly that long
+    instead of hammering.
+
+    Refusals are {e free}: a refused admission does not drain the
+    bucket, so the advertised wait is honest. Admissions that later turn
+    out not to consume the resource — a query the scheduler refused with
+    [`Busy], or one aborted before running — are handed back with
+    {!refund_query}, so teardown leaks no tokens (the ledger checks of
+    the daemon test suite assert this).
+
+    Time is supplied by the caller ([now], seconds, any monotonic
+    origin), which keeps the arithmetic deterministic under test. All
+    operations take the bucket's lock; none of them block. *)
+
+type config = {
+  queries_per_sec : float;  (** refill rate of the query bucket *)
+  query_burst : int;  (** bucket ceiling: queries admittable at once *)
+  mutate_bytes_per_sec : float;  (** refill rate of the mutation bucket *)
+  mutate_burst : int;  (** bucket ceiling in SGRDIFF1 payload bytes *)
+}
+
+val unlimited : config
+(** Rates of [infinity]: every admission succeeds. The daemon default —
+    quotas are opt-in. *)
+
+val config_ok : config -> (unit, string) result
+(** Validates rates (finite values must be positive) and bursts
+    (positive). *)
+
+type t
+
+val create : config -> now:float -> t
+(** Both buckets start full. *)
+
+val admit_query : t -> now:float -> (unit, float) result
+(** Take one query token. [Error wait] leaves the bucket untouched;
+    [wait > 0.] is the seconds until a token will be available. *)
+
+val refund_query : t -> unit
+(** Hand one query token back (capped at the burst ceiling) — for
+    admitted queries that never consumed a scheduler slot. *)
+
+val admit_mutation : t -> now:float -> bytes:int -> (unit, float) result
+(** Take [bytes] mutation-byte tokens. A request larger than the burst
+    ceiling can never succeed; it is refused with the wait for a full
+    bucket, and the client should split the script or give up. *)
+
+val refund_mutation : t -> bytes:int -> unit
+(** Hand mutation bytes back (capped) — for payloads refused before any
+    work was journaled (parse errors, base mismatches). *)

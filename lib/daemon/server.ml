@@ -3,19 +3,59 @@ module Budget = Scliques_core.Budget
 module Ckpt = Scliques_core.Checkpoint
 module Neighborhood = Scliques_core.Neighborhood
 module Stream = Scliques_core.Result_io.Stream
+module Overlay = Sgraph.Overlay
+module Diff = Sgraph.Diff
 
 type addr = Unix_socket of string | Tcp of string * int
 
 module Smap = Hashtbl.Make (String)
 
-(* One preloaded graph plus its lazily created per-s shared ball caches:
-   every query against (name, s) attaches to the same store, so the
-   first query warms the cache for all its siblings. *)
-type graph_entry = {
-  ge_graph : Sgraph.Graph.t;
-  ge_lock : Mutex.t;
-  ge_stores : (int, Neighborhood.Shared.store) Hashtbl.t;
+(* ---------- epoch cells and durable state ---------- *)
+
+(* One serving epoch of a graph: an immutable CSR plus the per-s shared
+   ball stores warmed against exactly that CSR. A query pins the cell it
+   was admitted under and keeps using it even after a mutation installs
+   a successor — old cells stay alive (and their stores warm) for as
+   long as any pinned query holds them, then the GC takes the lot. *)
+type epoch_cell = {
+  ec_epoch : int; (* edits applied since load: offset + journal count *)
+  ec_graph : Sgraph.Graph.t;
+  ec_stores : (int, Neighborhood.Shared.store) Hashtbl.t;
 }
+
+(* Durable state of one graph under --state-dir: a generation-numbered
+   base snapshot + append-only SGRDIFF1 journal pair, switched by an
+   atomically renamed manifest. The journal fd is plain O_WRONLY (not
+   O_APPEND) so a failed append can be truncated back to the last acked
+   record. *)
+type persist = {
+  p_dir : string;
+  p_name : string;
+  mutable p_gen : int;
+  mutable p_journal : Unix.file_descr;
+  mutable p_journal_len : int; (* bytes acked so far — the truncate target *)
+}
+
+(* One preloaded graph. [ge_tip] tracks the persisted base plus every
+   journaled edit; [ge_cell] is the epoch currently offered to new
+   queries (always a compact CSR of the tip). [ge_pins] counts admitted
+   queries holding any cell of this graph — the ledger the teardown
+   tests drive to zero. *)
+type graph_entry = {
+  ge_name : string;
+  ge_source : (unit -> Sgraph.Graph.t) option; (* Reload re-reads this *)
+  ge_lock : Mutex.t; (* tip, cell, pins, counters, persist *)
+  mutable ge_tip : Overlay.t;
+  mutable ge_cell : epoch_cell;
+  mutable ge_offset : int; (* edits folded into the persisted base *)
+  mutable ge_jcount : int; (* edits in the live journal *)
+  mutable ge_pins : int;
+  ge_persist : persist option;
+}
+
+(* What [register] records per admitted query: the budget (for Cancel)
+   and the entry whose pin must be released exactly once. *)
+type admitted = { aq_budget : Budget.t; aq_entry : graph_entry }
 
 type session = {
   sid : int;
@@ -24,8 +64,9 @@ type session = {
   oc : out_channel;
   wlock : Mutex.t; (* serializes response frames from all query domains *)
   slock : Mutex.t; (* guards [alive] transitions and [queries] *)
+  squota : Quota.t option; (* per-client buckets; None = unlimited *)
   mutable alive : bool;
-  mutable queries : (int * Budget.t) list; (* admitted, not yet answered *)
+  mutable queries : (int * admitted) list; (* admitted, not yet answered *)
 }
 
 type t = {
@@ -34,9 +75,11 @@ type t = {
   sched : Scheduler.t;
   fault : Scoll.Fault.t;
   graphs : graph_entry Smap.t;
-  graph_infos : Protocol.graph_info list;
+  t_names : string list; (* listing order = the create argument's *)
   par_workers : int;
   cache_capacity : int;
+  compact_threshold : int;
+  quota : Quota.config option;
   lock : Mutex.t; (* sessions table + stopping flag *)
   mutable sessions : (session * Thread.t) list;
   mutable stopping : bool;
@@ -49,18 +92,178 @@ type t = {
    time this propagates. *)
 exception Write_failed
 
+let now () = Unix.gettimeofday ()
+
+(* ---------- durable state plumbing ---------- *)
+
+let manifest_magic = "SGRMANI1"
+
+let manifest_path ~dir ~name = Filename.concat dir (name ^ ".manifest")
+
+let base_path ~dir ~name gen =
+  Filename.concat dir (Printf.sprintf "%s.base.%d.sgr" name gen)
+
+let journal_path ~dir ~name gen =
+  Filename.concat dir (Printf.sprintf "%s.journal.%d" name gen)
+
+(* Only names that are safe as file-name stems may be persisted (or
+   reloaded by generation): the wire allows any bytes in a graph name,
+   the filesystem does not. *)
+let state_name_ok name =
+  (not (String.equal name ""))
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true | _ -> false)
+       name
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off = if off < len then go (off + Unix.write fd b off (len - off)) in
+  go 0
+
+(* The manifest is one line, replaced atomically: a crash mid-rebase
+   leaves either the old generation fully live or the new one. *)
+let write_manifest path ~gen ~offset =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     Printf.fprintf oc "%s %d %d\n" manifest_magic gen offset;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp path
+
+let read_manifest path =
+  let ic = open_in_bin path in
+  let line =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> try input_line ic with End_of_file -> "")
+  in
+  let malformed () =
+    Sgraph.Io_error.failf ~file:path ~line:1 "malformed manifest %S" line
+  in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ m; g; o ] when String.equal m manifest_magic -> (
+      match (int_of_string_opt g, int_of_string_opt o) with
+      | Some gen, Some offset when gen >= 0 && offset >= 0 -> (gen, offset)
+      | _ -> malformed ())
+  | _ -> malformed ()
+
+(* Start a fresh journal for [graph] at generation [gen]: header image,
+   fsynced, fd left open at the append position. *)
+let open_fresh_journal ~dir ~name gen graph =
+  let path = journal_path ~dir ~name gen in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let header =
+    Diff.encode_header ~base_n:(Sgraph.Graph.n graph) ~base_m:(Sgraph.Graph.m graph)
+  in
+  (try
+     write_all fd header;
+     Unix.fsync fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (fd, String.length header)
+
+(* Fold the journal into a new generation: snapshot [graph], start an
+   empty journal beside it, then flip the manifest — the only moment the
+   new generation becomes live. Raises on I/O failure with the old
+   generation still fully intact (at worst a dead [.base]/[.journal]
+   file of the never-activated generation remains). *)
+let persist_rebase p graph ~epoch =
+  let dir = p.p_dir and name = p.p_name in
+  let gen = p.p_gen + 1 in
+  Sgraph.Snapshot.save graph (base_path ~dir ~name gen);
+  let fd, len = open_fresh_journal ~dir ~name gen graph in
+  (try write_manifest (manifest_path ~dir ~name) ~gen ~offset:epoch
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (try Unix.close p.p_journal with Unix.Unix_error _ -> ());
+  List.iter
+    (fun f -> try Sys.remove f with Sys_error _ -> ())
+    [ base_path ~dir ~name p.p_gen; journal_path ~dir ~name p.p_gen ];
+  p.p_gen <- gen;
+  p.p_journal <- fd;
+  p.p_journal_len <- len
+
+(* Attach a graph to the state dir: resume from the manifest when one
+   exists (base snapshot + strict journal replay — a torn or corrupt
+   journal tail is refused, exactly like any SGRDIFF1 script, and the
+   server fails to start), else persist the provided graph as
+   generation 0. Returns (tip, serving graph, offset, jcount, persist).
+   When persisted state exists it wins over the provided graph: the
+   state dir is the durable truth, [Reload] is the way back to the
+   source. *)
+let attach_state ~dir name g =
+  let mpath = manifest_path ~dir ~name in
+  if Sys.file_exists mpath then begin
+    let gen, offset = read_manifest mpath in
+    let jpath = journal_path ~dir ~name gen in
+    let base = Sgraph.Snapshot.load (base_path ~dir ~name gen) in
+    let header, edits = Diff.load jpath in
+    Diff.check_base ~file:jpath header base;
+    let tip = Overlay.of_graph base in
+    (match Overlay.apply tip edits with
+    | () -> ()
+    | exception Invalid_argument msg ->
+        Sgraph.Io_error.failf ~file:jpath ~line:0 "journal replay failed: %s" msg);
+    let serving = match edits with [] -> base | _ :: _ -> Overlay.compact tip in
+    (* ownership of the journal fd transfers to the persist record
+       below; it is closed by [persist_rebase] (generation flip) or by
+       [stop] once every session is gone *)
+    let fd = Unix.openfile jpath [ Unix.O_WRONLY ] 0o644 in
+    let len =
+      try Unix.lseek fd 0 Unix.SEEK_END
+      with e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+    in
+    ( tip,
+      serving,
+      offset,
+      List.length edits,
+      { p_dir = dir; p_name = name; p_gen = gen; p_journal = fd; p_journal_len = len } )
+  end
+  else begin
+    Sgraph.Snapshot.save g (base_path ~dir ~name 0);
+    let fd, len = open_fresh_journal ~dir ~name 0 g in
+    write_manifest mpath ~gen:0 ~offset:0;
+    ( Overlay.of_graph g,
+      g,
+      0,
+      0,
+      { p_dir = dir; p_name = name; p_gen = 0; p_journal = fd; p_journal_len = len } )
+  end
+
 (* ---------- session plumbing ---------- *)
 
-let register sess id budget =
-  Scoll.Sync.with_lock sess.slock (fun () ->
-      sess.queries <- (id, budget) :: sess.queries)
+let register sess id aq =
+  Scoll.Sync.with_lock sess.slock (fun () -> sess.queries <- (id, aq) :: sess.queries)
 
+let unpin entry =
+  Scoll.Sync.with_lock entry.ge_lock (fun () -> entry.ge_pins <- entry.ge_pins - 1)
+
+(* Remove the query and release its epoch pin. Exactly-once by
+   construction: the remove under [slock] decides a single winner among
+   the racing callers (normal completion, the job's finally, an abort,
+   session teardown), and only the winner unpins. *)
 let unregister sess id =
-  Scoll.Sync.with_lock sess.slock (fun () ->
-      sess.queries <- List.filter (fun (i, _) -> i <> id) sess.queries)
+  let removed =
+    Scoll.Sync.with_lock sess.slock (fun () ->
+        match List.assoc_opt id sess.queries with
+        | None -> None
+        | Some aq ->
+            sess.queries <- List.filter (fun (i, _) -> i <> id) sess.queries;
+            Some aq)
+  in
+  match removed with None -> () | Some aq -> unpin aq.aq_entry
 
 let lookup sess id =
-  Scoll.Sync.with_lock sess.slock (fun () -> List.assoc_opt id sess.queries)
+  Scoll.Sync.with_lock sess.slock (fun () ->
+      Option.map (fun aq -> aq.aq_budget) (List.assoc_opt id sess.queries))
 
 let live_query sess id =
   Scoll.Sync.with_lock sess.slock (fun () ->
@@ -70,7 +273,9 @@ let live_query sess id =
    admitted (a worker mid-enumeration observes the trip at its next
    poll), drop its queued jobs, and wake anything blocked on its socket.
    The file descriptors are closed later, by the session thread itself,
-   so no other thread ever touches a recycled fd. *)
+   so no other thread ever touches a recycled fd. Pins and quota tokens
+   are released by the per-query unregister/abort paths this triggers,
+   never here — releasing them twice would corrupt the ledgers. *)
 let kill_session srv sess =
   let first =
     Scoll.Sync.with_lock sess.slock (fun () ->
@@ -82,7 +287,7 @@ let kill_session srv sess =
   in
   if first then begin
     List.iter
-      (fun (_, b) -> Budget.request_cancel b)
+      (fun (_, aq) -> Budget.request_cancel aq.aq_budget)
       (Scoll.Sync.with_lock sess.slock (fun () -> sess.queries));
     Scheduler.retire_lane srv.sched sess.sid;
     try Unix.shutdown sess.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
@@ -115,16 +320,19 @@ let try_send srv sess resp = try send srv sess resp with Write_failed -> ()
 
 (* ---------- query execution (on a scheduler worker domain) ---------- *)
 
-let store_for srv entry s =
+(* The per-s store of a {e pinned} cell — lazily created against the
+   cell's own graph, so a query that outlives a mutation keeps warming
+   (and hitting) balls of the epoch it was admitted under. *)
+let store_for srv entry cell s =
   Scoll.Sync.with_lock entry.ge_lock (fun () ->
-      match Hashtbl.find_opt entry.ge_stores s with
+      match Hashtbl.find_opt cell.ec_stores s with
       | Some st -> st
       | None ->
           let st =
             Neighborhood.Shared.create ~cache_capacity:srv.cache_capacity ~s
-              entry.ge_graph
+              cell.ec_graph
           in
-          Hashtbl.add entry.ge_stores s st;
+          Hashtbl.add cell.ec_stores s st;
           st)
 
 let cancelled_done id =
@@ -136,7 +344,7 @@ let cancelled_done id =
       d_resume = None;
     }
 
-let exec_query srv sess entry (q : Protocol.query) budget =
+let exec_query srv sess entry cell (q : Protocol.query) budget =
   let emitted = ref 0 in
   let yield set =
     send srv sess (Protocol.Result (q.q_id, Stream.encode_set set));
@@ -149,11 +357,11 @@ let exec_query srv sess entry (q : Protocol.query) budget =
       let nh =
         match alg with
         | E.Brute -> None
-        | _ -> Some (Neighborhood.of_shared (store_for srv entry q.q_s))
+        | _ -> Some (Neighborhood.of_shared (store_for srv entry cell q.q_s))
       in
       let report =
         E.run ~min_size:q.q_min_size ?nh ~budget ?resume:q.q_resume alg
-          entry.ge_graph ~s:q.q_s yield
+          cell.ec_graph ~s:q.q_s yield
       in
       (* unregister before the terminal frame: the moment the client
          reads Done, the id is free to reuse on this connection *)
@@ -176,7 +384,7 @@ let exec_query srv sess entry (q : Protocol.query) budget =
       let _, outcome, retired =
         Scliques_core.Parallel.enumerate_budgeted ~workers:srv.par_workers
           ~min_size:q.q_min_size ~budget ~skip_roots ~on_root_retired
-          entry.ge_graph ~s:q.q_s
+          cell.ec_graph ~s:q.q_s
       in
       let d_resume =
         match outcome with
@@ -196,11 +404,11 @@ let exec_query srv sess entry (q : Protocol.query) budget =
              d_resume;
            })
 
-let run_job srv sess entry (q : Protocol.query) budget =
+let run_job srv sess entry cell (q : Protocol.query) budget =
   Fun.protect
     ~finally:(fun () -> unregister sess q.q_id)
     (fun () ->
-      match exec_query srv sess entry q budget with
+      match exec_query srv sess entry cell q budget with
       | () -> ()
       | exception Write_failed ->
           (* the session is dead and its budgets cancelled; nothing left
@@ -260,28 +468,350 @@ let handle_query srv sess (q : Protocol.query) =
             (Protocol.Error_resp
                { e_id = q.q_id; e_code = Protocol.Bad_request; e_msg = msg })
       | budget -> (
-          (* registered before submission so a [Cancel] can hit a query
-             that is still queued; the job's run/abort unregisters *)
-          register sess q.q_id budget;
-          let job =
-            {
-              Scheduler.run = (fun () -> run_job srv sess entry q budget);
-              abort =
-                (fun () ->
-                  unregister sess q.q_id;
-                  try_send srv sess (cancelled_done q.q_id));
-            }
+          (* per-client quota first (a refusal is free and typed), then
+             the scheduler's global backlog *)
+          let quota_ok =
+            match sess.squota with
+            | None -> Ok ()
+            | Some qt -> Quota.admit_query qt ~now:(now ())
           in
-          match Scheduler.submit srv.sched ~lane:sess.sid job with
-          | `Accepted -> ()
-          | `Busy (running, queued) ->
-              unregister sess q.q_id;
+          match quota_ok with
+          | Error wait ->
               try_send srv sess
-                (Protocol.Busy
-                   { b_id = q.q_id; b_running = running; b_queued = queued })
-          | `Shutdown ->
-              unregister sess q.q_id;
-              try_send srv sess (cancelled_done q.q_id)))
+                (Protocol.Retry_after { ra_id = q.q_id; ra_seconds = wait })
+          | Ok () -> (
+              let refund () =
+                match sess.squota with
+                | None -> ()
+                | Some qt -> Quota.refund_query qt
+              in
+              (* pin the serving epoch, then register — so a [Cancel] can
+                 hit a query that is still queued, and the job's
+                 run/abort paths release both through unregister *)
+              let cell =
+                Scoll.Sync.with_lock entry.ge_lock (fun () ->
+                    entry.ge_pins <- entry.ge_pins + 1;
+                    entry.ge_cell)
+              in
+              register sess q.q_id { aq_budget = budget; aq_entry = entry };
+              let job =
+                {
+                  Scheduler.run =
+                    (fun () -> run_job srv sess entry cell q budget);
+                  abort =
+                    (fun () ->
+                      (* dropped before running: the pin and the quota
+                         token both come back *)
+                      unregister sess q.q_id;
+                      refund ();
+                      try_send srv sess (cancelled_done q.q_id));
+                }
+              in
+              match Scheduler.submit srv.sched ~lane:sess.sid job with
+              | `Accepted -> ()
+              | `Busy (running, queued) ->
+                  unregister sess q.q_id;
+                  refund ();
+                  try_send srv sess
+                    (Protocol.Busy
+                       { b_id = q.q_id; b_running = running; b_queued = queued })
+              | `Shutdown ->
+                  unregister sess q.q_id;
+                  refund ();
+                  try_send srv sess (cancelled_done q.q_id))))
+
+(* ---------- mutation (on the session thread) ---------- *)
+
+(* Append the accepted edits to the journal and fsync, with the
+   [daemon.mutate.journal] / [daemon.mutate.flush] fault sites armed.
+   On any failure the journal is truncated back to the last acked
+   record, so the on-disk script is always exactly the acked prefix —
+   the crash drill replays it to a well-defined epoch. *)
+let journal_append srv entry edits =
+  match entry.ge_persist with
+  | None -> Ok ()
+  | Some p -> (
+      let image = String.concat "" (List.map Diff.encode_edit edits) in
+      match
+        Scoll.Fault.check srv.fault "daemon.mutate.journal";
+        (* SAFETY: the append runs under [ge_lock] deliberately — the
+           flush-before-ack ordering and the journal's "acked prefix"
+           invariant need the tip, the journal and the epoch counters to
+           move together; queries never block on [ge_lock] for longer
+           than a store probe, and only mutations of this one graph wait *)
+        (write_all p.p_journal image [@lint.allow "lock-order"]);
+        Scoll.Fault.check srv.fault "daemon.mutate.flush";
+        (Unix.fsync p.p_journal [@lint.allow "lock-order"])
+      with
+      | () ->
+          p.p_journal_len <- p.p_journal_len + String.length image;
+          Ok ()
+      | exception ((Scoll.Fault.Injected _ | Unix.Unix_error _) as e) ->
+          (try
+             (* SAFETY: same critical section as the failed append; the
+                truncate restores the acked-prefix invariant *)
+             (Unix.ftruncate p.p_journal p.p_journal_len
+             [@lint.allow "lock-order"]);
+             ignore (Unix.lseek p.p_journal p.p_journal_len Unix.SEEK_SET)
+           with Unix.Unix_error _ -> ());
+          Error ("mutation journal append failed: " ^ Printexc.to_string e))
+
+(* Fold the tip into a fresh generation once the delta grew past the
+   threshold. Persist failure is not fatal: the current generation's
+   journal keeps growing and the rebase retries at the next crossing. *)
+(* SAFETY: called only from [apply_mutation], i.e. under [ge_lock] — the
+   fact collector is per-call-site for held locks, so the ge_* field
+   accesses below look unlocked to it *)
+let[@lint.allow "atomicity"] try_rebase entry after =
+  let epoch = entry.ge_offset + entry.ge_jcount in
+  let ok =
+    match entry.ge_persist with
+    | None -> true
+    | Some p -> (
+        (* SAFETY: rebase I/O under [ge_lock] — see journal_append; it
+           runs once per [compact_threshold] edits, not per mutation *)
+        match (persist_rebase p after ~epoch [@lint.allow "lock-order"]) with
+        | () -> true
+        | exception ((Sys_error _ | Unix.Unix_error _) as e) ->
+            prerr_endline
+              (Printf.sprintf
+                 "scliques-daemon: rebase of %S deferred (%s); journal keeps \
+                  growing"
+                 entry.ge_name (Printexc.to_string e));
+            false)
+  in
+  if ok then begin
+    entry.ge_tip <- Overlay.of_graph after;
+    entry.ge_offset <- epoch;
+    entry.ge_jcount <- 0
+  end
+
+(* The mutation body, under [ge_lock]: strict apply with inverse-edit
+   rollback, flush-before-ack journaling, then a fresh epoch cell whose
+   stores carry forward every ball the locality radius keeps valid. The
+   old cell — and any query pinned to it — is untouched. *)
+(* SAFETY: the single caller in [handle_mutate] holds [ge_lock] for the
+   whole body; every ge_* access here is inside that critical section *)
+let[@lint.allow "atomicity"] apply_mutation srv entry (header : Diff.header) edits =
+  let tip = entry.ge_tip in
+  if header.base_n <> Overlay.n tip || header.base_m <> Overlay.m tip then
+    Error
+      ( Protocol.Bad_request,
+        Printf.sprintf
+          "diff base mismatch: script against n=%d m=%d, graph %S is at n=%d \
+           m=%d (epoch %d)"
+          header.base_n header.base_m entry.ge_name (Overlay.n tip)
+          (Overlay.m tip)
+          (entry.ge_offset + entry.ge_jcount) )
+  else begin
+    (* [Overlay.apply] is strict but leaves a failed batch half-applied;
+       the wire path must be atomic, so apply edit-by-edit and undo the
+       applied prefix with inverse edits (guaranteed effective: each
+       undoes an edit that just succeeded) on the first ineffective one *)
+    let rollback applied =
+      List.iter
+        (fun e ->
+          let undone =
+            match e with
+            | Overlay.Insert (u, v) -> Overlay.delete_edge tip u v
+            | Overlay.Delete (u, v) -> Overlay.insert_edge tip u v
+          in
+          assert undone)
+        applied
+    in
+    let rec apply_all applied = function
+      | [] -> Ok applied
+      | e :: rest ->
+          let effective =
+            match e with
+            | Overlay.Insert (u, v) -> Overlay.insert_edge tip u v
+            | Overlay.Delete (u, v) -> Overlay.delete_edge tip u v
+          in
+          if effective then apply_all (e :: applied) rest
+          else begin
+            rollback applied;
+            Error
+              (Format.asprintf
+                 "ineffective edit %a (inserting a live edge, or deleting an \
+                  absent one)"
+                 Overlay.pp_edit e)
+          end
+    in
+    match apply_all [] edits with
+    | Error msg -> Error (Protocol.Bad_request, msg)
+    | Ok applied_rev -> (
+        match journal_append srv entry edits with
+        | Error msg ->
+            rollback applied_rev;
+            Error (Protocol.Server_error, msg)
+        | Ok () ->
+            entry.ge_jcount <- entry.ge_jcount + List.length edits;
+            let after = Overlay.compact tip in
+            let touched = Overlay.touched edits in
+            let stores = Hashtbl.create 4 in
+            Hashtbl.iter
+              (fun s st ->
+                Hashtbl.replace stores s
+                  (Neighborhood.Shared.advance st ~after ~touched))
+              entry.ge_cell.ec_stores;
+            let epoch = entry.ge_offset + entry.ge_jcount in
+            entry.ge_cell <- { ec_epoch = epoch; ec_graph = after; ec_stores = stores };
+            if Overlay.delta_size tip >= srv.compact_threshold then
+              try_rebase entry after;
+            Ok (epoch, Sgraph.Graph.n after, Sgraph.Graph.m after))
+  end
+
+let handle_mutate srv sess (m : Protocol.mutate) =
+  let refuse code msg =
+    try_send srv sess
+      (Protocol.Error_resp { e_id = m.m_id; e_code = code; e_msg = msg })
+  in
+  match Smap.find_opt srv.graphs m.m_graph with
+  | None -> refuse Protocol.Bad_request (Printf.sprintf "unknown graph %S" m.m_graph)
+  | Some entry -> (
+      if live_query sess m.m_id then
+        refuse Protocol.Bad_request
+          (Printf.sprintf "id %d is already in flight as a query" m.m_id)
+      else
+        let bytes = String.length m.m_script in
+        let quota_ok =
+          match sess.squota with
+          | None -> Ok ()
+          | Some qt -> Quota.admit_mutation qt ~now:(now ()) ~bytes
+        in
+        match quota_ok with
+        | Error wait ->
+            try_send srv sess
+              (Protocol.Retry_after { ra_id = m.m_id; ra_seconds = wait })
+        | Ok () -> (
+            (* refusals below hand the bytes back: nothing was journaled,
+               so the client should not stay charged for them *)
+            let refund () =
+              match sess.squota with
+              | None -> ()
+              | Some qt -> Quota.refund_mutation qt ~bytes
+            in
+            match Diff.of_string ~file:"<wire>" m.m_script with
+            | exception Sgraph.Io_error.Parse_error { msg; _ } ->
+                refund ();
+                refuse Protocol.Bad_request ("bad edit script: " ^ msg)
+            | header, edits -> (
+                match
+                  Scoll.Sync.with_lock entry.ge_lock (fun () ->
+                      (* SAFETY: flush-before-ack by design — the journal
+                         write/fsync must share the critical section with
+                         the tip and epoch update (see journal_append) *)
+                      (apply_mutation srv entry header edits
+                      [@lint.allow "lock-order"]))
+                with
+                | Ok (epoch, n, m_edges) ->
+                    try_send srv sess
+                      (Protocol.Mutated
+                         {
+                           mu_id = m.m_id;
+                           mu_epoch = epoch;
+                           mu_edits = List.length edits;
+                           mu_n = n;
+                           mu_m = m_edges;
+                         })
+                | Error (code, msg) ->
+                    refund ();
+                    refuse code msg)))
+
+(* ---------- reload ---------- *)
+
+(* Hot-swap one graph. With a source loader: re-read it and install a
+   fresh epoch-0 cell with cold stores (the graph may be arbitrarily
+   different). Without one: fold the journal into a new generation (a
+   forced rebase) without changing the serving graph. Sessions survive
+   either way, and queries already admitted finish on their pinned
+   cell. *)
+let reload srv ~graph =
+  match Smap.find_opt srv.graphs graph with
+  | None -> Error (Printf.sprintf "unknown graph %S" graph)
+  | Some entry -> (
+      (* file I/O outside the lock: loading must not stall admissions *)
+      let loaded =
+        match entry.ge_source with
+        | None -> Ok None
+        | Some load -> (
+            match load () with
+            | g -> Ok (Some g)
+            | exception Sgraph.Io_error.Parse_error { file; line; msg } ->
+                Error (Sgraph.Io_error.to_string ~file ~line msg)
+            | exception Sys_error msg -> Error msg)
+      in
+      match loaded with
+      | Error _ as e -> e
+      | Ok source -> (
+          match
+            Scoll.Sync.with_lock entry.ge_lock (fun () ->
+                Scoll.Fault.check srv.fault "daemon.reload";
+                match source with
+                | Some g ->
+                    (match entry.ge_persist with
+                    | None -> ()
+                    | Some p ->
+                        (* SAFETY: rebase I/O under ge_lock — reload is a
+                           rare admin action; see journal_append *)
+                        (persist_rebase p g ~epoch:0
+                        [@lint.allow "lock-order"]));
+                    entry.ge_tip <- Overlay.of_graph g;
+                    entry.ge_offset <- 0;
+                    entry.ge_jcount <- 0;
+                    entry.ge_cell <-
+                      {
+                        ec_epoch = 0;
+                        ec_graph = g;
+                        ec_stores = Hashtbl.create 4;
+                      };
+                    (0, Sgraph.Graph.n g, Sgraph.Graph.m g)
+                | None ->
+                    let g = entry.ge_cell.ec_graph in
+                    let epoch = entry.ge_offset + entry.ge_jcount in
+                    (match entry.ge_persist with
+                    | None -> ()
+                    | Some p ->
+                        (* SAFETY: see above *)
+                        (persist_rebase p g ~epoch
+                        [@lint.allow "lock-order"]));
+                    entry.ge_tip <- Overlay.of_graph g;
+                    entry.ge_offset <- epoch;
+                    entry.ge_jcount <- 0;
+                    (epoch, Sgraph.Graph.n g, Sgraph.Graph.m g))
+          with
+          | result -> Ok result
+          | exception Scoll.Fault.Injected site ->
+              Error ("injected fault at " ^ site)
+          | exception ((Sys_error _ | Unix.Unix_error _) as e) ->
+              Error ("reload failed: " ^ Printexc.to_string e)))
+
+let handle_reload srv sess ~rl_id ~rl_graph =
+  match reload srv ~graph:rl_graph with
+  | Ok (epoch, n, m) ->
+      try_send srv sess
+        (Protocol.Reloaded { rl_id; rl_epoch = epoch; rl_n = n; rl_m = m })
+  | Error msg ->
+      try_send srv sess
+        (Protocol.Error_resp
+           { e_id = rl_id; e_code = Protocol.Server_error; e_msg = msg })
+
+(* ---------- listing ---------- *)
+
+let graph_infos srv =
+  List.map
+    (fun name ->
+      let entry = Smap.find srv.graphs name in
+      Scoll.Sync.with_lock entry.ge_lock (fun () ->
+          {
+            Protocol.g_name = name;
+            g_n = Sgraph.Graph.n entry.ge_cell.ec_graph;
+            g_m = Sgraph.Graph.m entry.ge_cell.ec_graph;
+            g_epoch = entry.ge_cell.ec_epoch;
+          }))
+    srv.t_names
+
+(* ---------- session loop ---------- *)
 
 let session_loop srv sess =
   match
@@ -295,12 +825,15 @@ let session_loop srv sess =
           (match Protocol.decode_request payload with
           | Protocol.Ping -> try_send srv sess Protocol.Pong
           | Protocol.List_graphs ->
-              try_send srv sess (Protocol.Graphs srv.graph_infos)
+              try_send srv sess (Protocol.Graphs (graph_infos srv))
           | Protocol.Cancel id -> (
               match lookup sess id with
               | Some budget -> Budget.request_cancel budget
               | None -> () (* already answered, or never ours: a no-op *))
-          | Protocol.Query q -> handle_query srv sess q);
+          | Protocol.Query q -> handle_query srv sess q
+          | Protocol.Mutate m -> handle_mutate srv sess m
+          | Protocol.Reload { rl_id; rl_graph } ->
+              handle_reload srv sess ~rl_id ~rl_graph);
           loop ()
     in
     loop ()
@@ -349,6 +882,7 @@ let spawn_session srv fd =
           oc = Unix.out_channel_of_descr fd;
           wlock = Mutex.create ();
           slock = Mutex.create ();
+          squota = Option.map (fun c -> Quota.create c ~now:(now ())) srv.quota;
           alive = true;
           queries = [];
         }
@@ -418,12 +952,35 @@ let store srv ~graph ~s =
   | None -> None
   | Some entry ->
       Scoll.Sync.with_lock entry.ge_lock (fun () ->
-          Hashtbl.find_opt entry.ge_stores s)
+          Hashtbl.find_opt entry.ge_cell.ec_stores s)
+
+let graph_epoch srv ~graph =
+  Option.map
+    (fun entry ->
+      Scoll.Sync.with_lock entry.ge_lock (fun () -> entry.ge_cell.ec_epoch))
+    (Smap.find_opt srv.graphs graph)
+
+let pinned srv ~graph =
+  Option.map
+    (fun entry -> Scoll.Sync.with_lock entry.ge_lock (fun () -> entry.ge_pins))
+    (Smap.find_opt srv.graphs graph)
+
+let reload_all srv =
+  List.map (fun name -> (name, reload srv ~graph:name)) srv.t_names
 
 let create ?(workers = 2) ?(max_queue = 16) ?(par_workers = 1)
-    ?(cache_capacity = 65536) ?(fault = Scoll.Fault.none) ~graphs addr =
+    ?(cache_capacity = 65536) ?(compact_threshold = 1024) ?quota ?state_dir
+    ?(sources = []) ?(fault = Scoll.Fault.none) ~graphs addr =
   if par_workers < 1 then
     invalid_arg "Server.create: par_workers must be >= 1";
+  if compact_threshold < 1 then
+    invalid_arg "Server.create: compact_threshold must be >= 1";
+  (match quota with
+  | None -> ()
+  | Some c -> (
+      match Quota.config_ok c with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Server.create: " ^ msg)));
   if List.is_empty graphs then invalid_arg "Server.create: no graphs to serve";
   (* a vanished client must surface as a write error, not kill the
      process *)
@@ -436,19 +993,39 @@ let create ?(workers = 2) ?(max_queue = 16) ?(par_workers = 1)
         invalid_arg "Server.create: graph name exceeds the wire length field";
       if Smap.mem table name then
         invalid_arg (Printf.sprintf "Server.create: duplicate graph %S" name);
+      (match state_dir with
+      | Some _ when not (state_name_ok name) ->
+          invalid_arg
+            (Printf.sprintf
+               "Server.create: graph name %S cannot be persisted (allowed: \
+                letters, digits, '.', '_', '-')"
+               name)
+      | _ -> ());
+      let tip, serving, offset, jcount, persist =
+        match state_dir with
+        | None -> (Overlay.of_graph g, g, 0, 0, None)
+        | Some dir ->
+            let tip, serving, offset, jcount, p = attach_state ~dir name g in
+            (tip, serving, offset, jcount, Some p)
+      in
       Smap.add table name
-        { ge_graph = g; ge_lock = Mutex.create (); ge_stores = Hashtbl.create 4 })
-    graphs;
-  let graph_infos =
-    List.map
-      (fun (name, g) ->
         {
-          Protocol.g_name = name;
-          g_n = Sgraph.Graph.n g;
-          g_m = Sgraph.Graph.m g;
+          ge_name = name;
+          ge_source = List.assoc_opt name sources;
+          ge_lock = Mutex.create ();
+          ge_tip = tip;
+          ge_cell =
+            {
+              ec_epoch = offset + jcount;
+              ec_graph = serving;
+              ec_stores = Hashtbl.create 4;
+            };
+          ge_offset = offset;
+          ge_jcount = jcount;
+          ge_pins = 0;
+          ge_persist = persist;
         })
-      graphs
-  in
+    graphs;
   let listen_fd =
     match addr with
     | Unix_socket path ->
@@ -491,9 +1068,11 @@ let create ?(workers = 2) ?(max_queue = 16) ?(par_workers = 1)
       sched = Scheduler.create ~workers ~max_queue;
       fault;
       graphs = table;
-      graph_infos;
+      t_names = List.map fst graphs;
       par_workers;
       cache_capacity;
+      compact_threshold;
+      quota;
       lock = Mutex.create ();
       sessions = [];
       stopping = false;
@@ -525,7 +1104,7 @@ let stop ?(drain = true) srv =
       List.iter
         (fun (sess, _) ->
           List.iter
-            (fun (_, b) -> Budget.request_cancel b)
+            (fun (_, aq) -> Budget.request_cancel aq.aq_budget)
             (Scoll.Sync.with_lock sess.slock (fun () -> sess.queries)))
         (Scoll.Sync.with_lock srv.lock (fun () -> srv.sessions));
     (* refuse new work, abort the backlog (each queued query is answered
@@ -538,7 +1117,14 @@ let stop ?(drain = true) srv =
         try Unix.shutdown sess.fd Unix.SHUTDOWN_ALL
         with Unix.Unix_error _ -> ())
       sessions;
-    List.iter (fun (_, th) -> Thread.join th) sessions
+    List.iter (fun (_, th) -> Thread.join th) sessions;
+    (* every session is gone: the journals can close *)
+    Smap.iter
+      (fun _ entry ->
+        match entry.ge_persist with
+        | None -> ()
+        | Some p -> ( try Unix.close p.p_journal with Unix.Unix_error _ -> ()))
+      srv.graphs
   end
   else
     (* a concurrent stop owns the teardown; wait until it finished *)

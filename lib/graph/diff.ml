@@ -10,11 +10,10 @@ let max_node_count = (1 lsl 30) - 1
 
 let failf path fmt = Io_error.failf ~file:path ~line:0 fmt
 
-let write_record oc payload =
-  output_bytes oc payload;
+let record payload =
   let crc = Bytes.create 4 in
   Bytes.set_int32_le crc 0 (Int32.of_int (Scoll.Crc32.bytes payload));
-  output_bytes oc crc
+  Bytes.to_string payload ^ Bytes.to_string crc
 
 let header_payload ~base_n ~base_m =
   let b = Bytes.create 16 in
@@ -34,23 +33,31 @@ let edit_payload e =
   Bytes.set_int64_le b 9 (Int64.of_int v);
   b
 
+let encode_header ~base_n ~base_m =
+  magic ^ record (header_payload ~base_n ~base_m)
+
+let encode_edit e = record (edit_payload e)
+
+let to_string ~base_n ~base_m edits =
+  let buf = Buffer.create (28 + (21 * List.length edits)) in
+  Buffer.add_string buf (encode_header ~base_n ~base_m);
+  List.iter (fun e -> Buffer.add_string buf (encode_edit e)) edits;
+  Buffer.contents buf
+
 (* {2 Writing} *)
 
 type writer = { oc : out_channel }
 
 let open_writer ~base_n ~base_m path =
   let oc = open_out_bin path in
-  (match
-     output_string oc magic;
-     write_record oc (header_payload ~base_n ~base_m)
-   with
+  (match output_string oc (encode_header ~base_n ~base_m) with
   | () -> ()
   | exception e ->
       close_out_noerr oc;
       raise e);
   { oc }
 
-let write_edit w e = write_record w.oc (edit_payload e)
+let write_edit w e = output_string w.oc (encode_edit e)
 
 let flush w = Stdlib.flush w.oc
 
@@ -66,16 +73,26 @@ let save ~base_n ~base_m edits path =
       close w);
   Sys.rename tmp path
 
-(* {2 Reading} *)
+(* {2 Reading}
 
-let read_exact path ic len what =
+   One strict decoder serves every SGRDIFF1 consumer — disk scripts,
+   the daemon's mutation journal, and Mutate payloads arriving over the
+   wire — so all of them share the same CRC and torn-tail discipline. It
+   walks an in-memory image with a cursor; [load] is just file slurp +
+   decode. *)
+
+type cursor = { src : string; mutable pos : int }
+
+let read_exact path c len what =
+  if c.pos + len > String.length c.src then
+    failf path "diff truncated reading %s" what;
   let b = Bytes.create len in
-  (try really_input ic b 0 len
-   with End_of_file -> failf path "diff truncated reading %s" what);
+  Bytes.blit_string c.src c.pos b 0 len;
+  c.pos <- c.pos + len;
   b
 
-let check_crc path ic payload what =
-  let crc = read_exact path ic 4 (what ^ " CRC") in
+let check_crc path c payload what =
+  let crc = read_exact path c 4 (what ^ " CRC") in
   let stored = Int32.to_int (Bytes.get_int32_le crc 0) land 0xFFFFFFFF in
   let computed = Scoll.Crc32.bytes payload in
   if stored <> computed then
@@ -112,50 +129,52 @@ let structured ~file f =
   | (Out_of_memory | Stack_overflow) as e -> raise e
   | e -> Io_error.fail ~file ~line:0 ("unexpected parser failure: " ^ Printexc.to_string e)
 
+let of_string ~file s =
+  structured ~file (fun () ->
+      let c = { src = s; pos = 0 } in
+      let m8 = read_exact file c 8 "magic" in
+      if not (String.equal (Bytes.to_string m8) magic) then
+        failf file "not a diff: bad magic %S (expected %S)" (Bytes.to_string m8)
+          magic;
+      let hb = read_exact file c 16 "header" in
+      check_crc file c hb "header";
+      let base_n = decode_int file hb 0 "base node count" in
+      let base_m = decode_int file hb 8 "base edge count" in
+      if base_n > max_node_count then
+        failf file "diff base node count %d exceeds the %d limit" base_n
+          max_node_count;
+      if base_m > base_n * (base_n - 1) / 2 then
+        failf file "diff claims %d base edges for %d nodes" base_m base_n;
+      let decode_edit () =
+        (* a whole record must fit; a mid-record end is a torn tail and
+           refused, matching the journal-replay contract *)
+        let payload = read_exact file c 17 "edit record" in
+        check_crc file c payload "edit record";
+        let u = decode_int file payload 1 "edit endpoint" in
+        let v = decode_int file payload 9 "edit endpoint" in
+        if u >= base_n || v >= base_n then
+          failf file "diff edit endpoint out of range (%d--%d, base n %d)" u v
+            base_n;
+        if u = v then failf file "diff edit is a self-loop on %d" u;
+        match Char.code (Bytes.get payload 0) with
+        | 0 -> Overlay.Insert (u, v)
+        | 1 -> Overlay.Delete (u, v)
+        | op -> failf file "diff edit has unknown opcode %d" op
+      in
+      let rec records acc =
+        if c.pos = String.length s then List.rev acc
+        else records (decode_edit () :: acc)
+      in
+      ({ base_n; base_m }, records []))
+
 let load path =
   let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      structured ~file:path (fun () ->
-          let m8 = read_exact path ic 8 "magic" in
-          if not (String.equal (Bytes.to_string m8) magic) then
-            failf path "not a diff: bad magic %S (expected %S)"
-              (Bytes.to_string m8) magic;
-          let hb = read_exact path ic 16 "header" in
-          check_crc path ic hb "header";
-          let base_n = decode_int path hb 0 "base node count" in
-          let base_m = decode_int path hb 8 "base edge count" in
-          if base_n > max_node_count then
-            failf path "diff base node count %d exceeds the %d limit" base_n
-              max_node_count;
-          if base_m > base_n * (base_n - 1) / 2 then
-            failf path "diff claims %d base edges for %d nodes" base_m base_n;
-          let decode_edit first =
-            (* the leading opcode byte was already consumed by the EOF
-               probe; a mid-record EOF below is a torn tail and refused *)
-            let rest = read_exact path ic 16 "edit record" in
-            let payload = Bytes.create 17 in
-            Bytes.set payload 0 first;
-            Bytes.blit rest 0 payload 1 16;
-            check_crc path ic payload "edit record";
-            let u = decode_int path payload 1 "edit endpoint" in
-            let v = decode_int path payload 9 "edit endpoint" in
-            if u >= base_n || v >= base_n then
-              failf path "diff edit endpoint out of range (%d--%d, base n %d)"
-                u v base_n;
-            if u = v then failf path "diff edit is a self-loop on %d" u;
-            match Char.code first with
-            | 0 -> Overlay.Insert (u, v)
-            | 1 -> Overlay.Delete (u, v)
-            | op -> failf path "diff edit has unknown opcode %d" op
-          in
-          let rec records acc =
-            match input_char ic with
-            | exception End_of_file -> List.rev acc
-            | c -> records (decode_edit c :: acc)
-          in
-          ({ base_n; base_m }, records [])))
+  let image =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string ~file:path image
 
 let check_base ~file h g =
   if h.base_n <> Graph.n g || h.base_m <> Graph.m g then

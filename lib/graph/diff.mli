@@ -50,6 +50,31 @@ val check_base : file:string -> header -> Graph.t -> unit
     (n, m) does not match the given graph — the guard every consumer
     runs before a strict replay. *)
 
+(** {2 In-memory images}
+
+    The same byte format, decoded from / encoded to a string instead of
+    a file. There is exactly one SGRDIFF1 decoder: {!load} is
+    [of_string] over the slurped file, and the daemon feeds it both
+    [Mutate] payloads straight off the wire and its mutation journal on
+    restart — so wire, journal and disk scripts share one CRC and
+    torn-tail discipline. *)
+
+val of_string : file:string -> string -> header * Overlay.edit list
+(** Decode a complete SGRDIFF1 image. [file] only labels errors (a
+    path, a peer, a journal name).
+    @raise Io_error.Parse_error exactly as {!load}. *)
+
+val to_string : base_n:int -> base_m:int -> Overlay.edit list -> string
+(** The complete image [load] would accept: magic, CRC'd header, one
+    CRC'd record per edit. [of_string (to_string edits) = edits]. *)
+
+val encode_header : base_n:int -> base_m:int -> string
+(** The 28-byte file prefix (magic + CRC'd header) — what a journal
+    starts with. *)
+
+val encode_edit : Overlay.edit -> string
+(** One 21-byte CRC'd edit record — the unit a journal appends. *)
+
 (** {2 Incremental journal}
 
     An open journal appends one record per edit as churn happens. Records

@@ -13,7 +13,7 @@ The daemon answers pings and lists what it serves:
   $ scliques client --socket ./d.sock --ping
   pong
   $ scliques client --socket ./d.sock --list
-  base n=14 m=19
+  base n=14 m=19 epoch=0
 
 A served query streams exactly what the library enumerates:
 
@@ -65,4 +65,97 @@ refusal, then cancels the occupying query:
   $ wait $BPID
   $ cat busy.log
   scliques-daemon: serving 1 graph on ./busy.sock
+  scliques-daemon: drained, bye
+
+Live mutation over the wire. Diff the gadget against an edited version
+(drop the 6-7 bridge, add the 0-1 chord), start a daemon with a durable
+state directory, and ship the script with `client mutate`:
+
+  $ grep -v '^6 7$' base.edges > edited.edges
+  $ echo '0 1' >> edited.edges
+  $ scliques diff base.edges edited.edges -o churn.diff
+  wrote churn.diff: 2 edits (1 inserts, 1 deletes) against n=14 m=19 avg_deg=2.71 density=0.208791 max_deg=4 triangles=0
+  $ scliques-daemon --socket ./m.sock --graph base=base.edges --state-dir ./state > mut.log 2>&1 &
+  $ MPID=$!
+  $ for i in $(seq 1 150); do [ -S m.sock ] && break; sleep 0.1; done
+  $ scliques client --socket ./m.sock base -s 2 | sort > served_before.out
+  $ scliques client mutate base churn.diff --socket ./m.sock
+  applied 2 edits; base now n=14 m=19 epoch=2
+  $ scliques client --socket ./m.sock --list
+  base n=14 m=19 epoch=2
+
+The daemon now serves exactly what the offline replay of the same
+script produces:
+
+  $ scliques mutate base.edges --diff churn.diff -o mutated.edges
+  applied 2 edits; wrote mutated.edges: n=14 m=19 avg_deg=2.71 density=0.208791 max_deg=4 triangles=1
+  $ scliques client --socket ./m.sock base -s 2 | sort > served_after.out
+  $ scliques enum mutated.edges -s 2 | sort | diff - served_after.out
+
+A mutation is acked only after its journal record is flushed, so even
+kill -9 loses nothing: a restarted daemon replays the journal and comes
+back at the acked epoch — the stale file named by --graph does not win
+over the durable state:
+
+  $ kill -9 $MPID && wait $MPID
+  [137]
+  $ rm -f m.sock
+  $ scliques-daemon --socket ./m.sock --graph base=base.edges --state-dir ./state --inject daemon.mutate.journal:1 >> mut.log 2>&1 &
+  $ MPID=$!
+  $ for i in $(seq 1 150); do [ -S m.sock ] && break; sleep 0.1; done
+  $ scliques client --socket ./m.sock --list
+  base n=14 m=19 epoch=2
+  $ scliques client --socket ./m.sock base -s 2 | sort | diff - served_after.out
+
+A journal fault between accepting the edits and the ack refuses the
+mutation, rolls the graph back, and tells the truth; once the armed
+fault is spent, the same script applies cleanly:
+
+  $ scliques diff mutated.edges base.edges -o undo.diff
+  wrote undo.diff: 2 edits (1 inserts, 1 deletes) against n=14 m=19 avg_deg=2.71 density=0.208791 max_deg=4 triangles=1
+  $ scliques client mutate base undo.diff --socket ./m.sock
+  scliques: client: mutation journal append failed: Scoll.Fault.Injected("daemon.mutate.journal#1")
+  [1]
+  $ scliques client --socket ./m.sock --list
+  base n=14 m=19 epoch=2
+  $ scliques client mutate base undo.diff --socket ./m.sock
+  applied 2 edits; base now n=14 m=19 epoch=4
+  $ scliques client --socket ./m.sock base -s 2 | sort | diff - served_before.out
+
+Hot reload re-reads the --graph source and serves it at a fresh epoch
+without dropping sessions — over the wire, and via SIGHUP:
+
+  $ scliques client reload base --socket ./m.sock
+  reloaded base: n=14 m=19 epoch=0
+  $ scliques client --socket ./m.sock base -s 2 | sort | diff - served_before.out
+  $ kill -HUP $MPID
+  $ for i in $(seq 1 150); do grep -q reloaded mut.log && break; sleep 0.1; done
+  $ kill -TERM $MPID
+  $ wait $MPID
+  $ cat mut.log
+  scliques-daemon: serving 1 graph on ./m.sock
+  scliques-daemon: serving 1 graph on ./m.sock
+  scliques-daemon: reloaded base: n=14 m=19 epoch=0
+  scliques-daemon: drained, bye
+
+Per-client quotas: a mutation-byte bucket smaller than any edit script
+refuses with a typed Retry_after; the client's bounded backoff retries,
+then gives up with exit code 6. Sibling connections keep full
+throughput:
+
+  $ scliques-daemon --socket ./q.sock --graph base=base.edges --quota-mutate-bps 0.001 --quota-mutate-burst 10 > q.log 2>&1 &
+  $ QPID=$!
+  $ for i in $(seq 1 150); do [ -S q.sock ] && break; sleep 0.1; done
+  $ scliques client mutate base churn.diff --socket ./q.sock --retry 2
+  scliques: client: mutation throttled; retry 1/2 in 0.001s
+  scliques: client: mutation throttled; retry 2/2 in 0.051s
+  scliques: client: mutation refused by the per-client quota; retry after 0.000s
+  [6]
+  $ scliques client --socket ./q.sock --list
+  base n=14 m=19 epoch=0
+  $ scliques client --socket ./q.sock base -s 2 | sort | diff - daemon.out
+  $ kill -TERM $QPID
+  $ wait $QPID
+  $ cat q.log
+  scliques-daemon: serving 1 graph on ./q.sock
   scliques-daemon: drained, bye

@@ -498,6 +498,61 @@ let test_diff_torn_tail_refused () =
       | () -> Alcotest.fail "base mismatch was not refused"
       | exception Sgraph.Io_error.Parse_error _ -> ())
 
+(* the wire path this PR adds: to_string/of_string are the same format
+   (and the same refusal discipline) as save/load, byte for byte — one
+   decoder guards disk, journal and socket alike *)
+let test_diff_string_codec () =
+  let g = G.of_edges ~n:6 [ (0, 1); (1, 2); (2, 3) ] in
+  let script = [ O.Insert (0, 3); O.Delete (1, 2); O.Insert (4, 5) ] in
+  let image = D.to_string ~base_n:(G.n g) ~base_m:(G.m g) script in
+  let path = Filename.temp_file "churn" ".diff" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      D.save ~base_n:(G.n g) ~base_m:(G.m g) script path;
+      Alcotest.(check string) "to_string emits save's exact bytes"
+        (read_file path) image);
+  let h, loaded = D.of_string ~file:"<mem>" image in
+  Alcotest.(check int) "header n" (G.n g) h.D.base_n;
+  Alcotest.(check int) "header m" (G.m g) h.D.base_m;
+  Alcotest.(check (list edit)) "script round-trips" script loaded;
+  Alcotest.(check string) "encode_header/encode_edit compose to the image"
+    image
+    (String.concat ""
+       (D.encode_header ~base_n:(G.n g) ~base_m:(G.m g)
+       :: List.map D.encode_edit script));
+  (* every strict-prefix truncation: a cut at a record boundary is a
+     valid shorter script, every other length is refused *)
+  let total = String.length image in
+  for len = 0 to total - 1 do
+    let boundary = len >= 28 && (len - 28) mod 21 = 0 in
+    match D.of_string ~file:"<mem>" (String.sub image 0 len) with
+    | _, edits ->
+        if not boundary then
+          Alcotest.failf "truncation to %d bytes was not refused" len
+        else
+          Alcotest.(check int)
+            (Printf.sprintf "prefix at %d bytes" len)
+            ((len - 28) / 21)
+            (List.length edits)
+    | exception Sgraph.Io_error.Parse_error _ ->
+        if boundary then
+          Alcotest.failf "record-boundary prefix of %d bytes was refused" len
+  done;
+  (* every single-byte flip lands in the magic, a CRC, or CRC'd payload:
+     all refused with a typed error, none decoded differently *)
+  for off = 0 to total - 1 do
+    let b = Bytes.of_string image in
+    Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x5a));
+    match D.of_string ~file:"<mem>" (Bytes.to_string b) with
+    | _ -> Alcotest.failf "flip at byte %d was not refused" off
+    | exception Sgraph.Io_error.Parse_error _ -> ()
+  done;
+  (* trailing garbage is a torn tail, not ignorable slack *)
+  match D.of_string ~file:"<mem>" (image ^ "x") with
+  | _ -> Alcotest.fail "trailing garbage accepted"
+  | exception Sgraph.Io_error.Parse_error _ -> ()
+
 let test_diff_writer_journal () =
   let g = G.of_edges ~n:5 [ (0, 1) ] in
   let path = Filename.temp_file "churn" ".diff" in
@@ -564,6 +619,8 @@ let suites =
           test_lri_readd_not_prematurely_evicted;
         Alcotest.test_case "neighborhood invalidation accounting" `Quick
           test_nh_invalidate_accounting;
+        Alcotest.test_case "SGRDIFF1 in-memory codec (wire path)" `Quick
+          test_diff_string_codec;
         Alcotest.test_case "SGRDIFF1 torn tail refused" `Quick
           test_diff_torn_tail_refused;
         Alcotest.test_case "SGRDIFF1 journal writer" `Quick

@@ -52,16 +52,29 @@ let local_stream ?(min_size = 0) alg g ~s =
   | Budget.Truncated _ -> Alcotest.fail "local reference run truncated");
   List.rev !acc
 
-let with_server ?(workers = 2) ?(max_queue = 16) ?fault graphs f =
+let with_server ?(workers = 2) ?(max_queue = 16) ?compact_threshold ?quota
+    ?state_dir ?sources ?fault graphs f =
   let path = Filename.temp_file "scliques_daemon" ".sock" in
   let srv =
-    Server.create ~workers ~max_queue ?fault ~graphs (Server.Unix_socket path)
+    Server.create ~workers ~max_queue ?compact_threshold ?quota ?state_dir
+      ?sources ?fault ~graphs (Server.Unix_socket path)
   in
   Fun.protect
     ~finally:(fun () ->
       Server.stop srv;
       if Sys.file_exists path then Sys.remove path)
     (fun () -> f (Server.Unix_socket path) srv)
+
+(* a scratch directory for the durable-state drills, wiped afterwards *)
+let with_state_dir f =
+  let dir = Filename.temp_file "scliques_state" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
 
 let with_client addr f =
   let c = Client.connect addr in
@@ -75,6 +88,7 @@ let collect_query c q =
 let finished_done = function
   | Client.Finished d -> d
   | Client.Refused _ -> Alcotest.fail "query refused"
+  | Client.Throttled _ -> Alcotest.fail "query throttled"
   | Client.Failed { msg; _ } -> Alcotest.fail ("query failed: " ^ msg)
   | Client.Disconnected -> Alcotest.fail "daemon hung up"
 
@@ -137,11 +151,24 @@ let gen_query =
       { P.q_id; q_engine; q_graph; q_s; q_min_size; q_deadline_s; q_max_results;
         q_resume })
 
+(* Mutate payloads carry opaque script bytes — the protocol layer must
+   round-trip them untouched (SGRDIFF1 validation happens later, with
+   its own CRC discipline) *)
+let gen_script =
+  QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 120))
+
 let gen_request =
   QCheck2.Gen.(
     oneof
       [
         map (fun q -> P.Query q) gen_query;
+        (int_range 0 1_000_000 >>= fun m_id ->
+         gen_name >>= fun m_graph ->
+         gen_script >>= fun m_script ->
+         return (P.Mutate { P.m_id; m_graph; m_script }));
+        map2
+          (fun rl_id rl_graph -> P.Reload { rl_id; rl_graph })
+          (int_range 0 1_000_000) gen_name;
         map (fun id -> P.Cancel id) (int_range 0 1_000_000);
         return P.List_graphs;
         return P.Ping;
@@ -175,10 +202,29 @@ let gen_response =
          oneofl [ P.Bad_request; P.Server_error ] >>= fun e_code ->
          gen_name >>= fun e_msg ->
          return (P.Error_resp { e_id; e_code; e_msg }));
+        map2
+          (fun ra_id ra_seconds -> P.Retry_after { ra_id; ra_seconds })
+          (int_range 0 1000)
+          (map (fun f -> float_of_int f /. 16.) (int_range 0 1600));
+        (int_range 0 1000 >>= fun mu_id ->
+         int_range 0 100000 >>= fun mu_epoch ->
+         int_range 0 1000 >>= fun mu_edits ->
+         pair (int_range 0 1000) (int_range 0 100000) >>= fun (mu_n, mu_m) ->
+         return (P.Mutated { mu_id; mu_epoch; mu_edits; mu_n; mu_m }));
+        (int_range 0 1000 >>= fun rl_id ->
+         int_range 0 100000 >>= fun rl_epoch ->
+         pair (int_range 0 1000) (int_range 0 100000) >>= fun (rl_n, rl_m) ->
+         return (P.Reloaded { rl_id; rl_epoch; rl_n; rl_m }));
         map
-          (fun l -> P.Graphs (List.map (fun (g_name, g_n, g_m) -> { P.g_name; g_n; g_m }) l))
+          (fun l ->
+            P.Graphs
+              (List.map
+                 (fun (g_name, g_n, g_m, g_epoch) ->
+                   { P.g_name; g_n; g_m; g_epoch })
+                 l))
           (list_size (int_range 0 5)
-             (triple gen_name (int_range 0 100000) (int_range 0 100000)));
+             (quad gen_name (int_range 0 100000) (int_range 0 100000)
+                (int_range 0 100000)));
         return P.Pong;
       ])
 
@@ -627,6 +673,7 @@ let expect_session_death = function
   | Client.Disconnected -> ()
   | Client.Finished _ -> Alcotest.fail "query finished through a dead socket"
   | Client.Refused _ -> Alcotest.fail "unexpected Busy"
+  | Client.Throttled _ -> Alcotest.fail "unexpected Retry_after"
   | Client.Failed { msg; _ } -> Alcotest.failf "typed failure instead of death: %s" msg
 
 let check_ledger srv ~graph ~s =
@@ -780,6 +827,418 @@ let test_busy_admission () =
               | _ -> Alcotest.fail "admission did not refuse");
           Client.cancel a 1))
 
+(* ---------- live mutation: quotas, epochs, durability ---------- *)
+
+module Quota = Scliques_daemon.Quota
+module Diff = Sgraph.Diff
+module Overlay = Sgraph.Overlay
+
+let churn_before = er 7 ~n:30 ~m:60
+let churn_after = er 8 ~n:30 ~m:60
+let churn_edits = Diff.between churn_before churn_after
+
+let script_of g edits =
+  Diff.to_string ~base_n:(Sgraph.Graph.n g) ~base_m:(Sgraph.Graph.m g) edits
+
+let churn_script = script_of churn_before churn_edits
+
+(* what the daemon serves after the mutation must equal the offline
+   strict replay of the same script *)
+let churn_applied = Diff.apply churn_before churn_edits
+
+let check_pins srv ~graph =
+  match Server.pinned srv ~graph with
+  | Some n -> Alcotest.(check int) (graph ^ ": epoch pins released") 0 n
+  | None -> Alcotest.failf "unknown graph %s" graph
+
+(* (epoch, edits, n, m) of a successful ack *)
+let applied_ack = function
+  | Client.Applied { epoch; edits; n; m } -> (epoch, edits, n, m)
+  | Client.Mutate_throttled _ -> Alcotest.fail "mutation throttled"
+  | Client.Mutate_failed { msg; _ } -> Alcotest.fail ("mutation failed: " ^ msg)
+  | Client.Mutate_disconnected -> Alcotest.fail "daemon hung up mid-mutation"
+
+let test_quota_buckets () =
+  let approx = Alcotest.float 1e-9 in
+  let c =
+    {
+      Quota.queries_per_sec = 1.;
+      query_burst = 2;
+      mutate_bytes_per_sec = 100.;
+      mutate_burst = 200;
+    }
+  in
+  (match Quota.config_ok c with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  (match Quota.config_ok { c with query_burst = 0 } with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "zero burst accepted");
+  (match Quota.config_ok { c with queries_per_sec = Float.nan } with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "nan rate accepted");
+  let t = Quota.create c ~now:0. in
+  (* the bucket starts full: burst admissions, then an honest wait *)
+  (match Quota.admit_query t ~now:0. with Ok () -> () | Error _ -> Alcotest.fail "1st");
+  (match Quota.admit_query t ~now:0. with Ok () -> () | Error _ -> Alcotest.fail "2nd");
+  (match Quota.admit_query t ~now:0. with
+  | Error wait -> Alcotest.check approx "wait = 1 token / 1 qps" 1.0 wait
+  | Ok () -> Alcotest.fail "over-burst admitted");
+  (* refusals are free and refunds restore a token *)
+  Quota.refund_query t;
+  (match Quota.admit_query t ~now:0. with Ok () -> () | Error _ -> Alcotest.fail "refund lost");
+  (* refill honours elapsed time, capped at the burst *)
+  (match Quota.admit_query t ~now:100. with Ok () -> () | Error _ -> Alcotest.fail "refill");
+  (match Quota.admit_query t ~now:100. with Ok () -> () | Error _ -> Alcotest.fail "cap=2");
+  (match Quota.admit_query t ~now:100. with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "refill exceeded the burst ceiling");
+  (* mutation bytes: partial drain, honest wait, over-burst refused with
+     the wait for a full bucket *)
+  (match Quota.admit_mutation t ~now:0. ~bytes:150 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "150 bytes within burst");
+  (match Quota.admit_mutation t ~now:0. ~bytes:100 with
+  | Error wait -> Alcotest.check approx "wait = missing 50 bytes / 100 Bps" 0.5 wait
+  | Ok () -> Alcotest.fail "overdraft admitted");
+  (match Quota.admit_mutation t ~now:0. ~bytes:300 with
+  | Error wait -> Alcotest.check approx "over-burst waits for a full bucket" 1.5 wait
+  | Ok () -> Alcotest.fail "bigger than the bucket admitted");
+  (* refunds cap at the burst *)
+  Quota.refund_mutation t ~bytes:10_000;
+  (match Quota.admit_mutation t ~now:0. ~bytes:200 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "capped refund lost");
+  (* time going backwards neither charges nor refills *)
+  (match Quota.admit_query t ~now:(-50.) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "time travel minted tokens")
+
+let test_quota_over_wire () =
+  let quota =
+    {
+      Quota.queries_per_sec = 0.001;
+      query_burst = 1;
+      mutate_bytes_per_sec = 1.;
+      mutate_burst = 40 (* smaller than any SGRDIFF1 header + record *);
+    }
+  in
+  with_server ~quota [ ("gadget", gadget 3); ("churn", churn_before) ]
+    (fun addr srv ->
+      with_client addr (fun a ->
+          let outcome, _ = collect_query a (query ~id:1 ~graph:"gadget" ~s:2 ()) in
+          ignore (finished_done outcome : P.done_info);
+          (* the one burst token is spent; the refusal is typed and the
+             advertised wait honest (rate 0.001/s => ~1000 s) *)
+          (match Client.run_query a (query ~id:2 ~graph:"gadget" ~s:2 ()) with
+          | Client.Throttled wait ->
+              Alcotest.(check bool) "honest wait" true (wait > 100.)
+          | _ -> Alcotest.fail "second query not throttled");
+          (match Client.mutate a ~id:3 ~graph:"churn" ~script:churn_script with
+          | Client.Mutate_throttled _ -> ()
+          | _ -> Alcotest.fail "mutation bytes not throttled");
+          (* a throttled sibling does not starve others: B has its own
+             buckets and full throughput *)
+          with_client addr (fun b ->
+              let outcome, _ =
+                collect_query b (query ~id:1 ~graph:"gadget" ~s:2 ())
+              in
+              ignore (finished_done outcome : P.done_info));
+          (* refusals admitted nothing: no pins, no epoch movement *)
+          wait_idle srv;
+          check_pins srv ~graph:"gadget";
+          check_pins srv ~graph:"churn";
+          Alcotest.(check (option int)) "no mutation landed" (Some 0)
+            (Server.graph_epoch srv ~graph:"churn")))
+
+let test_serve_mutate_query_differential () =
+  (* 4 concurrent clients query the before-graph; one wire mutation
+     lands; the clients re-query and every after-stream must equal the
+     Enumerate.refresh oracle (canonically sorted on both sides) *)
+  let s = 2 in
+  let prior = E.sorted_results E.Cs2_pf churn_before ~s in
+  let delta =
+    E.refresh ~before:churn_before ~after:churn_applied
+      ~touched:(Overlay.touched churn_edits) ~s ~prior ()
+  in
+  let expect_before =
+    List.sort String.compare (List.map Stream.encode_set prior)
+  in
+  let expect_after =
+    List.sort String.compare (List.map Stream.encode_set delta.E.results)
+  in
+  with_server ~workers:3 [ ("churn", churn_before) ] (fun addr srv ->
+      let phase expected =
+        let failures = ref [] in
+        let flock = Mutex.create () in
+        let one () =
+          match
+            with_client addr (fun c ->
+                let outcome, got = collect_query c (query ~graph:"churn" ~s ()) in
+                ignore (finished_done outcome : P.done_info);
+                if
+                  not
+                    (List.equal String.equal expected
+                       (List.sort String.compare got))
+                then failwith "stream mismatch")
+          with
+          | () -> ()
+          | exception e ->
+              Scoll.Sync.with_lock flock (fun () ->
+                  failures := Printexc.to_string e :: !failures)
+        in
+        let threads = List.init 4 (fun _ -> Thread.create one ()) in
+        List.iter Thread.join threads;
+        match !failures with
+        | [] -> ()
+        | fs -> Alcotest.fail (String.concat "; " fs)
+      in
+      phase expect_before;
+      with_client addr (fun m ->
+          let epoch, _, n, m' =
+            applied_ack (Client.mutate m ~id:9 ~graph:"churn" ~script:churn_script)
+          in
+          Alcotest.(check int) "epoch = edits applied"
+            (List.length churn_edits) epoch;
+          Alcotest.(check int) "ack n" (Sgraph.Graph.n churn_applied) n;
+          Alcotest.(check int) "ack m" (Sgraph.Graph.m churn_applied) m');
+      phase expect_after;
+      wait_idle srv;
+      check_pins srv ~graph:"churn";
+      Alcotest.(check (option int)) "serving epoch"
+        (Some (List.length churn_edits))
+        (Server.graph_epoch srv ~graph:"churn"))
+
+let test_epoch_pinning () =
+  (* one worker: A occupies it with the huge gadget stream; B's query is
+     admitted (and epoch-pinned) BEFORE B's mutation on the same
+     connection — strict per-session ordering — so when the worker
+     frees, B's query must answer the PRE-mutation graph, bit for bit,
+     even though the mutation was acked long before it ran *)
+  let before_stream = local_stream E.Cs2_pf churn_before ~s:2 in
+  let after_stream = local_stream E.Cs2_pf churn_applied ~s:2 in
+  with_server ~workers:1
+    [ ("slow", gadget 16); ("churn", churn_before) ]
+    (fun addr srv ->
+      let a = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close a)
+        (fun () ->
+          Client.send_request a (P.Query (query ~id:1 ~graph:"slow" ~s:2 ()));
+          (match Client.read_response a with
+          | Some (P.Result (1, _)) -> ()
+          | _ -> Alcotest.fail "occupying query did not start");
+          with_client addr (fun b ->
+              Client.send_request b (P.Query (query ~id:2 ~graph:"churn" ~s:2 ()));
+              Client.send_request b
+                (P.Mutate { P.m_id = 3; m_graph = "churn"; m_script = churn_script });
+              (* the mutation acks while query 2 still waits for the worker *)
+              (match Client.read_response b with
+              | Some (P.Mutated { mu_id = 3; mu_epoch; _ }) ->
+                  Alcotest.(check int) "mutation epoch"
+                    (List.length churn_edits) mu_epoch
+              | _ -> Alcotest.fail "expected the Mutated ack first");
+              Alcotest.(check (option int)) "tip already advanced"
+                (Some (List.length churn_edits))
+                (Server.graph_epoch srv ~graph:"churn");
+              (* free the worker *)
+              Client.cancel a 1;
+              let rec drain_a () =
+                match Client.read_response a with
+                | Some (P.Done _) -> ()
+                | Some _ -> drain_a ()
+                | None -> Alcotest.fail "A hung up unexpectedly"
+              in
+              drain_a ();
+              let rec collect acc =
+                match Client.read_response b with
+                | Some (P.Result (2, set)) -> collect (set :: acc)
+                | Some (P.Done { P.d_id = 2; d_outcome = Budget.Complete; _ }) ->
+                    List.rev acc
+                | Some (P.Done _) -> Alcotest.fail "pinned query truncated"
+                | _ -> Alcotest.fail "unexpected frame on B"
+              in
+              let got = collect [] in
+              Alcotest.(check (list string))
+                "query admitted pre-mutation answers the pre-mutation epoch"
+                before_stream got;
+              (* and a fresh query sees the successor epoch *)
+              let outcome, got' =
+                collect_query b (query ~id:4 ~graph:"churn" ~s:2 ())
+              in
+              ignore (finished_done outcome : P.done_info);
+              Alcotest.(check (list string)) "post-mutation stream"
+                after_stream got');
+          wait_idle srv;
+          check_pins srv ~graph:"churn";
+          check_pins srv ~graph:"slow"))
+
+let test_mutate_bad_scripts () =
+  with_server [ ("churn", churn_before) ] (fun addr srv ->
+      with_client addr (fun c ->
+          let expect_bad id script msg_part =
+            match Client.mutate c ~id ~graph:"churn" ~script with
+            | Client.Mutate_failed { code = P.Bad_request; msg } ->
+                if not (Astring_contains.contains msg msg_part) then
+                  Alcotest.failf "refusal %S does not mention %S" msg msg_part
+            | _ -> Alcotest.failf "expected a Bad_request (%s)" msg_part
+          in
+          (* every strict-prefix truncation of a valid script is refused
+             with the Diff decoder's own typed diagnostic *)
+          List.iter
+            (fun k ->
+              expect_bad 1
+                (String.sub churn_script 0 k)
+                "bad edit script")
+            [ 0; 4; 27; String.length churn_script - 1 ];
+          (* CRC flip inside an edit record *)
+          (let b = Bytes.of_string churn_script in
+           Bytes.set b 30 (Char.chr (Char.code (Bytes.get b 30) lxor 0x40));
+           expect_bad 2 (Bytes.to_string b) "bad edit script");
+          (* header naming the wrong base *)
+          expect_bad 3
+            (Diff.to_string
+               ~base_n:(Sgraph.Graph.n churn_before + 5)
+               ~base_m:(Sgraph.Graph.m churn_before)
+               churn_edits)
+            "base mismatch";
+          (* an ineffective edit refuses atomically: find an edge that
+             exists (the source of some Delete) and try to insert it *)
+          (match
+             List.find_opt
+               (fun e -> match e with Overlay.Delete _ -> true | _ -> false)
+               churn_edits
+           with
+          | Some (Overlay.Delete (u, v)) ->
+              expect_bad 4
+                (script_of churn_before [ Overlay.Insert (u, v) ])
+                "ineffective"
+          | _ -> Alcotest.fail "churn has no deletes to reuse");
+          Alcotest.(check (option int)) "nothing applied" (Some 0)
+            (Server.graph_epoch srv ~graph:"churn");
+          (* the rollback left the tip pristine: the real script applies
+             and serves the exact offline replay *)
+          ignore
+            (applied_ack (Client.mutate c ~id:5 ~graph:"churn" ~script:churn_script)
+              : int * int * int * int);
+          let outcome, got = collect_query c (query ~id:6 ~graph:"churn" ~s:2 ()) in
+          ignore (finished_done outcome : P.done_info);
+          Alcotest.(check (list string)) "post-rollback stream"
+            (local_stream E.Cs2_pf churn_applied ~s:2)
+            got);
+      wait_idle srv;
+      check_pins srv ~graph:"churn")
+
+let test_journal_replay () =
+  with_state_dir (fun dir ->
+      (* session 1: mutate, observe, stop *)
+      with_server ~state_dir:dir [ ("churn", churn_before) ] (fun addr _srv ->
+          with_client addr (fun c ->
+              ignore
+                (applied_ack
+                   (Client.mutate c ~id:1 ~graph:"churn" ~script:churn_script)
+                  : int * int * int * int)));
+      (* session 2: the state dir wins over the (stale) provided graph;
+         replay reproduces the exact epoch and byte-identical answers *)
+      with_server ~state_dir:dir [ ("churn", churn_before) ] (fun addr srv ->
+          Alcotest.(check (option int)) "epoch survives restart"
+            (Some (List.length churn_edits))
+            (Server.graph_epoch srv ~graph:"churn");
+          with_client addr (fun c ->
+              let outcome, got = collect_query c (query ~graph:"churn" ~s:2 ()) in
+              ignore (finished_done outcome : P.done_info);
+              Alcotest.(check (list string)) "replayed stream"
+                (local_stream E.Cs2_pf churn_applied ~s:2)
+                got));
+      (* a torn journal tail is refused at startup, like any SGRDIFF1 *)
+      let journal = Filename.concat dir "churn.journal.0" in
+      let len = (Unix.stat journal).Unix.st_size in
+      let fd = Unix.openfile journal [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd (len - 1);
+      Unix.close fd;
+      match with_server ~state_dir:dir [ ("churn", churn_before) ] (fun _ _ -> ()) with
+      | () -> Alcotest.fail "torn journal accepted"
+      | exception Sgraph.Io_error.Parse_error _ -> ())
+
+let mutate_fault_drill site =
+  with_state_dir (fun dir ->
+      let fault = Fault.create () in
+      with_server ~state_dir:dir ~fault [ ("churn", churn_before) ]
+        (fun addr srv ->
+          Fault.arm_nth fault ~site ~n:1;
+          with_client addr (fun c ->
+              (* the fault fires between accepting the edits and acking:
+                 the journal is truncated back, the tip rolled back, and
+                 the client told the truth *)
+              (match Client.mutate c ~id:1 ~graph:"churn" ~script:churn_script with
+              | Client.Mutate_failed { code = P.Server_error; msg } ->
+                  if not (Astring_contains.contains msg "journal") then
+                    Alcotest.failf "unexpected diagnostic %S" msg
+              | _ -> Alcotest.failf "expected a Server_error from %s" site);
+              Alcotest.(check (option int)) "epoch unchanged" (Some 0)
+                (Server.graph_epoch srv ~graph:"churn");
+              let outcome, got = collect_query c (query ~id:2 ~graph:"churn" ~s:2 ()) in
+              ignore (finished_done outcome : P.done_info);
+              Alcotest.(check (list string)) "still serving the before-graph"
+                (local_stream E.Cs2_pf churn_before ~s:2)
+                got;
+              (* disarmed, the same session applies the same script *)
+              Fault.disarm fault ~site;
+              ignore
+                (applied_ack
+                   (Client.mutate c ~id:3 ~graph:"churn" ~script:churn_script)
+                  : int * int * int * int));
+          wait_idle srv;
+          check_pins srv ~graph:"churn");
+      (* the journal holds exactly the acked history: a restart replays
+         to the acked epoch, not the faulted one *)
+      with_server ~state_dir:dir [ ("churn", churn_before) ] (fun _addr srv ->
+          Alcotest.(check (option int)) "well-defined epoch after the crash"
+            (Some (List.length churn_edits))
+            (Server.graph_epoch srv ~graph:"churn")))
+
+let test_mutate_journal_fault () = mutate_fault_drill "daemon.mutate.journal"
+let test_mutate_flush_fault () = mutate_fault_drill "daemon.mutate.flush"
+
+let test_reload () =
+  let fault = Fault.create () in
+  let sources = [ ("churn", fun () -> churn_after) ] in
+  with_server ~fault ~sources [ ("churn", churn_before) ] (fun addr srv ->
+      with_client addr (fun c ->
+          (* an injected reload fault leaves the graph exactly as it was *)
+          Fault.arm_nth fault ~site:"daemon.reload" ~n:1;
+          (match Client.reload c ~id:1 ~graph:"churn" with
+          | Client.Reload_failed { code = P.Server_error; msg } ->
+              if not (Astring_contains.contains msg "injected") then
+                Alcotest.failf "unexpected diagnostic %S" msg
+          | _ -> Alcotest.fail "expected the injected reload to fail");
+          let outcome, got = collect_query c (query ~id:2 ~graph:"churn" ~s:2 ()) in
+          ignore (finished_done outcome : P.done_info);
+          Alcotest.(check (list string)) "unchanged after failed reload"
+            (local_stream E.Cs2_pf churn_before ~s:2)
+            got;
+          Fault.disarm fault ~site:"daemon.reload";
+          (* the real reload swaps to the source's graph at epoch 0,
+             without dropping this session *)
+          (match Client.reload c ~id:3 ~graph:"churn" with
+          | Client.Swapped { epoch; n; m } ->
+              Alcotest.(check int) "fresh epoch" 0 epoch;
+              Alcotest.(check int) "n" (Sgraph.Graph.n churn_after) n;
+              Alcotest.(check int) "m" (Sgraph.Graph.m churn_after) m
+          | _ -> Alcotest.fail "reload failed");
+          let outcome, got = collect_query c (query ~id:4 ~graph:"churn" ~s:2 ()) in
+          ignore (finished_done outcome : P.done_info);
+          Alcotest.(check (list string)) "serving the reloaded graph"
+            (local_stream E.Cs2_pf churn_after ~s:2)
+            got;
+          (match Client.reload c ~id:5 ~graph:"nosuch" with
+          | Client.Reload_failed { msg; _ } ->
+              if not (Astring_contains.contains msg "unknown graph") then
+                Alcotest.failf "unexpected diagnostic %S" msg
+          | _ -> Alcotest.fail "unknown graph reloaded"));
+      wait_idle srv;
+      check_pins srv ~graph:"churn")
+
 (* ---------- the Parallel cancel-bound fix ---------- *)
 
 let counter_value obs name = Counters.value (Obs.counter obs name)
@@ -909,6 +1368,21 @@ let suites =
           test_client_disconnect_mid_stream;
         Alcotest.test_case "cancel over the wire" `Quick test_cancel_over_wire;
         Alcotest.test_case "busy admission is typed" `Quick test_busy_admission;
+        Alcotest.test_case "quota buckets (fake clock)" `Quick test_quota_buckets;
+        Alcotest.test_case "quota refusals over the wire" `Quick test_quota_over_wire;
+        Alcotest.test_case "serve-mutate-query matches Enumerate.refresh" `Quick
+          test_serve_mutate_query_differential;
+        Alcotest.test_case "in-flight queries keep their admission epoch" `Quick
+          test_epoch_pinning;
+        Alcotest.test_case "bad edit scripts refused atomically" `Quick
+          test_mutate_bad_scripts;
+        Alcotest.test_case "journal replay survives restart" `Quick test_journal_replay;
+        Alcotest.test_case "journal-write fault leaves acked epoch" `Quick
+          test_mutate_journal_fault;
+        Alcotest.test_case "journal-flush fault leaves acked epoch" `Quick
+          test_mutate_flush_fault;
+        Alcotest.test_case "hot reload swaps epochs without dropping sessions" `Quick
+          test_reload;
         Alcotest.test_case "dead budget drains for free" `Quick test_dead_budget_drains_free;
         Alcotest.test_case "cancel stops paying within the poll bound" `Quick
           test_cancel_stops_paying;
