@@ -534,6 +534,45 @@ let scaling () =
           (Scliques_core.Neighborhood.create ~s:2 g)
           (fun _ -> incr baseline);
         let t_seq = Harness.now () -. t0 in
+        (* over-splitting check: the minimum-subtree threshold must cut
+           the split count without changing the canonical output *)
+        let workers = List.fold_left Int.max 1 worker_counts in
+        let res_def, st_def =
+          Scliques_core.Parallel.enumerate_with_stats ~workers g ~s:2
+        in
+        let res_all, st_all =
+          Scliques_core.Parallel.enumerate_with_stats ~workers
+            ~split_min_subtree:0 g ~s:2
+        in
+        if not (List.equal NS.equal res_def res_all) then
+          failwith
+            (family ^ ": split threshold changed the canonical output");
+        if st_def.Scliques_core.Parallel.splits > st_all.Scliques_core.Parallel.splits
+        then
+          Printf.printf
+            "[warn] %s: threshold did not reduce splits (%d > %d)\n%!" family
+            st_def.Scliques_core.Parallel.splits
+            st_all.Scliques_core.Parallel.splits;
+        Harness.append_json ~path:"BENCH_parallel.json"
+          (Scliques_obs.Sink.Obj
+             [
+               ("experiment", Scliques_obs.Sink.String "split-threshold");
+               ("family", Scliques_obs.Sink.String family);
+               ("n", Scliques_obs.Sink.Int n);
+               ("s", Scliques_obs.Sink.Int 2);
+               ("seed", Scliques_obs.Sink.Int Harness.seed);
+               ("workers", Scliques_obs.Sink.Int workers);
+               ("results", Scliques_obs.Sink.Int (List.length res_def));
+               ( "splits_default",
+                 Scliques_obs.Sink.Int st_def.Scliques_core.Parallel.splits );
+               ( "splits_unthresholded",
+                 Scliques_obs.Sink.Int st_all.Scliques_core.Parallel.splits );
+               ( "split_ratio",
+                 Scliques_obs.Sink.Float
+                   (float_of_int st_def.Scliques_core.Parallel.splits
+                   /. Float.max 1.
+                        (float_of_int st_all.Scliques_core.Parallel.splits)) );
+             ]);
         List.map
           (fun workers ->
             let t0 = Harness.now () in
@@ -702,11 +741,18 @@ let graph_load () =
            ]))
 
 let churn () =
-  (* The overlay/refresh tentpole, measured: after a single-edge edit of
-     the suite's largest ER instance, patching the prior answer with
-     Enumerate.refresh vs recomputing it from scratch. The refreshed
-     answer is asserted equal to the recomputation before its time
-     counts. Numbers land in BENCH_churn.json. *)
+  (* The refresh tentpole, measured: after a single-edge edit of the
+     suite's largest ER instance, patching the prior answer with
+     Enumerate.refresh vs recomputing it from scratch — and the
+     fingerprint gate vs the pre-fingerprint baseline
+     ([~fingerprints:false], every affected root re-runs). The prior
+     answer is also streamed to disk and indexed (SCLQIDX1), and the
+     refreshed roots are spliced back by byte extent, so the file-level
+     patch cost is measured too. Every refreshed answer is asserted
+     equal to the recomputation before its time counts. Numbers land in
+     BENCH_churn.json. *)
+  let module RI = Scliques_core.Result_io.Index in
+  let module RSt = Scliques_core.Result_io.Stream in
   let n = Workloads.n_load in
   let s = 2 in
   let g0 = Workloads.er ~n ~avg_degree:10. in
@@ -716,6 +762,22 @@ let churn () =
     (r, Harness.now () -. t0)
   in
   let prior, t_prior = time (fun () -> E.sorted_results E.Cs2_pf g0 ~s) in
+  (* persistent sidecar: stream the prior answer once and index it *)
+  let stream_path = Filename.temp_file "bench_churn" ".results" in
+  let out_path = stream_path ^ ".spliced" in
+  let idx, t_index =
+    time (fun () ->
+        let w = RSt.open_writer stream_path in
+        List.iter (RSt.write_set w) prior;
+        RSt.close w;
+        let idx =
+          RI.build ~s ~n
+            ~fingerprint:(Scliques_core.Neighborhood.root_fingerprint ~s g0)
+            stream_path
+        in
+        RI.save idx (RI.path_for stream_path);
+        idx)
+  in
   (* one deleted edge and one inserted non-edge, both incident to the
      first node that has a neighbor at all *)
   let u = ref 0 in
@@ -738,39 +800,114 @@ let churn () =
       (fun (op, edit) ->
         let edits = [ edit ] in
         let g1 = Sgraph.Diff.apply g0 edits in
+        let touched = Sgraph.Overlay.touched edits in
         let full, t_full = time (fun () -> E.sorted_results E.Cs2_pf g1 ~s) in
+        (* pre-fingerprint baseline: the whole affected set re-runs *)
+        let base, t_base =
+          time (fun () ->
+              E.refresh ~engine:(`Seq E.Cs2_pf) ~fingerprints:false ~before:g0
+                ~after:g1 ~touched ~s ~prior ())
+        in
+        (* the gate, fed from the stored SCLQIDX1 fingerprints *)
         let delta, t_inc =
           time (fun () ->
-              E.refresh ~engine:(`Seq E.Cs2_pf) ~before:g0 ~after:g1
-                ~touched:(Sgraph.Overlay.touched edits) ~s ~prior ())
+              E.refresh ~engine:(`Seq E.Cs2_pf)
+                ~prior_fingerprint:(fun r ->
+                  Some idx.RI.entries.(r).RI.fingerprint)
+                ~before:g0 ~after:g1 ~touched ~s ~prior ())
         in
-        assert (List.equal NS.equal delta.E.results full);
+        if not (List.equal NS.equal base.E.results full) then
+          failwith (op ^ ": ungated refresh diverged from full recompute");
+        if not (List.equal NS.equal delta.E.results full) then
+          failwith (op ^ ": fingerprinted refresh diverged from full recompute");
+        (* the re-run set must sit strictly inside the radius-(2s-1)
+           cover around the endpoints (the coarse bound refresh starts
+           from) — fingerprints are what shrink it *)
+        let a, b = Sgraph.Overlay.edit_endpoints edit in
+        let cover =
+          NS.cardinal
+            (NS.union
+               (NS.union
+                  (Sgraph.Bfs.ball g0 a ~radius:((2 * s) - 1))
+                  (Sgraph.Bfs.ball g0 b ~radius:((2 * s) - 1)))
+               (NS.union
+                  (Sgraph.Bfs.ball g1 a ~radius:((2 * s) - 1))
+                  (Sgraph.Bfs.ball g1 b ~radius:((2 * s) - 1))))
+        in
+        if delta.E.roots_rerun >= cover then
+          Printf.printf
+            "[warn] %s: %d roots re-run, not below the radius-(2s-1) cover \
+             of %d\n%!"
+            op delta.E.roots_rerun cover;
+        let affected = delta.E.roots_rerun + delta.E.roots_skipped in
+        let skip_rate =
+          float_of_int delta.E.roots_skipped /. Float.max 1. (float_of_int affected)
+        in
+        if skip_rate < 0.5 then
+          Printf.printf
+            "[warn] %s: fingerprint skip rate %.0f%% below 50%% (%d of %d \
+             affected roots re-ran)\n%!"
+            op (100. *. skip_rate) delta.E.roots_rerun affected;
+        (* file-level patch: splice the re-run roots into the stream *)
+        let rerun = Hashtbl.create 64 in
+        List.iter
+          (fun (root, fp) ->
+            if idx.RI.entries.(root).RI.fingerprint <> fp then
+              Hashtbl.replace rerun root (fp, ref []))
+          delta.E.root_fingerprints;
+        List.iter
+          (fun c ->
+            match Hashtbl.find_opt rerun (NS.min_elt c) with
+            | Some (_, acc) -> acc := c :: !acc
+            | None -> ())
+          delta.E.results;
+        let patched =
+          Hashtbl.fold
+            (fun root (fp, acc) l -> (root, fp, List.rev !acc) :: l)
+            rerun []
+        in
+        let (_, sstats), t_splice =
+          time (fun () ->
+              RI.splice ~old_stream:stream_path ~index:idx ~patched
+                ~out:out_path)
+        in
         let speedup = t_full /. Float.max 1e-9 t_inc in
         if speedup < 1. then
           Printf.printf
             "[warn] %s: incremental refresh %.3fs not faster than full \
              recompute %.3fs\n%!"
             op t_inc t_full;
-        (op, edit, t_full, t_inc, speedup, delta))
+        (op, edit, t_full, t_base, t_inc, speedup, delta, cover, skip_rate,
+         t_splice, sstats))
       scenarios
   in
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ stream_path; RI.path_for stream_path; out_path; RI.path_for out_path ];
   Harness.print_table
     ~title:
       (Printf.sprintf
          "Churn: ER n=%s deg 10 (m=%d), s=%d, single-edge edit; prior answer \
-          %d results in %.3fs"
-         (abbrev n) (G.m g0) s (List.length prior) t_prior)
-    ~columns:[ "full"; "refresh"; "speedup"; "roots rerun" ]
+          %d results in %.3fs, indexed in %.3fs"
+         (abbrev n) (G.m g0) s (List.length prior) t_prior t_index)
+    ~columns:
+      [ "full"; "no-fp refresh"; "fp refresh"; "speedup"; "rerun/skip"; "splice" ]
     ~rows:
       (List.map
-         (fun (op, _, t_full, t_inc, speedup, delta) ->
+         (fun (op, _, t_full, t_base, t_inc, speedup, delta, _, _, t_splice,
+               sstats) ->
            ( op,
              [
                Harness.Seconds t_full;
+               Harness.Seconds t_base;
                Harness.Seconds t_inc;
                Harness.Note (Printf.sprintf "%.1fx" speedup);
                Harness.Note
-                 (Printf.sprintf "%d/%d" delta.E.roots_rerun (G.n g0));
+                 (Printf.sprintf "%d/%d" delta.E.roots_rerun
+                    delta.E.roots_skipped);
+               Harness.Note
+                 (Printf.sprintf "%.3fs %dB+%dB" t_splice
+                    sstats.RI.fresh_bytes sstats.RI.copied_bytes);
              ] ))
          measured);
   Harness.write_json ~path:"BENCH_churn.json"
@@ -784,19 +921,34 @@ let churn () =
          ("s", Scliques_obs.Sink.Int s);
          ("prior_results", Scliques_obs.Sink.Int (List.length prior));
          ("prior_seconds", Scliques_obs.Sink.Float t_prior);
+         ("index_seconds", Scliques_obs.Sink.Float t_index);
          ( "scenarios",
            Scliques_obs.Sink.Obj
              (List.map
-                (fun (op, edit, t_full, t_inc, speedup, delta) ->
+                (fun (op, edit, t_full, t_base, t_inc, speedup, delta, cover,
+                      skip_rate, t_splice, sstats) ->
                   let a, b = Sgraph.Overlay.edit_endpoints edit in
                   ( op,
                     Scliques_obs.Sink.Obj
                       [
                         ("edge", Scliques_obs.Sink.String (Printf.sprintf "%d-%d" a b));
                         ("full_seconds", Scliques_obs.Sink.Float t_full);
+                        ("baseline_seconds", Scliques_obs.Sink.Float t_base);
                         ("incremental_seconds", Scliques_obs.Sink.Float t_inc);
                         ("speedup", Scliques_obs.Sink.Float speedup);
+                        ( "speedup_vs_baseline",
+                          Scliques_obs.Sink.Float
+                            (t_base /. Float.max 1e-9 t_inc) );
                         ("roots_rerun", Scliques_obs.Sink.Int delta.E.roots_rerun);
+                        ( "roots_skipped",
+                          Scliques_obs.Sink.Int delta.E.roots_skipped );
+                        ("skip_rate", Scliques_obs.Sink.Float skip_rate);
+                        ("cover_2s1", Scliques_obs.Sink.Int cover);
+                        ("splice_seconds", Scliques_obs.Sink.Float t_splice);
+                        ( "splice_fresh_bytes",
+                          Scliques_obs.Sink.Int sstats.RI.fresh_bytes );
+                        ( "splice_copied_bytes",
+                          Scliques_obs.Sink.Int sstats.RI.copied_bytes );
                         ( "results",
                           Scliques_obs.Sink.Int (List.length delta.E.results) );
                         ("added", Scliques_obs.Sink.Int (List.length delta.E.added));

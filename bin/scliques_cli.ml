@@ -127,6 +127,8 @@ let gen_cmd =
 module Budget = Scliques_core.Budget
 module Ckpt = Scliques_core.Checkpoint
 module Stream = Scliques_core.Result_io.Stream
+module Ridx = Scliques_core.Result_io.Index
+module Nh = Scliques_core.Neighborhood
 
 let print_set c =
   print_endline (String.concat " " (List.map string_of_int (NS.to_list c)))
@@ -197,6 +199,19 @@ let budgeted_run g ~s ~algorithm ~workers ~min_size ~deadline ~max_results
     (match stream with Some w -> Stream.close w | None -> ());
     match outcome with
     | Budget.Complete ->
+        (* a whole root-decomposed run gets the SCLQIDX1 sidecar: per-root
+           fingerprints plus byte extents, so a later [refresh] can skip
+           unchanged branches and splice the stream without decoding it *)
+        (match ckpt_out with
+        | Some p when String.equal family "roots" ->
+            let path = p ^ ".results" in
+            let idx =
+              Ridx.build ~s ~n
+                ~fingerprint:(Nh.root_fingerprint ~s g)
+                path
+            in
+            Ridx.save idx (Ridx.path_for path)
+        | _ -> ());
         (* the run is whole: a leftover checkpoint would make a later
            --resume skip work that belongs in a fresh run *)
         (match ckpt_out with
@@ -805,10 +820,13 @@ let refresh_cmd =
             Printf.eprintf "scliques: error: %s: %s\n%!" diff_file msg;
             Stdlib.exit 1
       in
-      let prior =
-        match or_parse_error (fun () -> Stream.read_results results_file) with
-        | results, `Clean -> results
-        | _, `Torn ->
+      let prior, prior_len =
+        match
+          or_parse_error (fun () -> Stream.read_records results_file)
+        with
+        | payloads, clean_len, `Clean ->
+            (List.map Stream.decode_set payloads, clean_len)
+        | _, _, `Torn ->
             (* a torn prior is an incomplete answer: refreshing it would
                bake the missing tail into the "unaffected" half *)
             Printf.eprintf
@@ -817,29 +835,104 @@ let refresh_cmd =
               results_file;
             Stdlib.exit 1
       in
+      (* streams are root-contiguous but not globally sorted (parallel runs
+         commit roots in retirement order); refresh's sorted-input contract
+         is established here, once, at load time *)
+      let prior = List.sort NS.compare prior in
       let touched = Sgraph.Overlay.touched edits in
+      let n = Sgraph.Graph.n before in
+      let index =
+        let ipath = Ridx.path_for results_file in
+        if not (Sys.file_exists ipath) then None
+        else
+          match Ridx.load ipath with
+          | idx
+            when idx.Ridx.stream_len = prior_len
+                 && idx.Ridx.s = s
+                 && Ridx.n idx = n ->
+              Some idx
+          | _ ->
+              Printf.eprintf
+                "scliques: refresh: ignoring index %s (stale: wrong graph, \
+                 s, or stream length)\n%!"
+                ipath;
+              None
+          | exception Sgraph.Io_error.Parse_error _ ->
+              Printf.eprintf
+                "scliques: refresh: ignoring index %s (corrupt)\n%!" ipath;
+              None
+          | exception Sys_error msg ->
+              Printf.eprintf
+                "scliques: refresh: ignoring index %s (unreadable: %s)\n%!"
+                ipath msg;
+              None
+      in
+      let prior_fingerprint =
+        Option.map
+          (fun idx r -> Some idx.Ridx.entries.(r).Ridx.fingerprint)
+          index
+      in
       let engine =
         match engine with
         | `Par -> `Par workers
         | `Alg alg -> `Seq alg
       in
       let delta =
-        E.refresh ~min_size ~engine ~before ~after ~touched ~s ~prior ()
+        E.refresh ~min_size ~engine ~edits ?prior_fingerprint ~before ~after
+          ~touched ~s ~prior ()
       in
       (match output with
       | None -> ()
-      | Some path ->
-          (* patch the answer through the same crash-safe stream format the
-             budgeted runs write, so downstream tooling cannot tell a
-             refreshed stream from a recomputed one *)
-          let w = Stream.open_writer path in
-          List.iter (Stream.write_set w) delta.E.results;
-          Stream.close w);
+      | Some path -> (
+          match index with
+          | Some idx ->
+              (* seek-and-patch: re-encode only the re-run roots (the ones
+                 whose fingerprint moved) and copy every other root's bytes
+                 verbatim; the updated sidecar lands beside [out] *)
+              let rerun = Hashtbl.create 16 in
+              List.iter
+                (fun (root, fp) ->
+                  if idx.Ridx.entries.(root).Ridx.fingerprint <> fp then
+                    Hashtbl.replace rerun root (fp, ref []))
+                delta.E.root_fingerprints;
+              List.iter
+                (fun c ->
+                  match Hashtbl.find_opt rerun (NS.min_elt c) with
+                  | Some (_, acc) -> acc := c :: !acc
+                  | None -> ())
+                delta.E.results;
+              let patched =
+                Hashtbl.fold
+                  (fun root (fp, acc) l -> (root, fp, List.rev !acc) :: l)
+                  rerun []
+              in
+              let (_ : Ridx.t), st =
+                or_parse_error (fun () ->
+                    Ridx.splice ~old_stream:results_file ~index:idx ~patched
+                      ~out:path)
+              in
+              Printf.eprintf
+                "scliques: refresh: spliced %d roots (%d bytes fresh, %d \
+                 bytes copied)\n%!"
+                st.Ridx.roots_patched st.Ridx.fresh_bytes st.Ridx.copied_bytes
+          | None ->
+              (* no usable index: write the stream whole, then leave an
+                 index behind so the next refresh can splice *)
+              let w = Stream.open_writer path in
+              List.iter (Stream.write_set w) delta.E.results;
+              Stream.close w;
+              let idx =
+                Ridx.build ~s ~n
+                  ~fingerprint:(Nh.root_fingerprint ~s after)
+                  path
+              in
+              Ridx.save idx (Ridx.path_for path)));
       List.iter print_set delta.E.results;
       Printf.eprintf
-        "scliques: refresh: %d edits touching %d nodes; %d roots re-run, +%d \
-         -%d results (%d total)\n%!"
+        "scliques: refresh: %d edits touching %d nodes; %d roots re-run, %d \
+         skipped, +%d -%d results (%d total)\n%!"
         (List.length edits) (List.length touched) delta.E.roots_rerun
+        delta.E.roots_skipped
         (List.length delta.E.added)
         (List.length delta.E.removed)
         (List.length delta.E.results);
@@ -850,11 +943,14 @@ let refresh_cmd =
     (Cmd.info "refresh"
        ~doc:
          "Incrementally update a complete enumeration after edge churn: apply \
-          an SGRDIFF1 script, re-enumerate only the root branches within \
-          distance 2s of the touched endpoints, and splice the rest of the \
-          prior result stream through unchanged. Prints the refreshed answer \
-          (canonically sorted) and, with $(b,-o), writes it as a result \
-          stream.")
+          an SGRDIFF1 script, re-enumerate only the affected root branches \
+          whose per-root fingerprint actually changed, and splice the rest of \
+          the prior result stream through unchanged. When the stream has an \
+          SCLQIDX1 sidecar (written by $(b,enum --checkpoint) and by this \
+          command), stored fingerprints replace the before-graph digests and \
+          $(b,-o) patches the stream by byte extent instead of rewriting it. \
+          Prints the refreshed answer (canonically sorted) and, with \
+          $(b,-o), writes it as a result stream plus a fresh sidecar.")
     Term.(
       ret
         (const run $ graph_file_arg $ format_arg $ diff_file_arg
@@ -879,6 +975,17 @@ let tcp_arg =
     & opt (some string) None
     & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Daemon's TCP endpoint.")
 
+let token_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "token" ] ~docv:"TOKEN"
+        ~doc:
+          "Client identity for the daemon's per-client quota: connections \
+           announcing the same token share one quota bucket, and the bucket \
+           survives reconnects. Without it the daemon bills by peer address \
+           (TCP) or per-connection (Unix socket).")
+
 let cdie fmt =
   Printf.ksprintf
     (fun msg ->
@@ -901,9 +1008,14 @@ let client_addr socket tcp =
           | _ -> cdie "--tcp %S: bad port" spec))
   | None, None -> cdie "one of --socket PATH or --tcp HOST:PORT is required"
 
-let client_connect addr =
+let client_connect ?token addr =
   match Dclient.connect addr with
-  | c -> c
+  | c ->
+      (* announce the quota identity before any billable request *)
+      (match token with
+      | Some tok -> Dclient.hello c ~token:tok
+      | None -> ());
+      c
   | exception Unix.Unix_error (e, _, _) ->
       cdie "cannot reach the daemon: %s" (Unix.error_message e)
   | exception Dproto.Error e ->
@@ -1027,7 +1139,6 @@ let client_query_term =
                 with $(b,--workers 1 --max-queue 0)).")
   in
   let die = cdie in
-  let connect = client_connect in
   let graph_meta c name =
     match
       List.find_opt (fun gi -> String.equal gi.Dproto.g_name name)
@@ -1036,9 +1147,10 @@ let client_query_term =
     | Some gi -> (gi.Dproto.g_n, gi.Dproto.g_m)
     | None -> die "daemon serves no graph %S" name
   in
-  let run socket tcp graph algorithm s min_size deadline max_results ckpt
-      resume id retry ping list corrupt busy_drill =
+  let run socket tcp token graph algorithm s min_size deadline max_results
+      ckpt resume id retry ping list corrupt busy_drill =
     let addr = client_addr socket tcp in
+    let connect addr = client_connect ?token addr in
     if ping then begin
       let c = connect addr in
       let ok = Dclient.ping c in
@@ -1218,8 +1330,8 @@ let client_query_term =
     end
   in
   Term.(
-    const run $ socket_arg $ tcp_arg $ graph_arg $ algorithm_arg $ s_arg
-    $ min_size_arg $ deadline_arg $ max_results_arg $ checkpoint_arg
+    const run $ socket_arg $ tcp_arg $ token_arg $ graph_arg $ algorithm_arg
+    $ s_arg $ min_size_arg $ deadline_arg $ max_results_arg $ checkpoint_arg
     $ resume_arg $ client_id_arg $ retry_arg $ ping_arg $ list_arg
     $ corrupt_arg $ busy_drill_arg)
 
@@ -1234,7 +1346,7 @@ let client_mutate_cmd =
     let doc = "SGRDIFF1 edit-script file (written by $(b,scliques diff))." in
     Arg.(required & pos 1 (some non_dir_file) None & info [] ~docv:"FILE" ~doc)
   in
-  let run socket tcp graph script_file id retry =
+  let run socket tcp token graph script_file id retry =
     let addr = client_addr socket tcp in
     let script =
       let ic = open_in_bin script_file in
@@ -1249,7 +1361,7 @@ let client_mutate_cmd =
     | (_ : Sgraph.Diff.header * Sgraph.Overlay.edit list) -> ()
     | exception Sgraph.Io_error.Parse_error { file; line; msg } ->
         cdie "%s" (Sgraph.Io_error.to_string ~file ~line msg));
-    let c = client_connect addr in
+    let c = client_connect ?token addr in
     let rec attempt tries =
       match Dclient.mutate c ~id ~graph ~script with
       | Dclient.Applied { epoch; edits; n; m } ->
@@ -1278,7 +1390,7 @@ let client_mutate_cmd =
           code 0 applied, 6 quota-refused (after $(b,--retry) attempts), 1 \
           error.")
     Term.(
-      const run $ socket_arg $ tcp_arg $ graph_arg $ script_arg
+      const run $ socket_arg $ tcp_arg $ token_arg $ graph_arg $ script_arg
       $ client_id_arg $ retry_arg)
 
 let client_reload_cmd =

@@ -240,7 +240,50 @@ type refresh_delta = {
   added : Node_set.t list;
   removed : Node_set.t list;
   roots_rerun : int;
+  roots_skipped : int;
+  root_fingerprints : (int * int) list;
 }
+
+(* the sorted-input contract on [prior], checked only under asserts: a
+   linear scan, where the sort it replaces cost O(|answer| log |answer|)
+   on every refresh of an already-sorted answer *)
+let rec is_sorted = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> Node_set.compare a b <= 0 && is_sorted rest
+
+(* The affected-root set R for a batch replayed edit by edit: balls are
+   taken in the actual intermediate graphs (kept as one uncompacted
+   Overlay, rewound one edit when the pre-edit graph is needed again),
+   so each edit contributes only the radius-(s-1) D of its own endpoints
+   instead of the radius-s blanket a whole-batch bound needs. *)
+let per_edit_affected_roots ~before ~s edits =
+  let o = Sgraph.Overlay.of_graph before in
+  let n = Sgraph.Overlay.n o in
+  let ball srcs radius =
+    Sgraph.Bfs.ball_multi_rows
+      ~iter_row:(fun f v -> Sgraph.Overlay.iter_row f o v)
+      ~n ~srcs ~radius
+  in
+  let invert = function
+    | Sgraph.Overlay.Insert (u, v) -> Sgraph.Overlay.Delete (u, v)
+    | Sgraph.Overlay.Delete (u, v) -> Sgraph.Overlay.Insert (u, v)
+  in
+  List.fold_left
+    (fun acc e ->
+      let u, v = Sgraph.Overlay.edit_endpoints e in
+      let srcs = [ u; v ] in
+      (* D_i: the radius-(s-1) balls of the endpoints in G_i and G_{i+1} *)
+      let d_pre = ball srcs (s - 1) in
+      Sgraph.Overlay.apply o [ e ] (* strict: a stale edit list must not
+                                      silently yield a wrong R *);
+      let d = Node_set.to_list (Node_set.union d_pre (ball srcs (s - 1))) in
+      (* R_i: radius-s balls of D_i in both graphs; rewind for G_i *)
+      let r_post = ball d s in
+      Sgraph.Overlay.apply o [ invert e ];
+      let r_pre = ball d s in
+      Sgraph.Overlay.apply o [ e ];
+      Node_set.union acc (Node_set.union r_pre r_post))
+    Node_set.empty edits
 
 (* a \ b over lists sorted by Node_set.compare, single merge pass *)
 let sorted_diff a b =
@@ -256,8 +299,9 @@ let sorted_diff a b =
   in
   go [] a b
 
-let refresh ?(min_size = 0) ?cache_capacity ?(engine = `Seq Cs2_pf) ?nh ~before
-    ~after ~touched ~s ~prior () =
+let refresh ?(min_size = 0) ?cache_capacity ?(engine = `Seq Cs2_pf) ?nh ?edits
+    ?(fingerprints = true) ?prior_fingerprint ~before ~after ~touched ~s ~prior
+    () =
   if s < 1 then invalid_arg "Enumerate.refresh: s must be >= 1";
   let n = Sgraph.Graph.n after in
   if Sgraph.Graph.n before <> n then
@@ -276,6 +320,14 @@ let refresh ?(min_size = 0) ?cache_capacity ?(engine = `Seq Cs2_pf) ?nh ~before
            (name alg))
   | _ -> ());
   let touched = List.sort_uniq Int.compare touched in
+  (match edits with
+  | None -> ()
+  | Some es ->
+      (* [edits] must be the exact effective batch between the graphs:
+         its endpoint set is [touched] by construction, so a mismatch
+         means the caller paired a stale script with the wrong graphs *)
+      if not (List.equal Int.equal (Sgraph.Overlay.touched es) touched) then
+        invalid_arg "Enumerate.refresh: edits do not match touched");
   (* keep a caller-supplied warm oracle in lockstep with the graph even
      when it is not the engine doing the re-enumeration *)
   Option.iter (fun oracle ->
@@ -283,9 +335,21 @@ let refresh ?(min_size = 0) ?cache_capacity ?(engine = `Seq Cs2_pf) ?nh ~before
         invalid_arg "Enumerate.refresh: oracle has a different s";
       Neighborhood.invalidate oracle ~after ~touched)
     nh;
-  let prior = List.sort Node_set.compare prior in
+  (* sorted-input contract: [prior] arrives in Node_set.compare order
+     (every producer here — sorted_results, a prior delta's [results], a
+     sorted stream load — already has it), so refresh stops paying an
+     O(|answer| log |answer|) sort per edit *)
+  assert (is_sorted prior);
   match touched with
-  | [] -> { results = prior; added = []; removed = []; roots_rerun = 0 }
+  | [] ->
+      {
+        results = prior;
+        added = [];
+        removed = [];
+        roots_rerun = 0;
+        roots_skipped = 0;
+        root_fingerprints = [];
+      }
   | _ :: _ ->
       (* Locality (paper §3: members of a result are pairwise within
          distance s). Let D be the set of nodes whose edge-relevant
@@ -302,33 +366,69 @@ let refresh ?(min_size = 0) ?cache_capacity ?(engine = `Seq Cs2_pf) ?nh ~before
          For a single edit, k's ball changes only when a witnessing
          ≤s-path runs through the edited edge, which puts k within
          distance s-1 of an endpoint in the graph holding that path; the
-         radius-(s-1) balls of the endpoints are exactly D. A batch is a
-         sequence of edits whose intermediate graphs can mix edges from
-         both ends of the sequence into one path, so the per-step bound
-         gets one hop of slack: radius s. Two touched nodes means one
-         edit (effective edit lists carry each pair at most once). *)
-      let d_radius = if List.length touched <= 2 then s - 1 else s in
-      let d =
-        Node_set.union
-          (Sgraph.Bfs.ball_multi before ~srcs:touched ~radius:d_radius)
-          (Sgraph.Bfs.ball_multi after ~srcs:touched ~radius:d_radius)
-      in
-      let dl = Node_set.to_list d in
+         radius-(s-1) balls of the endpoints are exactly D. With the
+         edit script in hand, a batch is that single-edit argument
+         replayed per step against the actual intermediate graphs
+         ([per_edit_affected_roots]); without it, the whole-batch bound
+         pays one hop of slack — intermediate graphs can mix edges from
+         both ends of the sequence into one path — so D widens to
+         radius s. Two touched nodes means one edit (effective edit
+         lists carry each pair at most once). *)
       let r =
-        Node_set.union
-          (Sgraph.Bfs.ball_multi before ~srcs:dl ~radius:s)
-          (Sgraph.Bfs.ball_multi after ~srcs:dl ~radius:s)
+        match edits with
+        | Some es when List.length es > 1 -> per_edit_affected_roots ~before ~s es
+        | _ ->
+            let d_radius = if List.length touched <= 2 then s - 1 else s in
+            let d =
+              Node_set.union
+                (Sgraph.Bfs.ball_multi before ~srcs:touched ~radius:d_radius)
+                (Sgraph.Bfs.ball_multi after ~srcs:touched ~radius:d_radius)
+            in
+            let dl = Node_set.to_list d in
+            Node_set.union
+              (Sgraph.Bfs.ball_multi before ~srcs:dl ~radius:s)
+              (Sgraph.Bfs.ball_multi after ~srcs:dl ~radius:s)
       in
+      (* fingerprint gate: within R, a root whose branch digest is equal
+         on both endpoint graphs provably re-derives its exact prior
+         results, so it neither retracts nor re-runs. (Only the endpoint
+         graphs matter — fingerprint equality certifies equal branch
+         output regardless of what the intermediate graphs did.) *)
+      let roots, skipped, root_fingerprints =
+        if not fingerprints then (Node_set.to_list r, 0, [])
+        else begin
+          let fp_before root =
+            match prior_fingerprint with
+            | Some f -> (
+                match f root with
+                | Some fp -> fp
+                | None -> Neighborhood.root_fingerprint ~s before root)
+            | None -> Neighborhood.root_fingerprint ~s before root
+          in
+          let rerun = ref [] and skipped = ref 0 and fps = ref [] in
+          Node_set.iter
+            (fun root ->
+              let fp_after = Neighborhood.root_fingerprint ~s after root in
+              fps := (root, fp_after) :: !fps;
+              if fp_after = fp_before root then incr skipped
+              else rerun := root :: !rerun)
+            r;
+          (List.rev !rerun, !skipped, List.rev !fps)
+        end
+      in
+      let rerun_set = Node_set.of_list roots in
       let kept, dropped =
-        List.partition (fun c -> not (Node_set.mem (Node_set.min_elt c) r)) prior
+        List.partition
+          (fun c -> not (Node_set.mem (Node_set.min_elt c) rerun_set))
+          prior
       in
-      let roots = Node_set.to_list r in
       let fresh =
-        match engine with
-        | `Par workers ->
+        match (roots, engine) with
+        | [], _ -> [] (* every affected root fingerprint-skipped *)
+        | _, `Par workers ->
             Parallel.enumerate_roots ?workers ~min_size ?cache_capacity ~roots
               after ~s
-        | `Seq alg ->
+        | _, `Seq alg ->
             let oracle =
               match nh with
               | Some oracle -> oracle
@@ -361,6 +461,8 @@ let refresh ?(min_size = 0) ?cache_capacity ?(engine = `Seq Cs2_pf) ?nh ~before
         added = sorted_diff fresh dropped;
         removed = sorted_diff dropped fresh;
         roots_rerun = List.length roots;
+        roots_skipped = skipped;
+        root_fingerprints;
       }
 
 let all_results ?min_size ?optimized ?cache_capacity ?obs algorithm g ~s =

@@ -122,6 +122,13 @@ type refresh_delta = {
   removed : Sgraph.Node_set.t list;
       (** prior results no longer in the answer, sorted *)
   roots_rerun : int;  (** how many root branches were re-enumerated *)
+  roots_skipped : int;
+      (** affected roots whose branch fingerprint was unchanged, so they
+          were neither retracted nor re-run *)
+  root_fingerprints : (int * int) list;
+      (** [(root, fingerprint)] on the after-graph for every affected
+          root (re-run and skipped alike), ascending — what a persistent
+          {!Result_io.Index} stores. Empty when [fingerprints:false]. *)
 }
 
 val refresh :
@@ -129,6 +136,9 @@ val refresh :
   ?cache_capacity:int ->
   ?engine:[ `Seq of algorithm | `Par of int option ] ->
   ?nh:Neighborhood.t ->
+  ?edits:Sgraph.Overlay.edit list ->
+  ?fingerprints:bool ->
+  ?prior_fingerprint:(int -> int option) ->
   before:Sgraph.Graph.t ->
   after:Sgraph.Graph.t ->
   touched:int list ->
@@ -139,21 +149,38 @@ val refresh :
 (** Incremental re-enumeration after edge churn. [before] and [after]
     are the same node set differing only by edge edits whose endpoints
     all appear in [touched] (order/duplicates irrelevant); [prior] is
-    the complete answer on [before] (any order; same [min_size]).
+    the complete answer on [before], {b sorted} in [Node_set.compare]
+    order (the sorted-input contract, asserted under debug: every
+    producer — {!sorted_results}, a prior delta's [results], a sorted
+    stream load — already delivers it, so refresh no longer pays an
+    O(|answer| log |answer|) sort per edit; same [min_size]).
 
     By the paper's distance-s locality, a result can appear, vanish or
     change only if one of its members has a changed N{^s} ball or
     changed incident edges — putting that member within distance s-1 of
-    a touched endpoint for a single edit (distance s for a batch, whose
-    intermediate graphs cost one hop of slack); since members are
-    pairwise within distance s, the {e root} (minimum member) of any
-    such result lies one radius-s ball further out. [refresh] retracts
-    the prior results rooted in that affected-root set, re-enumerates
-    exactly those root branches on [after] — sequentially with a rooted
+    a touched endpoint for a single edit; since members are pairwise
+    within distance s, the {e root} (minimum member) of any such result
+    lies one radius-s ball further out. For a batch, passing the
+    effective edit script as [edits] replays that single-edit argument
+    against each intermediate graph (kept as one uncompacted overlay),
+    so every edit contributes only the radius-(s-1) balls of its own
+    endpoints; without [edits] the whole-batch bound pays one hop of
+    slack (radius-s D around all touched nodes at once).
+
+    Within the affected-root set, each root's branch fingerprint
+    ({!Neighborhood.root_fingerprint}) is compared across the edit and
+    provably-unchanged branches are {e skipped} — neither retracted nor
+    re-run ([roots_skipped]). [prior_fingerprint] supplies stored
+    before-graph fingerprints (e.g. from a {!Result_io.Index} sidecar),
+    eliminating the before-graph digests; absent ones are computed.
+    [fingerprints:false] disables the gate (every affected root re-runs,
+    the pre-fingerprint behavior — the benchmark baseline).
+
+    The surviving roots re-run on [after] — sequentially with a rooted
     algorithm ([`Seq], default [`Seq Cs2_pf]) or via
-    {!Parallel.enumerate_roots} ([`Par workers]) — and splices the rest
-    through untouched, so [results] is bit-identical to a full
-    re-enumeration.
+    {!Parallel.enumerate_roots} ([`Par workers]) — and everything else
+    is spliced through untouched, so [results] is bit-identical to a
+    full re-enumeration.
 
     A caller-supplied [nh] oracle (currently bound to [before], with
     matching [s]) is advanced to [after] via {!Neighborhood.invalidate}
@@ -161,8 +188,9 @@ val refresh :
     so back-to-back refreshes keep the ball cache warm.
 
     @raise Invalid_argument when [s < 1], the node counts differ, a
-    touched id is out of range, the oracle's [s] mismatches, or a [`Seq]
-    algorithm has no rooted decomposition ([Poly_delay], [Brute]). *)
+    touched id is out of range, [edits] disagrees with [touched], the
+    oracle's [s] mismatches, or a [`Seq] algorithm has no rooted
+    decomposition ([Poly_delay], [Brute]). *)
 
 val all_results :
   ?min_size:int ->

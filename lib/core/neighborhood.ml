@@ -276,6 +276,45 @@ let cache_bytes t =
   | Private cache -> Scoll.Lri_cache.total_weight cache
   | Shared_store (st, _) -> Shared.bytes st
 
+(* Per-root branch fingerprints (the sublinear-refresh skip test).
+
+   The results rooted at r are a function of (a) the membership of the
+   closed ball B(r, rho_s) and (b) the edge set incident to its members,
+   where rho_s = s + (s-1)/2. Why rho_s: every member of a result rooted
+   at r lies in the closed N^s(r); deciding membership, pairwise
+   s-distances and maximality only ever asks for paths of length <= s
+   between nodes of the closed N^s(r), and every edge of such a path has
+   an endpoint within (s-1)/2 hops of one of the path's ends — so within
+   s + (s-1)/2 of r. Hashing each B(r, rho_s) member's full adjacency
+   row covers exactly that data: if the digests match across an edit,
+   the BFS from r explores identical rows, so the ball, every witnessing
+   path and every maximality check are identical, and the branch's
+   output is unchanged (up to a CRC-32 collision, ~2^-32 — the same
+   trust the result stream already places in CRC-32). *)
+
+let fingerprint_radius ~s =
+  if s < 1 then invalid_arg "Neighborhood.fingerprint_radius: s must be >= 1";
+  s + ((s - 1) / 2)
+
+let root_fingerprint ~s g root =
+  if root < 0 || root >= Graph.n g then
+    invalid_arg
+      (Printf.sprintf "Neighborhood.root_fingerprint: node %d out of range (n=%d)"
+         root (Graph.n g));
+  let radius = fingerprint_radius ~s in
+  let members = Node_set.add root (Sgraph.Bfs.ball g root ~radius) in
+  let buf = Buffer.create 256 in
+  let add v = Buffer.add_int32_le buf (Int32.of_int v) in
+  Node_set.iter
+    (fun v ->
+      add v;
+      Graph.iter_neighbors add g v;
+      (* row terminator: -1 is no node id, so (member, row) framing is
+         unambiguous and shifting ids across rows cannot collide *)
+      add (-1))
+    members;
+  Scoll.Crc32.string (Buffer.contents buf)
+
 let sync_obs t =
   match t.obs with
   | None -> ()

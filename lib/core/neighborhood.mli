@@ -166,6 +166,26 @@ val cache_bytes : t -> int
 (** Approximate heap bytes held by the memoized balls — the probe behind
     [Budget.max_cache_bytes]. Constant time. *)
 
+val fingerprint_radius : s:int -> int
+(** The branch-fingerprint ball radius [rho_s = s + (s-1)/2]. The results
+    rooted at [r] are a function of the closed ball [B(r, rho_s)] and the
+    edges incident to its members: every witnessing path of length [<= s]
+    between members of the closed [N^s(r)] has all of its edges incident
+    to a node within [(s-1)/2] hops of one of the path's endpoints, hence
+    within [rho_s] of [r].
+    @raise Invalid_argument when [s < 1]. *)
+
+val root_fingerprint : s:int -> Sgraph.Graph.t -> int -> int
+(** [root_fingerprint ~s g r] digests the branch of root [r]: a CRC-32
+    over the sorted members of the closed [B(r, rho_s)] ball and each
+    member's full adjacency row. Equal fingerprints across an edge edit
+    imply the branch's result set is unchanged (up to a CRC-32 collision,
+    [~2^-32] — the same trust the result stream places in CRC-32), which
+    is what lets {!Enumerate.refresh} skip re-running the root. O(ball +
+    incident edges); uncached — refresh calls it on balls the churn just
+    invalidated anyway.
+    @raise Invalid_argument when [s < 1] or [r] is out of range. *)
+
 val sync_obs : t -> unit
 (** Publish the ball cache's cumulative hit/miss/eviction counts into the
     observer's [nh.cache_hits] / [nh.cache_misses] / [nh.cache_evictions]

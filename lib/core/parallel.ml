@@ -82,7 +82,7 @@ type worker_result = {
 }
 
 let run_worker ~id ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed
-    ~split_depth ~split_width ~shared ~rooted () =
+    ~split_depth ~split_width ~split_min_subtree ~shared ~rooted () =
   let t0 = Scliques_obs.Clock.now () in
   (* per-worker observer, oracle and sink: domains share only the
      immutable graph and the scheduler state *)
@@ -175,12 +175,24 @@ let run_worker ~id ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed
         && Cs_cliques2.task_width t >= split_width
       then begin
         (* oversized shallow subtree: do one visit step (emitting if
-           maximal) and requeue the children so idle workers can take them *)
-        match Cs_cliques2.expand_task rn t with
+           maximal) and requeue the children so idle workers can take
+           them. Only children whose candidate set clears the
+           minimum-subtree threshold are worth a deque round-trip and a
+           potential steal; tiny subtrees run right here, in cache, for
+           less than their scheduling would cost (the over-splitting fix
+           — BENCH_parallel.json showed 24k splits for 39k results). *)
+        let children = Cs_cliques2.expand_task rn t in
+        let stealable, tiny =
+          List.partition
+            (fun c -> Cs_cliques2.task_width c >= split_min_subtree)
+            children
+        in
+        (match stealable with
         | [] -> ()
-        | children ->
+        | _ :: _ ->
             incr splits;
-            push_children root children
+            push_children root stealable);
+        List.iter (Cs_cliques2.run_task rn) tiny
       end
       else Cs_cliques2.run_task rn t
     end;
@@ -243,8 +255,8 @@ let run_worker ~id ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed
   }
 
 let enumerate_with_stats ?workers ?(split_depth = 3) ?(split_width = 8)
-    ?(pivot = true) ?(feasibility = false) ?(min_size = 0) ?(cache_capacity = 65536)
-    ?obs g ~s =
+    ?(split_min_subtree = 8) ?(pivot = true) ?(feasibility = false)
+    ?(min_size = 0) ?(cache_capacity = 65536) ?obs g ~s =
   let workers =
     match workers with Some w -> w | None -> Domain.recommended_domain_count ()
   in
@@ -271,7 +283,7 @@ let enumerate_with_stats ?workers ?(split_depth = 3) ?(split_width = 8)
   done;
   let worker id () =
     run_worker ~id ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed
-      ~split_depth ~split_width ~shared ~rooted:None ()
+      ~split_depth ~split_width ~split_min_subtree ~shared ~rooted:None ()
   in
   let helpers = List.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1))) in
   (* worker 0 runs in the calling domain *)
@@ -320,16 +332,16 @@ let enumerate_with_stats ?workers ?(split_depth = 3) ?(split_width = 8)
       set "par.min_worker_results" (Array.fold_left Int.min max_int results_per_worker));
   (all, { results_per_worker; time_per_worker; tasks_per_worker; steals; splits })
 
-let enumerate ?workers ?split_depth ?split_width ?pivot ?feasibility ?min_size
-    ?cache_capacity ?obs g ~s =
+let enumerate ?workers ?split_depth ?split_width ?split_min_subtree ?pivot
+    ?feasibility ?min_size ?cache_capacity ?obs g ~s =
   fst
-    (enumerate_with_stats ?workers ?split_depth ?split_width ?pivot ?feasibility
-       ?min_size ?cache_capacity ?obs g ~s)
+    (enumerate_with_stats ?workers ?split_depth ?split_width ?split_min_subtree
+       ?pivot ?feasibility ?min_size ?cache_capacity ?obs g ~s)
 
 let enumerate_budgeted ?workers ?(split_depth = 3) ?(split_width = 8)
-    ?(pivot = true) ?(feasibility = false) ?(min_size = 0) ?(cache_capacity = 65536)
-    ?obs ?(fault = Scoll.Fault.none) ?(skip_roots = []) ?on_root_retired ~budget g
-    ~s =
+    ?(split_min_subtree = 8) ?(pivot = true) ?(feasibility = false)
+    ?(min_size = 0) ?(cache_capacity = 65536) ?obs ?(fault = Scoll.Fault.none)
+    ?(skip_roots = []) ?on_root_retired ~budget g ~s =
   let workers =
     match workers with Some w -> w | None -> Domain.recommended_domain_count ()
   in
@@ -369,7 +381,7 @@ let enumerate_budgeted ?workers ?(split_depth = 3) ?(split_width = 8)
   in
   let worker id () =
     run_worker ~id ~g ~s ~pivot ~feasibility ~min_size ~cache_capacity ~observed
-      ~split_depth ~split_width ~shared ~rooted:(Some rooted) ()
+      ~split_depth ~split_width ~split_min_subtree ~shared ~rooted:(Some rooted) ()
   in
   let helpers = List.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1))) in
   let own = worker 0 () in
@@ -396,8 +408,8 @@ let enumerate_budgeted ?workers ?(split_depth = 3) ?(split_width = 8)
     Budget.status budget,
     List.sort Int.compare (rooted.retired [@lint.allow "atomicity"]) )
 
-let enumerate_roots ?workers ?split_depth ?split_width ?pivot ?feasibility
-    ?min_size ?cache_capacity ?obs ~roots g ~s =
+let enumerate_roots ?workers ?split_depth ?split_width ?split_min_subtree
+    ?pivot ?feasibility ?min_size ?cache_capacity ?obs ~roots g ~s =
   let n = Graph.n g in
   let keep = Array.make (max n 1) false in
   List.iter
@@ -410,8 +422,8 @@ let enumerate_roots ?workers ?split_depth ?split_width ?pivot ?feasibility
   let results, _outcome, _retired =
     (* an unlimited budget never trips, so every kept root commits and the
        committed list is exactly the union of the requested branches *)
-    enumerate_budgeted ?workers ?split_depth ?split_width ?pivot ?feasibility
-      ?min_size ?cache_capacity ?obs ~skip_roots ~budget:(Budget.unlimited ()) g
-      ~s
+    enumerate_budgeted ?workers ?split_depth ?split_width ?split_min_subtree
+      ?pivot ?feasibility ?min_size ?cache_capacity ?obs ~skip_roots
+      ~budget:(Budget.unlimited ()) g ~s
   in
   results

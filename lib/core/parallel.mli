@@ -45,6 +45,7 @@ val enumerate :
   ?workers:int ->
   ?split_depth:int ->
   ?split_width:int ->
+  ?split_min_subtree:int ->
   ?pivot:bool ->
   ?feasibility:bool ->
   ?min_size:int ->
@@ -62,12 +63,19 @@ val enumerate :
     Subtrees at recursion depth below [split_depth] (default [3]) with at
     least [split_width] (default [8]) candidates are split for stealing
     rather than run in place; [split_depth <= 0] disables splitting.
+    When a split fires, only the children with at least
+    [split_min_subtree] (default [8]) candidates are queued for stealing
+    — smaller ones are run inline by the splitting worker, since queueing
+    a near-leaf subtree costs more in deque traffic than it buys in
+    parallelism; [split_min_subtree <= 0] queues every child (the
+    pre-threshold behavior).
     @raise Invalid_argument when [workers < 1] or [s < 1]. *)
 
 val enumerate_with_stats :
   ?workers:int ->
   ?split_depth:int ->
   ?split_width:int ->
+  ?split_min_subtree:int ->
   ?pivot:bool ->
   ?feasibility:bool ->
   ?min_size:int ->
@@ -88,6 +96,7 @@ val enumerate_roots :
   ?workers:int ->
   ?split_depth:int ->
   ?split_width:int ->
+  ?split_min_subtree:int ->
   ?pivot:bool ->
   ?feasibility:bool ->
   ?min_size:int ->
@@ -108,6 +117,7 @@ val enumerate_budgeted :
   ?workers:int ->
   ?split_depth:int ->
   ?split_width:int ->
+  ?split_min_subtree:int ->
   ?pivot:bool ->
   ?feasibility:bool ->
   ?min_size:int ->

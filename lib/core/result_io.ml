@@ -180,3 +180,347 @@ module Stream = struct
     let records, _, tail = read_records path in
     (List.map decode_set records, tail)
 end
+
+module Index = struct
+  (* Persistent root->results index: the [SCLQIDX1] sidecar beside a
+     root-grouped [SCLQS1] stream.
+
+     Layout (all little-endian), mirroring the SGRDIFF1 record
+     discipline — every record is [payload | u32le CRC-32 of payload]:
+
+       magic   "SCLQIDX1"                                      8 bytes
+       header  u64 stream_len | u32 s | u32 n                 24 + 4
+       entry   u32 root | u32 fingerprint | u64 offset
+               | u64 extent | u32 count                       28 + 4
+
+     Exactly [n] entries follow the header, one per root in ascending
+     order, so a refresh finds every root's branch fingerprint without
+     touching the stream — roots with no results carry a zero extent.
+     [offset]/[extent] delimit the root's contiguous run of records in
+     the stream ([offset] from the start of the file), which is what
+     turns retract-and-splice into seek-and-patch.
+
+     Unlike the stream it describes, the index is a transaction, not an
+     append log: any truncation, byte flip or mismatch against the
+     stream's byte length is refused outright with a typed
+     [Io_error.Parse_error]. A refused index costs only a rebuild from
+     the stream (it is derived data), whereas trusting a half-written
+     one would patch result bytes into the wrong extents. *)
+
+  let magic = "SCLQIDX1"
+
+  let failf path fmt = Sgraph.Io_error.failf ~file:path ~line:0 fmt
+
+  type entry = { fingerprint : int; offset : int; extent : int; count : int }
+
+  type t = {
+    stream_len : int; (* clean byte length of the stream this indexes *)
+    s : int;
+    entries : entry array; (* entries.(root), one per root *)
+  }
+
+  let n t = Array.length t.entries
+
+  let path_for stream_path = stream_path ^ ".idx"
+
+  let record payload =
+    let crc = Bytes.create 4 in
+    Bytes.set_int32_le crc 0 (Int32.of_int (Scoll.Crc32.bytes payload));
+    Bytes.to_string payload ^ Bytes.to_string crc
+
+  let header_payload t =
+    let b = Bytes.create 24 in
+    Bytes.set_int64_le b 0 (Int64.of_int t.stream_len);
+    Bytes.set_int32_le b 8 (Int32.of_int t.s);
+    Bytes.set_int32_le b 12 (Int32.of_int (Array.length t.entries));
+    Bytes.set_int64_le b 16 0L (* reserved *);
+    b
+
+  let entry_payload root e =
+    let b = Bytes.create 28 in
+    Bytes.set_int32_le b 0 (Int32.of_int root);
+    Bytes.set_int32_le b 4 (Int32.of_int e.fingerprint);
+    Bytes.set_int64_le b 8 (Int64.of_int e.offset);
+    Bytes.set_int64_le b 16 (Int64.of_int e.extent);
+    Bytes.set_int32_le b 24 (Int32.of_int e.count);
+    b
+
+  let to_string t =
+    let buf = Buffer.create (8 + 28 + (32 * Array.length t.entries)) in
+    Buffer.add_string buf magic;
+    Buffer.add_string buf (record (header_payload t));
+    Array.iteri
+      (fun root e -> Buffer.add_string buf (record (entry_payload root e)))
+      t.entries;
+    Buffer.contents buf
+
+  let save t path =
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (to_string t);
+        close_out oc);
+    Sys.rename tmp path
+
+  (* {2 Strict reading} — cursor + per-record CRC, as in Sgraph.Diff *)
+
+  type cursor = { src : string; mutable pos : int }
+
+  let read_exact path c len what =
+    if c.pos + len > String.length c.src then
+      failf path "index truncated reading %s" what;
+    let b = Bytes.create len in
+    Bytes.blit_string c.src c.pos b 0 len;
+    c.pos <- c.pos + len;
+    b
+
+  let check_crc path c payload what =
+    let crc = read_exact path c 4 (what ^ " CRC") in
+    let stored = Int32.to_int (Bytes.get_int32_le crc 0) land 0xFFFFFFFF in
+    let computed = Scoll.Crc32.bytes payload in
+    if stored <> computed then
+      failf path "index %s CRC mismatch (stored %08x, computed %08x)" what stored
+        computed
+
+  let decode_u64 path b off what =
+    let hi = Char.code (Bytes.get b (off + 7)) in
+    if hi >= 0x40 then
+      failf path "index %s %Ld out of range" what (Bytes.get_int64_le b off);
+    Int64.to_int (Bytes.get_int64_le b off)
+
+  let decode_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+
+  let structured ~file f =
+    try f () with
+    | Sgraph.Io_error.Parse_error _ as e -> raise e
+    | Sys_error _ as e -> raise e
+    | (Out_of_memory | Stack_overflow) as e -> raise e
+    | e ->
+        Sgraph.Io_error.fail ~file ~line:0
+          ("unexpected parser failure: " ^ Printexc.to_string e)
+
+  let max_node_count = 1 lsl 30
+
+  let of_string ~file src =
+    structured ~file (fun () ->
+        let c = { src; pos = 0 } in
+        let m8 = read_exact file c 8 "magic" in
+        if not (String.equal (Bytes.to_string m8) magic) then
+          failf file "not an index: bad magic %S (expected %S)"
+            (Bytes.to_string m8) magic;
+        let hb = read_exact file c 24 "header" in
+        check_crc file c hb "header";
+        let stream_len = decode_u64 file hb 0 "stream length" in
+        let s = decode_u32 hb 8 in
+        let count = decode_u32 hb 12 in
+        if s < 1 then failf file "index has s = %d (must be >= 1)" s;
+        if count > max_node_count then
+          failf file "index root count %d exceeds the %d limit" count
+            max_node_count;
+        if stream_len < String.length Stream.magic then
+          failf file "index claims a stream of %d bytes (shorter than the \
+                      stream magic)" stream_len;
+        let covered = ref 0 in
+        let entries =
+          Array.init count (fun root ->
+              let eb = read_exact file c 28 "entry record" in
+              check_crc file c eb "entry record";
+              let r = decode_u32 eb 0 in
+              if r <> root then
+                failf file "index entry %d names root %d (entries must be \
+                            ascending and complete)" root r;
+              let fingerprint = decode_u32 eb 4 in
+              let offset = decode_u64 file eb 8 "entry offset" in
+              let extent = decode_u64 file eb 16 "entry extent" in
+              let count = decode_u32 eb 24 in
+              if (count = 0) <> (extent = 0) then
+                failf file "index root %d has %d records in %d bytes" root
+                  count extent;
+              if extent > 0 then begin
+                if offset < String.length Stream.magic then
+                  failf file "index root %d extent starts inside the stream \
+                              magic" root;
+                if offset + extent > stream_len then
+                  failf file "index root %d extent ends past the stream \
+                              (%d+%d > %d)" root offset extent stream_len;
+                covered := !covered + extent
+              end;
+              { fingerprint; offset; extent; count })
+        in
+        if c.pos <> String.length src then
+          failf file "index has %d trailing bytes" (String.length src - c.pos);
+        if !covered + String.length Stream.magic <> stream_len then
+          failf file "index extents cover %d of %d stream payload bytes"
+            !covered
+            (stream_len - String.length Stream.magic);
+        { stream_len; s; entries })
+
+  let load path =
+    let ic = open_in_bin path in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    of_string ~file:path contents
+
+  (* {2 Building from a stream} *)
+
+  let build ~s ~n ~fingerprint path =
+    if s < 1 then invalid_arg "Index.build: s must be >= 1";
+    if n < 0 then invalid_arg "Index.build: negative node count";
+    let records, clean_len, tail = Stream.read_records path in
+    (match tail with
+    | `Clean -> ()
+    | `Torn -> failf path "torn stream cannot be indexed");
+    let entries =
+      Array.init n (fun root ->
+          { fingerprint = fingerprint root; offset = 0; extent = 0; count = 0 })
+    in
+    let seen = Array.make (max n 1) false in
+    let cur = ref (-1) in
+    let cur_off = ref 0 in
+    let cur_extent = ref 0 in
+    let cur_count = ref 0 in
+    let flush_group () =
+      if !cur >= 0 then begin
+        entries.(!cur) <-
+          {
+            (entries.(!cur)) with
+            offset = !cur_off;
+            extent = !cur_extent;
+            count = !cur_count;
+          };
+        seen.(!cur) <- true
+      end
+    in
+    let off = ref (String.length Stream.magic) in
+    List.iter
+      (fun payload ->
+        let set = Stream.decode_set payload in
+        if Node_set.is_empty set then
+          failf path "stream has an empty result record";
+        let root = Node_set.min_elt set in
+        if root >= n then
+          failf path "stream result rooted at %d, but the graph has %d nodes"
+            root n;
+        if root <> !cur then begin
+          flush_group ();
+          if seen.(root) then
+            failf path
+              "stream is not grouped by root (root %d appears twice)" root;
+          cur := root;
+          cur_off := !off;
+          cur_extent := 0;
+          cur_count := 0
+        end;
+        let len = 8 + String.length payload in
+        cur_extent := !cur_extent + len;
+        incr cur_count;
+        off := !off + len)
+      records;
+    flush_group ();
+    { stream_len = clean_len; s; entries }
+
+  (* {2 Seek-and-patch splice} *)
+
+  type splice_stats = {
+    roots_patched : int;
+    fresh_bytes : int; (* bytes newly encoded for patched roots *)
+    copied_bytes : int; (* bytes copied verbatim, never decoded *)
+  }
+
+  let copy_extent ic oc ~offset ~extent =
+    seek_in ic offset;
+    let buf = Bytes.create (min extent 65536) in
+    let remaining = ref extent in
+    while !remaining > 0 do
+      let k = min !remaining (Bytes.length buf) in
+      really_input ic buf 0 k;
+      output oc buf 0 k;
+      remaining := !remaining - k
+    done
+
+  let splice ~old_stream ~index ~patched ~out =
+    let n = Array.length index.entries in
+    let actual =
+      let ic = open_in_bin old_stream in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> in_channel_length ic)
+    in
+    if actual <> index.stream_len then
+      failf old_stream
+        "index is stale: it describes a stream of %d bytes, the file has %d"
+        index.stream_len actual;
+    let patch = Array.make (max n 1) None in
+    List.iter
+      (fun ((root, _, _) as p) ->
+        if root < 0 || root >= n then
+          invalid_arg "Index.splice: patched root out of range";
+        if Option.is_some patch.(root) then
+          invalid_arg "Index.splice: duplicate patched root";
+        patch.(root) <- Some p)
+      patched;
+    let tmp = out ^ ".tmp" in
+    let ic = open_in_bin old_stream in
+    let oc = open_out_bin tmp in
+    let entries = Array.make (max n 1) { fingerprint = 0; offset = 0; extent = 0; count = 0 } in
+    let fresh = ref 0 and copied = ref 0 and roots_patched = ref 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        close_in_noerr ic;
+        close_out_noerr oc)
+      (fun () ->
+        output_string oc Stream.magic;
+        let pos = ref (String.length Stream.magic) in
+        for root = 0 to n - 1 do
+          let old = index.entries.(root) in
+          match patch.(root) with
+          | Some (_, fingerprint, sets) ->
+              incr roots_patched;
+              let extent = ref 0 and count = ref 0 in
+              List.iter
+                (fun set ->
+                  let r = Stream.encode_record (Stream.encode_set set) in
+                  output_string oc r;
+                  extent := !extent + String.length r;
+                  incr count)
+                sets;
+              fresh := !fresh + !extent;
+              entries.(root) <-
+                {
+                  fingerprint;
+                  offset = (if !count = 0 then 0 else !pos);
+                  extent = !extent;
+                  count = !count;
+                };
+              pos := !pos + !extent
+          | None ->
+              if old.extent > 0 then begin
+                copy_extent ic oc ~offset:old.offset ~extent:old.extent;
+                copied := !copied + old.extent
+              end;
+              entries.(root) <-
+                { old with offset = (if old.extent = 0 then 0 else !pos) };
+              pos := !pos + old.extent
+        done;
+        close_out oc);
+    Sys.rename tmp out;
+    let stream_len =
+      let ic = open_in_bin out in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> in_channel_length ic)
+    in
+    let t = { stream_len; s = index.s; entries } in
+    save t (path_for out);
+    ( t,
+      {
+        roots_patched = !roots_patched;
+        fresh_bytes = !fresh;
+        copied_bytes = !copied;
+      } )
+end

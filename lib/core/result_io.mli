@@ -83,3 +83,92 @@ module Stream : sig
   val read_results : string -> Sgraph.Node_set.t list * [ `Clean | `Torn ]
   (** {!read_records} + {!decode_set}. *)
 end
+
+(** The [SCLQIDX1] root→results index — a CRC'd sidecar beside a
+    root-grouped result stream, mapping every root to its branch
+    fingerprint ({!Neighborhood.root_fingerprint}) and the byte extent of
+    its records in the stream. It is what makes refresh sublinear at the
+    file level: stored fingerprints decide which roots to re-run without
+    touching the before-graph, and {!Index.splice} rewrites a stream by
+    copying unchanged extents verbatim — seek-and-patch instead of
+    load-sort-partition-merge.
+
+    Unlike the stream, the index is refused outright on {e any}
+    corruption — truncation, byte flip, or disagreement with the
+    stream's byte length — with a typed [Sgraph.Io_error.Parse_error]:
+    it is derived data, so a refusal costs one {!Index.build}, while a
+    trusted half-written index would patch bytes into the wrong
+    extents. *)
+module Index : sig
+  val magic : string
+
+  type entry = {
+    fingerprint : int;  (** branch fingerprint on the indexed graph *)
+    offset : int;  (** byte offset of the root's first record, from file start *)
+    extent : int;  (** total bytes of the root's records; [0] = no results *)
+    count : int;  (** number of result records for the root *)
+  }
+
+  type t = {
+    stream_len : int;
+        (** byte length of the (clean) stream this index describes;
+            {!splice} and consumers refuse a stream whose size differs *)
+    s : int;
+    entries : entry array;  (** [entries.(root)], one per root *)
+  }
+
+  val n : t -> int
+  (** Number of roots ([Array.length entries]). *)
+
+  val path_for : string -> string
+  (** The sidecar path convention: [STREAM.idx]. *)
+
+  val to_string : t -> string
+
+  val of_string : file:string -> string -> t
+  (** Strict decode.
+      @raise Sgraph.Io_error.Parse_error on any corruption. *)
+
+  val save : t -> string -> unit
+  (** Atomic (write-to-temp + rename). *)
+
+  val load : string -> t
+  (** @raise Sgraph.Io_error.Parse_error on any corruption.
+      @raise Sys_error when the file cannot be read. *)
+
+  val build : s:int -> n:int -> fingerprint:(int -> int) -> string -> t
+  (** [build ~s ~n ~fingerprint path] scans a clean root-grouped stream
+      (ascending or any root-contiguous order — parallel streams commit
+      roots in retirement order) and records every root's extent;
+      [fingerprint] supplies the branch digest for each of the [n] roots
+      (including rootless ones, so a later refresh never needs the
+      before-graph).
+      @raise Sgraph.Io_error.Parse_error when the stream is torn, not
+      root-grouped, or contains a record no root-decomposed run could
+      have written. *)
+
+  type splice_stats = {
+    roots_patched : int;
+    fresh_bytes : int;  (** bytes newly encoded for patched roots *)
+    copied_bytes : int;  (** bytes copied verbatim, never decoded *)
+  }
+
+  val splice :
+    old_stream:string ->
+    index:t ->
+    patched:(int * int * Sgraph.Node_set.t list) list ->
+    out:string ->
+    t * splice_stats
+  (** [splice ~old_stream ~index ~patched ~out] writes a new stream at
+      [out] (atomically, so [out = old_stream] is fine) equal to the old
+      one with each patched root's records replaced: [patched] lists
+      [(root, new fingerprint, new results)] for exactly the roots a
+      refresh re-ran (an empty result list drops the root). Every other
+      root's bytes are copied by extent without decoding, output is
+      normalized to ascending-root order, and the updated index is saved
+      at [path_for out] and returned.
+      @raise Sgraph.Io_error.Parse_error when the index is stale (the
+      old stream's size changed).
+      @raise Invalid_argument on an out-of-range or duplicate patched
+      root. *)
+end

@@ -83,6 +83,8 @@ let list_graphs c =
 
 let cancel c id = send_request c (Protocol.Cancel id)
 
+let hello c ~token = send_request c (Protocol.Hello { h_token = token })
+
 type query_outcome =
   | Finished of Protocol.done_info
   | Refused of { running : int; queued : int }

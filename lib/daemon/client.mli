@@ -40,6 +40,13 @@ val cancel : t -> int -> unit
 (** Fire-and-forget [Cancel id]; the streaming query answers with a
     cancelled (or complete, if the race is lost) [Done]. *)
 
+val hello : t -> token:string -> unit
+(** Fire-and-forget [Hello]: bind this connection's quota accounting to
+    [token]. Connections announcing the same token share one token
+    bucket, and the bucket survives reconnects — send it first, right
+    after {!connect}, or the connection bills to its peer-address (TCP)
+    or per-session (Unix socket) identity until the [Hello] arrives. *)
+
 type query_outcome =
   | Finished of Protocol.done_info
       (** terminal [Done] — inspect [d_outcome] for complete/truncated *)

@@ -47,6 +47,7 @@ type request =
   | Mutate of mutate
   | Reload of { rl_id : int; rl_graph : string }
   | Cancel of int
+  | Hello of { h_token : string }
   | List_graphs
   | Ping
 
@@ -277,6 +278,10 @@ let encode_request req =
   | Cancel id ->
       Buffer.add_char b 'C';
       add_u32 b id
+  | Hello { h_token } ->
+      Buffer.add_char b 'H';
+      add_u16 b (String.length h_token);
+      Buffer.add_string b h_token
   | List_graphs -> Buffer.add_char b 'L'
   | Ping -> Buffer.add_char b 'P');
   Buffer.contents b
@@ -319,6 +324,10 @@ let decode_request payload =
         let rl_graph = bytes_of c name_len "graph name" in
         Reload { rl_id; rl_graph }
     | 0x43 (* 'C' *) -> Cancel (u32 c "cancel id")
+    | 0x48 (* 'H' *) ->
+        let token_len = u16 c "token length" in
+        let h_token = bytes_of c token_len "client token" in
+        Hello { h_token }
     | 0x4C (* 'L' *) -> List_graphs
     | 0x50 (* 'P' *) -> Ping
     | op -> fail (Bad_opcode op)

@@ -72,6 +72,14 @@ type request =
       (** hot-swap the graph from its source snapshot (sessions and
           in-flight queries survive on their pinned epoch) *)
   | Cancel of int
+  | Hello of { h_token : string }
+      (** fire-and-forget (no response, like [Cancel]): names the client
+          identity this connection's quota accounting should bill.
+          Connections sharing a token share one token bucket — and keep
+          it across reconnects, so dropping a throttled connection and
+          redialing no longer mints a fresh quota. Anonymous connections
+          are billed by peer address (TCP) or per-session (Unix
+          sockets, which carry no usable address). *)
   | List_graphs
   | Ping
 

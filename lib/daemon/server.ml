@@ -63,11 +63,17 @@ type session = {
   ic : in_channel;
   oc : out_channel;
   wlock : Mutex.t; (* serializes response frames from all query domains *)
-  slock : Mutex.t; (* guards [alive] transitions and [queries] *)
-  squota : Quota.t option; (* per-client buckets; None = unlimited *)
+  slock : Mutex.t; (* guards [alive] transitions, [queries] and [squota] *)
+  mutable squota : Quota.t option;
+      (* the client-identity bucket this connection bills to; None =
+         unlimited. Rebound when a [Hello] announces a token. *)
   mutable alive : bool;
   mutable queries : (int * admitted) list; (* admitted, not yet answered *)
 }
+
+(* A keyed quota bucket shared by every connection of one client
+   identity; [q_seen] is the last lookup time, the idle-sweep clock. *)
+type qentry = { q_quota : Quota.t; mutable q_seen : float }
 
 type t = {
   t_addr : addr;
@@ -80,6 +86,8 @@ type t = {
   cache_capacity : int;
   compact_threshold : int;
   quota : Quota.config option;
+  qtable : qentry Smap.t; (* identity key -> shared bucket *)
+  qlock : Mutex.t; (* guards [qtable]; never held with another lock *)
   lock : Mutex.t; (* sessions table + stopping flag *)
   mutable sessions : (session * Thread.t) list;
   mutable stopping : bool;
@@ -93,6 +101,51 @@ type t = {
 exception Write_failed
 
 let now () = Unix.gettimeofday ()
+
+(* ---------- per-client quota identity ---------- *)
+
+(* Buckets are keyed by who the client {e is}, not by which connection it
+   happens to use: the token a [Hello] announced ("tok:..."), else the
+   TCP peer address ("ip:...", port excluded — reconnects come from
+   ephemeral ports), else — Unix sockets carry no usable peer address —
+   a private per-session bucket. Keyed buckets live in [qtable] and are
+   inherited across reconnects, which closes the redial loophole:
+   dropping a throttled connection and dialing again resumes the same
+   drained bucket instead of minting a full one. *)
+
+let quota_idle_s = 600.
+
+let shared_quota srv cfg key =
+  let t = now () in
+  Scoll.Sync.with_lock srv.qlock (fun () ->
+      (* sweep idle entries on the way in — lookups happen only on
+         connect and Hello, and the table holds one entry per recently
+         seen client, so a linear pass is cheap *)
+      let stale =
+        Smap.fold
+          (fun k e acc -> if t -. e.q_seen > quota_idle_s then k :: acc else acc)
+          srv.qtable []
+      in
+      List.iter (Smap.remove srv.qtable) stale;
+      match Smap.find_opt srv.qtable key with
+      | Some e ->
+          e.q_seen <- t;
+          e.q_quota
+      | None ->
+          let q = Quota.create cfg ~now:t in
+          Smap.add srv.qtable key { q_quota = q; q_seen = t };
+          q)
+
+let peer_quota_key fd =
+  match Unix.getpeername fd with
+  | Unix.ADDR_INET (ip, _port) -> Some ("ip:" ^ Unix.string_of_inet_addr ip)
+  | Unix.ADDR_UNIX _ -> None
+  | exception Unix.Unix_error _ -> None
+
+(* The bucket to bill a request to, snapshotted once per request so the
+   admit and any later refund hit the same bucket even if a [Hello]
+   rebinds the session mid-flight. *)
+let session_quota sess = Scoll.Sync.with_lock sess.slock (fun () -> sess.squota)
 
 (* ---------- durable state plumbing ---------- *)
 
@@ -470,8 +523,9 @@ let handle_query srv sess (q : Protocol.query) =
       | budget -> (
           (* per-client quota first (a refusal is free and typed), then
              the scheduler's global backlog *)
+          let squota = session_quota sess in
           let quota_ok =
-            match sess.squota with
+            match squota with
             | None -> Ok ()
             | Some qt -> Quota.admit_query qt ~now:(now ())
           in
@@ -481,7 +535,7 @@ let handle_query srv sess (q : Protocol.query) =
                 (Protocol.Retry_after { ra_id = q.q_id; ra_seconds = wait })
           | Ok () -> (
               let refund () =
-                match sess.squota with
+                match squota with
                 | None -> ()
                 | Some qt -> Quota.refund_query qt
               in
@@ -674,8 +728,9 @@ let handle_mutate srv sess (m : Protocol.mutate) =
           (Printf.sprintf "id %d is already in flight as a query" m.m_id)
       else
         let bytes = String.length m.m_script in
+        let squota = session_quota sess in
         let quota_ok =
-          match sess.squota with
+          match squota with
           | None -> Ok ()
           | Some qt -> Quota.admit_mutation qt ~now:(now ()) ~bytes
         in
@@ -687,7 +742,7 @@ let handle_mutate srv sess (m : Protocol.mutate) =
             (* refusals below hand the bytes back: nothing was journaled,
                so the client should not stay charged for them *)
             let refund () =
-              match sess.squota with
+              match squota with
               | None -> ()
               | Some qt -> Quota.refund_mutation qt ~bytes
             in
@@ -830,6 +885,18 @@ let session_loop srv sess =
               match lookup sess id with
               | Some budget -> Budget.request_cancel budget
               | None -> () (* already answered, or never ours: a no-op *))
+          | Protocol.Hello { h_token } -> (
+              (* rebind the session to the token's shared bucket;
+                 fire-and-forget like Cancel. An empty token names
+                 nobody and keeps the connection's current identity. *)
+              match srv.quota with
+              | None -> ()
+              | Some cfg ->
+                  if not (String.equal h_token "") then begin
+                    let qt = shared_quota srv cfg ("tok:" ^ h_token) in
+                    Scoll.Sync.with_lock sess.slock (fun () ->
+                        sess.squota <- Some qt)
+                  end)
           | Protocol.Query q -> handle_query srv sess q
           | Protocol.Mutate m -> handle_mutate srv sess m
           | Protocol.Reload { rl_id; rl_graph } ->
@@ -872,6 +939,17 @@ let session_thread srv sess () =
 (* ---------- accept loop ---------- *)
 
 let spawn_session srv fd =
+  (* resolve the connection's initial quota identity before taking
+     [srv.lock]: [shared_quota] takes [qlock], and the two locks are
+     never held together *)
+  let squota =
+    match srv.quota with
+    | None -> None
+    | Some cfg -> (
+        match peer_quota_key fd with
+        | Some key -> Some (shared_quota srv cfg key)
+        | None -> Some (Quota.create cfg ~now:(now ())))
+  in
   Scoll.Sync.with_lock srv.lock (fun () ->
       if srv.stopping then raise Write_failed;
       let sess =
@@ -882,7 +960,7 @@ let spawn_session srv fd =
           oc = Unix.out_channel_of_descr fd;
           wlock = Mutex.create ();
           slock = Mutex.create ();
-          squota = Option.map (fun c -> Quota.create c ~now:(now ())) srv.quota;
+          squota;
           alive = true;
           queries = [];
         }
@@ -1030,12 +1108,21 @@ let create ?(workers = 2) ?(max_queue = 16) ?(par_workers = 1)
     match addr with
     | Unix_socket path ->
         if Sys.file_exists path then Sys.remove path;
+        (* bind under a temp name and rename only after [listen]: the
+           file at [path] appearing means a listener is behind it, so a
+           watcher polling for the socket can never connect into the
+           bind-to-listen window (real on single-core boxes, where the
+           daemon may be preempted between the two syscalls) *)
+        let tmp = Printf.sprintf "%s.%d.bind" path (Unix.getpid ()) in
+        if Sys.file_exists tmp then Sys.remove tmp;
         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
         (try
-           Unix.bind fd (Unix.ADDR_UNIX path);
-           Unix.listen fd 64
+           Unix.bind fd (Unix.ADDR_UNIX tmp);
+           Unix.listen fd 64;
+           Unix.rename tmp path
          with e ->
            (try Unix.close fd with Unix.Unix_error _ -> ());
+           (try Sys.remove tmp with Sys_error _ -> ());
            raise e);
         fd
     | Tcp (host, port) ->
@@ -1073,6 +1160,8 @@ let create ?(workers = 2) ?(max_queue = 16) ?(par_workers = 1)
       cache_capacity;
       compact_threshold;
       quota;
+      qtable = Smap.create 8;
+      qlock = Mutex.create ();
       lock = Mutex.create ();
       sessions = [];
       stopping = false;

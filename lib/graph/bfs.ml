@@ -81,9 +81,18 @@ let ball g v ~radius =
   done;
   Node_set.of_list !members
 
-let ball_multi g ~srcs ~radius =
+(* The closed multi-source ball over any adjacency representation: the
+   churn path walks balls in a batch's *intermediate* graphs, which live
+   as [Overlay]s that never get compacted — so the row walk is a
+   parameter instead of a [Graph.t]. *)
+let ball_multi_rows ~iter_row ~n ~srcs ~radius =
   if radius < 0 then invalid_arg "Bfs.ball_multi: negative radius";
-  List.iter (check_node g "ball_multi") srcs;
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then
+        invalid_arg
+          (Printf.sprintf "Bfs.ball_multi: node %d out of range (n=%d)" v n))
+    srcs;
   let visited = Hashtbl.create 64 in
   let frontier = ref [] in
   let members = ref [] in
@@ -101,18 +110,23 @@ let ball_multi g ~srcs ~radius =
     let next = ref [] in
     List.iter
       (fun x ->
-        Graph.iter_neighbors
+        iter_row
           (fun u ->
             if not (Hashtbl.mem visited u) then begin
               Hashtbl.replace visited u ();
               members := u :: !members;
               next := u :: !next
             end)
-          g x)
+          x)
       !frontier;
     frontier := !next
   done;
   Node_set.of_list !members
+
+let ball_multi g ~srcs ~radius =
+  ball_multi_rows
+    ~iter_row:(fun f v -> Graph.iter_neighbors f g v)
+    ~n:(Graph.n g) ~srcs ~radius
 
 let ball_within g ~universe v ~radius =
   if radius < 0 then invalid_arg "Bfs.ball_within: negative radius";

@@ -22,6 +22,20 @@ val ball : Graph.t -> int -> radius:int -> Node_set.t
     [\[1, radius\]] from [v] — {b excluding} [v] itself, following the
     paper's definition. O(nodes visited + edges touched). *)
 
+val ball_multi_rows :
+  iter_row:((int -> unit) -> int -> unit) ->
+  n:int ->
+  srcs:int list ->
+  radius:int ->
+  Node_set.t
+(** {!ball_multi} generalized over the adjacency representation:
+    [iter_row f v] must apply [f] to every neighbor of [v]. The churn
+    path uses it to take balls in a batch's intermediate graphs, which
+    exist only as uncompacted [Overlay]s ([Overlay.iter_row]). [n]
+    bounds the valid node ids.
+    @raise Invalid_argument on a negative radius or an out-of-range
+    source. *)
+
 val ball_multi : Graph.t -> srcs:int list -> radius:int -> Node_set.t
 (** [ball_multi g ~srcs ~radius] is the union of the {e closed} balls of
     the sources: all nodes within distance [\[0, radius\]] of at least one

@@ -54,29 +54,56 @@ catch the mismatch — and does:
   scliques: error: churn.diff: Overlay.apply: ineffective insert +0-1
 
 A finished enumeration of the base graph, streamed to a crash-safe
-.results file:
+.results file — alongside which enum writes the SCLQIDX1 root→results
+sidecar mapping every root to its byte extent and branch fingerprint:
 
   $ scliques enum base.edges -s 2 --checkpoint ck > before.txt
   $ wc -l < before.txt
   20
+  $ ls ck.results ck.results.idx
+  ck.results
+  ck.results.idx
 
-refresh applies the script, re-enumerates only the root branches near
-the touched endpoints, and splices the untouched prior results through.
+refresh applies the script, compares stored fingerprints to decide
+which root branches to re-run, and patches only their byte extents into
+the output stream — unchanged roots are copied verbatim, never decoded.
 Its stdout is the complete refreshed answer, equal to a from-scratch
 enumeration of the edited graph:
 
   $ scliques refresh base.edges --diff churn.diff --results ck.results -s 2 -o refreshed.results > refreshed.txt
-  scliques: refresh: 2 edits touching 4 nodes; 14 roots re-run, +14 -20 results (14 total)
+  scliques: refresh: spliced 14 roots (223 bytes fresh, 0 bytes copied)
+  scliques: refresh: 2 edits touching 4 nodes; 14 roots re-run, 0 skipped, +14 -20 results (14 total)
   $ scliques enum edited.edges -s 2 | sort > scratch.sorted
   $ sort refreshed.txt | diff - scratch.sorted
+  $ ls refreshed.results.idx
+  refreshed.results.idx
 
 The patched stream written by -o is a real result stream: feeding it
 back as the prior of a zero-edit refresh reproduces the same answer,
 with nothing re-run:
 
   $ scliques refresh mutated.edges --diff zero.diff --results refreshed.results -s 2 > roundtrip.txt
-  scliques: refresh: 0 edits touching 0 nodes; 0 roots re-run, +0 -0 results (14 total)
+  scliques: refresh: 0 edits touching 0 nodes; 0 roots re-run, 0 skipped, +0 -0 results (14 total)
   $ sort roundtrip.txt | diff - scratch.sorted
+
+The sidecar is derived data, refused on any corruption: refresh notes
+the refusal, falls back to digesting the before-graph itself, and still
+produces the identical answer. An index that does not describe this
+stream (wrong length, graph or s) is ignored the same way:
+
+  $ cp ck.results bad.results
+  $ cp ck.results.idx bad.results.idx
+  $ printf 'x' | dd of=bad.results.idx bs=1 seek=20 conv=notrunc status=none
+  $ scliques refresh base.edges --diff churn.diff --results bad.results -s 2 > fallback.txt
+  scliques: refresh: ignoring index bad.results.idx (corrupt)
+  scliques: refresh: 2 edits touching 4 nodes; 14 roots re-run, 0 skipped, +14 -20 results (14 total)
+  $ sort fallback.txt | diff - scratch.sorted
+  $ cp ck.results stale.results
+  $ cp refreshed.results.idx stale.results.idx
+  $ scliques refresh base.edges --diff churn.diff --results stale.results -s 2 > stale.txt
+  scliques: refresh: ignoring index stale.results.idx (stale: wrong graph, s, or stream length)
+  scliques: refresh: 2 edits touching 4 nodes; 14 roots re-run, 0 skipped, +14 -20 results (14 total)
+  $ sort stale.txt | diff - scratch.sorted
 
 Every refresh engine agrees — warm CSCliques1, parallel work stealing:
 

@@ -13,6 +13,8 @@ module O = Sgraph.Overlay
 module D = Sgraph.Diff
 module E = Scliques_core.Enumerate
 module NH = Scliques_core.Neighborhood
+module RS = Scliques_core.Result_io.Stream
+module RI = Scliques_core.Result_io.Index
 
 let same_sets = List.equal NS.equal
 
@@ -595,11 +597,374 @@ let test_refresh_validation () =
       E.refresh ~before:g ~after:(G.empty 5) ~touched:[ 0 ] ~s:2 ~prior ());
   check_invalid "touched out of range" (fun () ->
       E.refresh ~before:g ~after:g ~touched:[ 4 ] ~s:2 ~prior ());
+  (* an edit script that does not account for every touched endpoint *)
+  let g' = D.apply g [ O.Insert (2, 3) ] in
+  check_invalid "edits disagree with touched" (fun () ->
+      E.refresh ~edits:[ O.Insert (2, 3) ] ~before:g ~after:g' ~touched:[ 0; 1 ]
+        ~s:2
+        ~prior ());
   (* empty batch: the prior answer comes back verbatim *)
   let d = E.refresh ~before:g ~after:g ~touched:[] ~s:2 ~prior () in
   Alcotest.(check bool) "empty batch keeps the answer" true
     (same_sets prior d.E.results);
-  Alcotest.(check int) "empty batch reruns nothing" 0 d.E.roots_rerun
+  Alcotest.(check int) "empty batch reruns nothing" 0 d.E.roots_rerun;
+  Alcotest.(check int) "empty batch skips nothing" 0 d.E.roots_skipped;
+  Alcotest.(check (list (pair int int))) "empty batch digests nothing" []
+    d.E.root_fingerprints
+
+(* The sorted-input contract on [prior] is debug-asserted, so a producer
+   handing refresh an unsorted answer dies loudly in dev builds instead
+   of silently splicing results into the wrong place. (With assertions
+   compiled out the check vanishes — the contract is then on the caller,
+   which is why every in-tree producer already sorts.) *)
+let test_refresh_unsorted_prior_asserted () =
+  let g = G.of_edges ~n:5 [ (0, 1); (2, 3); (3, 4) ] in
+  let prior = E.sorted_results E.Cs2_pf g ~s:2 in
+  Alcotest.(check bool) "case needs two results" true (List.length prior >= 2);
+  let unsorted = List.rev prior in
+  match
+    E.refresh ~before:g ~after:g ~touched:[ 0 ] ~s:2 ~prior:unsorted ()
+  with
+  | (_ : E.refresh_delta) -> () (* assertions compiled out: caller's contract *)
+  | exception Assert_failure _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* SCLQIDX1: the persistent root→results sidecar                       *)
+
+(* Enumerate a small graph, stream it, index it: every root's extent
+   must point at exactly its own records, fingerprints must match the
+   live digest, and the codec/save/load must round-trip. *)
+let test_index_build_roundtrip () =
+  let g = G.of_edges ~n:7 [ (0, 1); (1, 2); (2, 3); (4, 5) ] in
+  let s = 2 in
+  let results = E.sorted_results E.Cs2_pf g ~s in
+  let path = Filename.temp_file "churn" ".results" in
+  let side = RI.path_for path in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      if Sys.file_exists side then Sys.remove side)
+    (fun () ->
+      let w = RS.open_writer path in
+      List.iter (RS.write_set w) results;
+      RS.close w;
+      let idx = RI.build ~s ~n:(G.n g) ~fingerprint:(NH.root_fingerprint ~s g) path in
+      Alcotest.(check string) "sidecar convention" (path ^ ".idx") side;
+      Alcotest.(check int) "one entry per root" (G.n g) (RI.n idx);
+      Alcotest.(check int) "stream length recorded"
+        (String.length (read_file path))
+        idx.RI.stream_len;
+      Alcotest.(check int) "s recorded" s idx.RI.s;
+      (* extents tile the stream after the magic, counts sum to the answer *)
+      let counted =
+        Array.fold_left (fun acc e -> acc + e.RI.count) 0 idx.RI.entries
+      in
+      Alcotest.(check int) "counts sum to the answer" (List.length results)
+        counted;
+      let extent_sum =
+        Array.fold_left (fun acc e -> acc + e.RI.extent) 0 idx.RI.entries
+      in
+      Alcotest.(check int) "extents tile the records"
+        (idx.RI.stream_len - String.length RS.magic)
+        extent_sum;
+      (* each root's extent decodes to exactly that root's results *)
+      let bytes = read_file path in
+      Array.iteri
+        (fun root e ->
+          let mine =
+            List.filter (fun c -> NS.min_elt c = root) results
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "root %d count" root)
+            (List.length mine) e.RI.count;
+          Alcotest.(check int)
+            (Printf.sprintf "root %d fingerprint" root)
+            (NH.root_fingerprint ~s g root)
+            e.RI.fingerprint;
+          let slice = String.sub bytes e.RI.offset e.RI.extent in
+          let expect =
+            String.concat "" (List.map (fun c -> RS.encode_record (RS.encode_set c)) mine)
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "root %d extent bytes" root)
+            expect slice)
+        idx.RI.entries;
+      (* codec and file round trips *)
+      let image = RI.to_string idx in
+      let idx2 = RI.of_string ~file:"<mem>" image in
+      Alcotest.(check string) "of_string/to_string round-trips" image
+        (RI.to_string idx2);
+      RI.save idx side;
+      let idx3 = RI.load side in
+      Alcotest.(check string) "save/load round-trips" image (RI.to_string idx3))
+
+(* A parallel stream commits roots in retirement order, not ascending —
+   build must accept any root-contiguous order and record true offsets. *)
+let test_index_build_unordered_stream () =
+  let g = G.of_edges ~n:6 [ (0, 1); (1, 2); (3, 4); (4, 5) ] in
+  let s = 2 in
+  let results = E.sorted_results E.Cs2_pf g ~s in
+  let by_root r = List.filter (fun c -> NS.min_elt c = r) results in
+  let path = Filename.temp_file "churn" ".results" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w = RS.open_writer path in
+      (* retire roots out of order, each root's records contiguous *)
+      List.iter
+        (fun r -> List.iter (RS.write_set w) (by_root r))
+        [ 3; 0; 4; 1; 5; 2 ];
+      RS.close w;
+      let idx = RI.build ~s ~n:(G.n g) ~fingerprint:(NH.root_fingerprint ~s g) path in
+      let bytes = read_file path in
+      Array.iteri
+        (fun root e ->
+          let expect =
+            String.concat ""
+              (List.map (fun c -> RS.encode_record (RS.encode_set c)) (by_root root))
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "root %d extent under retirement order" root)
+            expect
+            (String.sub bytes e.RI.offset e.RI.extent))
+        idx.RI.entries;
+      (* interleaving a root's records (not root-grouped) is refused *)
+      let w = RS.open_writer path in
+      (match results with
+      | a :: b :: _ when NS.min_elt a <> NS.min_elt b ->
+          RS.write_set w a;
+          RS.write_set w b;
+          RS.write_set w a
+      | _ -> Alcotest.fail "case needs two roots");
+      RS.close w;
+      match RI.build ~s ~n:(G.n g) ~fingerprint:(fun _ -> 0) path with
+      | (_ : RI.t) -> Alcotest.fail "non-root-grouped stream indexed"
+      | exception Sgraph.Io_error.Parse_error _ -> ())
+
+(* The refusal contract, mirroring the SGRDIFF1 suite — but stricter:
+   the index is derived data with an up-front entry count, so unlike the
+   diff there are NO valid prefixes. Every truncation, every byte flip
+   and any trailing garbage must raise Parse_error. *)
+let test_index_codec_refusals () =
+  let g = G.of_edges ~n:6 [ (0, 1); (1, 2); (2, 3); (4, 5) ] in
+  let s = 2 in
+  let results = E.sorted_results E.Cs2_pf g ~s in
+  let path = Filename.temp_file "churn" ".results" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w = RS.open_writer path in
+      List.iter (RS.write_set w) results;
+      RS.close w;
+      let idx = RI.build ~s ~n:(G.n g) ~fingerprint:(NH.root_fingerprint ~s g) path in
+      let image = RI.to_string idx in
+      let total = String.length image in
+      for len = 0 to total - 1 do
+        match RI.of_string ~file:"<mem>" (String.sub image 0 len) with
+        | (_ : RI.t) -> Alcotest.failf "truncation to %d bytes was not refused" len
+        | exception Sgraph.Io_error.Parse_error _ -> ()
+      done;
+      for off = 0 to total - 1 do
+        let b = Bytes.of_string image in
+        Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x5a));
+        match RI.of_string ~file:"<mem>" (Bytes.to_string b) with
+        | (_ : RI.t) -> Alcotest.failf "flip at byte %d was not refused" off
+        | exception Sgraph.Io_error.Parse_error _ -> ()
+      done;
+      match RI.of_string ~file:"<mem>" (image ^ "x") with
+      | (_ : RI.t) -> Alcotest.fail "trailing garbage accepted"
+      | exception Sgraph.Io_error.Parse_error _ -> ())
+
+(* Splice differential: refresh against stored fingerprints, patch only
+   the changed roots into the stream, and the result must decode to the
+   full after-answer — with every index fingerprint (patched or copied)
+   equal to the live digest on the after-graph, which is exactly the
+   ρ_s ≤ 2s-1 soundness argument the sidecar rests on. *)
+let test_index_splice_differential () =
+  let g0 =
+    Sgraph.Gen.erdos_renyi_gnm (Scoll.Rng.create 97) ~n:24 ~m:40
+  in
+  let s = 2 in
+  let prior = E.sorted_results E.Cs2_pf g0 ~s in
+  let path = Filename.temp_file "churn" ".results" in
+  let out = path ^ ".spliced" in
+  let cleanup p = if Sys.file_exists p then Sys.remove p in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter cleanup [ path; RI.path_for path; out; RI.path_for out ])
+    (fun () ->
+      let w = RS.open_writer path in
+      List.iter (RS.write_set w) prior;
+      RS.close w;
+      let idx = RI.build ~s ~n:(G.n g0) ~fingerprint:(NH.root_fingerprint ~s g0) path in
+      RI.save idx (RI.path_for path);
+      (* one effective edit, refreshed off the stored fingerprints only *)
+      let e =
+        if G.mem_edge g0 0 1 then O.Delete (0, 1) else O.Insert (0, 1)
+      in
+      let g1 = D.apply g0 [ e ] in
+      let d =
+        E.refresh
+          ~prior_fingerprint:(fun r -> Some idx.RI.entries.(r).RI.fingerprint)
+          ~edits:[ e ] ~before:g0 ~after:g1 ~touched:[ 0; 1 ] ~s ~prior ()
+      in
+      let full = E.sorted_results E.Cs2_pf g1 ~s in
+      if not (same_sets full d.E.results) then
+        Alcotest.fail "refresh off stored fingerprints diverged";
+      (* patch exactly the re-run roots, as the CLI does *)
+      let rerun = Hashtbl.create 16 in
+      List.iter
+        (fun (root, fp) ->
+          if idx.RI.entries.(root).RI.fingerprint <> fp then
+            Hashtbl.replace rerun root (fp, ref []))
+        d.E.root_fingerprints;
+      List.iter
+        (fun c ->
+          match Hashtbl.find_opt rerun (NS.min_elt c) with
+          | Some (_, acc) -> acc := c :: !acc
+          | None -> ())
+        d.E.results;
+      let patched =
+        Hashtbl.fold
+          (fun root (fp, acc) l -> (root, fp, List.rev !acc) :: l)
+          rerun []
+      in
+      Alcotest.(check int) "patched roots = roots whose digest moved"
+        (Hashtbl.length rerun)
+        (List.length patched);
+      let idx', stats = RI.splice ~old_stream:path ~index:idx ~patched ~out in
+      Alcotest.(check int) "stats count the patch" (List.length patched)
+        stats.RI.roots_patched;
+      Alcotest.(check bool) "unchanged roots were copied, not re-encoded" true
+        (stats.RI.copied_bytes > 0);
+      (* the spliced stream IS the after-answer *)
+      let decoded, tail = RS.read_results out in
+      (match tail with
+      | `Clean -> ()
+      | `Torn -> Alcotest.fail "splice left a torn tail");
+      if not (same_sets full decoded) then
+        ignore (show_mismatch "spliced stream" full decoded);
+      Alcotest.(check int) "returned index matches the new stream"
+        (String.length (read_file out))
+        idx'.RI.stream_len;
+      (* the saved sidecar loads and its digests are live on the after graph *)
+      let idx'' = RI.load (RI.path_for out) in
+      Alcotest.(check string) "splice saved the index it returned"
+        (RI.to_string idx') (RI.to_string idx'');
+      Array.iteri
+        (fun root e ->
+          Alcotest.(check int)
+            (Printf.sprintf "root %d digest live on after-graph" root)
+            (NH.root_fingerprint ~s g1 root)
+            e.RI.fingerprint)
+        idx'.RI.entries;
+      (* a stale index (stream changed size underneath it) is refused *)
+      write_file path (read_file path ^ RS.encode_record (RS.encode_set (NS.of_list [ 0 ])));
+      match RI.splice ~old_stream:path ~index:idx ~patched ~out with
+      | (_ : RI.t * RI.splice_stats) -> Alcotest.fail "stale index spliced"
+      | exception Sgraph.Io_error.Parse_error _ -> ())
+
+(* The tentpole property: batched refresh with the fingerprint gate on,
+   off, and fed from stored digests is bit-identical to full
+   re-enumeration at every script prefix — and the gate only ever
+   shrinks the re-run set it is given. *)
+let prop_batch_fingerprint_refresh =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:6
+       ~name:"batched fingerprint refresh == full at every prefix"
+       ~print:print_case arb_churn_case
+       (fun (family, n, m, s, seed) ->
+         let g0 = graph_of_case (family, n, m, seed) in
+         let rng = Scoll.Rng.create (seed + 71) in
+         let steps = 12 + Scoll.Rng.int rng 5 in
+         let adj = Array.init n (fun u -> Array.init n (G.mem_edge g0 u)) in
+         let results = ref (E.sorted_results E.Cs2_pf g0 ~s) in
+         let prev = ref g0 in
+         for step = 1 to steps do
+           (* a batch of 1–3 effective edits through one overlay *)
+           let o = O.of_graph !prev in
+           let k = 1 + Scoll.Rng.int rng 3 in
+           let edits =
+             List.init k (fun _ ->
+                 let e = gen_step rng adj n ~delete_bias:45 in
+                 apply_mirror adj e;
+                 O.apply o [ e ];
+                 e)
+           in
+           let g1 = O.compact o in
+           let touched = O.touched edits in
+           let full = E.sorted_results E.Cs2_pf g1 ~s in
+           let ctx what = Printf.sprintf "%s step %d (batch %d)" what step k in
+           let fp =
+             E.refresh ~edits ~before:!prev ~after:g1 ~touched ~s
+               ~prior:!results ()
+           in
+           let nofp =
+             E.refresh ~edits ~fingerprints:false ~before:!prev ~after:g1
+               ~touched ~s ~prior:!results ()
+           in
+           let stored =
+             E.refresh ~edits
+               ~prior_fingerprint:(fun r ->
+                 Some (NH.root_fingerprint ~s !prev r))
+               ~before:!prev ~after:g1 ~touched ~s ~prior:!results ()
+           in
+           let blanket =
+             E.refresh ~before:!prev ~after:g1 ~touched ~s ~prior:!results ()
+           in
+           if not (same_sets full fp.E.results) then
+             ignore (show_mismatch (ctx "fingerprinted refresh") full fp.E.results);
+           if not (same_sets full nofp.E.results) then
+             ignore (show_mismatch (ctx "ungated refresh") full nofp.E.results);
+           if not (same_sets full stored.E.results) then
+             ignore (show_mismatch (ctx "stored-digest refresh") full stored.E.results);
+           if not (same_sets full blanket.E.results) then
+             ignore (show_mismatch (ctx "blanket refresh") full blanket.E.results);
+           (* the gate partitions the ungated re-run set, never grows it *)
+           if nofp.E.roots_skipped <> 0 then
+             QCheck2.Test.fail_reportf "%s: ungated refresh skipped %d roots"
+               (ctx "gate off") nofp.E.roots_skipped;
+           if fp.E.roots_rerun + fp.E.roots_skipped <> nofp.E.roots_rerun then
+             QCheck2.Test.fail_reportf
+               "%s: gate re-ran %d + skipped %d but the affected set holds %d"
+               (ctx "gate ledger") fp.E.roots_rerun fp.E.roots_skipped
+               nofp.E.roots_rerun;
+           if stored.E.roots_rerun <> fp.E.roots_rerun then
+             QCheck2.Test.fail_reportf
+               "%s: stored digests re-ran %d roots, computed digests %d"
+               (ctx "stored digests") stored.E.roots_rerun fp.E.roots_rerun;
+           (* per-edit locality never widens the blanket affected set *)
+           if nofp.E.roots_rerun > blanket.E.roots_rerun + blanket.E.roots_skipped
+           then
+             QCheck2.Test.fail_reportf
+               "%s: per-edit D has %d roots, blanket bound %d" (ctx "locality")
+               nofp.E.roots_rerun
+               (blanket.E.roots_rerun + blanket.E.roots_skipped);
+           (* the digests refresh reports are the after-graph's, ascending *)
+           let rec ascending = function
+             | (a, _) :: ((b, _) :: _ as tl) -> a < b && ascending tl
+             | _ -> true
+           in
+           if not (ascending fp.E.root_fingerprints) then
+             QCheck2.Test.fail_reportf "%s: root_fingerprints not ascending"
+               (ctx "digest order");
+           List.iter
+             (fun (root, digest) ->
+               if digest <> NH.root_fingerprint ~s g1 root then
+                 QCheck2.Test.fail_reportf
+                   "%s: root %d digest is not the after-graph's"
+                   (ctx "digest value") root)
+             fp.E.root_fingerprints;
+           if List.length fp.E.root_fingerprints <> nofp.E.roots_rerun then
+             QCheck2.Test.fail_reportf
+               "%s: %d digests reported for %d affected roots"
+               (ctx "digest cover")
+               (List.length fp.E.root_fingerprints)
+               nofp.E.roots_rerun;
+           results := fp.E.results;
+           prev := g1
+         done;
+         true))
 
 let suites =
   [
@@ -627,5 +992,16 @@ let suites =
           test_diff_writer_journal;
         Alcotest.test_case "refresh argument validation" `Quick
           test_refresh_validation;
+        Alcotest.test_case "refresh unsorted prior debug-asserted" `Quick
+          test_refresh_unsorted_prior_asserted;
+        prop_batch_fingerprint_refresh;
+        Alcotest.test_case "SCLQIDX1 build and round trip" `Quick
+          test_index_build_roundtrip;
+        Alcotest.test_case "SCLQIDX1 retirement-order stream" `Quick
+          test_index_build_unordered_stream;
+        Alcotest.test_case "SCLQIDX1 refuses all corruption" `Quick
+          test_index_codec_refusals;
+        Alcotest.test_case "SCLQIDX1 splice differential" `Quick
+          test_index_splice_differential;
       ] );
   ]

@@ -170,6 +170,7 @@ let gen_request =
           (fun rl_id rl_graph -> P.Reload { rl_id; rl_graph })
           (int_range 0 1_000_000) gen_name;
         map (fun id -> P.Cancel id) (int_range 0 1_000_000);
+        map (fun h_token -> P.Hello { h_token }) gen_name;
         return P.List_graphs;
         return P.Ping;
       ])
@@ -951,6 +952,54 @@ let test_quota_over_wire () =
           Alcotest.(check (option int)) "no mutation landed" (Some 0)
             (Server.graph_epoch srv ~graph:"churn")))
 
+let test_quota_reconnect () =
+  (* the redial loophole, pinned shut: a throttled client that drops its
+     connection and dials again must resume the same drained bucket —
+     identity is the Hello token, not the connection. A different token
+     stays a different client with its own full bucket. *)
+  let quota =
+    {
+      Quota.queries_per_sec = 0.001;
+      query_burst = 1;
+      mutate_bytes_per_sec = 1.;
+      mutate_burst = 40;
+    }
+  in
+  with_server ~quota [ ("gadget", gadget 3) ] (fun addr srv ->
+      with_client addr (fun a ->
+          Client.hello a ~token:"alice";
+          let outcome, _ =
+            collect_query a (query ~id:1 ~graph:"gadget" ~s:2 ())
+          in
+          ignore (finished_done outcome : P.done_info);
+          (* the one burst token is spent *)
+          match Client.run_query a (query ~id:2 ~graph:"gadget" ~s:2 ()) with
+          | Client.Throttled _ -> ()
+          | _ -> Alcotest.fail "second query not throttled");
+      (* reconnect announcing the same token: still the drained bucket *)
+      with_client addr (fun a2 ->
+          Client.hello a2 ~token:"alice";
+          match Client.run_query a2 (query ~id:3 ~graph:"gadget" ~s:2 ()) with
+          | Client.Throttled wait ->
+              Alcotest.(check bool) "drained bucket survives the redial" true
+                (wait > 100.)
+          | _ -> Alcotest.fail "redial minted a fresh bucket");
+      (* a different token is a different client *)
+      with_client addr (fun b ->
+          Client.hello b ~token:"bob";
+          let outcome, _ =
+            collect_query b (query ~id:4 ~graph:"gadget" ~s:2 ())
+          in
+          ignore (finished_done outcome : P.done_info));
+      (* and so is an anonymous unix-socket sibling (private bucket) *)
+      with_client addr (fun c ->
+          let outcome, _ =
+            collect_query c (query ~id:5 ~graph:"gadget" ~s:2 ())
+          in
+          ignore (finished_done outcome : P.done_info));
+      wait_idle srv;
+      check_pins srv ~graph:"gadget")
+
 let test_serve_mutate_query_differential () =
   (* 4 concurrent clients query the before-graph; one wire mutation
      lands; the clients re-query and every after-stream must equal the
@@ -1370,6 +1419,8 @@ let suites =
         Alcotest.test_case "busy admission is typed" `Quick test_busy_admission;
         Alcotest.test_case "quota buckets (fake clock)" `Quick test_quota_buckets;
         Alcotest.test_case "quota refusals over the wire" `Quick test_quota_over_wire;
+        Alcotest.test_case "quota identity survives reconnects" `Quick
+          test_quota_reconnect;
         Alcotest.test_case "serve-mutate-query matches Enumerate.refresh" `Quick
           test_serve_mutate_query_differential;
         Alcotest.test_case "in-flight queries keep their admission epoch" `Quick
